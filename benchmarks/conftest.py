@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+corresponding rows/series, so running ``pytest benchmarks/ --benchmark-only -s``
+produces both the timing numbers and the reproduced artefacts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def full_evaluation_result():
+    """The full-catalogue evaluation, shared by the Table 2 / Figure 3 / 4a benches."""
+    from repro.experiments import run_full_evaluation
+
+    return run_full_evaluation()

@@ -1,0 +1,113 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* hybrid vs static-only vs runtime-only detection coverage;
+* double vs single runtime snapshot (Section 4.2.2, dynamic ports);
+* host-port pre-scan on/off (Section 4.2.2, hostNetwork false positives);
+* admission-controller defense on/off at deploy time.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import AdmissionError, BehaviorRegistry, Cluster
+from repro.core import (
+    AnalyzerSettings,
+    MODE_HYBRID,
+    MODE_STATIC,
+    MisconfigClass,
+    MisconfigurationAnalyzer,
+    NetworkMisconfigurationAdmission,
+)
+from repro.datasets import InjectionPlan, build_application
+from repro.helm import render_chart
+
+
+def _fixture_app():
+    plan = InjectionPlan(m1=3, m2=1, m3=2, m4a=1, m5a=1, m5b=1, m6=True, m7=1)
+    return build_application("ablation", "Fixtures", plan, archetype="microservices")
+
+
+def test_ablation_static_vs_hybrid(benchmark):
+    """Static-only analysis is faster but misses every runtime-only class."""
+    app = _fixture_app()
+    static_analyzer = MisconfigurationAnalyzer(settings=AnalyzerSettings(mode=MODE_STATIC))
+    hybrid_analyzer = MisconfigurationAnalyzer(settings=AnalyzerSettings(mode=MODE_HYBRID))
+
+    static_report = benchmark(
+        static_analyzer.analyze_chart, app.chart, behaviors=app.behaviors
+    )
+    hybrid_report = hybrid_analyzer.analyze_chart(app.chart, behaviors=app.behaviors)
+
+    print("\nAblation: detection coverage by analysis mode")
+    print(f"  static-only classes : {sorted(c.value for c in static_report.classes_present())}")
+    print(f"  hybrid classes      : {sorted(c.value for c in hybrid_report.classes_present())}")
+
+    runtime_only = {MisconfigClass.M1, MisconfigClass.M2, MisconfigClass.M3, MisconfigClass.M5A}
+    assert not runtime_only & static_report.classes_present()
+    assert runtime_only <= hybrid_report.classes_present()
+    assert static_report.classes_present() < hybrid_report.classes_present()
+
+
+def test_ablation_double_vs_single_snapshot(benchmark):
+    """Without the restart-and-compare step, dynamic ports (M2) are invisible."""
+    app = _fixture_app()
+    single = MisconfigurationAnalyzer(settings=AnalyzerSettings(double_snapshot=False))
+    double = MisconfigurationAnalyzer(settings=AnalyzerSettings(double_snapshot=True))
+
+    single_report = benchmark(single.analyze_chart, app.chart, behaviors=app.behaviors)
+    double_report = double.analyze_chart(app.chart, behaviors=app.behaviors)
+
+    print("\nAblation: double snapshot for dynamic-port detection")
+    print(f"  single snapshot M2 findings : {len(single_report.of_class(MisconfigClass.M2))}")
+    print(f"  double snapshot M2 findings : {len(double_report.of_class(MisconfigClass.M2))}")
+
+    assert single_report.of_class(MisconfigClass.M2) == []
+    assert len(double_report.of_class(MisconfigClass.M2)) == 1
+    # Worse: the unrecognized ephemeral port shows up as a spurious M1 instead.
+    assert len(single_report.of_class(MisconfigClass.M1)) > len(
+        double_report.of_class(MisconfigClass.M1)
+    )
+
+
+def test_ablation_host_port_prescan(benchmark):
+    """Skipping the host-port baseline creates false M1 positives for hostNetwork pods."""
+    app = build_application("hostscan", "Fixtures", InjectionPlan(m7=1), archetype="web")
+    with_scan = MisconfigurationAnalyzer(settings=AnalyzerSettings(host_port_filtering=True))
+    without_scan = MisconfigurationAnalyzer(settings=AnalyzerSettings(host_port_filtering=False))
+
+    clean_report = benchmark(with_scan.analyze_chart, app.chart, behaviors=app.behaviors)
+    noisy_report = without_scan.analyze_chart(app.chart, behaviors=app.behaviors)
+
+    print("\nAblation: host-port pre-scan for hostNetwork pods")
+    print(f"  with pre-scan    M1 findings : {len(clean_report.of_class(MisconfigClass.M1))}")
+    print(f"  without pre-scan M1 findings : {len(noisy_report.of_class(MisconfigClass.M1))}")
+
+    assert clean_report.of_class(MisconfigClass.M1) == []
+    assert len(noisy_report.of_class(MisconfigClass.M1)) >= 3
+
+
+def test_ablation_admission_defense(benchmark):
+    """With the admission controller enabled, misconfigured objects never land."""
+    app = _fixture_app()
+    rendered = render_chart(app.chart)
+
+    def deploy_without_defense():
+        cluster = Cluster(name="open", worker_count=2, behaviors=app.behaviors)
+        cluster.install(render_chart(app.chart))
+        return cluster
+
+    open_cluster = benchmark(deploy_without_defense)
+    assert len(open_cluster.running_pods()) > 0
+
+    guarded = Cluster(name="guarded", worker_count=2, behaviors=BehaviorRegistry())
+    guarded.register_admission_controller(NetworkMisconfigurationAdmission(mode="enforce"))
+    rejected = 0
+    for obj in rendered.objects:
+        try:
+            guarded.api.apply(obj)
+        except AdmissionError:
+            rejected += 1
+
+    print("\nAblation: admission-controller defense")
+    print(f"  objects in chart            : {len(rendered.objects)}")
+    print(f"  rejected at admission time  : {rejected}")
+    assert rejected >= 1

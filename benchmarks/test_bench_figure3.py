@@ -1,0 +1,42 @@
+"""Benchmark / reproduction of Figure 3: the most misconfigured applications."""
+
+from __future__ import annotations
+
+from repro.experiments import figure3a, figure3b, format_figure3
+
+
+def test_figure3a_top_applications_by_count(benchmark, full_evaluation_result):
+    summary = full_evaluation_result.summary
+    ranked = benchmark(figure3a, summary, 10)
+
+    print("\n" + "=" * 78)
+    print("Figure 3a - ten applications with the highest number of misconfigurations")
+    print("=" * 78)
+    print(format_figure3(ranked, metric="total"))
+
+    assert len(ranked) == 10
+    totals = [entry.total for entry in ranked]
+    assert totals == sorted(totals, reverse=True)
+    # The paper's most misconfigured chart is kube-prometheus-stack (Prometheus
+    # Community) followed by the kube-prometheus variants (Bitnami).
+    assert ranked[0].label.startswith("kube-prometheus-stack")
+    assert any(entry.label.startswith("kube-prometheus ") for entry in ranked)
+    # Every top application lacks network policies (M6), as in the paper.
+    assert all(any(cls.value == "M6" for cls in entry.counts) for entry in ranked)
+
+
+def test_figure3b_top_applications_by_types(benchmark, full_evaluation_result):
+    summary = full_evaluation_result.summary
+    ranked = benchmark(figure3b, summary, 10)
+
+    print("\n" + "=" * 78)
+    print("Figure 3b - ten applications with the most misconfiguration types")
+    print("=" * 78)
+    print(format_figure3(ranked, metric="types"))
+
+    assert len(ranked) == 10
+    types = [entry.types for entry in ranked]
+    assert types == sorted(types, reverse=True)
+    assert types[0] >= 6
+    top_names = {entry.label.split(" (")[0] for entry in ranked}
+    assert {"kube-prometheus", "kube-prometheus-stack"} & top_names

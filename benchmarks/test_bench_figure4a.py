@@ -1,0 +1,29 @@
+"""Benchmark / reproduction of Figure 4a: misconfigurations per application."""
+
+from __future__ import annotations
+
+from repro.experiments import figure4a, format_figure4a
+
+
+def test_figure4a_distribution(benchmark, full_evaluation_result):
+    summary = full_evaluation_result.summary
+    distribution = benchmark(figure4a, summary)
+
+    print("\n" + "=" * 78)
+    print("Figure 4a - total misconfigurations per application (reproduced)")
+    print("=" * 78)
+    print(format_figure4a(distribution))
+
+    # The distribution covers every analyzed application and sums to the total.
+    assert len(distribution.per_application) == summary.total_applications
+    assert distribution.total == summary.total_misconfigurations
+    # Shape: the distribution is heavy-tailed -- a small share of applications
+    # concentrates a disproportionate share of the misconfigurations, and the
+    # maximum is around 20 misconfigurations as in the paper.
+    assert distribution.per_application[0] >= 15
+    assert distribution.per_application[0] <= 25
+    assert distribution.share_apps_ge_10 < 0.10
+    assert distribution.share_findings_ge_10 > 2 * distribution.share_apps_ge_10
+    # Roughly half of the applications have few (0-2) misconfigurations.
+    low = sum(1 for count in distribution.per_application if count <= 2)
+    assert low > len(distribution.per_application) * 0.4

@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the substrates: Helm rendering, cluster operations,
+policy evaluation and probing throughput."""
+
+from __future__ import annotations
+
+from repro.cluster import BehaviorRegistry, Cluster
+from repro.datasets import InjectionPlan, build_application
+from repro.helm import render_chart
+from repro.k8s import allow_ports_policy, deny_all_policy, equality_selector, load_yaml, dump_yaml
+from repro.probe import RuntimeScanner
+
+
+def _app():
+    return build_application(
+        "bench-app", "Fixtures", InjectionPlan(m1=2, m2=1, m6=True), archetype="microservices"
+    )
+
+
+def test_bench_helm_render(benchmark):
+    """Rendering one synthetic chart (templates + values -> typed objects)."""
+    app = _app()
+    rendered = benchmark(render_chart, app.chart)
+    assert rendered.objects
+
+
+def test_bench_yaml_round_trip(benchmark):
+    """Parsing and re-serializing the rendered manifests."""
+    rendered = render_chart(_app().chart)
+    text = dump_yaml(rendered.objects)
+
+    def round_trip():
+        return dump_yaml(load_yaml(text))
+
+    assert benchmark(round_trip)
+
+
+def test_bench_cluster_install(benchmark):
+    """Installing an application into a fresh simulated cluster."""
+    app = _app()
+    rendered = render_chart(app.chart)
+
+    def install():
+        cluster = Cluster(name="bench", worker_count=3, behaviors=app.behaviors)
+        cluster.install(rendered.objects, app_name="bench-app")
+        return cluster
+
+    cluster = benchmark(install)
+    assert cluster.running_pods()
+
+
+def test_bench_double_snapshot(benchmark):
+    """The runtime probe's double snapshot of one application."""
+    app = _app()
+    cluster = Cluster(name="bench", worker_count=3, behaviors=app.behaviors)
+    cluster.install(render_chart(app.chart).objects, app_name="bench-app")
+    scanner = RuntimeScanner(cluster)
+
+    observation = benchmark(scanner.observe, "bench-app")
+    assert observation.pods()
+
+
+def test_bench_policy_evaluation(benchmark):
+    """Evaluating NetworkPolicy admission for a pod-to-pod connection."""
+    registry = BehaviorRegistry()
+    cluster = Cluster(name="bench", worker_count=2, behaviors=registry)
+    app = _app()
+    cluster.install(render_chart(app.chart).objects, app_name="bench-app")
+    cluster.api.apply(deny_all_policy("deny"))
+    cluster.api.apply(allow_ports_policy("allow", equality_selector(), [8080]))
+    pods = cluster.running_pods()
+    source, destination = pods[0], pods[-1]
+    policies = cluster.network_policies()
+
+    def evaluate():
+        return cluster.network.connect_pod_to_pod(policies, source, destination, 8080)
+
+    assert benchmark(evaluate) is not None
+
+
+def test_bench_reachability_surface(benchmark):
+    """Computing the full lateral-movement surface from one pod."""
+    app = _app()
+    cluster = Cluster(name="bench", worker_count=3, behaviors=app.behaviors)
+    cluster.install(render_chart(app.chart).objects, app_name="bench-app")
+    source = cluster.running_pods()[0]
+
+    endpoints = benchmark(cluster.reachable_from, source)
+    assert endpoints

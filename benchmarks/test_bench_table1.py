@@ -1,0 +1,30 @@
+"""Benchmark for the Table 1 catalogue and single-chart analysis latency."""
+
+from __future__ import annotations
+
+from repro.core import CATALOG, TABLE_ORDER, MisconfigurationAnalyzer
+from repro.datasets import InjectionPlan, build_application
+
+
+def test_table1_catalogue_and_single_chart_analysis(benchmark):
+    """Analyze one representative chart end to end (render + install + double
+    snapshot + rules) and print the Table 1 catalogue alongside the findings."""
+    plan = InjectionPlan(m1=2, m2=1, m3=1, m4a=1, m4b=1, m4c=1, m5a=1, m5b=1, m5c=1,
+                         m5d=1, m6=True, m7=1)
+    app = build_application("table1-fixture", "Fixtures", plan, archetype="microservices")
+
+    def analyze():
+        return MisconfigurationAnalyzer().analyze_chart(app.chart, behaviors=app.behaviors)
+
+    report = benchmark(analyze)
+
+    print("\n" + "=" * 78)
+    print("Table 1 - identified network misconfigurations (catalogue + example findings)")
+    print("=" * 78)
+    for cls in TABLE_ORDER:
+        descriptor = CATALOG[cls]
+        detected = len(report.of_class(cls))
+        print(f"{cls.value:<4} {descriptor.description:<45} "
+              f"attacks: {', '.join(descriptor.attacks):<50} detected: {detected}")
+
+    assert report.classes_present() == set(TABLE_ORDER) - {next(c for c in TABLE_ORDER if c.value == 'M4*')}

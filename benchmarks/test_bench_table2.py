@@ -1,0 +1,49 @@
+"""Benchmark / reproduction of Table 2: misconfigurations by dataset.
+
+Prints the regenerated Table 2 rows and the Section 4.3.1 headline
+statistics, and checks the totals against the paper (634 misconfigurations,
+259 affected applications).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.datasets import (
+    DATASET_ORDER,
+    TABLE2_TOTAL_MISCONFIGURATIONS,
+    build_dataset,
+    expected_dataset_counts,
+)
+from repro.experiments import compute_stats, format_stats, run_full_evaluation
+
+
+def test_table2_full_catalogue(benchmark, full_evaluation_result):
+    """Regenerate the full Table 2 (analysis already executed once per session;
+    the benchmark times a fresh run of the complete pipeline)."""
+    result = run_once(benchmark, run_full_evaluation)
+    summary = result.summary
+
+    print("\n" + "=" * 78)
+    print("Table 2 - network misconfigurations by dataset (reproduced)")
+    print("=" * 78)
+    print(summary.table2_text())
+    print()
+    print(format_stats(compute_stats(result)))
+
+    assert summary.total_misconfigurations == TABLE2_TOTAL_MISCONFIGURATIONS
+    assert summary.affected_applications == 259
+    for dataset in DATASET_ORDER:
+        row = summary.dataset_summary(dataset)
+        got = {cls.value: count for cls, count in row.counts.items()}
+        for name, count in expected_dataset_counts(dataset).items():
+            assert got.get(name, 0) == count, f"{dataset} {name}"
+
+
+def test_table2_single_dataset_throughput(benchmark):
+    """Per-dataset analysis throughput (CNCF, the smallest dataset)."""
+    def analyze_cncf():
+        return run_full_evaluation(applications=build_dataset("CNCF"))
+
+    result = benchmark(analyze_cncf)
+    assert result.summary.dataset_summary("CNCF").total_misconfigurations == 27

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Quickstart: analyze a Helm chart for network misconfigurations.
+
+This example builds a small Helm chart the way a chart author would (values
+plus templates), registers the *actual* runtime behaviour of its container
+image, and runs the hybrid analyzer.  The chart contains three classic
+mistakes from the paper:
+
+* the application listens on an admin port that is never declared (M1);
+* the chart declares a metrics port that the application never opens (M3);
+* no NetworkPolicy is shipped (M6).
+"""
+
+from repro.cluster import BehaviorRegistry, ContainerBehavior, ListenSpec
+from repro.core import CATALOG, MisconfigurationAnalyzer, format_report_text
+from repro.helm import Chart
+
+VALUES = """
+image: acme/payments-api
+replicas: 2
+service:
+  port: 80
+  targetPort: 8080
+"""
+
+DEPLOYMENT = """
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ .Release.Name }}-api
+  labels:
+    app.kubernetes.io/name: payments-api
+spec:
+  replicas: {{ .Values.replicas }}
+  selector:
+    matchLabels:
+      app.kubernetes.io/name: payments-api
+  template:
+    metadata:
+      labels:
+        app.kubernetes.io/name: payments-api
+    spec:
+      containers:
+        - name: api
+          image: {{ .Values.image | quote }}
+          ports:
+            - containerPort: {{ .Values.service.targetPort }}
+              name: http
+            - containerPort: 9102
+              name: metrics
+"""
+
+SERVICE = """
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ .Release.Name }}-api
+spec:
+  selector:
+    app.kubernetes.io/name: payments-api
+  ports:
+    - name: http
+      port: {{ .Values.service.port }}
+      targetPort: {{ .Values.service.targetPort }}
+"""
+
+
+def main() -> None:
+    chart = Chart.from_files(
+        "payments-api",
+        values_yaml=VALUES,
+        templates={"deployment.yaml": DEPLOYMENT, "service.yaml": SERVICE},
+        description="Example payments API chart",
+    )
+
+    # What the container actually does at runtime: it serves HTTP on 8080 as
+    # declared, opens an undeclared debug console on 6060, and never starts
+    # the metrics listener that the chart declares on 9102.
+    behaviors = BehaviorRegistry()
+    behaviors.register(
+        "acme/payments-api",
+        ContainerBehavior(
+            listen_on_declared=True,
+            extra_listens=[ListenSpec(port=6060, process="debug-console")],
+            ignore_declared_ports={9102},
+        ),
+    )
+
+    analyzer = MisconfigurationAnalyzer()
+    report = analyzer.analyze_chart(chart, behaviors=behaviors)
+
+    print(format_report_text(report))
+    print()
+    print("Catalogue of misconfiguration classes (Table 1):")
+    for descriptor in CATALOG.values():
+        print(f"  {descriptor.misconfig_class.value:<4} {descriptor.description}")
+
+
+if __name__ == "__main__":
+    main()

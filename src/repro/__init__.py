@@ -1,0 +1,55 @@
+"""Reproduction of "Inside Job: Defending Kubernetes Clusters Against Network
+Misconfigurations" (CoNEXT 2025).
+
+Subpackages
+-----------
+
+``repro.k8s``
+    Typed Kubernetes object model (pods, workloads, services, network
+    policies, labels/selectors, YAML parsing).
+``repro.helm``
+    Helm chart engine: values, a Go-template subset renderer, dependencies.
+``repro.cluster``
+    In-process cluster simulator: API server with admission chain, scheduler,
+    container runtime with socket behaviours, endpoint controller, DNS, CNI.
+``repro.probe``
+    Runtime analysis: netstat-style snapshots, double-snapshot dynamic-port
+    detection, reachability probing.
+``repro.core``
+    The paper's contribution: the hybrid misconfiguration analyzer (rules
+    M1-M7), cluster-wide collision analysis, mitigation engine, admission
+    defense, reporting.
+``repro.baselines``
+    Re-implementations of the eleven compared tools (Table 3).
+``repro.datasets``
+    Synthetic catalogue of the six evaluated organizations and the PoC
+    attacks (Concourse, Thanos).
+``repro.experiments``
+    Harnesses regenerating Table 2, Table 3, Figures 3, 4a and 4b.
+
+Quick start
+-----------
+
+>>> from repro.datasets import build_application, InjectionPlan
+>>> from repro.core import MisconfigurationAnalyzer
+>>> app = build_application("demo", "Acme", InjectionPlan(m1=1, m6=True))
+>>> report = MisconfigurationAnalyzer().analyze_chart(app.chart, behaviors=app.behaviors)
+>>> sorted(cls.value for cls in report.classes_present())
+['M1', 'M6']
+"""
+
+from . import baselines, cluster, core, datasets, experiments, helm, k8s, probe
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "baselines",
+    "cluster",
+    "core",
+    "datasets",
+    "experiments",
+    "helm",
+    "k8s",
+    "probe",
+]

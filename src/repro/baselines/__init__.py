@@ -1,0 +1,52 @@
+"""Re-implementations of the state-of-the-art tools compared in Table 3."""
+
+from .base import (
+    CATEGORY_HYBRID,
+    CATEGORY_PLATFORM,
+    CATEGORY_RUNTIME,
+    CATEGORY_STATIC,
+    CLUSTER_WIDE_CLASSES,
+    FOUND,
+    MISSED,
+    NOT_APPLICABLE,
+    PARTIAL,
+    RUNTIME_ONLY_CLASSES,
+    BaselineFinding,
+    BaselineInput,
+    BaselineTool,
+)
+from .ours import OurSolution
+from .registry import all_tools, third_party_tools, tool_by_name
+from .runtime_tools import KubeBench, Kubescape, NeuVector, StackRox, Trivy
+from .static_tools import Checkov, Kubeaudit, KubeLinter, KubeScore, Kubesec, SLIKube
+
+__all__ = [
+    "CATEGORY_HYBRID",
+    "CATEGORY_PLATFORM",
+    "CATEGORY_RUNTIME",
+    "CATEGORY_STATIC",
+    "CLUSTER_WIDE_CLASSES",
+    "Checkov",
+    "FOUND",
+    "Kubeaudit",
+    "KubeBench",
+    "KubeLinter",
+    "KubeScore",
+    "Kubesec",
+    "Kubescape",
+    "MISSED",
+    "NOT_APPLICABLE",
+    "NeuVector",
+    "OurSolution",
+    "PARTIAL",
+    "RUNTIME_ONLY_CLASSES",
+    "SLIKube",
+    "StackRox",
+    "Trivy",
+    "BaselineFinding",
+    "BaselineInput",
+    "BaselineTool",
+    "all_tools",
+    "third_party_tools",
+    "tool_by_name",
+]

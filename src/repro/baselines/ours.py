@@ -1,0 +1,58 @@
+"""Our solution wrapped in the baseline interface, for Table 3.
+
+The comparison table runs every tool -- including the paper's own hybrid
+analyzer -- through the same harness; this adapter exposes the
+:class:`~repro.core.MisconfigurationAnalyzer` with the ``BaselineTool``
+interface so the matrix is produced uniformly.
+"""
+
+from __future__ import annotations
+
+from ..core import ApplicationInventory, MisconfigurationAnalyzer, global_collision_findings
+from .base import BaselineFinding, BaselineInput, BaselineTool, CATEGORY_HYBRID
+
+
+class OurSolution(BaselineTool):
+    """The paper's hybrid static + runtime analyzer."""
+
+    name = "Our solution"
+    version = "-"
+    category = CATEGORY_HYBRID
+
+    def __init__(self, analyzer: MisconfigurationAnalyzer | None = None) -> None:
+        self.analyzer = analyzer or MisconfigurationAnalyzer()
+
+    def run(self, data: BaselineInput) -> list[BaselineFinding]:
+        report = self.analyzer.analyze_objects(
+            list(data.inventory),
+            application="baseline-comparison",
+            observation=data.observation,
+        )
+        findings = [
+            BaselineFinding(
+                check_id=finding.misconfig_class.value,
+                resource=finding.resource,
+                message=finding.message,
+                misconfig_class=finding.misconfig_class,
+            )
+            for finding in report.findings
+        ]
+        # Cluster-wide pass over the other applications installed alongside.
+        if data.cluster_inventories:
+            inventories = [
+                ApplicationInventory(application="app-under-test", inventory=data.inventory)
+            ]
+            inventories.extend(
+                ApplicationInventory(application=f"neighbour-{index}", inventory=inventory)
+                for index, inventory in enumerate(data.cluster_inventories)
+            )
+            for finding in global_collision_findings(inventories):
+                findings.append(
+                    BaselineFinding(
+                        check_id=finding.misconfig_class.value,
+                        resource=finding.resource,
+                        message=finding.message,
+                        misconfig_class=finding.misconfig_class,
+                    )
+                )
+        return findings

@@ -1,0 +1,37 @@
+"""Registry of the compared tools, in the order of Table 3."""
+
+from __future__ import annotations
+
+from .base import BaselineTool
+from .ours import OurSolution
+from .runtime_tools import KubeBench, Kubescape, NeuVector, StackRox, Trivy
+from .static_tools import Checkov, Kubeaudit, KubeLinter, KubeScore, Kubesec, SLIKube
+
+
+def third_party_tools() -> list[BaselineTool]:
+    """The eleven third-party tools of Table 3, in presentation order."""
+    return [
+        Checkov(),
+        Kubeaudit(),
+        KubeLinter(),
+        KubeScore(),
+        Kubesec(),
+        SLIKube(),
+        KubeBench(),
+        Kubescape(),
+        Trivy(),
+        NeuVector(),
+        StackRox(),
+    ]
+
+
+def all_tools() -> list[BaselineTool]:
+    """Third-party tools plus our solution, as in the last row of Table 3."""
+    return third_party_tools() + [OurSolution()]
+
+
+def tool_by_name(name: str) -> BaselineTool:
+    for tool in all_tools():
+        if tool.name.lower() == name.lower():
+            return tool
+    raise KeyError(f"unknown baseline tool: {name!r}")

@@ -1,0 +1,124 @@
+"""Runtime, hybrid, and platform baselines: Kube-bench, Kubescape, Trivy,
+NeuVector, StackRox.
+
+These tools query the Kubernetes API of a running cluster (and, for the
+platforms, monitor traffic), but -- as the paper observes in Section 4.4.3 --
+they do not inspect the runtime environment *inside* containers (open
+sockets) and do not cross-reference resources of different types, so they
+miss the port-mismatch and service-reference misconfigurations.
+"""
+
+from __future__ import annotations
+
+from ..core import MisconfigClass
+from ..k8s import LabelSet
+from .base import (
+    BaselineFinding,
+    BaselineInput,
+    BaselineTool,
+    CATEGORY_HYBRID,
+    CATEGORY_PLATFORM,
+    CATEGORY_RUNTIME,
+)
+from .static_tools import _host_network_findings, _missing_network_policy_findings
+
+
+class KubeBench(BaselineTool):
+    """Aqua kube-bench: CIS benchmark checks against a running cluster.
+
+    The CIS benchmark's networking section (5.3.x, namespaces should have
+    NetworkPolicies) is a *manual* check that kube-bench prints but does not
+    evaluate, so the tool reports nothing for M6; at the workload level it
+    flags hostNetwork usage through the pod security checks.
+    """
+
+    name = "Kube-bench"
+    version = "0.7.1"
+    category = CATEGORY_RUNTIME
+
+    def run(self, data: BaselineInput) -> list[BaselineFinding]:
+        return _host_network_findings(data, "5.2.4")
+
+
+class Kubescape(BaselineTool):
+    """ARMO Kubescape: framework-based scanning of manifests and clusters.
+
+    Besides the netpol / hostNetwork controls, Kubescape's `label-usage`
+    controls report workloads that share the same labels, which *hints* at
+    label collisions without identifying the colliding selectors -- the
+    paper scores this as a partial detection of the M4 family.
+    """
+
+    name = "Kubescape"
+    version = "3.0.3"
+    category = CATEGORY_HYBRID
+
+    def run(self, data: BaselineInput) -> list[BaselineFinding]:
+        findings = _host_network_findings(data, "C-0041")
+        findings.extend(_missing_network_policy_findings(data, "C-0260"))
+        findings.extend(self._shared_label_hints(data))
+        return findings
+
+    @staticmethod
+    def _shared_label_hints(data: BaselineInput) -> list[BaselineFinding]:
+        findings: list[BaselineFinding] = []
+        groups: dict[LabelSet, list[str]] = {}
+        for unit in data.inventory.compute_units():
+            labels = LabelSet(unit.pod_labels())
+            if labels:
+                groups.setdefault(labels, []).append(unit.qualified_name())
+        shared = {labels: names for labels, names in groups.items() if len(names) > 1}
+        for labels, names in shared.items():
+            for misconfig in (MisconfigClass.M4A, MisconfigClass.M4B, MisconfigClass.M4C):
+                findings.append(
+                    BaselineFinding(
+                        check_id="label-usage",
+                        resource=names[0],
+                        message=(
+                            "workloads "
+                            + ", ".join(names)
+                            + " use common labels; verify that services select the intended pods"
+                        ),
+                        misconfig_class=misconfig,
+                        partial=True,
+                    )
+                )
+        return findings
+
+
+class Trivy(BaselineTool):
+    """Aqua Trivy: misconfiguration scanning of manifests and clusters."""
+
+    name = "Trivy"
+    version = "0.49.1"
+    category = CATEGORY_HYBRID
+
+    def run(self, data: BaselineInput) -> list[BaselineFinding]:
+        return _host_network_findings(data, "KSV009")
+
+
+class NeuVector(BaselineTool):
+    """SUSE NeuVector: a runtime security platform.
+
+    NeuVector records connections and can generate policies from observed
+    traffic, but it does not flag misconfigured resources; the only
+    network-related configuration it reports on is host-namespace sharing.
+    """
+
+    name = "NeuVector"
+    version = "5.3.0"
+    category = CATEGORY_PLATFORM
+
+    def run(self, data: BaselineInput) -> list[BaselineFinding]:
+        return _host_network_findings(data, "host_network_violation")
+
+
+class StackRox(BaselineTool):
+    """StackRox (RHACS): a continuous security platform."""
+
+    name = "StackRox"
+    version = "3.74.9"
+    category = CATEGORY_PLATFORM
+
+    def run(self, data: BaselineInput) -> list[BaselineFinding]:
+        return _host_network_findings(data, "host-network-policy-violation")

@@ -1,0 +1,145 @@
+"""Static-analysis baselines: Checkov, Kubeaudit, KubeLinter, Kube-score,
+Kubesec, SLI-KUBE.
+
+Each class re-implements the network-relevant checks the real tool ships
+(check identifiers follow the tools' own naming where they exist).  None of
+these tools correlates resources of different types beyond what is listed
+here, which is why they miss the label-collision and most service-reference
+misconfigurations (Section 4.4.3).
+"""
+
+from __future__ import annotations
+
+from ..core import MisconfigClass
+from .base import (
+    BaselineFinding,
+    BaselineInput,
+    BaselineTool,
+    CATEGORY_STATIC,
+)
+
+
+def _host_network_findings(data: BaselineInput, check_id: str) -> list[BaselineFinding]:
+    """Shared check: pod templates requesting hostNetwork."""
+    findings: list[BaselineFinding] = []
+    for unit in data.inventory.compute_units():
+        if unit.uses_host_network():
+            findings.append(
+                BaselineFinding(
+                    check_id=check_id,
+                    resource=unit.qualified_name(),
+                    message=f"{unit.qualified_name()} shares the host network namespace",
+                    misconfig_class=MisconfigClass.M7,
+                )
+            )
+    return findings
+
+
+def _missing_network_policy_findings(data: BaselineInput, check_id: str) -> list[BaselineFinding]:
+    """Shared check: workloads not covered by any NetworkPolicy."""
+    findings: list[BaselineFinding] = []
+    policies = data.inventory.network_policies()
+    for unit in data.inventory.compute_units():
+        covered = any(policy.selects(unit.pod_labels(), unit.namespace) for policy in policies)
+        if not covered:
+            findings.append(
+                BaselineFinding(
+                    check_id=check_id,
+                    resource=unit.qualified_name(),
+                    message=f"{unit.qualified_name()} is not selected by any NetworkPolicy",
+                    misconfig_class=MisconfigClass.M6,
+                )
+            )
+    return findings
+
+
+def _dangling_service_findings(data: BaselineInput, check_id: str) -> list[BaselineFinding]:
+    """Shared check: services whose selector matches no workload."""
+    findings: list[BaselineFinding] = []
+    for service in data.inventory.services():
+        if not service.has_selector:
+            continue
+        if not data.inventory.compute_units_selected_by(service):
+            findings.append(
+                BaselineFinding(
+                    check_id=check_id,
+                    resource=service.qualified_name(),
+                    message=f"service {service.name!r} selects no existing workload",
+                    misconfig_class=MisconfigClass.M5D,
+                )
+            )
+    return findings
+
+
+class Checkov(BaselineTool):
+    """Checkov: IaC scanner with per-resource Kubernetes policies."""
+
+    name = "Checkov"
+    version = "3.2.23"
+    category = CATEGORY_STATIC
+
+    def run(self, data: BaselineInput) -> list[BaselineFinding]:
+        findings = _host_network_findings(data, "CKV_K8S_19")
+        findings.extend(_missing_network_policy_findings(data, "CKV2_K8S_6"))
+        return findings
+
+
+class Kubeaudit(BaselineTool):
+    """Shopify kubeaudit: audits manifests or a live cluster per resource."""
+
+    name = "Kubeaudit"
+    version = "0.22.1"
+    category = CATEGORY_STATIC
+
+    def run(self, data: BaselineInput) -> list[BaselineFinding]:
+        findings = _host_network_findings(data, "NamespaceHostNetworkTrue")
+        findings.extend(_missing_network_policy_findings(data, "MissingDefaultDenyIngressNetworkPolicy"))
+        return findings
+
+
+class KubeLinter(BaselineTool):
+    """StackRox kube-linter: per-object lints plus the dangling-service check."""
+
+    name = "KubeLinter"
+    version = "0.6.8"
+    category = CATEGORY_STATIC
+
+    def run(self, data: BaselineInput) -> list[BaselineFinding]:
+        findings = _host_network_findings(data, "host-network")
+        findings.extend(_dangling_service_findings(data, "dangling-service"))
+        return findings
+
+
+class KubeScore(BaselineTool):
+    """kube-score: object analysis with service/pod and netpol checks."""
+
+    name = "Kube-score"
+    version = "1.18.0"
+    category = CATEGORY_STATIC
+
+    def run(self, data: BaselineInput) -> list[BaselineFinding]:
+        findings = _dangling_service_findings(data, "service-targets-pod")
+        findings.extend(_missing_network_policy_findings(data, "pod-networkpolicy"))
+        return findings
+
+
+class Kubesec(BaselineTool):
+    """kubesec.io: risk scoring of individual manifests."""
+
+    name = "Kubesec"
+    version = "2.14.0"
+    category = CATEGORY_STATIC
+
+    def run(self, data: BaselineInput) -> list[BaselineFinding]:
+        return _host_network_findings(data, "HostNetwork")
+
+
+class SLIKube(BaselineTool):
+    """SLI-KUBE: the static checker from Rahman et al. (TOSEM 2023)."""
+
+    name = "SLI-KUBE"
+    version = "research-prototype"
+    category = CATEGORY_STATIC
+
+    def run(self, data: BaselineInput) -> list[BaselineFinding]:
+        return _host_network_findings(data, "hostNetwork")

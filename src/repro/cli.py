@@ -1,0 +1,144 @@
+"""Command-line interface: ``insidejob``.
+
+Subcommands
+-----------
+
+``analyze <chart.yaml or manifests.yaml>``
+    Run the static analyzer on rendered Kubernetes manifests (YAML files).
+``catalog``
+    Build the synthetic catalogue and print the Table 2 breakdown.
+``table2`` / ``table3`` / ``figure3`` / ``figure4a`` / ``figure4b``
+    Regenerate the corresponding table or figure of the paper.
+``attack concourse|thanos``
+    Run one of the Section 2.1 proof-of-concept attacks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core import (
+    AnalyzerSettings,
+    MODE_STATIC,
+    MisconfigurationAnalyzer,
+    format_report_text,
+)
+from .k8s import load_yaml
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    text = Path(args.path).read_text(encoding="utf-8")
+    objects = load_yaml(text)
+    analyzer = MisconfigurationAnalyzer(settings=AnalyzerSettings(mode=MODE_STATIC))
+    report = analyzer.analyze_objects(objects, application=Path(args.path).stem)
+    print(format_report_text(report))
+    return 1 if report.affected and args.strict else 0
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    from .experiments import run_full_evaluation
+
+    result = run_full_evaluation()
+    print(result.summary.table2_text())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    return _cmd_catalog(args)
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from .experiments import run_comparison
+
+    print(run_comparison().format_text())
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    from .experiments import figure3a, figure3b, format_figure3, run_full_evaluation
+
+    summary = run_full_evaluation().summary
+    print("Figure 3a - applications with the most misconfigurations")
+    print(format_figure3(figure3a(summary), metric="total"))
+    print()
+    print("Figure 3b - applications with the most misconfiguration types")
+    print(format_figure3(figure3b(summary), metric="types"))
+    return 0
+
+
+def _cmd_figure4a(args: argparse.Namespace) -> int:
+    from .experiments import figure4a, format_figure4a, run_full_evaluation
+
+    summary = run_full_evaluation().summary
+    print(format_figure4a(figure4a(summary)))
+    return 0
+
+
+def _cmd_figure4b(args: argparse.Namespace) -> int:
+    from .experiments import run_netpol_impact
+
+    print(run_netpol_impact().format_text())
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from .datasets import run_concourse_attack, run_thanos_attack
+
+    if args.scenario == "concourse":
+        result = run_concourse_attack()
+        print(f"reverse-tunnel ports opened by the web node: {sorted(result.tunnel_ports)}")
+        print(f"reachable from the attacker pod:             {sorted(result.reachable_tunnel_ports)}")
+        for command in result.commands_sent:
+            print(f"  attacker command: {command}")
+        print("attack succeeded" if result.succeeded else "attack failed")
+        return 0 if result.succeeded else 1
+    result = run_thanos_attack()
+    print(f"legitimate backends:        {sorted(result.legitimate_backends)}")
+    print(f"backends receiving traffic: {sorted(result.backends_receiving_traffic)}")
+    print(
+        "impersonation succeeded"
+        if result.impersonation_succeeded
+        else "impersonation failed"
+    )
+    return 0 if result.impersonation_succeeded else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="insidejob",
+        description="Detect network misconfigurations in Kubernetes applications",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="statically analyze rendered manifests")
+    analyze.add_argument("path", help="path to a multi-document YAML file")
+    analyze.add_argument("--strict", action="store_true", help="exit non-zero on findings")
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    for name, handler, help_text in (
+        ("catalog", _cmd_catalog, "analyze the synthetic catalogue (Table 2)"),
+        ("table2", _cmd_table2, "regenerate Table 2"),
+        ("table3", _cmd_table3, "regenerate Table 3 (tool comparison)"),
+        ("figure3", _cmd_figure3, "regenerate Figure 3 (top applications)"),
+        ("figure4a", _cmd_figure4a, "regenerate Figure 4a (distribution)"),
+        ("figure4b", _cmd_figure4b, "regenerate Figure 4b (network-policy impact)"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.set_defaults(handler=handler)
+
+    attack = subparsers.add_parser("attack", help="run a proof-of-concept attack")
+    attack.add_argument("scenario", choices=("concourse", "thanos"))
+    attack.set_defaults(handler=_cmd_attack)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Cluster simulator substrate.
+
+An in-process stand-in for the Minikube cluster used in the paper's
+evaluation: API server with admission chain, scheduler, container runtime
+with socket behaviours (including ephemeral ports and hostNetwork), endpoint
+controller, cluster DNS, and NetworkPolicy enforcement.
+"""
+
+from .apiserver import AdmissionController, APIServer, ObjectStore
+from .behavior import (
+    ALL_INTERFACES,
+    LOOPBACK,
+    BehaviorRegistry,
+    ContainerBehavior,
+    ListenSpec,
+    behavior_with_closed_ports,
+    behavior_with_dynamic_ports,
+    behavior_with_undeclared_ports,
+    faithful_behavior,
+)
+from .cluster import Cluster, InstalledApplication
+from .cni import NetworkPolicyEnforcer, PolicyDecision
+from .dns import ClusterDNS, DNSRecord
+from .endpoints import EndpointController, ServiceBinding
+from .errors import (
+    AdmissionError,
+    AlreadyExistsError,
+    ClusterError,
+    IPAMError,
+    NotFoundError,
+    SchedulingError,
+)
+from .ipam import AddressPool, ClusterIPAM
+from .network import ClusterNetwork, ConnectionAttempt, ReachableEndpoint
+from .node import CONTROL_PLANE_PROCESSES, DEFAULT_HOST_PROCESSES, HostProcess, Node
+from .runtime import ContainerRuntime, RunningPod, Socket
+from .scheduler import Scheduler
+
+__all__ = [
+    "ALL_INTERFACES",
+    "APIServer",
+    "AddressPool",
+    "AdmissionController",
+    "AdmissionError",
+    "AlreadyExistsError",
+    "BehaviorRegistry",
+    "CONTROL_PLANE_PROCESSES",
+    "Cluster",
+    "ClusterDNS",
+    "ClusterError",
+    "ClusterIPAM",
+    "ClusterNetwork",
+    "ConnectionAttempt",
+    "ContainerBehavior",
+    "ContainerRuntime",
+    "DEFAULT_HOST_PROCESSES",
+    "DNSRecord",
+    "EndpointController",
+    "HostProcess",
+    "IPAMError",
+    "InstalledApplication",
+    "LOOPBACK",
+    "ListenSpec",
+    "NetworkPolicyEnforcer",
+    "Node",
+    "NotFoundError",
+    "ObjectStore",
+    "PolicyDecision",
+    "ReachableEndpoint",
+    "RunningPod",
+    "SchedulingError",
+    "Scheduler",
+    "ServiceBinding",
+    "Socket",
+    "behavior_with_closed_ports",
+    "behavior_with_dynamic_ports",
+    "behavior_with_undeclared_ports",
+    "faithful_behavior",
+]

@@ -1,0 +1,297 @@
+"""The cluster facade: a single-process stand-in for Minikube.
+
+:class:`Cluster` wires the API server, scheduler, container runtime,
+endpoint controller, DNS and CNI together and exposes the operations the
+evaluation pipeline needs:
+
+* ``install`` a rendered Helm chart (or a list of objects) as an *application*;
+* ``uninstall`` it again (the paper recreates a clean cluster per chart);
+* ``restart_application`` to force new ephemeral ports (double snapshot, M2);
+* query running pods, services, bindings and policies;
+* simulate connections and compute lateral-movement reachability.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..helm import RenderedChart
+from ..k8s import (
+    CronJob,
+    DaemonSet,
+    KubernetesObject,
+    NetworkPolicy,
+    Pod,
+    Service,
+    Workload,
+    make_namespace,
+)
+from .apiserver import APIServer, AdmissionController
+from .behavior import BehaviorRegistry
+from .cni import NetworkPolicyEnforcer
+from .dns import ClusterDNS
+from .endpoints import EndpointController, ServiceBinding
+from .errors import ClusterError
+from .ipam import ClusterIPAM
+from .network import ClusterNetwork, ConnectionAttempt, ReachableEndpoint
+from .node import Node
+from .runtime import ContainerRuntime, RunningPod
+from .scheduler import Scheduler
+
+_NAME_CLEANUP_RE = re.compile(r"[^a-z0-9-]")
+
+
+def _sanitize(name: str) -> str:
+    cleaned = _NAME_CLEANUP_RE.sub("-", name.lower()).strip("-")
+    return cleaned or "pod"
+
+
+@dataclass
+class InstalledApplication:
+    """Book-keeping for one installed application (Helm release)."""
+
+    name: str
+    namespace: str
+    objects: list[KubernetesObject] = field(default_factory=list)
+    pod_names: list[str] = field(default_factory=list)
+
+
+class Cluster:
+    """An in-process simulated Kubernetes cluster."""
+
+    def __init__(
+        self,
+        name: str = "minikube",
+        worker_count: int = 3,
+        behaviors: BehaviorRegistry | None = None,
+        seed: int = 2025,
+    ) -> None:
+        self.name = name
+        self.ipam = ClusterIPAM()
+        self.api = APIServer()
+        self.behaviors = behaviors or BehaviorRegistry()
+        self.runtime = ContainerRuntime(self.behaviors, seed=seed)
+        self.dns = ClusterDNS()
+        self.enforcer = NetworkPolicyEnforcer()
+        self.network = ClusterNetwork(enforcer=self.enforcer)
+        self.endpoint_controller = EndpointController()
+        self.nodes: list[Node] = []
+        self._add_node(Node(name=f"{name}-control-plane", control_plane=True))
+        for index in range(worker_count):
+            self._add_node(Node(name=f"{name}-worker-{index + 1}"))
+        self.scheduler = Scheduler(self.nodes)
+        self._running: dict[tuple[str, str], RunningPod] = {}
+        self._applications: dict[str, InstalledApplication] = {}
+        self._ensure_namespace("default")
+        self._ensure_namespace("kube-system")
+
+    # Node management --------------------------------------------------------
+    def _add_node(self, node: Node) -> None:
+        node.ip = self.ipam.nodes.allocate(node.name)
+        self.nodes.append(node)
+
+    def worker_nodes(self) -> list[Node]:
+        return [node for node in self.nodes if node.schedulable]
+
+    # Namespace helpers --------------------------------------------------------
+    def _ensure_namespace(self, namespace: str, labels: Mapping[str, str] | None = None) -> None:
+        if not self.api.store.exists("Namespace", namespace, ""):
+            self.api.apply(make_namespace(namespace, labels))
+        self.enforcer.set_namespace_labels(
+            namespace, dict(labels or {"kubernetes.io/metadata.name": namespace})
+        )
+
+    # Admission ------------------------------------------------------------------
+    def register_admission_controller(self, controller: AdmissionController) -> None:
+        self.api.register_admission_controller(controller)
+
+    # Application lifecycle ---------------------------------------------------------
+    def install(
+        self,
+        source: RenderedChart | Iterable[KubernetesObject],
+        app_name: str = "",
+        namespace: str = "default",
+    ) -> InstalledApplication:
+        """Install a rendered chart (or plain objects) as one application."""
+        if isinstance(source, RenderedChart):
+            objects = list(source.objects)
+            app_name = app_name or source.release.name
+            namespace = source.release.namespace or namespace
+        else:
+            objects = list(source)
+            if not app_name:
+                raise ClusterError("app_name is required when installing plain objects")
+        if app_name in self._applications:
+            raise ClusterError(f"application {app_name!r} is already installed")
+        self._ensure_namespace(namespace)
+        application = InstalledApplication(name=app_name, namespace=namespace)
+        for obj in objects:
+            if obj.kind == "Namespace":
+                self._ensure_namespace(obj.name, obj.labels.to_dict())
+                continue
+            if obj.NAMESPACED and not obj.metadata.namespace:
+                obj.metadata.namespace = namespace
+            self.api.apply(obj)
+            application.objects.append(obj)
+        self._applications[app_name] = application
+        self._start_application_pods(application)
+        self.reconcile()
+        return application
+
+    def uninstall(self, app_name: str) -> None:
+        application = self._applications.pop(app_name, None)
+        if application is None:
+            raise ClusterError(f"application {app_name!r} is not installed")
+        for pod_name in application.pod_names:
+            running = self._running.pop((application.namespace, pod_name), None)
+            if running is not None:
+                self.scheduler.unschedule(pod_name)
+                self.ipam.pods.release(f"{application.namespace}/{pod_name}")
+        for obj in application.objects:
+            try:
+                self.api.delete(obj.kind, obj.name, obj.namespace)
+            except ClusterError:
+                continue
+        self.reconcile()
+
+    def applications(self) -> list[InstalledApplication]:
+        return list(self._applications.values())
+
+    # Pod lifecycle -------------------------------------------------------------------
+    def _start_application_pods(self, application: InstalledApplication) -> None:
+        for obj in application.objects:
+            if isinstance(obj, Workload) and not isinstance(obj, CronJob):
+                for pod in self._expand_workload(obj):
+                    self._start_pod(pod, application, owner=obj.qualified_name())
+            elif isinstance(obj, Pod):
+                self._start_pod(obj, application, owner=obj.qualified_name())
+
+    def _expand_workload(self, workload: Workload) -> list[Pod]:
+        pods: list[Pod] = []
+        if isinstance(workload, DaemonSet):
+            replicas = len(self.worker_nodes())
+        else:
+            replicas = workload.replica_count()
+        for index in range(replicas):
+            pod_name = _sanitize(f"{workload.name}-{index}")
+            pod = Pod.from_template(
+                workload.pod_template(),
+                name=pod_name,
+                namespace=workload.namespace,
+            )
+            pods.append(pod)
+        return pods
+
+    def _start_pod(self, pod: Pod, application: InstalledApplication, owner: str = "") -> RunningPod:
+        node = self.scheduler.schedule(pod)
+        if pod.spec.host_network:
+            ip = node.ip
+        else:
+            ip = self.ipam.pods.allocate(f"{pod.namespace}/{pod.name}")
+        running = self.runtime.start_pod(pod, ip, node, app=application.name, owner=owner)
+        self._running[(pod.namespace, pod.name)] = running
+        application.pod_names.append(pod.name)
+        return running
+
+    def restart_application(self, app_name: str) -> None:
+        """Restart every pod of an application (ephemeral ports change)."""
+        application = self._applications.get(app_name)
+        if application is None:
+            raise ClusterError(f"application {app_name!r} is not installed")
+        for pod_name in application.pod_names:
+            running = self._running.get((application.namespace, pod_name))
+            if running is not None:
+                self.runtime.restart_pod(running)
+        self.reconcile()
+
+    def restart_all(self) -> None:
+        for running in self._running.values():
+            self.runtime.restart_pod(running)
+        self.reconcile()
+
+    # Controllers -----------------------------------------------------------------------
+    def reconcile(self) -> None:
+        """Recompute service bindings and DNS records."""
+        bindings = self.endpoint_controller.bind(self.services(), self.running_pods())
+        service_ips = {}
+        for binding in bindings:
+            service = binding.service
+            if not service.is_headless:
+                owner = f"{service.namespace}/{service.name}"
+                service_ips[(service.namespace, service.name)] = self.ipam.services.allocate(owner)
+        self.dns.program(bindings, service_ips)
+        self._bindings = bindings
+
+    # Queries ------------------------------------------------------------------------------
+    def running_pods(self, app_name: str | None = None, namespace: str | None = None) -> list[RunningPod]:
+        return [
+            running
+            for running in self._running.values()
+            if (app_name is None or running.app == app_name)
+            and (namespace is None or running.namespace == namespace)
+        ]
+
+    def running_pod(self, name: str, namespace: str = "default") -> RunningPod:
+        running = self._running.get((namespace, name))
+        if running is None:
+            raise ClusterError(f"pod {namespace}/{name} is not running")
+        return running
+
+    def services(self, namespace: str | None = None) -> list[Service]:
+        return [
+            obj
+            for obj in self.api.store.list("Service", namespace)
+            if isinstance(obj, Service)
+        ]
+
+    def network_policies(self, namespace: str | None = None) -> list[NetworkPolicy]:
+        return [
+            obj
+            for obj in self.api.store.list("NetworkPolicy", namespace)
+            if isinstance(obj, NetworkPolicy)
+        ]
+
+    def service_bindings(self) -> list[ServiceBinding]:
+        self.reconcile()
+        return list(self._bindings)
+
+    def binding_for(self, service_name: str, namespace: str = "default") -> ServiceBinding:
+        for binding in self.service_bindings():
+            if binding.service.name == service_name and binding.service.namespace == namespace:
+                return binding
+        raise ClusterError(f"service {namespace}/{service_name} not found")
+
+    def host_port_baseline(self) -> set[int]:
+        """Ports open on the nodes before any application is installed."""
+        ports: set[int] = set()
+        for node in self.nodes:
+            ports.update(node.host_port_numbers())
+        return ports
+
+    # Connectivity ------------------------------------------------------------------------
+    def connect(
+        self,
+        source: RunningPod,
+        destination: RunningPod | str,
+        port: int,
+        protocol: str = "TCP",
+    ) -> ConnectionAttempt:
+        """Simulate a connection from a pod to another pod or a service name."""
+        policies = self.network_policies()
+        if isinstance(destination, RunningPod):
+            return self.network.connect_pod_to_pod(policies, source, destination, port, protocol)
+        binding = self.binding_for(destination.split(".")[0], source.namespace
+                                   if "." not in destination else destination.split(".")[1])
+        return self.network.connect_pod_to_service(policies, source, binding, port, protocol)
+
+    def reachable_from(self, source: RunningPod, include_loopback: bool = False) -> list[ReachableEndpoint]:
+        """The lateral-movement surface visible from ``source``."""
+        return self.network.reachable_endpoints(
+            self.network_policies(),
+            source,
+            self.running_pods(),
+            self.service_bindings(),
+            include_loopback=include_loopback,
+        )

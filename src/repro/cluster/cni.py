@@ -1,0 +1,110 @@
+"""CNI plugin simulation: NetworkPolicy enforcement.
+
+Kubernetes delegates policy enforcement to the CNI plugin; this module plays
+that role for the simulated cluster.  The semantics follow the NetworkPolicy
+specification:
+
+* a pod not selected by any policy accepts every connection (default allow);
+* a pod selected by one or more policies with the ``Ingress`` policy type
+  only accepts connections allowed by at least one rule of one of those
+  policies (union semantics);
+* pods running with ``hostNetwork: true`` are *not* isolated by policies --
+  the crucial caveat behind misconfiguration M7 and the Figure 4b analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..k8s import NetworkPolicy
+from .runtime import RunningPod
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """The outcome of a policy evaluation, with an explanation."""
+
+    allowed: bool
+    reason: str
+    isolating_policies: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+class NetworkPolicyEnforcer:
+    """Evaluates NetworkPolicies against concrete pod-to-pod connections."""
+
+    def __init__(self, namespace_labels: dict[str, dict[str, str]] | None = None) -> None:
+        #: Labels of each namespace, needed to evaluate ``namespaceSelector``.
+        self._namespace_labels = dict(namespace_labels or {})
+
+    def set_namespace_labels(self, namespace: str, labels: dict[str, str]) -> None:
+        self._namespace_labels[namespace] = dict(labels)
+
+    # Evaluation -------------------------------------------------------------
+    def policies_isolating(
+        self, policies: list[NetworkPolicy], destination: RunningPod
+    ) -> list[NetworkPolicy]:
+        """Policies that select the destination pod and restrict ingress."""
+        if destination.host_network:
+            # Host-network pods escape the pod network namespace entirely;
+            # NetworkPolicies attached to them have no effect.
+            return []
+        return [
+            policy
+            for policy in policies
+            if policy.restricts_ingress()
+            and policy.selects(destination.labels, destination.namespace)
+        ]
+
+    def check_ingress(
+        self,
+        policies: list[NetworkPolicy],
+        source: RunningPod,
+        destination: RunningPod,
+        port: int,
+        protocol: str = "TCP",
+    ) -> PolicyDecision:
+        """Decide whether ``source`` may connect to ``destination`` on ``port``."""
+        isolating = self.policies_isolating(policies, destination)
+        if not isolating:
+            reason = (
+                "destination uses the host network; policies do not apply"
+                if destination.host_network
+                else "no network policy selects the destination (default allow)"
+            )
+            return PolicyDecision(allowed=True, reason=reason)
+        named_ports = destination.named_ports()
+        source_namespace_labels = self._namespace_labels.get(source.namespace, {})
+        for policy in isolating:
+            if policy.allows_ingress(
+                peer_labels=source.labels,
+                peer_namespace=source.namespace,
+                port=port,
+                protocol=protocol,
+                named_ports=named_ports,
+                namespace_labels=source_namespace_labels,
+            ):
+                return PolicyDecision(
+                    allowed=True,
+                    reason=f"allowed by policy {policy.name!r}",
+                    isolating_policies=tuple(p.name for p in isolating),
+                )
+        return PolicyDecision(
+            allowed=False,
+            reason="denied: no ingress rule of any selecting policy matches",
+            isolating_policies=tuple(p.name for p in isolating),
+        )
+
+    def isolated_pods(
+        self, policies: list[NetworkPolicy], pods: list[RunningPod]
+    ) -> list[RunningPod]:
+        """Pods that have at least one ingress-restricting policy applied."""
+        return [pod for pod in pods if self.policies_isolating(policies, pod)]
+
+    def unprotected_pods(
+        self, policies: list[NetworkPolicy], pods: list[RunningPod]
+    ) -> list[RunningPod]:
+        """Pods left wide open: either unselected or escaping via hostNetwork."""
+        return [pod for pod in pods if not self.policies_isolating(policies, pod)]

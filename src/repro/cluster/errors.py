@@ -1,0 +1,31 @@
+"""Exceptions raised by the cluster simulator."""
+
+from __future__ import annotations
+
+
+class ClusterError(Exception):
+    """Base class for all errors raised by :mod:`repro.cluster`."""
+
+
+class AdmissionError(ClusterError):
+    """An admission controller rejected an object."""
+
+    def __init__(self, message: str, reason: str = "Forbidden") -> None:
+        self.reason = reason
+        super().__init__(message)
+
+
+class AlreadyExistsError(ClusterError):
+    """An object with the same kind/namespace/name already exists."""
+
+
+class NotFoundError(ClusterError):
+    """The requested object does not exist in the API server store."""
+
+
+class SchedulingError(ClusterError):
+    """A pod could not be placed on any node."""
+
+
+class IPAMError(ClusterError):
+    """The address allocator ran out of addresses or got a bad request."""

@@ -1,0 +1,92 @@
+"""IP address management for the simulated cluster.
+
+Kubernetes clusters use three flat address spaces: node addresses, the pod
+CIDR, and the service (ClusterIP) CIDR.  The allocator hands out addresses
+deterministically so repeated runs of an experiment produce identical
+clusters.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+from .errors import IPAMError
+
+
+class AddressPool:
+    """Sequential allocator over an IPv4 network."""
+
+    def __init__(self, cidr: str, reserve_first: int = 1) -> None:
+        self._network = ipaddress.ip_network(cidr)
+        self._next_index = reserve_first + 1  # skip the network address + reserved
+        self._max_index = self._network.num_addresses - 1
+        self._allocated: dict[str, str] = {}
+        self._released: list[int] = []
+
+    @property
+    def cidr(self) -> str:
+        return str(self._network)
+
+    def allocate(self, owner: str) -> str:
+        """Allocate an address for ``owner``; idempotent per owner."""
+        if owner in self._allocated:
+            return self._allocated[owner]
+        if self._released:
+            index = self._released.pop()
+        else:
+            if self._next_index >= self._max_index:
+                raise IPAMError(f"address pool {self.cidr} exhausted")
+            index = self._next_index
+            self._next_index += 1
+        address = str(self._network[index])
+        self._allocated[owner] = address
+        return address
+
+    def release(self, owner: str) -> None:
+        """Release the address held by ``owner`` (no-op when absent)."""
+        address = self._allocated.pop(owner, None)
+        if address is not None:
+            index = int(ipaddress.ip_address(address)) - int(self._network[0])
+            self._released.append(index)
+
+    def lookup(self, owner: str) -> str | None:
+        return self._allocated.get(owner)
+
+    def owner_of(self, address: str) -> str | None:
+        for owner, allocated in self._allocated.items():
+            if allocated == address:
+                return owner
+        return None
+
+    def contains(self, address: str) -> bool:
+        try:
+            return ipaddress.ip_address(address) in self._network
+        except ValueError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._allocated)
+
+
+class ClusterIPAM:
+    """The three address pools of a cluster."""
+
+    def __init__(
+        self,
+        pod_cidr: str = "10.244.0.0/16",
+        service_cidr: str = "10.96.0.0/16",
+        node_cidr: str = "192.168.0.0/24",
+    ) -> None:
+        self.pods = AddressPool(pod_cidr)
+        self.services = AddressPool(service_cidr)
+        self.nodes = AddressPool(node_cidr)
+
+    def classify(self, address: str) -> str:
+        """Classify an address as ``pod``, ``service``, ``node`` or ``external``."""
+        if self.pods.contains(address):
+            return "pod"
+        if self.services.contains(address):
+            return "service"
+        if self.nodes.contains(address):
+            return "node"
+        return "external"

@@ -1,0 +1,255 @@
+"""The cluster network: who can talk to whom, and through what.
+
+This module combines the flat pod network, service virtual IPs, and
+NetworkPolicy enforcement into a single connectivity engine.  It answers the
+questions the runtime probe and the attack scenarios ask:
+
+* can pod A open a TCP connection to pod B on port P?
+* can pod A reach service S, and which backends would receive the traffic?
+* which endpoints in the whole cluster remain reachable from a compromised
+  pod (the lateral-movement surface)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..k8s import NetworkPolicy
+from .cni import NetworkPolicyEnforcer, PolicyDecision
+from .endpoints import ServiceBinding
+from .runtime import RunningPod
+
+
+@dataclass(frozen=True)
+class ConnectionAttempt:
+    """The result of a simulated connection attempt."""
+
+    source: str
+    destination: str
+    port: int
+    protocol: str = "TCP"
+    success: bool = False
+    reason: str = ""
+    via_service: str = ""
+    backend_pod: str = ""
+
+    def __bool__(self) -> bool:
+        return self.success
+
+
+@dataclass
+class ReachableEndpoint:
+    """An endpoint (pod socket or service port) reachable from a source pod."""
+
+    kind: str  # "pod" or "service"
+    namespace: str
+    name: str
+    port: int
+    protocol: str = "TCP"
+    dynamic: bool = False
+    app: str = ""
+
+
+@dataclass
+class ClusterNetwork:
+    """Connectivity engine over running pods, bindings and policies."""
+
+    enforcer: NetworkPolicyEnforcer = field(default_factory=NetworkPolicyEnforcer)
+
+    # Pod-to-pod ----------------------------------------------------------------
+    def connect_pod_to_pod(
+        self,
+        policies: list[NetworkPolicy],
+        source: RunningPod,
+        destination: RunningPod,
+        port: int,
+        protocol: str = "TCP",
+    ) -> ConnectionAttempt:
+        """Attempt a direct connection to a destination pod IP and port."""
+        same_pod = source.name == destination.name and source.namespace == destination.namespace
+        socket = destination.socket_on(port, protocol)
+        if socket is None:
+            return ConnectionAttempt(
+                source=source.name,
+                destination=destination.name,
+                port=port,
+                protocol=protocol,
+                success=False,
+                reason="connection refused: nothing is listening on that port",
+            )
+        if socket.interface == "127.0.0.1" and not same_pod:
+            return ConnectionAttempt(
+                source=source.name,
+                destination=destination.name,
+                port=port,
+                protocol=protocol,
+                success=False,
+                reason="connection refused: socket is bound to the loopback interface",
+            )
+        decision: PolicyDecision = self.enforcer.check_ingress(
+            policies, source, destination, port, protocol
+        )
+        return ConnectionAttempt(
+            source=source.name,
+            destination=destination.name,
+            port=port,
+            protocol=protocol,
+            success=decision.allowed,
+            reason=decision.reason,
+        )
+
+    # Pod-to-service ----------------------------------------------------------------
+    def connect_pod_to_service(
+        self,
+        policies: list[NetworkPolicy],
+        source: RunningPod,
+        binding: ServiceBinding,
+        port: int,
+        protocol: str = "TCP",
+    ) -> ConnectionAttempt:
+        """Attempt a connection through a service virtual IP (or headless DNS).
+
+        The service proxy picks backends in turn; the attempt succeeds when at
+        least one selected backend accepts the forwarded connection.
+        """
+        service = binding.service
+        service_port = next((p for p in service.ports if p.port == port), None)
+        if service_port is None:
+            return ConnectionAttempt(
+                source=source.name,
+                destination=service.name,
+                port=port,
+                protocol=protocol,
+                success=False,
+                via_service=service.name,
+                reason=f"service {service.name!r} does not expose port {port}",
+            )
+        if not binding.backends:
+            return ConnectionAttempt(
+                source=source.name,
+                destination=service.name,
+                port=port,
+                protocol=protocol,
+                success=False,
+                via_service=service.name,
+                reason="no endpoints: the service selector matches no running pod",
+            )
+        raw_target = service_port.resolved_target()
+        last_reason = ""
+        for backend in binding.backends:
+            target_port = (
+                raw_target
+                if isinstance(raw_target, int)
+                else backend.named_ports().get(str(raw_target))
+            )
+            if target_port is None:
+                last_reason = f"named target port {raw_target!r} is not declared by pod {backend.name!r}"
+                continue
+            attempt = self.connect_pod_to_pod(policies, source, backend, target_port, protocol)
+            if attempt.success:
+                return ConnectionAttempt(
+                    source=source.name,
+                    destination=service.name,
+                    port=port,
+                    protocol=protocol,
+                    success=True,
+                    via_service=service.name,
+                    backend_pod=backend.name,
+                    reason=attempt.reason,
+                )
+            last_reason = attempt.reason
+        return ConnectionAttempt(
+            source=source.name,
+            destination=service.name,
+            port=port,
+            protocol=protocol,
+            success=False,
+            via_service=service.name,
+            reason=last_reason or "no backend accepted the connection",
+        )
+
+    def service_backends_receiving(
+        self,
+        policies: list[NetworkPolicy],
+        source: RunningPod,
+        binding: ServiceBinding,
+        port: int,
+        protocol: str = "TCP",
+    ) -> list[RunningPod]:
+        """Backends that would receive traffic sent by ``source`` to a service port.
+
+        Used by the Thanos-style impersonation scenario: when an attacker pod
+        carries the same labels as the legitimate backends, it appears in this
+        list and receives a share of the traffic.
+        """
+        service_port = next((p for p in binding.service.ports if p.port == port), None)
+        if service_port is None:
+            return []
+        raw_target = service_port.resolved_target()
+        receiving: list[RunningPod] = []
+        for backend in binding.backends:
+            target_port = (
+                raw_target
+                if isinstance(raw_target, int)
+                else backend.named_ports().get(str(raw_target))
+            )
+            if target_port is None:
+                continue
+            if self.connect_pod_to_pod(policies, source, backend, target_port, protocol).success:
+                receiving.append(backend)
+        return receiving
+
+    # Cluster-wide reachability ------------------------------------------------------
+    def reachable_endpoints(
+        self,
+        policies: list[NetworkPolicy],
+        source: RunningPod,
+        pods: list[RunningPod],
+        bindings: list[ServiceBinding],
+        include_loopback: bool = False,
+    ) -> list[ReachableEndpoint]:
+        """Every pod socket and service port reachable from ``source``.
+
+        This is the lateral-movement surface of a compromised container: the
+        paper's Figure 4b counts exactly these endpoints for misconfigured
+        applications after enabling network policies.
+        """
+        reachable: list[ReachableEndpoint] = []
+        for destination in pods:
+            if destination is source:
+                continue
+            for socket in destination.sockets:
+                if not include_loopback and not socket.reachable_from_network:
+                    continue
+                attempt = self.connect_pod_to_pod(
+                    policies, source, destination, socket.port, socket.protocol
+                )
+                if attempt.success:
+                    reachable.append(
+                        ReachableEndpoint(
+                            kind="pod",
+                            namespace=destination.namespace,
+                            name=destination.name,
+                            port=socket.port,
+                            protocol=socket.protocol,
+                            dynamic=socket.dynamic,
+                            app=destination.app,
+                        )
+                    )
+        for binding in bindings:
+            for service_port in binding.service.ports:
+                attempt = self.connect_pod_to_service(
+                    policies, source, binding, service_port.port, service_port.protocol
+                )
+                if attempt.success:
+                    reachable.append(
+                        ReachableEndpoint(
+                            kind="service",
+                            namespace=binding.service.namespace,
+                            name=binding.service.name,
+                            port=service_port.port,
+                            protocol=service_port.protocol,
+                            app=binding.service.labels.get("app.kubernetes.io/part-of", ""),
+                        )
+                    )
+        return reachable

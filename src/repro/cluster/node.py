@@ -1,0 +1,97 @@
+"""Cluster nodes and the host processes that listen on them.
+
+Host processes matter for two reasons: pods with ``hostNetwork: true`` share
+the node's network namespace (M7), and the runtime analysis must subtract
+pre-existing host ports from such pods' snapshots to avoid false positives
+(Section 4.2.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .behavior import ALL_INTERFACES, ListenSpec
+
+
+@dataclass(frozen=True)
+class HostProcess:
+    """A process listening on the node itself (kubelet, sshd, ...)."""
+
+    name: str
+    port: int
+    protocol: str = "TCP"
+    interface: str = ALL_INTERFACES
+
+
+#: Processes present on every node of a stock Kubernetes cluster.
+DEFAULT_HOST_PROCESSES = (
+    HostProcess(name="sshd", port=22),
+    HostProcess(name="kubelet", port=10250),
+    HostProcess(name="kube-proxy", port=10256),
+    HostProcess(name="containerd", port=35000, interface="127.0.0.1"),
+)
+
+#: Extra processes on the control-plane node.
+CONTROL_PLANE_PROCESSES = (
+    HostProcess(name="kube-apiserver", port=6443),
+    HostProcess(name="etcd", port=2379),
+    HostProcess(name="etcd-peer", port=2380),
+    HostProcess(name="kube-scheduler", port=10259, interface="127.0.0.1"),
+    HostProcess(name="kube-controller-manager", port=10257, interface="127.0.0.1"),
+)
+
+
+@dataclass
+class Node:
+    """A cluster node (VM or bare-metal server)."""
+
+    name: str
+    ip: str = ""
+    control_plane: bool = False
+    labels: dict[str, str] = field(default_factory=dict)
+    host_processes: list[HostProcess] = field(default_factory=list)
+    #: Names of pods currently scheduled on this node.
+    pod_names: list[str] = field(default_factory=list)
+    #: Maximum pods per node (the Kubernetes default).
+    capacity: int = 110
+
+    def __post_init__(self) -> None:
+        if not self.host_processes:
+            self.host_processes = list(DEFAULT_HOST_PROCESSES)
+            if self.control_plane:
+                self.host_processes.extend(CONTROL_PLANE_PROCESSES)
+        self.labels.setdefault("kubernetes.io/hostname", self.name)
+        if self.control_plane:
+            self.labels.setdefault("node-role.kubernetes.io/control-plane", "")
+
+    @property
+    def schedulable(self) -> bool:
+        """Control-plane nodes are tainted and do not run workloads here."""
+        return not self.control_plane
+
+    @property
+    def free_capacity(self) -> int:
+        return max(0, self.capacity - len(self.pod_names))
+
+    def host_listen_specs(self) -> list[ListenSpec]:
+        """The node's own listening sockets, as seen by a hostNetwork pod."""
+        return [
+            ListenSpec(
+                port=process.port,
+                protocol=process.protocol,
+                interface=process.interface,
+                process=process.name,
+            )
+            for process in self.host_processes
+        ]
+
+    def host_port_numbers(self) -> set[int]:
+        return {process.port for process in self.host_processes}
+
+    def assign(self, pod_name: str) -> None:
+        if pod_name not in self.pod_names:
+            self.pod_names.append(pod_name)
+
+    def unassign(self, pod_name: str) -> None:
+        if pod_name in self.pod_names:
+            self.pod_names.remove(pod_name)

@@ -1,0 +1,53 @@
+"""Pod scheduling onto nodes.
+
+The simulator only needs placement to be deterministic and capacity-aware;
+it implements a simple least-loaded strategy with optional nodeName pinning,
+which is sufficient to reproduce the paper's experiments (placement does not
+affect reachability in a flat pod network).
+"""
+
+from __future__ import annotations
+
+from ..k8s import Pod
+from .errors import SchedulingError
+from .node import Node
+
+
+class Scheduler:
+    """Places pods on schedulable nodes."""
+
+    def __init__(self, nodes: list[Node]) -> None:
+        self._nodes = nodes
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self._nodes)
+
+    def schedulable_nodes(self) -> list[Node]:
+        return [node for node in self._nodes if node.schedulable and node.free_capacity > 0]
+
+    def schedule(self, pod: Pod) -> Node:
+        """Choose a node for ``pod`` and record the assignment."""
+        if pod.spec.node_name:
+            for node in self._nodes:
+                if node.name == pod.spec.node_name:
+                    node.assign(pod.name)
+                    return node
+            raise SchedulingError(f"pod {pod.name!r} requests unknown node {pod.spec.node_name!r}")
+        candidates = self.schedulable_nodes()
+        if not candidates:
+            raise SchedulingError(f"no schedulable node available for pod {pod.name!r}")
+        # Least-loaded placement with the node name as a deterministic tie-break.
+        chosen = min(candidates, key=lambda node: (len(node.pod_names), node.name))
+        chosen.assign(pod.name)
+        return chosen
+
+    def unschedule(self, pod_name: str) -> None:
+        for node in self._nodes:
+            node.unassign(pod_name)
+
+    def node_for(self, pod_name: str) -> Node | None:
+        for node in self._nodes:
+            if pod_name in node.pod_names:
+                return node
+        return None

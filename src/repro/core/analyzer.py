@@ -1,0 +1,190 @@
+"""The hybrid misconfiguration analyzer -- the paper's core contribution.
+
+The analyzer takes a Helm chart, renders it (static analysis), installs it
+into a clean simulated cluster and observes its runtime behaviour with a
+double snapshot (runtime analysis), then evaluates the machine-readable
+rules of Table 1 against the combined evidence.  A final cluster-wide pass
+over all analyzed applications detects global label collisions (M4*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from ..cluster import BehaviorRegistry, Cluster
+from ..helm import Chart, RenderedChart, render_chart
+from ..k8s import Inventory, KubernetesObject
+from ..probe import RuntimeObservation, RuntimeScanner
+from .cluster_wide import ApplicationInventory, global_collision_findings
+from .context import AnalysisContext
+from .findings import AnalysisReport, Finding, MisconfigClass
+from .rules import RuleRegistry, default_rules
+
+#: Analysis modes, used by the ablation experiments.
+MODE_STATIC = "static"
+MODE_RUNTIME = "runtime"
+MODE_HYBRID = "hybrid"
+
+
+@dataclass
+class AnalyzerSettings:
+    """Tunable behaviour of the analyzer."""
+
+    mode: str = MODE_HYBRID
+    #: Take two runtime snapshots across a restart (needed for M2).
+    double_snapshot: bool = True
+    #: Subtract the node's own ports from hostNetwork pods (avoids M1 false positives).
+    host_port_filtering: bool = True
+    #: Number of worker nodes in the throw-away analysis cluster.
+    worker_count: int = 3
+    #: Seed for the analysis cluster (ephemeral port allocation).
+    seed: int = 2025
+
+
+class MisconfigurationAnalyzer:
+    """Analyzes Helm charts / Kubernetes objects for network misconfigurations."""
+
+    def __init__(
+        self,
+        rules: RuleRegistry | None = None,
+        settings: AnalyzerSettings | None = None,
+        cluster_factory: Callable[[BehaviorRegistry], Cluster] | None = None,
+    ) -> None:
+        self.rules = rules or default_rules()
+        self.settings = settings or AnalyzerSettings()
+        self._cluster_factory = cluster_factory or self._default_cluster_factory
+
+    # Cluster management -------------------------------------------------------
+    def _default_cluster_factory(self, behaviors: BehaviorRegistry) -> Cluster:
+        return Cluster(
+            name="analysis",
+            worker_count=self.settings.worker_count,
+            behaviors=behaviors,
+            seed=self.settings.seed,
+        )
+
+    # Chart-level analysis ---------------------------------------------------------
+    def analyze_chart(
+        self,
+        chart: Chart,
+        overrides: Mapping | None = None,
+        behaviors: BehaviorRegistry | None = None,
+        application: str | None = None,
+        dataset: str = "",
+        policies_available_but_disabled: bool | None = None,
+    ) -> AnalysisReport:
+        """Render a chart, observe it at runtime, and evaluate every rule."""
+        rendered = render_chart(chart, release_name=application or chart.name, overrides=overrides)
+        detected_disabled = (
+            policies_available_but_disabled
+            if policies_available_but_disabled is not None
+            else self._chart_defines_disabled_policies(chart, rendered)
+        )
+        observation = None
+        if self.settings.mode in (MODE_RUNTIME, MODE_HYBRID):
+            observation = self._observe(rendered, behaviors)
+        return self.analyze_rendered(
+            rendered,
+            observation=observation,
+            dataset=dataset,
+            policies_available_but_disabled=detected_disabled,
+        )
+
+    def analyze_rendered(
+        self,
+        rendered: RenderedChart,
+        observation: RuntimeObservation | None = None,
+        dataset: str = "",
+        policies_available_but_disabled: bool = False,
+    ) -> AnalysisReport:
+        """Evaluate the rules against an already-rendered chart."""
+        return self.analyze_objects(
+            rendered.objects,
+            application=rendered.release.name,
+            observation=observation,
+            dataset=dataset,
+            policies_available_but_disabled=policies_available_but_disabled,
+            namespace=rendered.release.namespace,
+        )
+
+    def analyze_objects(
+        self,
+        objects: Iterable[KubernetesObject],
+        application: str,
+        observation: RuntimeObservation | None = None,
+        dataset: str = "",
+        policies_available_but_disabled: bool = False,
+        namespace: str = "default",
+    ) -> AnalysisReport:
+        """Evaluate the rules against a plain list of Kubernetes objects."""
+        if self.settings.mode == MODE_STATIC:
+            observation = None
+        context = AnalysisContext(
+            application=application,
+            inventory=Inventory(objects),
+            observation=observation,
+            network_policies_available_but_disabled=policies_available_but_disabled,
+            dataset=dataset,
+            namespace=namespace,
+        )
+        report = AnalysisReport(application=application, dataset=dataset)
+        for rule in self.rules.rules_for(context):
+            report.add(rule.evaluate(context))
+        return report
+
+    # Runtime observation ------------------------------------------------------------
+    def _observe(
+        self, rendered: RenderedChart, behaviors: BehaviorRegistry | None
+    ) -> RuntimeObservation:
+        """Install the chart into a clean cluster and take the double snapshot."""
+        cluster = self._cluster_factory(behaviors or BehaviorRegistry())
+        cluster.install(rendered)
+        scanner = RuntimeScanner(cluster)
+        observation = scanner.observe(
+            rendered.release.name,
+            restart_between_snapshots=self.settings.double_snapshot,
+        )
+        if not self.settings.host_port_filtering:
+            observation.host_ports = set()
+        return observation
+
+    @staticmethod
+    def _chart_defines_disabled_policies(chart: Chart, rendered: RenderedChart) -> bool:
+        """True when the chart has NetworkPolicy templates that did not render."""
+        if rendered.objects_of_kind("NetworkPolicy"):
+            return False
+        sources = [template.source for template in chart.templates]
+        for subchart in chart.subcharts.values():
+            sources.extend(template.source for template in subchart.templates)
+        return any("kind: NetworkPolicy" in source for source in sources)
+
+    # Cluster-wide pass ------------------------------------------------------------------
+    def analyze_cluster_wide(
+        self, applications: list[ApplicationInventory]
+    ) -> dict[str, list[Finding]]:
+        """Detect global collisions (M4*) across all analyzed applications.
+
+        Returns the extra findings grouped by application name, ready to be
+        appended to the per-application reports.
+        """
+        grouped: dict[str, list[Finding]] = {}
+        for finding in global_collision_findings(applications):
+            grouped.setdefault(finding.application, []).append(finding)
+        return grouped
+
+    def merge_cluster_wide(
+        self,
+        reports: dict[str, AnalysisReport],
+        applications: list[ApplicationInventory],
+    ) -> dict[str, AnalysisReport]:
+        """Append M4* findings to the per-application reports, in place."""
+        extra = self.analyze_cluster_wide(applications)
+        for application, findings in extra.items():
+            if application in reports:
+                reports[application].add(findings)
+        return reports
+
+    # Convenience ---------------------------------------------------------------------------
+    def detected_classes(self, report: AnalysisReport) -> set[MisconfigClass]:
+        return report.classes_present()

@@ -1,0 +1,127 @@
+"""Cluster-wide analysis: global label collisions across applications (M4*).
+
+The per-application rules only see one chart at a time.  Once every
+application has been analyzed individually, the paper performs a second pass
+over the whole cluster, looking for labels and selectors that collide across
+*different* applications (Section 4.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..k8s import Inventory, LabelSet
+from .findings import Finding, MisconfigClass
+
+
+@dataclass
+class ApplicationInventory:
+    """The static inventory of one application, tagged with its identity."""
+
+    application: str
+    inventory: Inventory
+    dataset: str = ""
+
+
+@dataclass
+class GlobalCollision:
+    """A label collision spanning two or more applications."""
+
+    labels: dict[str, str]
+    members: list[tuple[str, str]] = field(default_factory=list)  # (application, resource)
+
+    @property
+    def applications(self) -> set[str]:
+        return {application for application, _ in self.members}
+
+
+def find_global_collisions(applications: list[ApplicationInventory]) -> list[GlobalCollision]:
+    """Group compute units from *different* applications sharing identical labels."""
+    groups: dict[LabelSet, list[tuple[str, str]]] = {}
+    for entry in applications:
+        for unit in entry.inventory.compute_units():
+            labels = LabelSet(unit.pod_labels())
+            if not labels:
+                continue
+            groups.setdefault(labels, []).append((entry.application, unit.qualified_name()))
+    collisions: list[GlobalCollision] = []
+    for labels, members in groups.items():
+        applications_involved = {application for application, _ in members}
+        if len(applications_involved) < 2:
+            continue
+        collisions.append(GlobalCollision(labels=dict(labels), members=sorted(members)))
+    return collisions
+
+
+def find_cross_application_selector_matches(
+    applications: list[ApplicationInventory],
+) -> list[GlobalCollision]:
+    """Services of one application whose selector matches pods of another.
+
+    This is the second flavour of global collision: even without identical
+    label sets, a service can accidentally (or maliciously) select compute
+    units belonging to a different application deployed in the same cluster.
+    """
+    collisions: list[GlobalCollision] = []
+    for entry in applications:
+        for service in entry.inventory.services():
+            if not service.has_selector:
+                continue
+            foreign_members: list[tuple[str, str]] = []
+            for other in applications:
+                if other.application == entry.application:
+                    continue
+                for unit in other.inventory.compute_units():
+                    if unit.namespace == service.namespace and service.selector.matches(
+                        unit.pod_labels()
+                    ):
+                        foreign_members.append((other.application, unit.qualified_name()))
+            if foreign_members:
+                collisions.append(
+                    GlobalCollision(
+                        labels=service.selector.match_labels.to_dict(),
+                        members=[(entry.application, service.qualified_name())] + foreign_members,
+                    )
+                )
+    return collisions
+
+
+def global_collision_findings(applications: list[ApplicationInventory]) -> list[Finding]:
+    """Produce the M4* findings for the whole cluster.
+
+    The finding is attributed to every involved application (the paper's
+    Table 2 counts M4* per dataset), but deduplicated per collision so the
+    overall total counts each collision once per affected application pair.
+    """
+    findings: list[Finding] = []
+    seen: set[tuple] = set()
+    collisions = find_global_collisions(applications)
+    collisions.extend(find_cross_application_selector_matches(applications))
+    for collision in collisions:
+        member_names = tuple(resource for _, resource in collision.members)
+        for application in sorted(collision.applications):
+            key = (application, member_names)
+            if key in seen:
+                continue
+            seen.add(key)
+            own_resources = [res for app, res in collision.members if app == application]
+            other_apps = sorted(collision.applications - {application})
+            findings.append(
+                Finding(
+                    misconfig_class=MisconfigClass.M4_GLOBAL,
+                    application=application,
+                    resource=own_resources[0] if own_resources else member_names[0],
+                    related_resources=member_names,
+                    message=(
+                        f"labels {collision.labels} collide across applications "
+                        f"{', '.join(sorted(collision.applications))}; traffic intended for one "
+                        "application can be routed to another"
+                    ),
+                    evidence={"labels": collision.labels, "other_applications": other_apps},
+                    mitigation=(
+                        "Namespace applications separately or add an application-unique label "
+                        "(e.g. app.kubernetes.io/instance) to every selector."
+                    ),
+                )
+            )
+    return findings

@@ -1,0 +1,94 @@
+"""The analysis context shared by all detection rules.
+
+A rule sees two views of an application:
+
+* the **static view**: the Kubernetes objects produced by rendering the
+  chart (compute units, services, network policies, labels, declared ports);
+* the **runtime view** (optional): the consolidated
+  :class:`~repro.probe.RuntimeObservation` obtained by installing the chart
+  into a clean cluster and taking double snapshots.
+
+The context also records whether the chart *defines* network policies that
+are merely disabled by default, which the paper still counts as M6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..k8s import ComputeUnit, Inventory, Service
+from ..probe import PodSnapshot, RuntimeObservation
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a rule needs to evaluate one application."""
+
+    application: str
+    inventory: Inventory
+    observation: RuntimeObservation | None = None
+    #: The chart ships NetworkPolicy templates that are disabled by values.
+    network_policies_available_but_disabled: bool = False
+    dataset: str = ""
+    namespace: str = "default"
+    extra: dict = field(default_factory=dict)
+
+    # Static helpers --------------------------------------------------------
+    def compute_units(self) -> list[ComputeUnit]:
+        return self.inventory.compute_units()
+
+    def services(self) -> list[Service]:
+        return self.inventory.services()
+
+    def network_policies(self):
+        return self.inventory.network_policies()
+
+    @property
+    def has_runtime(self) -> bool:
+        return self.observation is not None
+
+    # Runtime helpers ----------------------------------------------------------
+    def snapshots_for(self, unit: ComputeUnit) -> list[PodSnapshot]:
+        """Runtime snapshots of the pods owned by a compute unit."""
+        if self.observation is None:
+            return []
+        owner = unit.qualified_name()
+        return [
+            snapshot
+            for snapshot in self.observation.pods()
+            if snapshot.owner == owner
+            or (not snapshot.owner and snapshot.pod_name.startswith(unit.name))
+        ]
+
+    def stable_open_ports(self, unit: ComputeUnit, protocol: str = "TCP") -> set[int]:
+        """Ports observed open (in both snapshots) across the unit's pods."""
+        ports: set[int] = set()
+        if self.observation is None:
+            return ports
+        for snapshot in self.snapshots_for(unit):
+            ports.update(self.observation.stable_open_ports(snapshot, protocol))
+        return ports
+
+    def dynamic_ports(self, unit: ComputeUnit, protocol: str = "TCP") -> set[int]:
+        """Ports that changed between the two snapshots for the unit's pods."""
+        ports: set[int] = set()
+        if self.observation is None:
+            return ports
+        for snapshot in self.snapshots_for(unit):
+            ports.update(self.observation.dynamic_ports(snapshot, protocol))
+        return ports
+
+    def open_ports_single_snapshot(self, unit: ComputeUnit, protocol: str = "TCP") -> set[int]:
+        """Ports open in the first snapshot only (no dynamic-port filtering)."""
+        ports: set[int] = set()
+        if self.observation is None:
+            return ports
+        for snapshot in self.snapshots_for(unit):
+            observed = snapshot.open_ports(protocol)
+            if snapshot.host_network:
+                observed = observed - self.observation.host_ports
+            ports.update(observed)
+        return ports
+
+    def units_selected_by(self, service: Service) -> list[ComputeUnit]:
+        return self.inventory.compute_units_selected_by(service)

@@ -1,0 +1,205 @@
+"""Responsible-disclosure tooling (Section 5 and Appendix A).
+
+The paper's disclosure process sends each organization a report containing
+the identified misconfigurations per chart, the threat model, a description
+of each misconfiguration class and the proposed mitigations, followed by an
+anonymous questionnaire.  This module generates those artifacts from the
+analysis results so that the full pipeline -- detect, report, disclose --
+can be exercised programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .findings import CATALOG, AnalysisReport, MisconfigClass, Severity, TABLE_ORDER
+
+#: Threat model summary included in every disclosure (Section 3.1).
+THREAT_MODEL_SUMMARY = (
+    "We assume an attacker that controls one container in a pod of the cluster, with "
+    "legitimate access to the cluster network but no other privileges (no root on the node, "
+    "no Kubernetes API access).  The cluster itself is hardened according to best practices; "
+    "the attacker's goal is lateral movement through cluster-internal networking."
+)
+
+
+class LikertAnswer(int, Enum):
+    """A 5-point Likert scale answer, as used by the Appendix A questionnaire."""
+
+    STRONGLY_DISAGREE = 1
+    DISAGREE = 2
+    NEUTRAL = 3
+    AGREE = 4
+    STRONGLY_AGREE = 5
+
+
+@dataclass
+class QuestionnaireQuestion:
+    """One question of the feedback questionnaire (Figure 5)."""
+
+    number: int
+    text: str
+    kind: str = "text"  # "text", "options", "likert", "yes/no"
+    options: tuple[str, ...] = ()
+    conditional_on: str = ""
+
+
+#: The feedback questionnaire of Appendix A.1 (Figure 5), abridged to the
+#: fields relevant for automated processing.
+FEEDBACK_QUESTIONNAIRE: tuple[QuestionnaireQuestion, ...] = (
+    QuestionnaireQuestion(1, "What is the size of your organization?", "options",
+                          ("1-99", "100-999", "1,000-4,999", "5000 or more", "Not applicable")),
+    QuestionnaireQuestion(2, "What is your current role?", "text"),
+    QuestionnaireQuestion(3, "How long have you been using Helm?", "options",
+                          ("Less than a year", "1-2 years", "More than 2 years")),
+    QuestionnaireQuestion(4, "Do you follow any guidelines to secure Helm Charts?", "text"),
+    QuestionnaireQuestion(5, "Do you use any software tools to check the security of Helm Charts?",
+                          "text"),
+    QuestionnaireQuestion(6, "Do you handle third-party Helm Charts differently?", "text"),
+    QuestionnaireQuestion(7, "Detecting lateral movement in a Kubernetes cluster is a critical issue",
+                          "likert"),
+    QuestionnaireQuestion(8, "Do you use network policies with your cloud applications?", "yes/no"),
+    QuestionnaireQuestion(11, "Undeclared ports are a critical security risk", "likert"),
+    QuestionnaireQuestion(12, "Unused ports are a critical security risk", "likert"),
+    QuestionnaireQuestion(13, "Label collision is a critical security risk", "likert"),
+    QuestionnaireQuestion(14, "Are there false positives in the reported misconfigurations?", "text"),
+    QuestionnaireQuestion(15, "The proposed mitigations are useful", "likert"),
+    QuestionnaireQuestion(16, "I will use a tool to detect the reported misconfigurations", "likert"),
+    QuestionnaireQuestion(17, "Does the report reflect the status of your project?", "text"),
+)
+
+
+@dataclass
+class QuestionnaireResponse:
+    """A (synthetic or transcribed) response to the questionnaire."""
+
+    organization: str
+    answers: dict[int, object] = field(default_factory=dict)
+
+    def likert(self, number: int) -> LikertAnswer | None:
+        answer = self.answers.get(number)
+        return answer if isinstance(answer, LikertAnswer) else None
+
+    def rates_label_collisions_critical(self) -> bool:
+        answer = self.likert(13)
+        return answer is not None and answer >= LikertAnswer.AGREE
+
+
+@dataclass
+class DisclosureReport:
+    """A disclosure package for one organization."""
+
+    organization: str
+    reports: list[AnalysisReport] = field(default_factory=list)
+
+    @property
+    def affected_applications(self) -> list[AnalysisReport]:
+        return [report for report in self.reports if report.affected]
+
+    @property
+    def total_findings(self) -> int:
+        return sum(report.total for report in self.reports)
+
+    def classes_reported(self) -> set[MisconfigClass]:
+        classes: set[MisconfigClass] = set()
+        for report in self.reports:
+            classes.update(report.classes_present())
+        return classes
+
+    def severity_breakdown(self) -> dict[Severity, int]:
+        breakdown = {severity: 0 for severity in Severity}
+        for report in self.reports:
+            for severity, count in report.by_severity().items():
+                breakdown[severity] += count
+        return breakdown
+
+    def to_markdown(self) -> str:
+        """Render the disclosure the way it would be sent to the maintainers."""
+        lines = [
+            f"# Security disclosure: network misconfigurations in {self.organization} Helm charts",
+            "",
+            "## Threat model",
+            "",
+            THREAT_MODEL_SUMMARY,
+            "",
+            "## Summary",
+            "",
+            f"* charts analyzed: {len(self.reports)}",
+            f"* charts affected: {len(self.affected_applications)}",
+            f"* total misconfigurations: {self.total_findings}",
+            "",
+            "## Misconfiguration classes found",
+            "",
+        ]
+        for cls in TABLE_ORDER:
+            if cls not in self.classes_reported():
+                continue
+            descriptor = CATALOG[cls]
+            lines.append(
+                f"* **{cls.value} — {descriptor.description}** ({descriptor.severity.value}): "
+                f"{descriptor.issue}. Possible attacks: {', '.join(descriptor.attacks)}."
+            )
+        lines.extend(["", "## Findings per chart", ""])
+        for report in self.affected_applications:
+            lines.append(f"### {report.application}")
+            lines.append("")
+            for finding in report.findings:
+                port = f" (port {finding.port})" if finding.port is not None else ""
+                lines.append(f"* `{finding.misconfig_class.value}`{port}: {finding.message}")
+                if finding.mitigation:
+                    lines.append(f"  * proposed mitigation: {finding.mitigation}")
+            lines.append("")
+        lines.extend(
+            [
+                "## Feedback",
+                "",
+                "We would appreciate answers to the attached questionnaire "
+                f"({len(FEEDBACK_QUESTIONNAIRE)} questions) to assess the severity of the "
+                "reported issues and the usefulness of the proposed mitigations.",
+            ]
+        )
+        return "\n".join(lines)
+
+
+def build_disclosures(
+    reports: list[AnalysisReport], organization_of: dict[str, str] | None = None
+) -> list[DisclosureReport]:
+    """Group per-application reports into per-organization disclosure packages.
+
+    ``organization_of`` maps application names to organizations; when omitted,
+    the report's ``dataset`` field is used (the convention of the evaluation
+    pipeline).
+    """
+    grouped: dict[str, DisclosureReport] = {}
+    for report in reports:
+        organization = (organization_of or {}).get(report.application, report.dataset or "unknown")
+        disclosure = grouped.setdefault(organization, DisclosureReport(organization=organization))
+        disclosure.reports.append(report)
+    return [grouped[name] for name in sorted(grouped)]
+
+
+@dataclass
+class DisclosureOutcome:
+    """The follow-up record of one disclosure (Section 5.1)."""
+
+    organization: str
+    acknowledged: bool = False
+    applications_fixed: int = 0
+    response: QuestionnaireResponse | None = None
+    notes: str = ""
+
+
+def summarize_outcomes(outcomes: list[DisclosureOutcome]) -> dict:
+    """Aggregate follow-up statistics (the paper: >30 applications fixed)."""
+    return {
+        "organizations_contacted": len(outcomes),
+        "organizations_acknowledging": sum(1 for outcome in outcomes if outcome.acknowledged),
+        "applications_fixed": sum(outcome.applications_fixed for outcome in outcomes),
+        "respondents_rating_label_collisions_critical": sum(
+            1
+            for outcome in outcomes
+            if outcome.response is not None
+            and outcome.response.rates_label_collisions_critical()
+        ),
+    }

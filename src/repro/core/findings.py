@@ -1,0 +1,303 @@
+"""Misconfiguration taxonomy, findings, and per-application reports.
+
+This module encodes Table 1 of the paper: the thirteen network
+misconfiguration classes (M1-M7 with the M4/M5 sub-variants), the security
+issue behind each, and the attacks they enable.  Detection rules produce
+:class:`Finding` objects tagged with these classes; an
+:class:`AnalysisReport` collects the findings for one application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+
+class Severity(str, Enum):
+    """Qualitative severity, aligned with the feedback from the disclosure
+    (Section 5.1.1: label collisions rated most critical, M3 least)."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class MisconfigClass(str, Enum):
+    """The misconfiguration identifiers of Table 1."""
+
+    M1 = "M1"
+    M2 = "M2"
+    M3 = "M3"
+    M4A = "M4A"
+    M4B = "M4B"
+    M4C = "M4C"
+    M4_GLOBAL = "M4*"
+    M5A = "M5A"
+    M5B = "M5B"
+    M5C = "M5C"
+    M5D = "M5D"
+    M6 = "M6"
+    M7 = "M7"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def family(self) -> str:
+        """The family identifier (``M4*`` and ``M4A`` both belong to ``M4``)."""
+        return "M4" if self.value.startswith("M4") else self.value[:2]
+
+
+@dataclass(frozen=True)
+class MisconfigDescriptor:
+    """Catalogue entry: description, underlying issue and possible attacks."""
+
+    misconfig_class: MisconfigClass
+    description: str
+    issue: str
+    attacks: tuple[str, ...]
+    severity: Severity
+    detection: str  # "static", "runtime" or "hybrid"
+
+
+#: The full catalogue (Table 1), keyed by misconfiguration class.
+CATALOG: dict[MisconfigClass, MisconfigDescriptor] = {
+    MisconfigClass.M1: MisconfigDescriptor(
+        MisconfigClass.M1,
+        "Port open on container is not declared",
+        "Listening on all interfaces by default",
+        ("Command and control", "Sensitive port information"),
+        Severity.MEDIUM,
+        "hybrid",
+    ),
+    MisconfigClass.M2: MisconfigDescriptor(
+        MisconfigClass.M2,
+        "Container allocates dynamic ports",
+        "Dynamic ports cannot be controlled",
+        ("Loosened security policies",),
+        Severity.MEDIUM,
+        "runtime",
+    ),
+    MisconfigClass.M3: MisconfigDescriptor(
+        MisconfigClass.M3,
+        "Port declared on container is not open",
+        "Missing checks on declared ports",
+        ("Data interception / spoofing", "Data exfiltration"),
+        Severity.LOW,
+        "hybrid",
+    ),
+    MisconfigClass.M4A: MisconfigDescriptor(
+        MisconfigClass.M4A,
+        "Compute unit collision",
+        "Missing checks on label collision",
+        ("Man in the middle", "Server impersonation"),
+        Severity.HIGH,
+        "static",
+    ),
+    MisconfigClass.M4B: MisconfigDescriptor(
+        MisconfigClass.M4B,
+        "Service label collision",
+        "Missing checks on label collision",
+        ("Man in the middle", "Server impersonation"),
+        Severity.HIGH,
+        "static",
+    ),
+    MisconfigClass.M4C: MisconfigDescriptor(
+        MisconfigClass.M4C,
+        "Compute unit subset collision",
+        "Missing checks on label collision",
+        ("Man in the middle", "Server impersonation"),
+        Severity.HIGH,
+        "static",
+    ),
+    MisconfigClass.M4_GLOBAL: MisconfigDescriptor(
+        MisconfigClass.M4_GLOBAL,
+        "Global label collision",
+        "Missing checks on label collision",
+        ("Man in the middle", "Server impersonation"),
+        Severity.HIGH,
+        "static",
+    ),
+    MisconfigClass.M5A: MisconfigDescriptor(
+        MisconfigClass.M5A,
+        "Service targets unopened port",
+        "Missing checks on declared ports",
+        ("Data interception", "Denial of service"),
+        Severity.MEDIUM,
+        "hybrid",
+    ),
+    MisconfigClass.M5B: MisconfigDescriptor(
+        MisconfigClass.M5B,
+        "Service targets undeclared port",
+        "Missing checks on declared ports",
+        ("Data spoofing", "Bypassing security checks"),
+        Severity.MEDIUM,
+        "static",
+    ),
+    MisconfigClass.M5C: MisconfigDescriptor(
+        MisconfigClass.M5C,
+        "Headless service port is not available",
+        "Missing checks on declared ports",
+        ("Denial of service",),
+        Severity.MEDIUM,
+        "runtime",
+    ),
+    MisconfigClass.M5D: MisconfigDescriptor(
+        MisconfigClass.M5D,
+        "Service without target",
+        "Missing checks on existence of target label",
+        ("Service impersonation", "Denial of service"),
+        Severity.MEDIUM,
+        "static",
+    ),
+    MisconfigClass.M6: MisconfigDescriptor(
+        MisconfigClass.M6,
+        "Lack of network policies",
+        "No isolation between containers",
+        ("Data interception / spoofing", "Privilege escalation"),
+        Severity.MEDIUM,
+        "static",
+    ),
+    MisconfigClass.M7: MisconfigDescriptor(
+        MisconfigClass.M7,
+        "Container binds to host network",
+        "Network policies do not apply to host",
+        ("Bypassing network controls",),
+        Severity.MEDIUM,
+        "static",
+    ),
+}
+
+#: Classes displayed as columns in Table 2 and Table 3, in paper order.
+TABLE_ORDER: tuple[MisconfigClass, ...] = (
+    MisconfigClass.M1,
+    MisconfigClass.M2,
+    MisconfigClass.M3,
+    MisconfigClass.M4A,
+    MisconfigClass.M4B,
+    MisconfigClass.M4C,
+    MisconfigClass.M4_GLOBAL,
+    MisconfigClass.M5A,
+    MisconfigClass.M5B,
+    MisconfigClass.M5C,
+    MisconfigClass.M5D,
+    MisconfigClass.M6,
+    MisconfigClass.M7,
+)
+
+
+@dataclass
+class Finding:
+    """One detected misconfiguration instance."""
+
+    misconfig_class: MisconfigClass
+    application: str
+    resource: str
+    message: str
+    port: int | None = None
+    protocol: str = "TCP"
+    related_resources: tuple[str, ...] = ()
+    evidence: dict = field(default_factory=dict)
+    mitigation: str = ""
+
+    @property
+    def severity(self) -> Severity:
+        return CATALOG[self.misconfig_class].severity
+
+    @property
+    def descriptor(self) -> MisconfigDescriptor:
+        return CATALOG[self.misconfig_class]
+
+    def dedupe_key(self) -> tuple:
+        """Key used to drop duplicate findings across pod replicas."""
+        return (
+            self.misconfig_class,
+            self.application,
+            self.resource,
+            self.port,
+            self.protocol,
+            self.related_resources,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "class": self.misconfig_class.value,
+            "application": self.application,
+            "resource": self.resource,
+            "message": self.message,
+            "port": self.port,
+            "protocol": self.protocol,
+            "severity": self.severity.value,
+            "related": list(self.related_resources),
+            "mitigation": self.mitigation,
+        }
+
+
+def deduplicate_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Drop duplicates (identical class/resource/port) while keeping order."""
+    seen: set[tuple] = set()
+    unique: list[Finding] = []
+    for finding in findings:
+        key = finding.dedupe_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(finding)
+    return unique
+
+
+@dataclass
+class AnalysisReport:
+    """All findings for one analyzed application."""
+
+    application: str
+    dataset: str = ""
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+        self.findings = deduplicate_findings(self.findings)
+
+    # Aggregations -----------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return len(self.findings)
+
+    @property
+    def affected(self) -> bool:
+        return bool(self.findings)
+
+    def count_by_class(self) -> dict[MisconfigClass, int]:
+        counts = {cls: 0 for cls in TABLE_ORDER}
+        for finding in self.findings:
+            counts[finding.misconfig_class] = counts.get(finding.misconfig_class, 0) + 1
+        return counts
+
+    def classes_present(self) -> set[MisconfigClass]:
+        return {finding.misconfig_class for finding in self.findings}
+
+    def type_count(self) -> int:
+        """Number of distinct misconfiguration types (Figure 3b metric)."""
+        return len(self.classes_present())
+
+    def of_class(self, misconfig_class: MisconfigClass) -> list[Finding]:
+        return [f for f in self.findings if f.misconfig_class == misconfig_class]
+
+    def by_severity(self) -> dict[Severity, int]:
+        counts: dict[Severity, int] = {severity: 0 for severity in Severity}
+        for finding in self.findings:
+            counts[finding.severity] += 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "application": self.application,
+            "dataset": self.dataset,
+            "total": self.total,
+            "types": self.type_count(),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }

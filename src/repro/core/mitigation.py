@@ -1,0 +1,330 @@
+"""Mitigation engine: turn findings into concrete configuration fixes.
+
+Section 3.5 of the paper describes a mitigation per misconfiguration class;
+this module implements the automatable ones directly on the Kubernetes
+objects (declare missing ports, drop dead declarations, align service
+targets, disable hostNetwork, generate default-deny + allow-declared
+network policies, make colliding labels unique) and produces human-readable
+advice for the rest (dynamic ports, deliberate collisions).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..k8s import (
+    ContainerPort,
+    Inventory,
+    LabelSet,
+    KubernetesObject,
+    NetworkPolicy,
+    NetworkPolicyPeer,
+    NetworkPolicyPort,
+    NetworkPolicyRule,
+    ObjectMeta,
+    Selector,
+    Service,
+    Workload,
+)
+from .findings import Finding, MisconfigClass
+
+
+@dataclass
+class MitigationAction:
+    """One applied (or suggested) mitigation."""
+
+    finding: Finding
+    applied: bool
+    description: str
+
+
+@dataclass
+class MitigationResult:
+    """The outcome of applying mitigations to an application's objects."""
+
+    objects: list[KubernetesObject]
+    actions: list[MitigationAction] = field(default_factory=list)
+
+    @property
+    def applied_count(self) -> int:
+        return sum(1 for action in self.actions if action.applied)
+
+    @property
+    def advisory_count(self) -> int:
+        return sum(1 for action in self.actions if not action.applied)
+
+
+class MitigationEngine:
+    """Applies the Section 3.5 mitigations to Kubernetes objects."""
+
+    def apply(self, objects: Iterable[KubernetesObject], findings: Iterable[Finding]) -> MitigationResult:
+        """Return patched copies of ``objects`` with findings addressed."""
+        patched = [copy.deepcopy(obj) for obj in objects]
+        result = MitigationResult(objects=patched)
+        inventory = Inventory(patched)
+        for finding in findings:
+            handler = self._HANDLERS.get(finding.misconfig_class)
+            if handler is None:
+                result.actions.append(
+                    MitigationAction(
+                        finding=finding,
+                        applied=False,
+                        description=finding.mitigation or "manual review required",
+                    )
+                )
+                continue
+            result.actions.append(handler(self, inventory, finding))
+        # Handlers may add new objects (e.g. generated NetworkPolicies) to the
+        # inventory; the inventory is therefore the source of truth.
+        result.objects = list(inventory)
+        return result
+
+    # Individual handlers ---------------------------------------------------
+    def _declare_missing_port(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+        unit = self._find_workload(inventory, finding.resource)
+        if unit is None or finding.port is None:
+            return MitigationAction(finding, False, "could not locate the compute unit to patch")
+        container = unit.pod_template().spec.containers[0]
+        if finding.port not in {p.container_port for p in container.ports}:
+            container.ports.append(ContainerPort(container_port=finding.port, protocol=finding.protocol))
+        return MitigationAction(
+            finding, True, f"declared containerPort {finding.port} on {finding.resource}"
+        )
+
+    def _remove_dead_port(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+        unit = self._find_workload(inventory, finding.resource)
+        if unit is None or finding.port is None:
+            return MitigationAction(finding, False, "could not locate the compute unit to patch")
+        removed = False
+        for container in unit.pod_template().spec.containers:
+            before = len(container.ports)
+            container.ports = [p for p in container.ports if p.container_port != finding.port]
+            removed = removed or len(container.ports) != before
+        return MitigationAction(
+            finding,
+            removed,
+            f"removed unused containerPort {finding.port} from {finding.resource}"
+            if removed
+            else "declared port was already absent",
+        )
+
+    def _advise_dynamic_ports(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+        return MitigationAction(
+            finding,
+            False,
+            "configure a static port via the application's settings (e.g. an environment "
+            "variable) or document the dynamic port usage in the chart",
+        )
+
+    def _make_labels_unique(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+        resources = (finding.resource,) + finding.related_resources
+        patched_units: list[Workload] = []
+        for qualified in resources:
+            unit = self._find_workload(inventory, qualified)
+            if unit is None:
+                continue
+            suffix = qualified.split("/")[-1]
+            unit.template.metadata.labels = unit.template.metadata.labels.merged(
+                {"app.kubernetes.io/component": suffix}
+            )
+            unit.metadata.labels = unit.metadata.labels.merged(
+                {"app.kubernetes.io/component": suffix}
+            )
+            if not unit.selector.is_empty:
+                unit.selector = Selector(
+                    match_labels=unit.selector.match_labels.merged(
+                        {"app.kubernetes.io/component": suffix}
+                    ),
+                    match_expressions=unit.selector.match_expressions,
+                )
+            patched_units.append(unit)
+        narrowed = self._narrow_ambiguous_services(inventory, patched_units)
+        description = (
+            f"added a distinguishing app.kubernetes.io/component label to {len(patched_units)} "
+            "compute units"
+        )
+        if narrowed:
+            description += f" and narrowed the selector of {narrowed} services to a single backend"
+        return MitigationAction(finding, bool(patched_units), description)
+
+    @staticmethod
+    def _narrow_ambiguous_services(inventory: Inventory, units: list[Workload]) -> int:
+        """Re-point services that selected several colliding units to one of them.
+
+        The intended backend is chosen by name affinity (longest common prefix
+        between the service name and the unit name), which matches how charts
+        conventionally name a service after the component it fronts.
+        """
+        if len(units) < 2:
+            return 0
+        narrowed = 0
+        for service in inventory.services():
+            if not service.has_selector:
+                continue
+            selected = [unit for unit in units if service.selector.matches(unit.pod_labels())]
+            if len(selected) < 2:
+                continue
+            def affinity(unit: Workload) -> int:
+                prefix = 0
+                for left, right in zip(service.name, unit.name):
+                    if left != right:
+                        break
+                    prefix += 1
+                return prefix
+            intended = max(selected, key=affinity)
+            service.selector = Selector(match_labels=LabelSet(intended.pod_labels()))
+            narrowed += 1
+        return narrowed
+
+    def _fix_service_target(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+        service = self._find_service(inventory, finding.resource)
+        if service is None or finding.port is None:
+            return MitigationAction(finding, False, "could not locate the service to patch")
+        units = inventory.compute_units_selected_by(service)
+        declared: set[int] = set()
+        for unit in units:
+            declared.update(unit.declared_port_numbers())
+        if not declared:
+            return MitigationAction(
+                finding, False, "selected pods declare no ports; manual review required"
+            )
+        replacement = sorted(declared)[0]
+        service.ports = [
+            port if port.port != finding.port else type(port)(
+                port=port.port,
+                target_port=replacement,
+                protocol=port.protocol,
+                name=port.name,
+                node_port=port.node_port,
+            )
+            for port in service.ports
+        ]
+        return MitigationAction(
+            finding,
+            True,
+            f"re-pointed service port {finding.port} to declared container port {replacement}",
+        )
+
+    def _remove_headless_port(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+        service = self._find_service(inventory, finding.resource)
+        if service is None or finding.port is None:
+            return MitigationAction(finding, False, "could not locate the headless service")
+        before = len(service.ports)
+        service.ports = [port for port in service.ports if port.port != finding.port]
+        return MitigationAction(
+            finding,
+            len(service.ports) != before,
+            f"removed unavailable port {finding.port} from headless service {service.name!r}",
+        )
+
+    def _advise_service_without_target(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+        return MitigationAction(
+            finding,
+            False,
+            "align the service selector with the labels of an existing compute unit "
+            "(kubectl get pods -l <selector> must return the intended pods) or delete the service",
+        )
+
+    def _generate_network_policies(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+        policies = generate_network_policies(inventory, finding.application)
+        for policy in policies:
+            inventory.add(policy)
+        return MitigationAction(
+            finding,
+            bool(policies),
+            f"generated {len(policies)} NetworkPolicy objects (default deny + allow declared "
+            "service traffic)",
+        )
+
+    def _disable_host_network(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+        unit = self._find_workload(inventory, finding.resource)
+        if unit is None:
+            return MitigationAction(finding, False, "could not locate the compute unit to patch")
+        unit.pod_template().spec.host_network = False
+        return MitigationAction(
+            finding, True, f"set hostNetwork: false on {finding.resource}"
+        )
+
+    # Lookup helpers -------------------------------------------------------------
+    @staticmethod
+    def _find_workload(inventory: Inventory, qualified_name: str) -> Workload | None:
+        for obj in inventory:
+            if isinstance(obj, Workload) and obj.qualified_name() == qualified_name:
+                return obj
+        return None
+
+    @staticmethod
+    def _find_service(inventory: Inventory, qualified_name: str) -> Service | None:
+        for obj in inventory:
+            if isinstance(obj, Service) and obj.qualified_name() == qualified_name:
+                return obj
+        return None
+
+    _HANDLERS = {
+        MisconfigClass.M1: _declare_missing_port,
+        MisconfigClass.M2: _advise_dynamic_ports,
+        MisconfigClass.M3: _remove_dead_port,
+        MisconfigClass.M4A: _make_labels_unique,
+        MisconfigClass.M4B: _make_labels_unique,
+        MisconfigClass.M4C: _make_labels_unique,
+        MisconfigClass.M4_GLOBAL: _make_labels_unique,
+        MisconfigClass.M5A: _fix_service_target,
+        MisconfigClass.M5B: _fix_service_target,
+        MisconfigClass.M5C: _remove_headless_port,
+        MisconfigClass.M5D: _advise_service_without_target,
+        MisconfigClass.M6: _generate_network_policies,
+        MisconfigClass.M7: _disable_host_network,
+    }
+
+
+def generate_network_policies(inventory: Inventory, application: str) -> list[NetworkPolicy]:
+    """Generate a default-deny policy plus per-service allow rules.
+
+    This is the automated mitigation for M6: deny all ingress to the
+    application's pods, then allow cluster traffic only to the ports its
+    services expose.
+    """
+    policies: list[NetworkPolicy] = []
+    units = inventory.compute_units()
+    if not units:
+        return policies
+    namespace = units[0].namespace
+    policies.append(
+        NetworkPolicy(
+            metadata=ObjectMeta(name=f"{application}-default-deny", namespace=namespace),
+            pod_selector=Selector(),
+            policy_types=["Ingress"],
+            ingress=[],
+        )
+    )
+    for service in inventory.services():
+        targets = inventory.compute_units_selected_by(service)
+        if not targets:
+            continue
+        ports: list[NetworkPolicyPort] = []
+        for service_port in service.ports:
+            target = service_port.resolved_target()
+            if isinstance(target, int):
+                ports.append(NetworkPolicyPort(port=target, protocol=service_port.protocol))
+            else:
+                for unit in targets:
+                    resolved = unit.resolve_port_name(str(target))
+                    if resolved is not None:
+                        ports.append(
+                            NetworkPolicyPort(port=resolved, protocol=service_port.protocol)
+                        )
+                        break
+        if not ports:
+            continue
+        policies.append(
+            NetworkPolicy(
+                metadata=ObjectMeta(name=f"{application}-allow-{service.name}", namespace=namespace),
+                pod_selector=service.selector,
+                policy_types=["Ingress"],
+                ingress=[NetworkPolicyRule(peers=[NetworkPolicyPeer(pod_selector=Selector())],
+                                           ports=ports)],
+            )
+        )
+    return policies

@@ -1,0 +1,36 @@
+"""Detection rules, one module per misconfiguration family."""
+
+from .base import HYBRID, RUNTIME, STATIC, Rule, RuleRegistry, default_rule, default_rules
+from .labels import ComputeUnitCollisionRule, ComputeUnitSubsetCollisionRule, ServiceLabelCollisionRule
+from .policies import HostNetworkRule, LackOfNetworkPoliciesRule
+from .ports import DeclaredClosedPortsRule, DynamicPortsRule, UndeclaredOpenPortsRule
+from .services import (
+    HeadlessServicePortUnavailableRule,
+    ServiceTargetsUndeclaredPortRule,
+    ServiceTargetsUnopenedPortRule,
+    ServiceWithoutTargetRule,
+    service_target_summary,
+)
+
+__all__ = [
+    "HYBRID",
+    "RUNTIME",
+    "STATIC",
+    "ComputeUnitCollisionRule",
+    "ComputeUnitSubsetCollisionRule",
+    "DeclaredClosedPortsRule",
+    "DynamicPortsRule",
+    "HeadlessServicePortUnavailableRule",
+    "HostNetworkRule",
+    "LackOfNetworkPoliciesRule",
+    "Rule",
+    "RuleRegistry",
+    "ServiceLabelCollisionRule",
+    "ServiceTargetsUndeclaredPortRule",
+    "ServiceTargetsUnopenedPortRule",
+    "ServiceWithoutTargetRule",
+    "UndeclaredOpenPortsRule",
+    "default_rule",
+    "default_rules",
+    "service_target_summary",
+]

@@ -1,0 +1,76 @@
+"""Base class and registry for misconfiguration detection rules."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Type
+
+from ..context import AnalysisContext
+from ..findings import Finding, MisconfigClass
+
+#: The three kinds of input a rule requires.
+STATIC = "static"
+RUNTIME = "runtime"
+HYBRID = "hybrid"
+
+
+class Rule(ABC):
+    """A single machine-readable detection rule (Section 4.2.1)."""
+
+    #: The misconfiguration classes this rule can emit.
+    produces: tuple[MisconfigClass, ...] = ()
+    #: Whether the rule needs static manifests, runtime observations, or both.
+    requires: str = STATIC
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def applicable(self, context: AnalysisContext) -> bool:
+        """A rule is skipped when its required inputs are unavailable."""
+        if self.requires in (RUNTIME, HYBRID):
+            return context.has_runtime
+        return True
+
+    @abstractmethod
+    def evaluate(self, context: AnalysisContext) -> list[Finding]:
+        """Produce the findings for one application."""
+
+
+class RuleRegistry:
+    """Holds the active rule set; the analyzer iterates over it."""
+
+    def __init__(self, rules: Iterable[Rule] = ()) -> None:
+        self._rules: list[Rule] = list(rules)
+
+    def register(self, rule: Rule) -> None:
+        self._rules.append(rule)
+
+    def rules(self) -> list[Rule]:
+        return list(self._rules)
+
+    def rules_for(self, context: AnalysisContext) -> list[Rule]:
+        return [rule for rule in self._rules if rule.applicable(context)]
+
+    def covering(self, misconfig_class: MisconfigClass) -> list[Rule]:
+        return [rule for rule in self._rules if misconfig_class in rule.produces]
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self):
+        return iter(self._rules)
+
+
+_DEFAULT_RULE_CLASSES: list[Type[Rule]] = []
+
+
+def default_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering a rule into the default rule set."""
+    _DEFAULT_RULE_CLASSES.append(cls)
+    return cls
+
+
+def default_rules() -> RuleRegistry:
+    """Instantiate the full default rule set (all of Table 1)."""
+    return RuleRegistry(cls() for cls in _DEFAULT_RULE_CLASSES)

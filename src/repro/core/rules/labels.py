@@ -1,0 +1,132 @@
+"""Label collision rules: M4A, M4B and M4C (within a single application).
+
+Cluster-wide collisions across applications (M4*) are handled separately by
+:mod:`repro.core.cluster_wide` because they require the inventories of every
+installed application at once.
+"""
+
+from __future__ import annotations
+
+from ..context import AnalysisContext
+from ..findings import Finding, MisconfigClass
+from .base import STATIC, Rule, default_rule
+from ...k8s import LabelSet
+
+
+@default_rule
+class ComputeUnitCollisionRule(Rule):
+    """M4A: two unrelated compute units carry the same pod label set."""
+
+    produces = (MisconfigClass.M4A,)
+    requires = STATIC
+
+    def evaluate(self, context: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        groups: dict[LabelSet, list] = {}
+        for unit in context.compute_units():
+            labels = LabelSet(unit.pod_labels())
+            if not labels:
+                continue
+            groups.setdefault(labels, []).append(unit)
+        for labels, units in groups.items():
+            if len(units) < 2:
+                continue
+            names = tuple(sorted(unit.qualified_name() for unit in units))
+            findings.append(
+                Finding(
+                    misconfig_class=MisconfigClass.M4A,
+                    application=context.application,
+                    resource=names[0],
+                    related_resources=names[1:],
+                    message=(
+                        "compute units "
+                        + ", ".join(names)
+                        + f" share the exact same labels {dict(labels)}; services and policies "
+                        "targeting one of them also target the others"
+                    ),
+                    evidence={"labels": dict(labels)},
+                    mitigation=(
+                        "Add a distinguishing label (e.g. app.kubernetes.io/component) to each "
+                        "compute unit so selectors can tell them apart."
+                    ),
+                )
+            )
+        return findings
+
+
+@default_rule
+class ServiceLabelCollisionRule(Rule):
+    """M4B: multiple services select the same compute unit."""
+
+    produces = (MisconfigClass.M4B,)
+    requires = STATIC
+
+    def evaluate(self, context: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for unit in context.compute_units():
+            selecting = context.inventory.services_selecting(unit.pod_labels(), unit.namespace)
+            if len(selecting) < 2:
+                continue
+            service_names = tuple(sorted(service.qualified_name() for service in selecting))
+            findings.append(
+                Finding(
+                    misconfig_class=MisconfigClass.M4B,
+                    application=context.application,
+                    resource=unit.qualified_name(),
+                    related_resources=service_names,
+                    message=(
+                        f"{len(selecting)} services ({', '.join(s.name for s in selecting)}) "
+                        f"select the same compute unit {unit.name!r}; a pod matching those labels "
+                        "receives traffic intended for all of them"
+                    ),
+                    evidence={"services": [s.name for s in selecting]},
+                    mitigation=(
+                        "Give each service a dedicated selector (unique label on the target "
+                        "compute unit) unless the sharing is intentional."
+                    ),
+                )
+            )
+        return findings
+
+
+@default_rule
+class ComputeUnitSubsetCollisionRule(Rule):
+    """M4C: one service selects unrelated compute units via a shared label subset."""
+
+    produces = (MisconfigClass.M4C,)
+    requires = STATIC
+
+    def evaluate(self, context: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for service in context.services():
+            if not service.has_selector:
+                continue
+            selected = context.units_selected_by(service)
+            if len(selected) < 2:
+                continue
+            # Unrelated units: their full label sets differ even though the
+            # service selector matches all of them.
+            label_sets = {LabelSet(unit.pod_labels()) for unit in selected}
+            if len(label_sets) < 2:
+                # Identical label sets are already reported as M4A.
+                continue
+            names = tuple(sorted(unit.qualified_name() for unit in selected))
+            findings.append(
+                Finding(
+                    misconfig_class=MisconfigClass.M4C,
+                    application=context.application,
+                    resource=service.qualified_name(),
+                    related_resources=names,
+                    message=(
+                        f"service {service.name!r} selects {len(selected)} unrelated compute units "
+                        f"({', '.join(unit.name for unit in selected)}) because they share the "
+                        f"label subset {service.selector.match_labels.to_dict()}"
+                    ),
+                    evidence={"selector": service.selector.to_dict()},
+                    mitigation=(
+                        "Narrow the service selector (or the compute unit labels) so it matches "
+                        "only the intended backends."
+                    ),
+                )
+            )
+        return findings

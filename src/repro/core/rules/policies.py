@@ -1,0 +1,96 @@
+"""Isolation rules: M6 (lack of network policies) and M7 (host network)."""
+
+from __future__ import annotations
+
+from ..context import AnalysisContext
+from ..findings import Finding, MisconfigClass
+from .base import STATIC, Rule, default_rule
+
+
+@default_rule
+class LackOfNetworkPoliciesRule(Rule):
+    """M6: the application ships without (enabled) network policies.
+
+    Following Section 3.3, a chart that *defines* policies but leaves them
+    disabled by default is also flagged: the rendered manifests contain no
+    NetworkPolicy object, so the deployed application is unprotected.
+    """
+
+    produces = (MisconfigClass.M6,)
+    requires = STATIC
+
+    def evaluate(self, context: AnalysisContext) -> list[Finding]:
+        units = context.compute_units()
+        if not units:
+            return []
+        policies = context.network_policies()
+        protected_units = [
+            unit
+            for unit in units
+            if any(policy.selects(unit.pod_labels(), unit.namespace) for policy in policies)
+        ]
+        if policies and protected_units:
+            return []
+        if context.network_policies_available_but_disabled:
+            message = (
+                "the chart defines NetworkPolicy templates but they are disabled by default; "
+                "the deployed application has no isolation between its pods and the rest of "
+                "the cluster"
+            )
+        elif policies:
+            message = (
+                "the chart renders NetworkPolicy objects but none of them selects the "
+                "application's pods; the policies have no effect"
+            )
+        else:
+            message = (
+                "the application does not define any NetworkPolicy; every pod in the cluster "
+                "can reach every port it opens (default allow-all)"
+            )
+        return [
+            Finding(
+                misconfig_class=MisconfigClass.M6,
+                application=context.application,
+                resource=context.application,
+                message=message,
+                evidence={
+                    "policies_defined": len(policies),
+                    "policies_available_but_disabled": context.network_policies_available_but_disabled,
+                },
+                mitigation=(
+                    "Define and enable NetworkPolicy objects that select every pod of the "
+                    "application and allow only the connections it needs."
+                ),
+            )
+        ]
+
+
+@default_rule
+class HostNetworkRule(Rule):
+    """M7: a compute unit binds its pods to the host network namespace."""
+
+    produces = (MisconfigClass.M7,)
+    requires = STATIC
+
+    def evaluate(self, context: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for unit in context.compute_units():
+            if not unit.uses_host_network():
+                continue
+            findings.append(
+                Finding(
+                    misconfig_class=MisconfigClass.M7,
+                    application=context.application,
+                    resource=unit.qualified_name(),
+                    message=(
+                        f"{unit.kind} {unit.name!r} sets hostNetwork: true; its ports are exposed "
+                        "on the node itself and NetworkPolicies attached to the pod have no effect"
+                    ),
+                    evidence={"hostNetwork": True},
+                    mitigation=(
+                        "Set hostNetwork to false unless host-level access is strictly required; "
+                        "if it is, audit the exposed ports and firewall them at the node level."
+                    ),
+                )
+            )
+        return findings

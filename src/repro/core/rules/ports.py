@@ -1,0 +1,123 @@
+"""Port-mismatch rules: M1 (undeclared open), M2 (dynamic), M3 (declared closed).
+
+These rules compare the declarative ``containerPort`` list of each compute
+unit against the runtime observation of its pods (Section 3.3, Figure 1).
+"""
+
+from __future__ import annotations
+
+from ..context import AnalysisContext
+from ..findings import Finding, MisconfigClass
+from .base import HYBRID, RUNTIME, Rule, default_rule
+
+
+@default_rule
+class UndeclaredOpenPortsRule(Rule):
+    """M1: a container listens on a port that the configuration never declares.
+
+    Dynamic ports are excluded here -- they are reported separately as M2 --
+    so only ports stable across both snapshots are considered.
+    """
+
+    produces = (MisconfigClass.M1,)
+    requires = HYBRID
+
+    def evaluate(self, context: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for unit in context.compute_units():
+            declared = unit.declared_port_numbers("TCP")
+            observed = context.stable_open_ports(unit, "TCP")
+            dynamic = context.dynamic_ports(unit, "TCP")
+            for port in sorted(observed - declared - dynamic):
+                findings.append(
+                    Finding(
+                        misconfig_class=MisconfigClass.M1,
+                        application=context.application,
+                        resource=unit.qualified_name(),
+                        port=port,
+                        message=(
+                            f"{unit.kind} {unit.name!r} listens on TCP port {port} "
+                            "which is not declared in its container ports"
+                        ),
+                        evidence={"declared": sorted(declared), "observed": sorted(observed)},
+                        mitigation=(
+                            f"Declare containerPort {port} in the pod template of {unit.name!r} "
+                            "so that network policies and reviewers see the real attack surface."
+                        ),
+                    )
+                )
+        return findings
+
+
+@default_rule
+class DynamicPortsRule(Rule):
+    """M2: a container allocates dynamic (ephemeral) ports.
+
+    Detected by comparing two runtime snapshots taken across an application
+    restart: ports that appear in only one snapshot are dynamic.
+    """
+
+    produces = (MisconfigClass.M2,)
+    requires = RUNTIME
+
+    def evaluate(self, context: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for unit in context.compute_units():
+            dynamic = context.dynamic_ports(unit, "TCP") | context.dynamic_ports(unit, "UDP")
+            if not dynamic:
+                continue
+            findings.append(
+                Finding(
+                    misconfig_class=MisconfigClass.M2,
+                    application=context.application,
+                    resource=unit.qualified_name(),
+                    message=(
+                        f"{unit.kind} {unit.name!r} listens on dynamic ports "
+                        f"({', '.join(str(p) for p in sorted(dynamic))} observed); these cannot be "
+                        "declared nor restricted by network policies"
+                    ),
+                    evidence={"observed_dynamic": sorted(dynamic)},
+                    mitigation=(
+                        "Configure the application to use a static port (for example through an "
+                        "environment variable) or document the dynamic range and isolate the pod."
+                    ),
+                )
+            )
+        return findings
+
+
+@default_rule
+class DeclaredClosedPortsRule(Rule):
+    """M3: a declared container port is not actually open at runtime."""
+
+    produces = (MisconfigClass.M3,)
+    requires = HYBRID
+
+    def evaluate(self, context: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for unit in context.compute_units():
+            declared = unit.declared_port_numbers("TCP")
+            observed = context.stable_open_ports(unit, "TCP")
+            if not context.snapshots_for(unit):
+                # The unit produced no running pods (e.g. a suspended CronJob):
+                # nothing can be said about its runtime behaviour.
+                continue
+            for port in sorted(declared - observed):
+                findings.append(
+                    Finding(
+                        misconfig_class=MisconfigClass.M3,
+                        application=context.application,
+                        resource=unit.qualified_name(),
+                        port=port,
+                        message=(
+                            f"{unit.kind} {unit.name!r} declares containerPort {port} "
+                            "but nothing is listening on it at runtime"
+                        ),
+                        evidence={"declared": sorted(declared), "observed": sorted(observed)},
+                        mitigation=(
+                            f"Remove the unused containerPort {port} declaration or enable the "
+                            "feature that is supposed to listen on it."
+                        ),
+                    )
+                )
+        return findings

@@ -1,0 +1,261 @@
+"""Proof-of-concept attack scenarios from Section 2.1 of the paper.
+
+Two lateral-movement attacks enabled by network misconfigurations:
+
+* **Concourse -- broken control plane**: the CI/CD web node terminates
+  reverse SSH tunnels from its workers on ephemeral ports that should only
+  be reachable on the loopback interface, but are exposed on the pod network
+  (M1 + M2 + M6).  Any pod in the cluster can send commands to the workers.
+* **Thanos -- service impersonation**: ``thanos-query-frontend`` and
+  ``thanos-query`` share the same label, so a malicious pod that adopts the
+  label receives traffic from the service and can impersonate it (M4 + M6).
+
+The scenarios build the vulnerable applications, deploy them into a
+simulated cluster next to an attacker pod, and expose helpers that carry out
+(and verify) the attack steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster import (
+    BehaviorRegistry,
+    Cluster,
+    ContainerBehavior,
+    ListenSpec,
+)
+from ..k8s import (
+    Container,
+    ContainerPort,
+    Deployment,
+    LabelSet,
+    ObjectMeta,
+    Pod,
+    PodSpec,
+    PodTemplateSpec,
+    Service,
+    ServicePort,
+    equality_selector,
+)
+from ..probe import make_attacker_pod
+
+CONCOURSE_WEB_IMAGE = "concourse/concourse-web"
+CONCOURSE_WORKER_IMAGE = "concourse/concourse-worker"
+THANOS_QUERY_IMAGE = "thanos/query"
+THANOS_FRONTEND_IMAGE = "thanos/query-frontend"
+
+
+# ---------------------------------------------------------------------------
+# Concourse: broken control plane
+# ---------------------------------------------------------------------------
+
+
+def concourse_behaviors(worker_count: int = 2) -> BehaviorRegistry:
+    """Runtime behaviour of the Concourse components.
+
+    The web node listens on its declared API port (8080) and TSA port (2222),
+    plus one *undeclared ephemeral* port per registered worker: the endpoints
+    of the reverse SSH tunnels used as command-and-control channels.
+    """
+    registry = BehaviorRegistry()
+    registry.register(
+        CONCOURSE_WEB_IMAGE,
+        ContainerBehavior(
+            listen_on_declared=True,
+            extra_listens=[ListenSpec(port=None, process="reverse-ssh-tunnel")
+                           for _ in range(worker_count)],
+        ),
+    )
+    registry.register(CONCOURSE_WORKER_IMAGE, ContainerBehavior(listen_on_declared=True))
+    return registry
+
+
+def concourse_objects(worker_count: int = 2) -> list:
+    """The Kubernetes objects of a default Concourse deployment (no policies)."""
+    web_labels = {"app": "concourse", "component": "web"}
+    worker_labels = {"app": "concourse", "component": "worker"}
+    web = Deployment(
+        metadata=ObjectMeta(name="concourse-web", labels=LabelSet(web_labels)),
+        replicas=1,
+        selector=equality_selector(**web_labels),
+        template=PodTemplateSpec(
+            metadata=ObjectMeta(name="concourse-web", labels=LabelSet(web_labels)),
+            spec=PodSpec(
+                containers=[
+                    Container(
+                        name="web",
+                        image=CONCOURSE_WEB_IMAGE,
+                        ports=[ContainerPort(8080, name="atc"), ContainerPort(2222, name="tsa")],
+                    )
+                ]
+            ),
+        ),
+    )
+    workers = Deployment(
+        metadata=ObjectMeta(name="concourse-worker", labels=LabelSet(worker_labels)),
+        replicas=worker_count,
+        selector=equality_selector(**worker_labels),
+        template=PodTemplateSpec(
+            metadata=ObjectMeta(name="concourse-worker", labels=LabelSet(worker_labels)),
+            spec=PodSpec(
+                containers=[
+                    Container(
+                        name="worker",
+                        image=CONCOURSE_WORKER_IMAGE,
+                        ports=[ContainerPort(7777, name="garden"), ContainerPort(7788, name="baggageclaim")],
+                    )
+                ]
+            ),
+        ),
+    )
+    service = Service(
+        metadata=ObjectMeta(name="concourse-web", labels=LabelSet({"app": "concourse"})),
+        selector=equality_selector(**web_labels),
+        ports=[ServicePort(port=8080, target_port=8080, name="atc")],
+    )
+    return [web, workers, service]
+
+
+@dataclass
+class ConcourseAttackResult:
+    """Outcome of the broken-control-plane attack."""
+
+    tunnel_ports: list[int] = field(default_factory=list)
+    reachable_tunnel_ports: list[int] = field(default_factory=list)
+    commands_sent: list[str] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return bool(self.reachable_tunnel_ports)
+
+
+def run_concourse_attack(cluster: Cluster | None = None, worker_count: int = 2) -> ConcourseAttackResult:
+    """Deploy Concourse and show that an attacker pod can reach the C2 tunnels."""
+    cluster = cluster or Cluster(name="concourse-poc", behaviors=concourse_behaviors(worker_count))
+    installed = {application.name for application in cluster.applications()}
+    if "concourse" not in installed:
+        cluster.install(concourse_objects(worker_count), app_name="concourse")
+    if "attacker" not in installed:
+        cluster.install([make_attacker_pod()], app_name="attacker")
+    attacker = cluster.running_pod("attacker")
+    web = cluster.running_pods(app_name="concourse")
+    web_pod = next(pod for pod in web if "web" in pod.name)
+    result = ConcourseAttackResult()
+    for socket in web_pod.sockets:
+        if not socket.dynamic:
+            continue
+        result.tunnel_ports.append(socket.port)
+        attempt = cluster.connect(attacker, web_pod, socket.port)
+        if attempt.success:
+            result.reachable_tunnel_ports.append(socket.port)
+            result.commands_sent.append(
+                f"land-worker --worker worker-{socket.port} (via {web_pod.ip}:{socket.port})"
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Thanos: service impersonation
+# ---------------------------------------------------------------------------
+
+#: The shared (colliding) label both Thanos compute units carry.
+THANOS_SHARED_LABELS = {"app.kubernetes.io/name": "thanos-query-frontend"}
+
+
+def thanos_behaviors() -> BehaviorRegistry:
+    registry = BehaviorRegistry()
+    registry.register(THANOS_FRONTEND_IMAGE, ContainerBehavior(listen_on_declared=True))
+    registry.register(THANOS_QUERY_IMAGE, ContainerBehavior(listen_on_declared=True))
+    return registry
+
+
+def thanos_objects() -> list:
+    """Thanos query + query-frontend sharing a single label (M4 collision)."""
+    frontend = Deployment(
+        metadata=ObjectMeta(name="thanos-query-frontend", labels=LabelSet(THANOS_SHARED_LABELS)),
+        replicas=1,
+        selector=equality_selector(**THANOS_SHARED_LABELS),
+        template=PodTemplateSpec(
+            metadata=ObjectMeta(name="thanos-query-frontend", labels=LabelSet(THANOS_SHARED_LABELS)),
+            spec=PodSpec(
+                containers=[
+                    Container(
+                        name="query-frontend",
+                        image=THANOS_FRONTEND_IMAGE,
+                        ports=[ContainerPort(10902, name="http")],
+                    )
+                ]
+            ),
+        ),
+    )
+    query = Deployment(
+        metadata=ObjectMeta(name="thanos-query", labels=LabelSet(THANOS_SHARED_LABELS)),
+        replicas=1,
+        selector=equality_selector(**THANOS_SHARED_LABELS),
+        template=PodTemplateSpec(
+            metadata=ObjectMeta(name="thanos-query", labels=LabelSet(THANOS_SHARED_LABELS)),
+            spec=PodSpec(
+                containers=[
+                    Container(
+                        name="query",
+                        image=THANOS_QUERY_IMAGE,
+                        ports=[ContainerPort(10902, name="http"), ContainerPort(10901, name="grpc")],
+                    )
+                ]
+            ),
+        ),
+    )
+    frontend_service = Service(
+        metadata=ObjectMeta(name="thanos-query-frontend", labels=LabelSet(THANOS_SHARED_LABELS)),
+        selector=equality_selector(**THANOS_SHARED_LABELS),
+        ports=[ServicePort(port=9090, target_port=10902, name="http")],
+    )
+    return [frontend, query, frontend_service]
+
+
+def malicious_thanos_pod() -> Pod:
+    """The attacker pod that adopts the colliding label to impersonate the service."""
+    return Pod(
+        metadata=ObjectMeta(name="thanos-impersonator", labels=LabelSet(THANOS_SHARED_LABELS)),
+        spec=PodSpec(
+            containers=[
+                Container(
+                    name="impersonator",
+                    image="attacker/fake-thanos",
+                    ports=[ContainerPort(10902, name="http")],
+                )
+            ]
+        ),
+    )
+
+
+@dataclass
+class ThanosAttackResult:
+    """Outcome of the service-impersonation attack."""
+
+    legitimate_backends: list[str] = field(default_factory=list)
+    backends_receiving_traffic: list[str] = field(default_factory=list)
+
+    @property
+    def impersonation_succeeded(self) -> bool:
+        return "thanos-impersonator" in self.backends_receiving_traffic
+
+
+def run_thanos_attack(cluster: Cluster | None = None) -> ThanosAttackResult:
+    """Deploy Thanos, add the malicious pod, and check who receives service traffic."""
+    behaviors = thanos_behaviors()
+    behaviors.register("attacker/fake-thanos", ContainerBehavior(listen_on_declared=True))
+    cluster = cluster or Cluster(name="thanos-poc", behaviors=behaviors)
+    cluster.install(thanos_objects(), app_name="thanos")
+    cluster.install([malicious_thanos_pod(), make_attacker_pod()], app_name="attacker")
+    client = cluster.running_pod("attacker")
+    binding = cluster.binding_for("thanos-query-frontend")
+    result = ThanosAttackResult(
+        legitimate_backends=[pod.name for pod in cluster.running_pods(app_name="thanos")]
+    )
+    receiving = cluster.network.service_backends_receiving(
+        cluster.network_policies(), client, binding, 9090
+    )
+    result.backends_receiving_traffic = [pod.name for pod in receiving]
+    return result

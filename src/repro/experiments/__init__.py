@@ -1,0 +1,71 @@
+"""Experiment harnesses regenerating every table and figure of the paper."""
+
+from .evaluation import (
+    USE_CASE_OF_DATASET,
+    AnalyzedApplication,
+    EvaluationResult,
+    run_full_evaluation,
+)
+from .figures import (
+    DistributionSummary,
+    RankedApplication,
+    class_breakdown_csv,
+    figure3a,
+    figure3b,
+    figure4a,
+    format_figure3,
+    format_figure4a,
+)
+from .netpol_impact import (
+    ApplicationReachability,
+    DatasetReachabilityRow,
+    NetpolImpactResult,
+    probe_application_with_policies,
+    run_netpol_impact,
+)
+from .stats import (
+    HeadlineStats,
+    UseCaseStats,
+    compute_stats,
+    format_stats,
+)
+from .table3 import (
+    PAPER_TABLE3,
+    ComparisonResult,
+    ToolRow,
+    neighbour_application,
+    paper_row,
+    representative_application,
+    run_comparison,
+)
+
+__all__ = [
+    "AnalyzedApplication",
+    "ApplicationReachability",
+    "ComparisonResult",
+    "DatasetReachabilityRow",
+    "DistributionSummary",
+    "EvaluationResult",
+    "HeadlineStats",
+    "NetpolImpactResult",
+    "PAPER_TABLE3",
+    "RankedApplication",
+    "ToolRow",
+    "USE_CASE_OF_DATASET",
+    "UseCaseStats",
+    "class_breakdown_csv",
+    "compute_stats",
+    "figure3a",
+    "figure3b",
+    "figure4a",
+    "format_figure3",
+    "format_figure4a",
+    "format_stats",
+    "neighbour_application",
+    "paper_row",
+    "probe_application_with_policies",
+    "representative_application",
+    "run_comparison",
+    "run_full_evaluation",
+    "run_netpol_impact",
+]

@@ -1,0 +1,117 @@
+"""The full evaluation pipeline (Section 4.2): analyze the whole catalogue.
+
+Per application: render the chart, install it into a clean simulated
+cluster, take the double runtime snapshot, evaluate every rule.  Once all
+applications are analyzed, run the cluster-wide pass for global label
+collisions (M4*).  The result feeds every table and figure of Section 4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import (
+    AnalysisReport,
+    AnalyzerSettings,
+    ApplicationInventory,
+    EvaluationSummary,
+    MisconfigurationAnalyzer,
+    global_collision_findings,
+)
+from ..datasets import DATASET_ORDER, BuiltApplication, build_catalog
+from ..helm import render_chart
+from ..k8s import Inventory
+
+#: Use-case grouping used by the Section 4.3.1 statistics.
+USE_CASE_OF_DATASET = {
+    "Banzai Cloud": "sharing",
+    "Bitnami": "sharing",
+    "CNCF": "production",
+    "EEA": "internal",
+    "Prometheus C.": "production",
+    "Wikimedia": "internal",
+}
+
+
+@dataclass
+class AnalyzedApplication:
+    """One application together with its analysis artefacts."""
+
+    application: BuiltApplication
+    report: AnalysisReport
+    inventory: Inventory
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.application.dataset, self.application.name)
+
+
+@dataclass
+class EvaluationResult:
+    """The outcome of analyzing the full catalogue."""
+
+    analyzed: list[AnalyzedApplication] = field(default_factory=list)
+
+    @property
+    def summary(self) -> EvaluationSummary:
+        summary = EvaluationSummary()
+        for entry in self.analyzed:
+            summary.add(entry.report)
+        return summary
+
+    def applications(self) -> list[BuiltApplication]:
+        return [entry.application for entry in self.analyzed]
+
+    def reports(self) -> list[AnalysisReport]:
+        return [entry.report for entry in self.analyzed]
+
+    def report_for(self, dataset: str, name: str) -> AnalysisReport | None:
+        for entry in self.analyzed:
+            if entry.key == (dataset, name):
+                return entry.report
+        return None
+
+    def by_dataset(self, dataset: str) -> list[AnalyzedApplication]:
+        return [entry for entry in self.analyzed if entry.application.dataset == dataset]
+
+    def by_use_case(self, use_case: str) -> list[AnalyzedApplication]:
+        return [
+            entry
+            for entry in self.analyzed
+            if USE_CASE_OF_DATASET.get(entry.application.dataset) == use_case
+        ]
+
+
+def run_full_evaluation(
+    datasets: tuple[str, ...] = DATASET_ORDER,
+    analyzer: MisconfigurationAnalyzer | None = None,
+    applications: list[BuiltApplication] | None = None,
+) -> EvaluationResult:
+    """Analyze the complete catalogue and run the cluster-wide pass."""
+    analyzer = analyzer or MisconfigurationAnalyzer(settings=AnalyzerSettings())
+    applications = applications if applications is not None else build_catalog(datasets)
+    result = EvaluationResult()
+    inventories: list[ApplicationInventory] = []
+    for app in applications:
+        report = analyzer.analyze_chart(
+            app.chart, behaviors=app.behaviors, dataset=app.dataset
+        )
+        rendered = render_chart(app.chart)
+        inventory = Inventory(rendered.objects)
+        unique_id = f"{app.dataset}/{app.name}"
+        inventories.append(
+            ApplicationInventory(application=unique_id, inventory=inventory, dataset=app.dataset)
+        )
+        result.analyzed.append(
+            AnalyzedApplication(application=app, report=report, inventory=inventory)
+        )
+    # Cluster-wide pass: attribute the extra M4* findings back to the reports.
+    extra = global_collision_findings(inventories)
+    by_unique_id = {f"{entry.application.dataset}/{entry.application.name}": entry
+                    for entry in result.analyzed}
+    for finding in extra:
+        entry = by_unique_id.get(finding.application)
+        if entry is not None:
+            finding.application = entry.application.name
+            entry.report.add([finding])
+    return result

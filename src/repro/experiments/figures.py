@@ -1,0 +1,112 @@
+"""Figure 3 and Figure 4a: rankings and distribution of misconfigurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import AnalysisReport, EvaluationSummary, MisconfigClass, TABLE_ORDER
+
+
+@dataclass
+class RankedApplication:
+    """One bar of Figure 3a / 3b."""
+
+    label: str
+    dataset: str
+    total: int
+    types: int
+    counts: dict[MisconfigClass, int] = field(default_factory=dict)
+
+
+def _ranked(report: AnalysisReport) -> RankedApplication:
+    return RankedApplication(
+        label=f"{report.application} ({report.dataset})",
+        dataset=report.dataset,
+        total=report.total,
+        types=report.type_count(),
+        counts={cls: count for cls, count in report.count_by_class().items() if count},
+    )
+
+
+def figure3a(summary: EvaluationSummary, limit: int = 10) -> list[RankedApplication]:
+    """The applications with the highest number of misconfigurations."""
+    return [_ranked(report) for report in summary.top_by_count(limit)]
+
+
+def figure3b(summary: EvaluationSummary, limit: int = 10) -> list[RankedApplication]:
+    """The applications with the highest number of misconfiguration *types*."""
+    return [_ranked(report) for report in summary.top_by_types(limit)]
+
+
+def format_figure3(ranked: list[RankedApplication], metric: str = "total") -> str:
+    """Render a Figure 3 style horizontal bar chart as text."""
+    lines: list[str] = []
+    for entry in ranked:
+        value = entry.total if metric == "total" else entry.types
+        breakdown = " ".join(
+            f"{cls.value}:{count}" for cls, count in sorted(entry.counts.items(), key=lambda kv: kv[0].value)
+        )
+        lines.append(f"{entry.label:<55} {'#' * value:<20} {value:>3}  [{breakdown}]")
+    return "\n".join(lines)
+
+
+@dataclass
+class DistributionSummary:
+    """Figure 4a: misconfigurations per application plus concentration stats."""
+
+    per_application: list[int]
+    share_apps_ge_10: float
+    share_findings_ge_10: float
+    share_apps_5_to_9: float
+    share_findings_5_to_9: float
+
+    @property
+    def total(self) -> int:
+        return sum(self.per_application)
+
+
+def figure4a(summary: EvaluationSummary) -> DistributionSummary:
+    """The distribution of misconfiguration counts across applications."""
+    distribution = summary.distribution()
+    apps_ge_10, findings_ge_10 = summary.concentration(10)
+    apps_ge_5, findings_ge_5 = summary.concentration(5)
+    return DistributionSummary(
+        per_application=distribution,
+        share_apps_ge_10=apps_ge_10,
+        share_findings_ge_10=findings_ge_10,
+        share_apps_5_to_9=apps_ge_5 - apps_ge_10,
+        share_findings_5_to_9=findings_ge_5 - findings_ge_10,
+    )
+
+
+def format_figure4a(distribution: DistributionSummary, width: int = 60) -> str:
+    """Render the Figure 4a curve as a text sparkline plus the headline stats."""
+    values = distribution.per_application
+    lines = []
+    if values:
+        maximum = max(values) or 1
+        step = max(1, len(values) // width)
+        samples = values[::step]
+        bars = "".join("█▇▆▅▄▃▂▁ "[min(8, 8 - round(8 * value / maximum))] for value in samples)
+        lines.append(f"misconfigurations per application (sorted): {bars}")
+    lines.append(
+        f"{distribution.share_apps_ge_10:.1%} of applications have >= 10 misconfigurations, "
+        f"accounting for {distribution.share_findings_ge_10:.1%} of the total"
+    )
+    lines.append(
+        f"{distribution.share_apps_5_to_9:.1%} of applications have 5-9 misconfigurations, "
+        f"accounting for {distribution.share_findings_5_to_9:.1%} of the total"
+    )
+    return "\n".join(lines)
+
+
+def class_breakdown_csv(summary: EvaluationSummary) -> str:
+    """A CSV export of per-application class counts (useful for plotting)."""
+    header = ["application", "dataset", "total", "types"] + [cls.value for cls in TABLE_ORDER]
+    lines = [",".join(header)]
+    for report in summary.reports:
+        counts = report.count_by_class()
+        row = [report.application, report.dataset, str(report.total), str(report.type_count())]
+        row.extend(str(counts.get(cls, 0)) for cls in TABLE_ORDER)
+        lines.append(",".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Section 4.3.1 statistics: use-case averages and headline percentages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .evaluation import EvaluationResult, USE_CASE_OF_DATASET
+
+
+@dataclass
+class UseCaseStats:
+    """Average misconfigurations per application for one use case."""
+
+    use_case: str
+    applications: int
+    affected: int
+    total_misconfigurations: int
+
+    @property
+    def average(self) -> float:
+        return self.total_misconfigurations / self.applications if self.applications else 0.0
+
+    @property
+    def affected_share(self) -> float:
+        return self.affected / self.applications if self.applications else 0.0
+
+
+@dataclass
+class HeadlineStats:
+    """The headline numbers quoted in Section 4.3.1."""
+
+    total_applications: int
+    affected_applications: int
+    total_misconfigurations: int
+    use_cases: list[UseCaseStats]
+
+    @property
+    def affected_share(self) -> float:
+        return self.affected_applications / self.total_applications
+
+    def use_case(self, name: str) -> UseCaseStats:
+        for stats in self.use_cases:
+            if stats.use_case == name:
+                return stats
+        raise KeyError(name)
+
+    def third_party_vs_internal_ratio(self) -> float:
+        """How many times more misconfigured third-party charts are (paper: 3-4x)."""
+        internal = self.use_case("internal").average
+        sharing = self.use_case("sharing").average
+        production = self.use_case("production").average
+        external = (sharing + production) / 2
+        return external / internal if internal else float("inf")
+
+
+def compute_stats(result: EvaluationResult) -> HeadlineStats:
+    """Compute the Section 4.3.1 statistics from an evaluation run."""
+    use_cases: list[UseCaseStats] = []
+    for use_case in ("sharing", "internal", "production"):
+        entries = result.by_use_case(use_case)
+        use_cases.append(
+            UseCaseStats(
+                use_case=use_case,
+                applications=len(entries),
+                affected=sum(1 for entry in entries if entry.report.affected),
+                total_misconfigurations=sum(entry.report.total for entry in entries),
+            )
+        )
+    summary = result.summary
+    return HeadlineStats(
+        total_applications=summary.total_applications,
+        affected_applications=summary.affected_applications,
+        total_misconfigurations=summary.total_misconfigurations,
+        use_cases=use_cases,
+    )
+
+
+def format_stats(stats: HeadlineStats) -> str:
+    lines = [
+        f"applications analyzed:        {stats.total_applications}",
+        f"applications affected:        {stats.affected_applications} "
+        f"({stats.affected_share:.0%})",
+        f"total misconfigurations:      {stats.total_misconfigurations}",
+        "",
+        "average misconfigurations per application by use case:",
+    ]
+    for use_case in stats.use_cases:
+        lines.append(
+            f"  {use_case.use_case:<12} {use_case.average:5.2f} "
+            f"({use_case.affected}/{use_case.applications} affected)"
+        )
+    lines.append(
+        f"third-party vs internal ratio: {stats.third_party_vs_internal_ratio():.1f}x"
+    )
+    return "\n".join(lines)
+
+
+#: Paper-reported reference values (Section 4.3.1) used in EXPERIMENTS.md.
+PAPER_AFFECTED_SHARE = 0.90
+PAPER_AVERAGE_SHARING = 3.35
+PAPER_AVERAGE_PRODUCTION = 4.44
+PAPER_AVERAGE_INTERNAL = 1.11
+
+__all__ = [
+    "HeadlineStats",
+    "PAPER_AFFECTED_SHARE",
+    "PAPER_AVERAGE_INTERNAL",
+    "PAPER_AVERAGE_PRODUCTION",
+    "PAPER_AVERAGE_SHARING",
+    "USE_CASE_OF_DATASET",
+    "UseCaseStats",
+    "compute_stats",
+    "format_stats",
+]

@@ -1,0 +1,158 @@
+"""Table 3: comparison of our solution against the state of the art.
+
+Methodology (Section 4.4.2): build representative Kubernetes configurations
+exhibiting every misconfiguration of Table 1, deploy them into a running
+cluster, and run each tool in the mode its category permits (static tools
+see only manifests, runtime/hybrid/platform tools also see the cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines import (
+    FOUND,
+    MISSED,
+    NOT_APPLICABLE,
+    PARTIAL,
+    BaselineInput,
+    BaselineTool,
+    all_tools,
+)
+from ..cluster import Cluster
+from ..core import MisconfigClass, TABLE_ORDER
+from ..datasets import InjectionPlan, build_application
+from ..helm import render_chart
+from ..k8s import Inventory
+from ..probe import RuntimeScanner
+
+#: Symbols used by the paper's Table 3.
+SYMBOLS = {FOUND: "Y", PARTIAL: "~", MISSED: "x", NOT_APPLICABLE: "-"}
+
+#: The paper's reported matrix (for regression comparison in tests/docs).
+PAPER_TABLE3: dict[str, dict[str, str]] = {
+    "Checkov":      {"M1": "-", "M2": "-", "M3": "-", "M4A": "x", "M4B": "x", "M4C": "x", "M4*": "-",
+                     "M5A": "-", "M5B": "x", "M5C": "x", "M5D": "x", "M6": "Y", "M7": "Y"},
+    "Kubeaudit":    {"M1": "-", "M2": "-", "M3": "-", "M4A": "x", "M4B": "x", "M4C": "x", "M4*": "-",
+                     "M5A": "-", "M5B": "x", "M5C": "x", "M5D": "x", "M6": "Y", "M7": "Y"},
+    "KubeLinter":   {"M1": "-", "M2": "-", "M3": "-", "M4A": "x", "M4B": "x", "M4C": "x", "M4*": "-",
+                     "M5A": "-", "M5B": "x", "M5C": "x", "M5D": "Y", "M6": "x", "M7": "Y"},
+    "Kube-score":   {"M1": "-", "M2": "-", "M3": "-", "M4A": "x", "M4B": "x", "M4C": "x", "M4*": "-",
+                     "M5A": "-", "M5B": "x", "M5C": "x", "M5D": "Y", "M6": "Y", "M7": "x"},
+    "Kubesec":      {"M1": "-", "M2": "-", "M3": "-", "M4A": "x", "M4B": "x", "M4C": "x", "M4*": "-",
+                     "M5A": "-", "M5B": "x", "M5C": "x", "M5D": "x", "M6": "x", "M7": "Y"},
+    "SLI-KUBE":     {"M1": "-", "M2": "-", "M3": "-", "M4A": "x", "M4B": "x", "M4C": "x", "M4*": "-",
+                     "M5A": "-", "M5B": "x", "M5C": "x", "M5D": "x", "M6": "x", "M7": "Y"},
+    "Kube-bench":   {"M1": "x", "M2": "x", "M3": "x", "M4A": "x", "M4B": "x", "M4C": "x", "M4*": "-",
+                     "M5A": "x", "M5B": "x", "M5C": "x", "M5D": "x", "M6": "x", "M7": "Y"},
+    "Kubescape":    {"M1": "x", "M2": "x", "M3": "x", "M4A": "~", "M4B": "~", "M4C": "~", "M4*": "x",
+                     "M5A": "x", "M5B": "x", "M5C": "x", "M5D": "x", "M6": "Y", "M7": "Y"},
+    "Trivy":        {"M1": "x", "M2": "x", "M3": "x", "M4A": "x", "M4B": "x", "M4C": "x", "M4*": "x",
+                     "M5A": "x", "M5B": "x", "M5C": "x", "M5D": "x", "M6": "x", "M7": "Y"},
+    "NeuVector":    {"M1": "x", "M2": "x", "M3": "x", "M4A": "x", "M4B": "x", "M4C": "x", "M4*": "x",
+                     "M5A": "x", "M5B": "x", "M5C": "x", "M5D": "x", "M6": "x", "M7": "Y"},
+    "StackRox":     {"M1": "x", "M2": "x", "M3": "x", "M4A": "x", "M4B": "x", "M4C": "x", "M4*": "x",
+                     "M5A": "x", "M5B": "x", "M5C": "x", "M5D": "x", "M6": "x", "M7": "Y"},
+    "Our solution": {"M1": "Y", "M2": "Y", "M3": "~", "M4A": "Y", "M4B": "Y", "M4C": "Y", "M4*": "Y",
+                     "M5A": "Y", "M5B": "Y", "M5C": "Y", "M5D": "Y", "M6": "Y", "M7": "Y"},
+}
+
+
+def representative_application():
+    """One chart exhibiting every per-application misconfiguration class."""
+    plan = InjectionPlan(
+        m1=2, m2=1, m3=1, m4a=1, m4b=1, m4c=1, m5a=1, m5b=1, m5c=1, m5d=1, m6=True, m7=1,
+        global_collision=True,
+    )
+    return build_application(
+        "representative", "Comparison Fixtures", plan, archetype="microservices",
+        dataset="fixtures",
+    )
+
+
+def neighbour_application():
+    """A second chart sharing the global collision marker (for M4*)."""
+    plan = InjectionPlan(m6=True, m1=1, global_collision=True)
+    return build_application(
+        "neighbour", "Comparison Fixtures", plan, archetype="web", dataset="fixtures"
+    )
+
+
+@dataclass
+class ToolRow:
+    """One row of Table 3."""
+
+    tool: str
+    version: str
+    category: str
+    outcomes: dict[MisconfigClass, str] = field(default_factory=dict)
+
+    def cells(self) -> list[str]:
+        return [self.tool, self.version, self.category] + [
+            SYMBOLS[self.outcomes[cls]] for cls in TABLE_ORDER
+        ]
+
+
+@dataclass
+class ComparisonResult:
+    """The regenerated Table 3."""
+
+    rows: list[ToolRow] = field(default_factory=list)
+
+    def row_for(self, tool_name: str) -> ToolRow:
+        for row in self.rows:
+            if row.tool == tool_name:
+                return row
+        raise KeyError(tool_name)
+
+    def format_text(self) -> str:
+        header = ["Tool", "Version", "Type"] + [cls.value for cls in TABLE_ORDER]
+        rows = [row.cells() for row in self.rows]
+        widths = [max(len(str(r[i])) for r in [header] + rows) for i in range(len(header))]
+        lines = ["  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(header))]
+        lines.extend(
+            "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)) for row in rows
+        )
+        lines.append("")
+        lines.append("Y = found   ~ = partially found   x = missed   - = not applicable")
+        return "\n".join(lines)
+
+
+def run_comparison(tools: list[BaselineTool] | None = None) -> ComparisonResult:
+    """Regenerate Table 3 by running every tool on the representative charts."""
+    tools = tools or all_tools()
+    fixture = representative_application()
+    neighbour = neighbour_application()
+
+    rendered = render_chart(fixture.chart)
+    neighbour_rendered = render_chart(neighbour.chart)
+    inventory = Inventory(rendered.objects)
+    neighbour_inventory = Inventory(neighbour_rendered.objects)
+
+    # Deploy the fixture for tools that observe a running cluster.
+    behaviors = fixture.behaviors.merged_with(neighbour.behaviors)
+    cluster = Cluster(name="comparison", behaviors=behaviors)
+    cluster.install(rendered)
+    cluster.install(neighbour_rendered)
+    observation = RuntimeScanner(cluster).observe(fixture.name)
+
+    result = ComparisonResult()
+    for tool in tools:
+        data = BaselineInput(
+            inventory=inventory,
+            observation=observation if tool.sees_runtime else None,
+            cluster_inventories=[neighbour_inventory] if tool.sees_runtime else [],
+        )
+        findings = tool.run(data)
+        outcomes = {
+            cls: tool.detection_outcome(cls, findings) for cls in TABLE_ORDER
+        }
+        result.rows.append(
+            ToolRow(tool=tool.name, version=tool.version, category=tool.category, outcomes=outcomes)
+        )
+    return result
+
+
+def paper_row(tool_name: str) -> dict[str, str]:
+    """The paper's reported outcomes for one tool (for comparisons in tests)."""
+    return dict(PAPER_TABLE3[tool_name])

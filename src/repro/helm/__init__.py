@@ -1,0 +1,47 @@
+"""Helm chart engine substrate.
+
+Models Helm charts (values, templates, dependencies), renders them with a
+Go-template subset engine, and produces typed Kubernetes objects the analyzer
+and cluster simulator consume.
+"""
+
+from .chart import Chart, ChartDependency, ChartMetadata, ChartRepository, ChartTemplate
+from .errors import ChartError, HelmError, RenderError, TemplateError, ValuesError
+from .renderer import HelmRenderer, ReleaseInfo, RenderedChart, render_chart
+from .template import TemplateEngine, parse_template, tokenize_expression
+from .values import (
+    apply_set_strings,
+    deep_merge,
+    dump_values,
+    get_path,
+    load_values,
+    parse_set_string,
+    set_path,
+)
+
+__all__ = [
+    "Chart",
+    "ChartDependency",
+    "ChartError",
+    "ChartMetadata",
+    "ChartRepository",
+    "ChartTemplate",
+    "HelmError",
+    "HelmRenderer",
+    "ReleaseInfo",
+    "RenderError",
+    "RenderedChart",
+    "TemplateEngine",
+    "TemplateError",
+    "ValuesError",
+    "apply_set_strings",
+    "deep_merge",
+    "dump_values",
+    "get_path",
+    "load_values",
+    "parse_set_string",
+    "parse_template",
+    "render_chart",
+    "set_path",
+    "tokenize_expression",
+]

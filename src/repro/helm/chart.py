@@ -1,0 +1,179 @@
+"""Chart model: metadata, values, templates and dependencies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from .errors import ChartError
+from .values import deep_merge, load_values
+
+
+@dataclass
+class ChartMetadata:
+    """The ``Chart.yaml`` contents we care about."""
+
+    name: str
+    version: str = "0.1.0"
+    app_version: str = ""
+    description: str = ""
+    home: str = ""
+    organization: str = ""
+
+    def to_dict(self) -> dict:
+        data = {
+            "apiVersion": "v2",
+            "name": self.name,
+            "version": self.version,
+        }
+        if self.app_version:
+            data["appVersion"] = self.app_version
+        if self.description:
+            data["description"] = self.description
+        if self.home:
+            data["home"] = self.home
+        return data
+
+
+@dataclass
+class ChartDependency:
+    """A dependency entry from ``Chart.yaml``.
+
+    ``condition`` follows Helm semantics: a dotted path into the parent's
+    values which, when falsy, disables the dependency.
+    """
+
+    name: str
+    version: str = "*"
+    repository: str = ""
+    condition: str = ""
+    alias: str = ""
+
+    @property
+    def effective_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class ChartTemplate:
+    """One file under ``templates/``."""
+
+    name: str
+    source: str
+
+    @property
+    def is_helper(self) -> bool:
+        """Helper files (``_*.tpl``) only contribute ``define`` blocks."""
+        base = self.name.rsplit("/", 1)[-1]
+        return base.startswith("_") or base.endswith(".tpl")
+
+
+@dataclass
+class Chart:
+    """An in-memory Helm chart."""
+
+    metadata: ChartMetadata
+    values: dict[str, Any] = field(default_factory=dict)
+    templates: list[ChartTemplate] = field(default_factory=list)
+    dependencies: list[ChartDependency] = field(default_factory=list)
+    subcharts: dict[str, "Chart"] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.metadata.name
+
+    @property
+    def version(self) -> str:
+        return self.metadata.version
+
+    # Construction helpers ---------------------------------------------------
+    def add_template(self, name: str, source: str) -> None:
+        self.templates.append(ChartTemplate(name=name, source=source))
+
+    def add_subchart(self, chart: "Chart", condition: str = "", alias: str = "") -> None:
+        dependency = ChartDependency(
+            name=chart.name, version=chart.version, condition=condition, alias=alias
+        )
+        self.dependencies.append(dependency)
+        self.subcharts[dependency.effective_name] = chart
+
+    def template_named(self, name: str) -> ChartTemplate | None:
+        for template in self.templates:
+            if template.name == name:
+                return template
+        return None
+
+    # Values handling ----------------------------------------------------------
+    def effective_values(self, overrides: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """The chart's default values with user overrides merged on top."""
+        return deep_merge(self.values, overrides or {})
+
+    def validate(self) -> None:
+        if not self.metadata.name:
+            raise ChartError("chart name is required")
+        seen: set[str] = set()
+        for template in self.templates:
+            if template.name in seen:
+                raise ChartError(f"duplicate template file name: {template.name!r}")
+            seen.add(template.name)
+        for dependency in self.dependencies:
+            if dependency.effective_name not in self.subcharts:
+                raise ChartError(
+                    f"dependency {dependency.effective_name!r} of chart {self.name!r} "
+                    "has no packaged subchart"
+                )
+
+    @classmethod
+    def from_files(
+        cls,
+        name: str,
+        values_yaml: str = "",
+        templates: Mapping[str, str] | None = None,
+        version: str = "0.1.0",
+        description: str = "",
+        organization: str = "",
+    ) -> "Chart":
+        """Build a chart from raw file contents (the way charts ship on disk)."""
+        chart = cls(
+            metadata=ChartMetadata(
+                name=name, version=version, description=description, organization=organization
+            ),
+            values=load_values(values_yaml) if values_yaml else {},
+        )
+        for template_name, source in (templates or {}).items():
+            chart.add_template(template_name, source)
+        return chart
+
+
+class ChartRepository:
+    """An in-memory chart repository, the stand-in for ArtifactHub."""
+
+    def __init__(self) -> None:
+        self._charts: dict[tuple[str, str], Chart] = {}
+
+    def publish(self, chart: Chart, organization: str = "") -> None:
+        if organization:
+            chart.metadata.organization = organization
+        self._charts[(chart.metadata.organization, chart.name)] = chart
+
+    def get(self, name: str, organization: str = "") -> Chart:
+        chart = self._charts.get((organization, name))
+        if chart is None:
+            raise ChartError(f"chart {organization}/{name} is not published")
+        return chart
+
+    def charts(self, organization: str | None = None) -> list[Chart]:
+        return [
+            chart
+            for (org, _), chart in sorted(self._charts.items())
+            if organization is None or org == organization
+        ]
+
+    def organizations(self) -> list[str]:
+        return sorted({org for org, _ in self._charts})
+
+    def __len__(self) -> int:
+        return len(self._charts)
+
+    def __iter__(self) -> Iterable[Chart]:
+        return iter(self.charts())

@@ -1,0 +1,33 @@
+"""Exceptions raised by the Helm chart engine."""
+
+from __future__ import annotations
+
+
+class HelmError(Exception):
+    """Base class for all errors raised by :mod:`repro.helm`."""
+
+
+class TemplateError(HelmError):
+    """A template could not be parsed or rendered."""
+
+    def __init__(self, message: str, template: str = "", line: int | None = None) -> None:
+        self.template = template
+        self.line = line
+        location = ""
+        if template:
+            location = f" in template {template!r}"
+            if line is not None:
+                location += f" (line {line})"
+        super().__init__(f"{message}{location}")
+
+
+class ValuesError(HelmError):
+    """A values file is malformed or a required value is missing."""
+
+
+class ChartError(HelmError):
+    """A chart definition is inconsistent (missing metadata, bad dependency...)."""
+
+
+class RenderError(HelmError):
+    """Rendering a chart produced invalid Kubernetes manifests."""

@@ -1,0 +1,192 @@
+"""Rendering a Helm chart into Kubernetes objects.
+
+The renderer mirrors how ``helm template`` works:
+
+1. merge the chart's default values with user overrides;
+2. build the template context (``.Values``, ``.Release``, ``.Chart``,
+   ``.Capabilities``);
+3. register helper templates (``_helpers.tpl``) so ``include`` works;
+4. render every non-helper template and parse the resulting YAML documents
+   into the typed Kubernetes model;
+5. recurse into enabled dependencies, scoping ``.Values`` to the subchart key
+   and honouring ``condition:`` flags and ``global`` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import yaml
+
+from ..k8s import Inventory, KubernetesObject, objects_from_dicts
+from .chart import Chart
+from .errors import RenderError, TemplateError
+from .template import TemplateEngine
+from .values import deep_merge, get_path
+
+
+@dataclass
+class ReleaseInfo:
+    """The Helm release identity injected into templates as ``.Release``."""
+
+    name: str
+    namespace: str = "default"
+    revision: int = 1
+    is_install: bool = True
+    service: str = "Helm"
+
+    def to_context(self) -> dict[str, Any]:
+        return {
+            "Name": self.name,
+            "Namespace": self.namespace,
+            "Revision": self.revision,
+            "IsInstall": self.is_install,
+            "IsUpgrade": not self.is_install,
+            "Service": self.service,
+        }
+
+
+@dataclass
+class RenderedChart:
+    """The output of rendering a chart: manifests plus typed objects."""
+
+    chart: Chart
+    release: ReleaseInfo
+    values: dict[str, Any]
+    documents: list[dict] = field(default_factory=list)
+    objects: list[KubernetesObject] = field(default_factory=list)
+    sources: dict[str, str] = field(default_factory=dict)
+
+    def inventory(self) -> Inventory:
+        return Inventory(self.objects)
+
+    def objects_of_kind(self, kind: str) -> list[KubernetesObject]:
+        return [obj for obj in self.objects if obj.kind == kind]
+
+
+class HelmRenderer:
+    """Renders charts (and their dependency trees) into Kubernetes objects."""
+
+    def __init__(self) -> None:
+        self._capabilities = {
+            "KubeVersion": {"Version": "v1.25.0", "Major": "1", "Minor": "25"},
+            "APIVersions": ["v1", "apps/v1", "networking.k8s.io/v1", "batch/v1"],
+        }
+
+    def render(
+        self,
+        chart: Chart,
+        release: ReleaseInfo | None = None,
+        overrides: Mapping[str, Any] | None = None,
+    ) -> RenderedChart:
+        """Render ``chart`` and all enabled dependencies."""
+        release = release or ReleaseInfo(name=chart.name)
+        values = chart.effective_values(overrides)
+        documents: list[dict] = []
+        sources: dict[str, str] = {}
+        self._render_chart(chart, release, values, values, documents, sources, prefix="")
+        objects = objects_from_dicts(documents)
+        return RenderedChart(
+            chart=chart,
+            release=release,
+            values=values,
+            documents=documents,
+            objects=objects,
+            sources=sources,
+        )
+
+    # Internal ----------------------------------------------------------------
+    def _render_chart(
+        self,
+        chart: Chart,
+        release: ReleaseInfo,
+        values: Mapping[str, Any],
+        root_values: Mapping[str, Any],
+        documents: list[dict],
+        sources: dict[str, str],
+        prefix: str,
+    ) -> None:
+        engine = TemplateEngine()
+        context = {
+            "Values": dict(values),
+            "Release": release.to_context(),
+            "Chart": {
+                "Name": chart.name,
+                "Version": chart.version,
+                "AppVersion": chart.metadata.app_version or chart.version,
+            },
+            "Capabilities": dict(self._capabilities),
+            "Template": {"Name": ""},
+        }
+        # Helper templates first so `include` targets are available.
+        for template in chart.templates:
+            if template.is_helper:
+                try:
+                    engine.register_source(template.source, template.name)
+                except TemplateError as exc:
+                    raise RenderError(f"{chart.name}/{template.name}: {exc}") from exc
+        for template in chart.templates:
+            if template.is_helper:
+                continue
+            context["Template"] = {"Name": f"{chart.name}/{template.name}"}
+            try:
+                rendered = engine.render(template.source, context, template.name)
+            except TemplateError as exc:
+                raise RenderError(f"{chart.name}/{template.name}: {exc}") from exc
+            qualified = f"{prefix}{chart.name}/{template.name}"
+            sources[qualified] = rendered
+            for document in self._parse_documents(rendered, qualified):
+                documents.append(document)
+        # Dependencies.
+        for dependency in chart.dependencies:
+            if dependency.condition and not get_path(root_values, dependency.condition, False):
+                continue
+            subchart = chart.subcharts.get(dependency.effective_name)
+            if subchart is None:
+                continue
+            sub_values = self._subchart_values(subchart, values, dependency.effective_name)
+            self._render_chart(
+                subchart,
+                release,
+                sub_values,
+                root_values,
+                documents,
+                sources,
+                prefix=f"{prefix}{chart.name}/charts/",
+            )
+
+    @staticmethod
+    def _subchart_values(
+        subchart: Chart, parent_values: Mapping[str, Any], key: str
+    ) -> dict[str, Any]:
+        """Scope parent values to a dependency, propagating ``global``."""
+        scoped = parent_values.get(key)
+        merged = deep_merge(subchart.values, scoped if isinstance(scoped, Mapping) else {})
+        global_values = parent_values.get("global")
+        if isinstance(global_values, Mapping):
+            merged["global"] = deep_merge(merged.get("global", {}), global_values)
+        return merged
+
+    @staticmethod
+    def _parse_documents(rendered: str, source_name: str) -> list[dict]:
+        if not rendered.strip():
+            return []
+        try:
+            parsed = list(yaml.safe_load_all(rendered))
+        except yaml.YAMLError as exc:
+            raise RenderError(
+                f"template {source_name} produced invalid YAML: {exc}\n--- output ---\n{rendered}"
+            ) from exc
+        return [document for document in parsed if document]
+
+
+def render_chart(
+    chart: Chart,
+    release_name: str | None = None,
+    namespace: str = "default",
+    overrides: Mapping[str, Any] | None = None,
+) -> RenderedChart:
+    """Convenience wrapper: render a chart with a default release."""
+    release = ReleaseInfo(name=release_name or chart.name, namespace=namespace)
+    return HelmRenderer().render(chart, release, overrides)

@@ -1,0 +1,717 @@
+"""A Go-template subset engine sufficient to render Helm charts.
+
+Helm templates are Go ``text/template`` documents extended with the Sprig
+function library.  This module implements the subset that real-world charts
+rely on for the networking-relevant parts the paper studies:
+
+* actions ``{{ ... }}`` with whitespace trimming (``{{-``, ``-}}``);
+* dotted paths rooted at the current context (``.Values.service.port``),
+  the root context (``$.Values...``) and template variables (``$name``);
+* pipelines (``.Values.tag | default "latest" | quote``);
+* control structures ``if``/``else if``/``else``, ``range``, ``with``,
+  ``define``/``include``/``template``;
+* the most common Sprig/Go functions (``default``, ``quote``, ``toYaml``,
+  ``nindent``, ``printf``, comparison and boolean helpers, ...).
+
+The engine is deliberately explicit rather than clever: templates are parsed
+into a small AST and evaluated recursively.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import yaml
+
+from .errors import TemplateError
+
+# --------------------------------------------------------------------------
+# Lexing
+# --------------------------------------------------------------------------
+
+_ACTION_RE = re.compile(r"\{\{(-?)\s*(.*?)\s*(-?)\}\}", re.DOTALL)
+
+
+@dataclass
+class _RawAction:
+    """A single ``{{ ... }}`` action with trim markers and source position."""
+
+    content: str
+    trim_left: bool
+    trim_right: bool
+    line: int
+
+
+def _split_source(source: str) -> list[str | _RawAction]:
+    """Split template source into literal text and raw actions."""
+    parts: list[str | _RawAction] = []
+    position = 0
+    for match in _ACTION_RE.finditer(source):
+        if match.start() > position:
+            parts.append(source[position : match.start()])
+        line = source.count("\n", 0, match.start()) + 1
+        parts.append(
+            _RawAction(
+                content=match.group(2).strip(),
+                trim_left=match.group(1) == "-",
+                trim_right=match.group(3) == "-",
+                line=line,
+            )
+        )
+        position = match.end()
+    if position < len(source):
+        parts.append(source[position:])
+    return parts
+
+
+def _apply_trimming(parts: list[str | _RawAction]) -> list[str | _RawAction]:
+    """Apply ``{{-`` / ``-}}`` whitespace trimming to adjacent text chunks."""
+    trimmed: list[str | _RawAction] = list(parts)
+    for index, part in enumerate(trimmed):
+        if not isinstance(part, _RawAction):
+            continue
+        if part.trim_left and index > 0 and isinstance(trimmed[index - 1], str):
+            trimmed[index - 1] = trimmed[index - 1].rstrip(" \t\n\r")  # type: ignore[union-attr]
+        if part.trim_right and index + 1 < len(trimmed) and isinstance(trimmed[index + 1], str):
+            trimmed[index + 1] = trimmed[index + 1].lstrip(" \t\n\r")  # type: ignore[union-attr]
+    return trimmed
+
+
+# --------------------------------------------------------------------------
+# Expression tokenizer
+# --------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        "(?:[^"\\]|\\.)*"          # double-quoted string
+      | `[^`]*`                    # backtick string
+      | -?\d+\.\d+                 # float
+      | -?\d+                      # int
+      | \$[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z0-9_]+)*   # variable (optionally with path)
+      | \$\.[A-Za-z0-9_][A-Za-z0-9_.]*                 # root-relative path ($.Values.x)
+      | \$                         # bare root variable
+      | \.[A-Za-z_][A-Za-z0-9_.]*  # dotted path
+      | \.                         # bare dot
+      | [A-Za-z_][A-Za-z0-9_]*     # identifier / function name
+      | :=                         # declaration
+      | \|                         # pipe
+      | [()]                       # parentheses
+      | ,                          # comma (range var list)
+    )""",
+    re.VERBOSE,
+)
+
+
+def tokenize_expression(expression: str) -> list[str]:
+    """Split an action expression into tokens."""
+    tokens: list[str] = []
+    position = 0
+    while position < len(expression):
+        match = _TOKEN_RE.match(expression, position)
+        if not match:
+            remainder = expression[position:].strip()
+            if not remainder:
+                break
+            raise TemplateError(f"cannot tokenize expression near {remainder!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+# --------------------------------------------------------------------------
+# AST nodes
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class TextNode:
+    text: str
+
+
+@dataclass
+class ActionNode:
+    tokens: list[str]
+    line: int = 0
+
+
+@dataclass
+class IfNode:
+    #: ``(condition_tokens, body)`` pairs; a ``None`` condition is the else arm.
+    branches: list[tuple[list[str] | None, list[Any]]] = field(default_factory=list)
+
+
+@dataclass
+class RangeNode:
+    tokens: list[str]
+    key_var: str = ""
+    value_var: str = ""
+    body: list[Any] = field(default_factory=list)
+    else_body: list[Any] = field(default_factory=list)
+
+
+@dataclass
+class WithNode:
+    tokens: list[str]
+    body: list[Any] = field(default_factory=list)
+    else_body: list[Any] = field(default_factory=list)
+
+
+@dataclass
+class DefineNode:
+    name: str
+    body: list[Any] = field(default_factory=list)
+
+
+@dataclass
+class VariableNode:
+    name: str
+    tokens: list[str] = field(default_factory=list)
+
+
+Node = Any
+
+
+# --------------------------------------------------------------------------
+# Parser
+# --------------------------------------------------------------------------
+
+
+class _Parser:
+    """Builds an AST from the interleaved text/action stream."""
+
+    def __init__(self, parts: list[str | _RawAction], template_name: str) -> None:
+        self._parts = parts
+        self._template_name = template_name
+        self._index = 0
+
+    def parse(self) -> list[Node]:
+        nodes, terminator = self._parse_block(expect_end=False)
+        if terminator is not None:
+            raise TemplateError(
+                f"unexpected {terminator!r} outside of a block", self._template_name
+            )
+        return nodes
+
+    # Internal helpers -------------------------------------------------------
+    def _next_part(self) -> str | _RawAction | None:
+        if self._index >= len(self._parts):
+            return None
+        part = self._parts[self._index]
+        self._index += 1
+        return part
+
+    def _parse_block(self, expect_end: bool) -> tuple[list[Node], str | None]:
+        """Parse nodes until ``end``/``else`` or end of input.
+
+        Returns the parsed nodes and the keyword that terminated the block
+        (``"end"``, ``"else"``, ``"else if"`` with its tokens attached, or
+        ``None`` at end of input).
+        """
+        nodes: list[Node] = []
+        while True:
+            part = self._next_part()
+            if part is None:
+                if expect_end:
+                    raise TemplateError("missing {{ end }}", self._template_name)
+                return nodes, None
+            if isinstance(part, str):
+                nodes.append(TextNode(part))
+                continue
+            content = part.content
+            if not content or content.startswith("/*"):
+                continue
+            keyword, _, rest = content.partition(" ")
+            if keyword == "end":
+                return nodes, "end"
+            if keyword == "else":
+                self._pending_else = rest.strip()
+                return nodes, "else"
+            if keyword == "if":
+                nodes.append(self._parse_if(rest))
+            elif keyword == "range":
+                nodes.append(self._parse_range(rest))
+            elif keyword == "with":
+                nodes.append(self._parse_with(rest))
+            elif keyword == "define":
+                nodes.append(self._parse_define(rest))
+            elif keyword == "template":
+                # {{ template "name" ctx }} is equivalent to include without pipe.
+                nodes.append(ActionNode(["include"] + tokenize_expression(rest), part.line))
+            elif keyword.startswith("$") and rest.startswith(":="):
+                nodes.append(
+                    VariableNode(name=keyword, tokens=tokenize_expression(rest[2:].strip()))
+                )
+            else:
+                nodes.append(ActionNode(tokenize_expression(content), part.line))
+
+    def _parse_if(self, condition: str) -> IfNode:
+        node = IfNode()
+        tokens = tokenize_expression(condition)
+        while True:
+            body, terminator = self._parse_block(expect_end=True)
+            node.branches.append((tokens, body))
+            if terminator == "end":
+                return node
+            # terminator == "else": either a plain else or an "else if ..."
+            pending = getattr(self, "_pending_else", "")
+            if pending.startswith("if "):
+                tokens = tokenize_expression(pending[3:])
+                continue
+            else_body, terminator = self._parse_block(expect_end=True)
+            node.branches.append((None, else_body))
+            if terminator != "end":
+                raise TemplateError("malformed if/else block", self._template_name)
+            return node
+
+    def _parse_range(self, expression: str) -> RangeNode:
+        key_var = value_var = ""
+        if ":=" in expression:
+            declaration, _, expression = expression.partition(":=")
+            variables = [var.strip() for var in declaration.split(",") if var.strip()]
+            if len(variables) == 1:
+                value_var = variables[0]
+            elif len(variables) == 2:
+                key_var, value_var = variables
+            else:
+                raise TemplateError("range accepts at most two variables", self._template_name)
+        node = RangeNode(
+            tokens=tokenize_expression(expression.strip()),
+            key_var=key_var,
+            value_var=value_var,
+        )
+        body, terminator = self._parse_block(expect_end=True)
+        node.body = body
+        if terminator == "else":
+            node.else_body, terminator = self._parse_block(expect_end=True)
+        if terminator != "end":
+            raise TemplateError("malformed range block", self._template_name)
+        return node
+
+    def _parse_with(self, expression: str) -> WithNode:
+        node = WithNode(tokens=tokenize_expression(expression.strip()))
+        body, terminator = self._parse_block(expect_end=True)
+        node.body = body
+        if terminator == "else":
+            node.else_body, terminator = self._parse_block(expect_end=True)
+        if terminator != "end":
+            raise TemplateError("malformed with block", self._template_name)
+        return node
+
+    def _parse_define(self, expression: str) -> DefineNode:
+        tokens = tokenize_expression(expression.strip())
+        if not tokens or not tokens[0].startswith('"'):
+            raise TemplateError("define requires a quoted template name", self._template_name)
+        name = tokens[0][1:-1]
+        body, terminator = self._parse_block(expect_end=True)
+        if terminator != "end":
+            raise TemplateError("malformed define block", self._template_name)
+        return DefineNode(name=name, body=body)
+
+
+def parse_template(source: str, template_name: str = "") -> list[Node]:
+    """Parse template source into an AST."""
+    parts = _apply_trimming(_split_source(source))
+    return _Parser(parts, template_name).parse()
+
+
+# --------------------------------------------------------------------------
+# Rendering context
+# --------------------------------------------------------------------------
+
+
+class RenderContext:
+    """Evaluation state: the dot, the root context, and template variables."""
+
+    def __init__(self, root: Any, dot: Any = None, variables: dict[str, Any] | None = None) -> None:
+        self.root = root
+        self.dot = root if dot is None else dot
+        self.variables = dict(variables or {})
+
+    def child(self, dot: Any) -> "RenderContext":
+        return RenderContext(self.root, dot, self.variables)
+
+
+def _resolve_path(base: Any, path: Sequence[str]) -> Any:
+    current = base
+    for part in path:
+        if isinstance(current, Mapping):
+            current = current.get(part)
+        else:
+            current = getattr(current, part, None)
+        if current is None:
+            return None
+    return current
+
+
+def _is_truthy(value: Any) -> bool:
+    """Go template truthiness: zero values, empty collections and None are false."""
+    if value is None or value is False:
+        return False
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return value != 0
+    if isinstance(value, (str, list, tuple, dict, set)):
+        return len(value) > 0
+    return True
+
+
+def _to_yaml(value: Any) -> str:
+    text = yaml.safe_dump(value, default_flow_style=False, sort_keys=False)
+    return text.rstrip("\n")
+
+
+def _indent(spaces: int, text: str) -> str:
+    prefix = " " * int(spaces)
+    return "\n".join(prefix + line if line else line for line in str(text).split("\n"))
+
+
+def _format_value(value: Any) -> str:
+    """Convert an evaluated value to template output text."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+# --------------------------------------------------------------------------
+# Engine
+# --------------------------------------------------------------------------
+
+
+class TemplateEngine:
+    """Parses and renders templates, holding named ``define`` blocks."""
+
+    def __init__(self) -> None:
+        self._defines: dict[str, list[Node]] = {}
+        self._functions: dict[str, Callable[..., Any]] = self._build_functions()
+
+    # Public API -----------------------------------------------------------
+    def register_source(self, source: str, template_name: str = "") -> list[Node]:
+        """Parse a template, record its ``define`` blocks, return its AST."""
+        nodes = parse_template(source, template_name)
+        self._collect_defines(nodes)
+        return nodes
+
+    def render(self, source: str, context: Mapping[str, Any], template_name: str = "") -> str:
+        """Render template ``source`` with ``context`` as the root dot."""
+        nodes = self.register_source(source, template_name)
+        return self.render_nodes(nodes, RenderContext(dict(context)))
+
+    def render_nodes(self, nodes: Sequence[Node], ctx: RenderContext) -> str:
+        output: list[str] = []
+        for node in nodes:
+            output.append(self._render_node(node, ctx))
+        return "".join(output)
+
+    # Defines ----------------------------------------------------------------
+    def _collect_defines(self, nodes: Sequence[Node]) -> None:
+        for node in nodes:
+            if isinstance(node, DefineNode):
+                self._defines[node.name] = node.body
+
+    def include(self, name: str, dot: Any, ctx: RenderContext) -> str:
+        body = self._defines.get(name)
+        if body is None:
+            raise TemplateError(f"included template {name!r} is not defined")
+        return self.render_nodes(body, RenderContext(ctx.root, dot, ctx.variables))
+
+    # Node rendering -----------------------------------------------------------
+    def _render_node(self, node: Node, ctx: RenderContext) -> str:
+        if isinstance(node, TextNode):
+            return node.text
+        if isinstance(node, DefineNode):
+            return ""
+        if isinstance(node, VariableNode):
+            ctx.variables[node.name] = self._eval_pipeline(node.tokens, ctx)
+            return ""
+        if isinstance(node, ActionNode):
+            return _format_value(self._eval_pipeline(node.tokens, ctx))
+        if isinstance(node, IfNode):
+            for condition, body in node.branches:
+                if condition is None or _is_truthy(self._eval_pipeline(condition, ctx)):
+                    return self.render_nodes(body, ctx)
+            return ""
+        if isinstance(node, WithNode):
+            value = self._eval_pipeline(node.tokens, ctx)
+            if _is_truthy(value):
+                return self.render_nodes(node.body, ctx.child(value))
+            return self.render_nodes(node.else_body, ctx)
+        if isinstance(node, RangeNode):
+            return self._render_range(node, ctx)
+        raise TemplateError(f"unknown template node: {node!r}")
+
+    def _render_range(self, node: RangeNode, ctx: RenderContext) -> str:
+        value = self._eval_pipeline(node.tokens, ctx)
+        items: list[tuple[Any, Any]]
+        if isinstance(value, Mapping):
+            items = list(value.items())
+        elif isinstance(value, (list, tuple)):
+            items = list(enumerate(value))
+        elif value is None:
+            items = []
+        else:
+            raise TemplateError(f"cannot range over {type(value).__name__}")
+        if not items:
+            return self.render_nodes(node.else_body, ctx)
+        output: list[str] = []
+        for key, item in items:
+            child = ctx.child(item)
+            if node.key_var:
+                child.variables[node.key_var] = key
+            if node.value_var:
+                child.variables[node.value_var] = item
+            output.append(self.render_nodes(node.body, child))
+        return "".join(output)
+
+    # Expression evaluation ------------------------------------------------------
+    def _eval_pipeline(self, tokens: Sequence[str], ctx: RenderContext) -> Any:
+        """Evaluate a full pipeline: stages separated by top-level ``|``."""
+        segments: list[list[str]] = [[]]
+        depth = 0
+        for token in tokens:
+            if token == "(":
+                depth += 1
+            elif token == ")":
+                depth -= 1
+            if token == "|" and depth == 0:
+                segments.append([])
+            else:
+                segments[-1].append(token)
+        value = self._eval_stage(segments[0], ctx, piped=None, append_piped=False)
+        for segment in segments[1:]:
+            value = self._eval_stage(segment, ctx, piped=value, append_piped=True)
+        return value
+
+    def _eval_stage(
+        self, tokens: list[str], ctx: RenderContext, piped: Any, append_piped: bool
+    ) -> Any:
+        """Evaluate one pipeline stage.
+
+        The value produced by the previous stage (``piped``) is appended as the
+        final function argument, mirroring Go template semantics.
+        """
+        if not tokens:
+            return piped
+        head_token = tokens[0]
+        head_is_function = (
+            not head_token.startswith(('"', "`", ".", "$", "("))
+            and not head_token.lstrip("-").replace(".", "").isdigit()
+            and head_token not in ("true", "false", "nil")
+        )
+        if head_is_function:
+            args, index = self._collect_terms(tokens[1:], ctx)
+            if index != len(tokens) - 1:
+                raise TemplateError(f"trailing tokens in expression: {tokens[1 + index:]!r}")
+            if append_piped:
+                args = args + [piped]
+            return self._call_function(head_token, args, ctx)
+        terms, index = self._collect_terms(tokens, ctx)
+        if index != len(tokens):
+            raise TemplateError(f"trailing tokens in expression: {tokens[index:]!r}")
+        if len(terms) == 1:
+            return terms[0]
+        raise TemplateError(f"cannot evaluate expression: {' '.join(tokens)!r}")
+
+    def _collect_terms(self, tokens: list[str], ctx: RenderContext) -> tuple[list[Any], int]:
+        """Evaluate each term of a command, handling parenthesised pipelines."""
+        terms: list[Any] = []
+        index = 0
+        while index < len(tokens):
+            token = tokens[index]
+            if token == "(":
+                depth = 1
+                closing = index + 1
+                while closing < len(tokens) and depth:
+                    if tokens[closing] == "(":
+                        depth += 1
+                    elif tokens[closing] == ")":
+                        depth -= 1
+                    closing += 1
+                if depth:
+                    raise TemplateError("unbalanced parentheses in expression")
+                terms.append(self._eval_pipeline(tokens[index + 1 : closing - 1], ctx))
+                index = closing
+                continue
+            terms.append(self._eval_term(token, ctx))
+            index += 1
+        return terms, index
+
+    def _eval_term(self, token: str, ctx: RenderContext) -> Any:
+        if token.startswith('"'):
+            return token[1:-1].replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+        if token.startswith("`"):
+            return token[1:-1]
+        if token == "true":
+            return True
+        if token == "false":
+            return False
+        if token == "nil":
+            return None
+        if re.fullmatch(r"-?\d+", token):
+            return int(token)
+        if re.fullmatch(r"-?\d+\.\d+", token):
+            return float(token)
+        if token == ".":
+            return ctx.dot
+        if token == "$":
+            return ctx.root
+        if token.startswith("$."):
+            return _resolve_path(ctx.root, [part for part in token[2:].split(".") if part])
+        if token.startswith("$"):
+            name, _, rest = token.partition(".")
+            if name not in ctx.variables:
+                raise TemplateError(f"undefined template variable {name!r}")
+            base = ctx.variables[name]
+            return _resolve_path(base, rest.split(".")) if rest else base
+        if token.startswith("."):
+            return _resolve_path(ctx.dot, [part for part in token.split(".") if part])
+        # Bare identifier used as a value (rare); treat as function call with no args.
+        return self._call_function(token, [], ctx)
+
+    # Function library --------------------------------------------------------
+    def _call_function(self, name: str, args: list[Any], ctx: RenderContext) -> Any:
+        if name == "include":
+            if not args:
+                raise TemplateError("include requires a template name")
+            template_name = args[0]
+            dot = args[1] if len(args) > 1 else ctx.dot
+            return self.include(str(template_name), dot, ctx)
+        function = self._functions.get(name)
+        if function is None:
+            raise TemplateError(f"unknown template function {name!r}")
+        try:
+            return function(*args)
+        except TemplateError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - surface as template error
+            raise TemplateError(f"error calling {name}: {exc}") from exc
+
+    @staticmethod
+    def _build_functions() -> dict[str, Callable[..., Any]]:
+        def default(fallback: Any, value: Any = None) -> Any:
+            return value if _is_truthy(value) else fallback
+
+        def required(message: str, value: Any = None) -> Any:
+            if not _is_truthy(value):
+                raise TemplateError(str(message))
+            return value
+
+        def printf(fmt: str, *args: Any) -> str:
+            converted = re.sub(r"%[#+\- 0]*\d*\.?\d*[vdsqfgt]", _printf_to_python, str(fmt))
+            return converted % tuple(args)
+
+        def _printf_to_python(match: re.Match[str]) -> str:
+            spec = match.group(0)
+            kind = spec[-1]
+            if kind in ("v", "s", "t"):
+                return spec[:-1] + "s"
+            if kind == "d":
+                return spec[:-1] + "d"
+            if kind == "q":
+                return '"%s"'
+            if kind in ("f", "g"):
+                return spec[:-1] + kind
+            return spec
+
+        def ternary(if_true: Any, if_false: Any, condition: Any) -> Any:
+            return if_true if _is_truthy(condition) else if_false
+
+        functions: dict[str, Callable[..., Any]] = {
+            "default": default,
+            "required": required,
+            "quote": lambda *values: " ".join(f'"{_format_value(v)}"' for v in values),
+            "squote": lambda *values: " ".join(f"'{_format_value(v)}'" for v in values),
+            "upper": lambda value: str(value).upper(),
+            "lower": lambda value: str(value).lower(),
+            "title": lambda value: str(value).title(),
+            "trim": lambda value: str(value).strip(),
+            "trunc": lambda length, value: str(value)[: int(length)]
+            if int(length) >= 0
+            else str(value)[int(length) :],
+            "trimSuffix": lambda suffix, value: str(value).removesuffix(str(suffix)),
+            "trimPrefix": lambda prefix, value: str(value).removeprefix(str(prefix)),
+            "replace": lambda old, new, value: str(value).replace(str(old), str(new)),
+            "contains": lambda needle, haystack: str(needle) in str(haystack),
+            "hasPrefix": lambda prefix, value: str(value).startswith(str(prefix)),
+            "hasSuffix": lambda suffix, value: str(value).endswith(str(suffix)),
+            "repeat": lambda count, value: str(value) * int(count),
+            "join": lambda separator, values: str(separator).join(
+                _format_value(v) for v in (values or [])
+            ),
+            "splitList": lambda separator, value: str(value).split(str(separator)),
+            "toString": _format_value,
+            "toYaml": _to_yaml,
+            "fromYaml": lambda value: yaml.safe_load(str(value)),
+            "toJson": lambda value: yaml.safe_dump(value, default_flow_style=True).strip(),
+            "indent": _indent,
+            "nindent": lambda spaces, text: "\n" + _indent(spaces, text),
+            "b64enc": lambda value: __import__("base64").b64encode(str(value).encode()).decode(),
+            "b64dec": lambda value: __import__("base64").b64decode(str(value).encode()).decode(),
+            "int": lambda value: int(float(value)) if value not in (None, "") else 0,
+            "int64": lambda value: int(float(value)) if value not in (None, "") else 0,
+            "float64": lambda value: float(value) if value not in (None, "") else 0.0,
+            "add": lambda *values: sum(int(v) for v in values),
+            "add1": lambda value: int(value) + 1,
+            "sub": lambda a, b: int(a) - int(b),
+            "mul": lambda *values: __import__("math").prod(int(v) for v in values),
+            "div": lambda a, b: int(a) // int(b),
+            "mod": lambda a, b: int(a) % int(b),
+            "max": lambda *values: max(int(v) for v in values),
+            "min": lambda *values: min(int(v) for v in values),
+            "eq": lambda a, b: a == b,
+            "ne": lambda a, b: a != b,
+            "lt": lambda a, b: a < b,
+            "le": lambda a, b: a <= b,
+            "gt": lambda a, b: a > b,
+            "ge": lambda a, b: a >= b,
+            "not": lambda value: not _is_truthy(value),
+            "and": lambda *values: next((v for v in values if not _is_truthy(v)), values[-1]),
+            "or": lambda *values: next((v for v in values if _is_truthy(v)), values[-1]),
+            "empty": lambda value: not _is_truthy(value),
+            "coalesce": lambda *values: next((v for v in values if _is_truthy(v)), None),
+            "ternary": ternary,
+            "list": lambda *values: list(values),
+            "dict": lambda *pairs: {
+                str(pairs[i]): pairs[i + 1] for i in range(0, len(pairs) - 1, 2)
+            },
+            "get": lambda mapping, key: (mapping or {}).get(key),
+            "hasKey": lambda mapping, key: key in (mapping or {}),
+            "keys": lambda mapping: sorted((mapping or {}).keys()),
+            "values": lambda mapping: list((mapping or {}).values()),
+            "len": lambda value: len(value) if value is not None else 0,
+            "first": lambda value: value[0] if value else None,
+            "last": lambda value: value[-1] if value else None,
+            "printf": printf,
+            "print": lambda *values: "".join(_format_value(v) for v in values),
+            "kindIs": lambda kind, value: _kind_of(value) == kind,
+            "typeOf": lambda value: _kind_of(value),
+            "lookup": lambda *args: {},
+            "randAlphaNum": lambda length: "x" * int(length),
+            "uuidv4": lambda: "00000000-0000-4000-8000-000000000000",
+            "now": lambda: "1970-01-01T00:00:00Z",
+            "semverCompare": lambda constraint, version: True,
+        }
+        return functions
+
+
+def _kind_of(value: Any) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float64"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, Mapping):
+        return "map"
+    if isinstance(value, (list, tuple)):
+        return "slice"
+    if value is None:
+        return "invalid"
+    return type(value).__name__

@@ -1,0 +1,118 @@
+"""Helm values: deep merging and dotted-path access.
+
+A Helm *manifest* (``values.yaml``) is a nested mapping.  Users override it
+with ``--set`` style assignments or additional value files; overrides are
+merged recursively, with later layers winning, exactly as Helm does.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterable, Mapping
+
+import yaml
+
+from .errors import ValuesError
+
+
+def deep_merge(base: Mapping[str, Any], override: Mapping[str, Any]) -> dict[str, Any]:
+    """Recursively merge ``override`` on top of ``base`` and return a new dict.
+
+    Mappings are merged key by key; any other type (including lists) is
+    replaced wholesale, matching Helm's coalescing behaviour.
+    """
+    merged: dict[str, Any] = copy.deepcopy(dict(base))
+    for key, value in override.items():
+        existing = merged.get(key)
+        if isinstance(existing, Mapping) and isinstance(value, Mapping):
+            merged[key] = deep_merge(existing, value)
+        else:
+            merged[key] = copy.deepcopy(value)
+    return merged
+
+
+def get_path(values: Mapping[str, Any], path: str, default: Any = None) -> Any:
+    """Look up a dotted path (``primary.service.ports.mysql``) in ``values``."""
+    current: Any = values
+    if not path:
+        return current
+    for part in path.split("."):
+        if isinstance(current, Mapping) and part in current:
+            current = current[part]
+        else:
+            return default
+    return current
+
+
+def set_path(values: dict[str, Any], path: str, value: Any) -> None:
+    """Set a dotted path inside ``values`` in place, creating nested dicts."""
+    if not path:
+        raise ValuesError("cannot set an empty path")
+    parts = path.split(".")
+    current: dict[str, Any] = values
+    for part in parts[:-1]:
+        node = current.get(part)
+        if not isinstance(node, dict):
+            node = {}
+            current[part] = node
+        current = node
+    current[parts[-1]] = value
+
+
+def parse_set_string(assignment: str) -> tuple[str, Any]:
+    """Parse a single ``--set key=value`` assignment into ``(path, value)``.
+
+    Values are coerced the way Helm does: ``true``/``false`` become booleans,
+    integers become ``int``, ``null`` becomes ``None``; anything else stays a
+    string.
+    """
+    if "=" not in assignment:
+        raise ValuesError(f"invalid --set assignment: {assignment!r}")
+    path, _, raw = assignment.partition("=")
+    path = path.strip()
+    raw = raw.strip()
+    if not path:
+        raise ValuesError(f"invalid --set assignment: {assignment!r}")
+    value: Any
+    if raw.lower() == "true":
+        value = True
+    elif raw.lower() == "false":
+        value = False
+    elif raw.lower() in ("null", "~", ""):
+        value = None
+    else:
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+    return path, value
+
+
+def apply_set_strings(values: Mapping[str, Any], assignments: Iterable[str]) -> dict[str, Any]:
+    """Apply a sequence of ``--set`` assignments on top of ``values``."""
+    result = copy.deepcopy(dict(values))
+    for assignment in assignments:
+        path, value = parse_set_string(assignment)
+        set_path(result, path, value)
+    return result
+
+
+def load_values(text: str) -> dict[str, Any]:
+    """Parse a ``values.yaml`` document; an empty document yields ``{}``."""
+    try:
+        data = yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        raise ValuesError(f"invalid values YAML: {exc}") from exc
+    if data is None:
+        return {}
+    if not isinstance(data, dict):
+        raise ValuesError("values.yaml must contain a mapping at the top level")
+    return data
+
+
+def dump_values(values: Mapping[str, Any]) -> str:
+    """Serialize values back to YAML (stable key order for reproducibility)."""
+    return yaml.safe_dump(dict(values), sort_keys=True, default_flow_style=False)

@@ -1,0 +1,195 @@
+"""Containers, container ports, and probes.
+
+The declarative ``containerPort`` list is the central artifact of the paper:
+it is purely documentative (Section 3.4), which is the root cause of the M1
+and M3 misconfigurations.  The model therefore keeps the declared ports
+easily comparable with runtime socket observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .errors import ValidationError
+
+#: Valid layer-4 protocols for container and service ports.
+VALID_PROTOCOLS = ("TCP", "UDP", "SCTP")
+
+#: Default Linux ephemeral (dynamic) port range, `ip_local_port_range`.
+EPHEMERAL_PORT_RANGE = (32768, 60999)
+
+
+def validate_port_number(port: int, what: str = "port") -> int:
+    """Validate a TCP/UDP port number (1-65535)."""
+    if not isinstance(port, int) or isinstance(port, bool) or not 1 <= port <= 65535:
+        raise ValidationError(f"invalid {what}: {port!r} (must be 1-65535)")
+    return port
+
+
+def is_ephemeral_port(port: int) -> bool:
+    """Return ``True`` when ``port`` falls in the OS dynamic port range."""
+    low, high = EPHEMERAL_PORT_RANGE
+    return low <= port <= high
+
+
+@dataclass(frozen=True)
+class ContainerPort:
+    """A single declared container port."""
+
+    container_port: int
+    protocol: str = "TCP"
+    name: str = ""
+    host_port: int | None = None
+
+    def __post_init__(self) -> None:
+        validate_port_number(self.container_port, "containerPort")
+        if self.protocol not in VALID_PROTOCOLS:
+            raise ValidationError(f"invalid protocol: {self.protocol!r}")
+        if self.host_port is not None:
+            validate_port_number(self.host_port, "hostPort")
+
+    def to_dict(self) -> dict:
+        data: dict = {"containerPort": self.container_port}
+        if self.protocol != "TCP":
+            data["protocol"] = self.protocol
+        if self.name:
+            data["name"] = self.name
+        if self.host_port is not None:
+            data["hostPort"] = self.host_port
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ContainerPort":
+        return cls(
+            container_port=int(data["containerPort"]),
+            protocol=data.get("protocol", "TCP"),
+            name=data.get("name", ""),
+            host_port=int(data["hostPort"]) if data.get("hostPort") is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class EnvVar:
+    """A container environment variable (used to configure port behaviour)."""
+
+    name: str
+    value: str = ""
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "EnvVar":
+        return cls(name=data["name"], value=str(data.get("value", "")))
+
+
+@dataclass(frozen=True)
+class Probe:
+    """Liveness/readiness probe; only the port target matters for analysis."""
+
+    port: int | str | None = None
+    path: str = ""
+    kind: str = "httpGet"
+
+    def to_dict(self) -> dict:
+        if self.port is None:
+            return {}
+        if self.kind == "tcpSocket":
+            return {"tcpSocket": {"port": self.port}}
+        data: dict = {"httpGet": {"port": self.port}}
+        if self.path:
+            data["httpGet"]["path"] = self.path
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping | None) -> "Probe | None":
+        if not data:
+            return None
+        if "httpGet" in data:
+            http = data["httpGet"] or {}
+            return cls(port=http.get("port"), path=http.get("path", ""), kind="httpGet")
+        if "tcpSocket" in data:
+            return cls(port=(data["tcpSocket"] or {}).get("port"), kind="tcpSocket")
+        return None
+
+
+@dataclass
+class Container:
+    """A container within a pod template."""
+
+    name: str = ""
+    image: str = ""
+    ports: list[ContainerPort] = field(default_factory=list)
+    env: list[EnvVar] = field(default_factory=list)
+    command: list[str] = field(default_factory=list)
+    args: list[str] = field(default_factory=list)
+    liveness_probe: Probe | None = None
+    readiness_probe: Probe | None = None
+
+    def declared_ports(self) -> list[ContainerPort]:
+        """Return the declared ports (alias that reads well at call sites)."""
+        return list(self.ports)
+
+    def declared_port_numbers(self, protocol: str | None = None) -> set[int]:
+        """Return the set of declared port numbers, optionally per protocol."""
+        return {
+            port.container_port
+            for port in self.ports
+            if protocol is None or port.protocol == protocol
+        }
+
+    def port_named(self, name: str) -> ContainerPort | None:
+        """Look up a declared port by its symbolic name."""
+        for port in self.ports:
+            if port.name == name:
+                return port
+        return None
+
+    def env_value(self, name: str, default: str = "") -> str:
+        """Return the value of an environment variable, or ``default``."""
+        for var in self.env:
+            if var.name == name:
+                return var.value
+        return default
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValidationError("container name is required", path="spec.containers[].name")
+        seen_names: set[str] = set()
+        for port in self.ports:
+            if port.name:
+                if port.name in seen_names:
+                    raise ValidationError(
+                        f"duplicate port name {port.name!r} in container {self.name!r}"
+                    )
+                seen_names.add(port.name)
+
+    def to_dict(self) -> dict:
+        data: dict = {"name": self.name, "image": self.image}
+        if self.command:
+            data["command"] = list(self.command)
+        if self.args:
+            data["args"] = list(self.args)
+        if self.ports:
+            data["ports"] = [port.to_dict() for port in self.ports]
+        if self.env:
+            data["env"] = [var.to_dict() for var in self.env]
+        if self.liveness_probe and self.liveness_probe.port is not None:
+            data["livenessProbe"] = self.liveness_probe.to_dict()
+        if self.readiness_probe and self.readiness_probe.port is not None:
+            data["readinessProbe"] = self.readiness_probe.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Container":
+        return cls(
+            name=data.get("name", ""),
+            image=data.get("image", ""),
+            ports=[ContainerPort.from_dict(entry) for entry in data.get("ports") or ()],
+            env=[EnvVar.from_dict(entry) for entry in data.get("env") or ()],
+            command=list(data.get("command") or ()),
+            args=list(data.get("args") or ()),
+            liveness_probe=Probe.from_dict(data.get("livenessProbe")),
+            readiness_probe=Probe.from_dict(data.get("readinessProbe")),
+        )

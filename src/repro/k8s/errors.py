@@ -1,0 +1,38 @@
+"""Exceptions raised by the Kubernetes object model."""
+
+from __future__ import annotations
+
+
+class KubernetesModelError(Exception):
+    """Base class for all errors raised by :mod:`repro.k8s`."""
+
+
+class ValidationError(KubernetesModelError):
+    """A resource definition violates the Kubernetes object schema.
+
+    The error carries the ``path`` of the offending field (dotted notation,
+    e.g. ``spec.containers[0].ports[1].containerPort``) so callers can point
+    users at the exact location inside a YAML document.
+    """
+
+    def __init__(self, message: str, path: str = "") -> None:
+        self.path = path
+        if path:
+            message = f"{path}: {message}"
+        super().__init__(message)
+
+
+class UnknownKindError(KubernetesModelError):
+    """A manifest declares a ``kind`` that the model does not know about."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        super().__init__(f"unknown Kubernetes kind: {kind!r}")
+
+
+class SelectorError(KubernetesModelError):
+    """A label selector is malformed (bad operator, missing values, ...)."""
+
+
+class ParseError(KubernetesModelError):
+    """A YAML document could not be converted into model objects."""

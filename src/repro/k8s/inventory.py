@@ -1,0 +1,146 @@
+"""Inventory: a queryable view over a set of Kubernetes objects.
+
+Both the static analyzer and the cluster simulator need the same queries
+("all compute units", "services selecting this workload", "network policies
+that select these labels", ...).  :class:`Inventory` centralizes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from .meta import KubernetesObject
+from .networkpolicy import NetworkPolicy
+from .pod import Pod, PodTemplateSpec
+from .service import Service
+from .workloads import Workload
+
+
+@dataclass
+class ComputeUnit:
+    """A uniform wrapper over anything that owns pods (Workload or bare Pod)."""
+
+    obj: KubernetesObject
+
+    @property
+    def kind(self) -> str:
+        return self.obj.kind
+
+    @property
+    def name(self) -> str:
+        return self.obj.name
+
+    @property
+    def namespace(self) -> str:
+        return self.obj.namespace
+
+    def qualified_name(self) -> str:
+        return self.obj.qualified_name()
+
+    def pod_template(self) -> PodTemplateSpec:
+        if isinstance(self.obj, Workload):
+            return self.obj.pod_template()
+        assert isinstance(self.obj, Pod)
+        return PodTemplateSpec(metadata=self.obj.metadata, spec=self.obj.spec)
+
+    def pod_labels(self) -> Mapping[str, str]:
+        if isinstance(self.obj, Workload):
+            return self.obj.pod_labels()
+        return self.obj.labels
+
+    def replica_count(self) -> int:
+        if isinstance(self.obj, Workload):
+            return self.obj.replica_count()
+        return 1
+
+    def declared_port_numbers(self, protocol: str | None = None) -> set[int]:
+        return self.pod_template().spec.declared_port_numbers(protocol)
+
+    def resolve_port_name(self, name: str) -> int | None:
+        return self.pod_template().spec.resolve_port_name(name)
+
+    def uses_host_network(self) -> bool:
+        return self.pod_template().spec.host_network
+
+
+class Inventory:
+    """An indexed collection of Kubernetes objects."""
+
+    def __init__(self, objects: Iterable[KubernetesObject] = ()) -> None:
+        self._objects: list[KubernetesObject] = []
+        for obj in objects:
+            self.add(obj)
+
+    # Construction ---------------------------------------------------------
+    def add(self, obj: KubernetesObject) -> None:
+        self._objects.append(obj)
+
+    def extend(self, objects: Iterable[KubernetesObject]) -> None:
+        for obj in objects:
+            self.add(obj)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[KubernetesObject]:
+        return iter(self._objects)
+
+    # Queries ----------------------------------------------------------------
+    def of_kind(self, kind: str) -> list[KubernetesObject]:
+        return [obj for obj in self._objects if obj.kind == kind]
+
+    def compute_units(self) -> list[ComputeUnit]:
+        """Every pod-owning object (workload controllers and bare pods)."""
+        units: list[ComputeUnit] = []
+        for obj in self._objects:
+            if isinstance(obj, Workload) or isinstance(obj, Pod):
+                units.append(ComputeUnit(obj))
+        return units
+
+    def services(self) -> list[Service]:
+        return [obj for obj in self._objects if isinstance(obj, Service)]
+
+    def network_policies(self) -> list[NetworkPolicy]:
+        return [obj for obj in self._objects if isinstance(obj, NetworkPolicy)]
+
+    def pods(self) -> list[Pod]:
+        return [obj for obj in self._objects if isinstance(obj, Pod)]
+
+    def services_selecting(self, labels: Mapping[str, str], namespace: str) -> list[Service]:
+        """Services whose selector matches ``labels`` in ``namespace``."""
+        return [
+            service
+            for service in self.services()
+            if service.namespace == namespace
+            and service.has_selector
+            and service.selector.matches(labels)
+        ]
+
+    def compute_units_selected_by(self, service: Service) -> list[ComputeUnit]:
+        """Compute units targeted by a service selector."""
+        if not service.has_selector:
+            return []
+        return [
+            unit
+            for unit in self.compute_units()
+            if unit.namespace == service.namespace
+            and service.selector.matches(unit.pod_labels())
+        ]
+
+    def policies_selecting(self, labels: Mapping[str, str], namespace: str) -> list[NetworkPolicy]:
+        return [
+            policy
+            for policy in self.network_policies()
+            if policy.selects(labels, namespace)
+        ]
+
+    def validate_all(self) -> list[str]:
+        """Validate every object, returning the collected error messages."""
+        errors: list[str] = []
+        for obj in self._objects:
+            try:
+                obj.validate()
+            except Exception as exc:  # noqa: BLE001 - collecting all messages
+                errors.append(f"{obj.qualified_name()}: {exc}")
+        return errors

@@ -1,0 +1,266 @@
+"""Label and selector semantics.
+
+Kubernetes identifies and groups objects through string key/value *labels*
+and matches them with *selectors*.  Label collisions between unrelated
+resources are the root cause of the M4 misconfiguration family in the paper
+(Section 3.3), so this module implements the matching semantics carefully
+and exposes helpers used by the analyzer:
+
+* :class:`LabelSet` -- validated, immutable mapping of labels.
+* :class:`Selector` -- ``matchLabels`` + ``matchExpressions`` selector with
+  the same matching rules as the Kubernetes API server.
+* :func:`equality_selector` / :func:`parse_selector` -- convenience
+  constructors.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .errors import SelectorError, ValidationError
+
+# Kubernetes label keys are `[prefix/]name` where the name part is at most 63
+# characters of alphanumerics, '-', '_' or '.', starting and ending with an
+# alphanumeric.  The optional prefix is a DNS subdomain.
+_NAME_RE = re.compile(r"^[A-Za-z0-9]([A-Za-z0-9._-]{0,61}[A-Za-z0-9])?$")
+_PREFIX_RE = re.compile(r"^[a-z0-9]([a-z0-9.-]{0,251}[a-z0-9])?$")
+_VALUE_RE = re.compile(r"^$|^[A-Za-z0-9]([A-Za-z0-9._-]{0,61}[A-Za-z0-9])?$")
+
+#: Operators accepted in ``matchExpressions`` entries.
+VALID_OPERATORS = ("In", "NotIn", "Exists", "DoesNotExist")
+
+
+def validate_label_key(key: str) -> str:
+    """Validate a label key and return it unchanged.
+
+    Raises :class:`ValidationError` when the key does not follow the
+    Kubernetes ``[prefix/]name`` grammar.
+    """
+    if not isinstance(key, str) or not key:
+        raise ValidationError("label key must be a non-empty string")
+    prefix, _, name = key.rpartition("/")
+    if prefix and not _PREFIX_RE.match(prefix):
+        raise ValidationError(f"invalid label key prefix: {prefix!r}")
+    if not _NAME_RE.match(name):
+        raise ValidationError(f"invalid label key name: {name!r}")
+    return key
+
+
+def validate_label_value(value: str) -> str:
+    """Validate a label value and return it unchanged."""
+    if not isinstance(value, str):
+        raise ValidationError("label value must be a string")
+    if not _VALUE_RE.match(value):
+        raise ValidationError(f"invalid label value: {value!r}")
+    return value
+
+
+class LabelSet(Mapping[str, str]):
+    """An immutable, validated set of Kubernetes labels.
+
+    Behaves like a read-only mapping and supports hashing so label sets can
+    be used as dictionary keys when grouping compute units by identical
+    labels (M4A detection).
+    """
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels: Mapping[str, str] | None = None) -> None:
+        items = {}
+        for key, value in (labels or {}).items():
+            items[validate_label_key(key)] = validate_label_value(str(value))
+        self._labels: dict[str, str] = items
+
+    # Mapping interface -------------------------------------------------
+    def __getitem__(self, key: str) -> str:
+        return self._labels[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._labels.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LabelSet):
+            return self._labels == other._labels
+        if isinstance(other, Mapping):
+            return self._labels == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._labels.items()))
+        return f"LabelSet({inner})"
+
+    # Convenience helpers ------------------------------------------------
+    def merged(self, other: Mapping[str, str]) -> "LabelSet":
+        """Return a new label set with ``other`` layered on top of this one."""
+        combined = dict(self._labels)
+        combined.update(other)
+        return LabelSet(combined)
+
+    def subset_of(self, other: Mapping[str, str]) -> bool:
+        """Return ``True`` when every label in this set appears in ``other``."""
+        return all(other.get(key) == value for key, value in self._labels.items())
+
+    def shared_with(self, other: Mapping[str, str]) -> dict[str, str]:
+        """Return the labels (key and value) common to both sets."""
+        return {
+            key: value
+            for key, value in self._labels.items()
+            if other.get(key) == value
+        }
+
+    def to_dict(self) -> dict[str, str]:
+        """Return a plain mutable dictionary copy of the labels."""
+        return dict(self._labels)
+
+
+@dataclass(frozen=True)
+class LabelSelectorRequirement:
+    """A single ``matchExpressions`` entry."""
+
+    key: str
+    operator: str
+    values: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        validate_label_key(self.key)
+        if self.operator not in VALID_OPERATORS:
+            raise SelectorError(f"invalid selector operator: {self.operator!r}")
+        if self.operator in ("In", "NotIn") and not self.values:
+            raise SelectorError(f"operator {self.operator} requires values")
+        if self.operator in ("Exists", "DoesNotExist") and self.values:
+            raise SelectorError(f"operator {self.operator} must not have values")
+
+    def matches(self, labels: Mapping[str, str]) -> bool:
+        """Evaluate this requirement against a label mapping."""
+        present = self.key in labels
+        if self.operator == "Exists":
+            return present
+        if self.operator == "DoesNotExist":
+            return not present
+        if self.operator == "In":
+            return present and labels[self.key] in self.values
+        # NotIn: absent keys match, present keys must not hold a listed value.
+        return not present or labels[self.key] not in self.values
+
+    def to_dict(self) -> dict:
+        data: dict = {"key": self.key, "operator": self.operator}
+        if self.values:
+            data["values"] = list(self.values)
+        return data
+
+
+@dataclass(frozen=True)
+class Selector:
+    """A Kubernetes label selector (``matchLabels`` + ``matchExpressions``).
+
+    An *empty* selector is meaningful: for services it selects nothing
+    (selector-less service), while for network policies an empty
+    ``podSelector`` selects every pod in the namespace.  Callers decide which
+    interpretation applies; :meth:`matches` implements the conjunction of all
+    requirements and :attr:`is_empty` reports emptiness.
+    """
+
+    match_labels: LabelSet = field(default_factory=LabelSet)
+    match_expressions: tuple[LabelSelectorRequirement, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when the selector has no requirements at all."""
+        return not self.match_labels and not self.match_expressions
+
+    def matches(self, labels: Mapping[str, str] | None) -> bool:
+        """Return ``True`` if ``labels`` satisfy every requirement."""
+        labels = labels or {}
+        for key, value in self.match_labels.items():
+            if labels.get(key) != value:
+                return False
+        return all(req.matches(labels) for req in self.match_expressions)
+
+    def requirement_keys(self) -> set[str]:
+        """Return every label key referenced by the selector."""
+        keys = set(self.match_labels)
+        keys.update(req.key for req in self.match_expressions)
+        return keys
+
+    def to_dict(self) -> dict:
+        data: dict = {}
+        if self.match_labels:
+            data["matchLabels"] = self.match_labels.to_dict()
+        if self.match_expressions:
+            data["matchExpressions"] = [req.to_dict() for req in self.match_expressions]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping | None) -> "Selector":
+        """Build a selector from an API-style dictionary.
+
+        Accepts both the modern ``{matchLabels, matchExpressions}`` shape and
+        the legacy bare mapping used by ``Service.spec.selector``.
+        """
+        if not data:
+            return cls()
+        if "matchLabels" in data or "matchExpressions" in data:
+            labels = LabelSet(data.get("matchLabels") or {})
+            expressions = tuple(
+                LabelSelectorRequirement(
+                    key=entry["key"],
+                    operator=entry["operator"],
+                    values=tuple(entry.get("values") or ()),
+                )
+                for entry in data.get("matchExpressions") or ()
+            )
+            return cls(match_labels=labels, match_expressions=expressions)
+        # Legacy equality-based selector: a plain map of labels.
+        return cls(match_labels=LabelSet(data))
+
+
+def equality_selector(**labels: str) -> Selector:
+    """Build a selector that requires each keyword argument as an exact label."""
+    return Selector(match_labels=LabelSet(labels))
+
+
+def parse_selector(data: Mapping | None) -> Selector:
+    """Alias of :meth:`Selector.from_dict` kept for readability at call sites."""
+    return Selector.from_dict(data)
+
+
+def find_duplicate_label_sets(
+    items: Iterable[tuple[str, Mapping[str, str]]],
+) -> list[tuple[LabelSet, list[str]]]:
+    """Group item names by identical label sets.
+
+    ``items`` is an iterable of ``(name, labels)`` pairs.  The return value
+    lists every label set shared by two or more distinct names -- the exact
+    condition behind compute-unit collisions (M4A).
+    """
+    groups: dict[LabelSet, list[str]] = {}
+    for name, labels in items:
+        try:
+            label_set = LabelSet(labels)
+        except ValidationError:
+            continue
+        if not label_set:
+            continue
+        groups.setdefault(label_set, []).append(name)
+    return [
+        (label_set, sorted(set(names)))
+        for label_set, names in groups.items()
+        if len(set(names)) > 1
+    ]
+
+
+def selectors_overlap(first: Selector, second: Selector, sample: Sequence[Mapping[str, str]]) -> bool:
+    """Return ``True`` when both selectors match at least one common label set.
+
+    ``sample`` is the population of label sets to test against (typically the
+    labels of every compute unit in the cluster).
+    """
+    return any(first.matches(labels) and second.matches(labels) for labels in sample)

@@ -1,0 +1,136 @@
+"""Object metadata and the base class shared by every Kubernetes resource."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import ClassVar, Mapping
+
+from .errors import ValidationError
+from .labels import LabelSet
+
+#: RFC 1123 DNS label used for object and namespace names.
+_DNS_LABEL_RE = re.compile(r"^[a-z0-9]([a-z0-9-]{0,61}[a-z0-9])?$")
+#: RFC 1123 DNS subdomain (allows dots) used for most resource names.
+_DNS_SUBDOMAIN_RE = re.compile(r"^[a-z0-9]([a-z0-9.-]{0,251}[a-z0-9])?$")
+
+DEFAULT_NAMESPACE = "default"
+
+
+def validate_dns_label(value: str, what: str = "name") -> str:
+    """Validate an RFC 1123 DNS label (no dots), as used for namespaces."""
+    if not isinstance(value, str) or not _DNS_LABEL_RE.match(value):
+        raise ValidationError(f"invalid {what}: {value!r} (must be an RFC 1123 DNS label)")
+    return value
+
+
+def validate_dns_subdomain(value: str, what: str = "name") -> str:
+    """Validate an RFC 1123 DNS subdomain, as used for most object names."""
+    if not isinstance(value, str) or not _DNS_SUBDOMAIN_RE.match(value):
+        raise ValidationError(
+            f"invalid {what}: {value!r} (must be an RFC 1123 DNS subdomain)"
+        )
+    return value
+
+
+@dataclass
+class ObjectMeta:
+    """Subset of ``metadata`` relevant to network misconfiguration analysis."""
+
+    name: str = ""
+    namespace: str = DEFAULT_NAMESPACE
+    labels: LabelSet = field(default_factory=LabelSet)
+    annotations: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.name:
+            validate_dns_subdomain(self.name)
+        if self.namespace:
+            validate_dns_label(self.namespace, "namespace")
+        if not isinstance(self.labels, LabelSet):
+            self.labels = LabelSet(self.labels or {})
+        self.annotations = dict(self.annotations or {})
+
+    def to_dict(self) -> dict:
+        data: dict = {"name": self.name}
+        if self.namespace and self.namespace != DEFAULT_NAMESPACE:
+            data["namespace"] = self.namespace
+        if self.labels:
+            data["labels"] = self.labels.to_dict()
+        if self.annotations:
+            data["annotations"] = dict(self.annotations)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping | None) -> "ObjectMeta":
+        data = data or {}
+        return cls(
+            name=data.get("name", ""),
+            namespace=data.get("namespace") or DEFAULT_NAMESPACE,
+            labels=LabelSet(data.get("labels") or {}),
+            annotations=dict(data.get("annotations") or {}),
+        )
+
+
+@dataclass
+class KubernetesObject:
+    """Base class for every modelled Kubernetes resource.
+
+    Subclasses set the class attributes :attr:`KIND` and :attr:`API_VERSION`
+    and implement :meth:`spec_to_dict` / :meth:`spec_from_dict`.
+    """
+
+    KIND: ClassVar[str] = ""
+    API_VERSION: ClassVar[str] = "v1"
+    NAMESPACED: ClassVar[bool] = True
+
+    metadata: ObjectMeta = field(default_factory=ObjectMeta)
+
+    # Identity -----------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        return self.KIND
+
+    @property
+    def name(self) -> str:
+        return self.metadata.name
+
+    @property
+    def namespace(self) -> str:
+        return self.metadata.namespace
+
+    @property
+    def labels(self) -> LabelSet:
+        return self.metadata.labels
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """A cluster-unique identity tuple ``(kind, namespace, name)``."""
+        namespace = self.namespace if self.NAMESPACED else ""
+        return (self.KIND, namespace, self.name)
+
+    def qualified_name(self) -> str:
+        """A human-readable ``kind/namespace/name`` identifier."""
+        if self.NAMESPACED:
+            return f"{self.KIND}/{self.namespace}/{self.name}"
+        return f"{self.KIND}/{self.name}"
+
+    # Serialization -------------------------------------------------------
+    def spec_to_dict(self) -> dict:
+        """Serialize everything below ``metadata``; overridden by subclasses."""
+        return {}
+
+    def to_dict(self) -> dict:
+        """Serialize the object to an API-style dictionary."""
+        data = {
+            "apiVersion": self.API_VERSION,
+            "kind": self.KIND,
+            "metadata": self.metadata.to_dict(),
+        }
+        data.update(self.spec_to_dict())
+        return data
+
+    def validate(self) -> None:
+        """Run structural validation; subclasses extend this."""
+        if not self.metadata.name:
+            raise ValidationError("metadata.name is required", path="metadata.name")

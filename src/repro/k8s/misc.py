@@ -1,0 +1,227 @@
+"""Supporting resources: Namespace, ConfigMap, Secret, ServiceAccount, RBAC, Ingress.
+
+These resources matter less to the analyzer than compute units and services,
+but real Helm charts ship them, so the parser must understand them and the
+cluster simulator must store them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Mapping
+
+from .labels import LabelSet
+from .meta import KubernetesObject, ObjectMeta
+
+
+@dataclass
+class Namespace(KubernetesObject):
+    KIND: ClassVar[str] = "Namespace"
+    API_VERSION: ClassVar[str] = "v1"
+    NAMESPACED: ClassVar[bool] = False
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Namespace":
+        return cls(metadata=ObjectMeta.from_dict(data.get("metadata")))
+
+
+@dataclass
+class ConfigMap(KubernetesObject):
+    KIND: ClassVar[str] = "ConfigMap"
+    API_VERSION: ClassVar[str] = "v1"
+
+    data: dict[str, str] = field(default_factory=dict)
+
+    def spec_to_dict(self) -> dict:
+        return {"data": dict(self.data)} if self.data else {}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ConfigMap":
+        return cls(
+            metadata=ObjectMeta.from_dict(data.get("metadata")),
+            data={str(k): str(v) for k, v in (data.get("data") or {}).items()},
+        )
+
+
+@dataclass
+class Secret(KubernetesObject):
+    KIND: ClassVar[str] = "Secret"
+    API_VERSION: ClassVar[str] = "v1"
+
+    data: dict[str, str] = field(default_factory=dict)
+    type: str = "Opaque"
+
+    def spec_to_dict(self) -> dict:
+        payload: dict = {"type": self.type}
+        if self.data:
+            payload["data"] = dict(self.data)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Secret":
+        return cls(
+            metadata=ObjectMeta.from_dict(data.get("metadata")),
+            data={str(k): str(v) for k, v in (data.get("data") or {}).items()},
+            type=data.get("type", "Opaque"),
+        )
+
+
+@dataclass
+class ServiceAccount(KubernetesObject):
+    KIND: ClassVar[str] = "ServiceAccount"
+    API_VERSION: ClassVar[str] = "v1"
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ServiceAccount":
+        return cls(metadata=ObjectMeta.from_dict(data.get("metadata")))
+
+
+@dataclass
+class Role(KubernetesObject):
+    KIND: ClassVar[str] = "Role"
+    API_VERSION: ClassVar[str] = "rbac.authorization.k8s.io/v1"
+
+    rules: list[dict] = field(default_factory=list)
+
+    def spec_to_dict(self) -> dict:
+        return {"rules": list(self.rules)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Role":
+        return cls(
+            metadata=ObjectMeta.from_dict(data.get("metadata")),
+            rules=list(data.get("rules") or ()),
+        )
+
+
+@dataclass
+class ClusterRole(Role):
+    KIND: ClassVar[str] = "ClusterRole"
+    NAMESPACED: ClassVar[bool] = False
+
+
+@dataclass
+class RoleBinding(KubernetesObject):
+    KIND: ClassVar[str] = "RoleBinding"
+    API_VERSION: ClassVar[str] = "rbac.authorization.k8s.io/v1"
+
+    role_ref: dict = field(default_factory=dict)
+    subjects: list[dict] = field(default_factory=list)
+
+    def spec_to_dict(self) -> dict:
+        return {"roleRef": dict(self.role_ref), "subjects": list(self.subjects)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RoleBinding":
+        return cls(
+            metadata=ObjectMeta.from_dict(data.get("metadata")),
+            role_ref=dict(data.get("roleRef") or {}),
+            subjects=list(data.get("subjects") or ()),
+        )
+
+
+@dataclass
+class ClusterRoleBinding(RoleBinding):
+    KIND: ClassVar[str] = "ClusterRoleBinding"
+    NAMESPACED: ClassVar[bool] = False
+
+
+@dataclass
+class IngressRule:
+    """One host/path rule routing to a backend service port."""
+
+    host: str = ""
+    path: str = "/"
+    service_name: str = ""
+    service_port: int | str | None = None
+
+    def to_dict(self) -> dict:
+        backend_port: dict = {}
+        if isinstance(self.service_port, int):
+            backend_port = {"number": self.service_port}
+        elif self.service_port:
+            backend_port = {"name": self.service_port}
+        return {
+            "host": self.host,
+            "http": {
+                "paths": [
+                    {
+                        "path": self.path,
+                        "pathType": "Prefix",
+                        "backend": {
+                            "service": {"name": self.service_name, "port": backend_port}
+                        },
+                    }
+                ]
+            },
+        }
+
+
+@dataclass
+class Ingress(KubernetesObject):
+    """An HTTP ingress; modelled because it references service ports."""
+
+    KIND: ClassVar[str] = "Ingress"
+    API_VERSION: ClassVar[str] = "networking.k8s.io/v1"
+
+    rules: list[IngressRule] = field(default_factory=list)
+
+    def spec_to_dict(self) -> dict:
+        return {"spec": {"rules": [rule.to_dict() for rule in self.rules]}}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Ingress":
+        rules: list[IngressRule] = []
+        for rule in ((data.get("spec") or {}).get("rules")) or ():
+            for path in ((rule.get("http") or {}).get("paths")) or ():
+                backend = ((path.get("backend") or {}).get("service")) or {}
+                port = backend.get("port") or {}
+                rules.append(
+                    IngressRule(
+                        host=rule.get("host", ""),
+                        path=path.get("path", "/"),
+                        service_name=backend.get("name", ""),
+                        service_port=port.get("number") or port.get("name"),
+                    )
+                )
+        return cls(metadata=ObjectMeta.from_dict(data.get("metadata")), rules=rules)
+
+
+@dataclass
+class GenericObject(KubernetesObject):
+    """Fallback for kinds we do not model explicitly (CRDs and the like)."""
+
+    KIND: ClassVar[str] = "Generic"
+
+    kind_name: str = "Generic"
+    api_version: str = "v1"
+    raw: dict = field(default_factory=dict)
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return self.kind_name
+
+    @property
+    def key(self) -> tuple[str, str, str]:  # type: ignore[override]
+        return (self.kind_name, self.namespace, self.name)
+
+    def to_dict(self) -> dict:
+        data = dict(self.raw)
+        data.setdefault("apiVersion", self.api_version)
+        data.setdefault("kind", self.kind_name)
+        data.setdefault("metadata", self.metadata.to_dict())
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "GenericObject":
+        return cls(
+            metadata=ObjectMeta.from_dict(data.get("metadata")),
+            kind_name=data.get("kind", "Generic"),
+            api_version=data.get("apiVersion", "v1"),
+            raw={k: v for k, v in data.items()},
+        )
+
+
+def make_namespace(name: str, labels: Mapping[str, str] | None = None) -> Namespace:
+    """Convenience constructor used by the cluster simulator."""
+    return Namespace(metadata=ObjectMeta(name=name, namespace="", labels=LabelSet(labels or {})))

@@ -1,0 +1,180 @@
+"""Services and endpoints.
+
+Services are the abstraction the paper's M5 family targets: a service may
+reference ports that are never opened (M5A), never declared (M5B), target a
+headless port that is unavailable (M5C), or select no compute unit at all
+(M5D).  The model keeps selectors and port references explicit so the rules
+can reason about them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Mapping
+
+from .container import VALID_PROTOCOLS, validate_port_number
+from .errors import ValidationError
+from .labels import Selector
+from .meta import KubernetesObject, ObjectMeta
+
+#: Service types understood by the model.
+SERVICE_TYPES = ("ClusterIP", "NodePort", "LoadBalancer", "ExternalName")
+
+
+@dataclass(frozen=True)
+class ServicePort:
+    """A single service port mapping ``port`` -> ``targetPort``."""
+
+    port: int
+    target_port: int | str | None = None
+    protocol: str = "TCP"
+    name: str = ""
+    node_port: int | None = None
+
+    def __post_init__(self) -> None:
+        validate_port_number(self.port, "service port")
+        if self.protocol not in VALID_PROTOCOLS:
+            raise ValidationError(f"invalid protocol: {self.protocol!r}")
+        if isinstance(self.target_port, int):
+            validate_port_number(self.target_port, "targetPort")
+        if self.node_port is not None:
+            validate_port_number(self.node_port, "nodePort")
+
+    def resolved_target(self) -> int | str:
+        """The port the service forwards to; defaults to ``port`` when unset."""
+        if self.target_port is None or self.target_port == "":
+            return self.port
+        return self.target_port
+
+    def to_dict(self) -> dict:
+        data: dict = {"port": self.port}
+        if self.name:
+            data["name"] = self.name
+        if self.protocol != "TCP":
+            data["protocol"] = self.protocol
+        if self.target_port is not None and self.target_port != "":
+            data["targetPort"] = self.target_port
+        if self.node_port is not None:
+            data["nodePort"] = self.node_port
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ServicePort":
+        target = data.get("targetPort")
+        if isinstance(target, str) and target.isdigit():
+            target = int(target)
+        return cls(
+            port=int(data["port"]),
+            target_port=target,
+            protocol=data.get("protocol", "TCP"),
+            name=data.get("name", ""),
+            node_port=int(data["nodePort"]) if data.get("nodePort") is not None else None,
+        )
+
+
+@dataclass
+class Service(KubernetesObject):
+    """A Kubernetes ``Service`` resource."""
+
+    KIND: ClassVar[str] = "Service"
+    API_VERSION: ClassVar[str] = "v1"
+
+    selector: Selector = field(default_factory=Selector)
+    ports: list[ServicePort] = field(default_factory=list)
+    type: str = "ClusterIP"
+    cluster_ip: str = ""
+
+    @property
+    def is_headless(self) -> bool:
+        """Headless services are declared with ``clusterIP: None``."""
+        return self.cluster_ip.lower() == "none"
+
+    @property
+    def has_selector(self) -> bool:
+        return not self.selector.is_empty
+
+    def port_numbers(self) -> set[int]:
+        return {port.port for port in self.ports}
+
+    def target_ports(self) -> list[int | str]:
+        return [port.resolved_target() for port in self.ports]
+
+    def validate(self) -> None:
+        super().validate()
+        if self.type not in SERVICE_TYPES:
+            raise ValidationError(f"invalid service type: {self.type!r}", path="spec.type")
+        seen: set[tuple[int, str]] = set()
+        for port in self.ports:
+            key = (port.port, port.protocol)
+            if key in seen:
+                raise ValidationError(
+                    f"service {self.name!r} declares duplicate port {port.port}/{port.protocol}"
+                )
+            seen.add(key)
+        if len(self.ports) > 1 and any(not port.name for port in self.ports):
+            raise ValidationError(
+                f"service {self.name!r}: all ports must be named when more than one is defined"
+            )
+
+    def spec_to_dict(self) -> dict:
+        spec: dict = {
+            "type": self.type,
+            "ports": [port.to_dict() for port in self.ports],
+        }
+        if self.has_selector:
+            spec["selector"] = self.selector.match_labels.to_dict()
+        if self.cluster_ip:
+            spec["clusterIP"] = None if self.is_headless else self.cluster_ip
+        return {"spec": spec}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Service":
+        spec = data.get("spec") or {}
+        cluster_ip = spec.get("clusterIP")
+        if cluster_ip is None and "clusterIP" in spec:
+            cluster_ip = "None"
+        return cls(
+            metadata=ObjectMeta.from_dict(data.get("metadata")),
+            selector=Selector.from_dict(spec.get("selector")),
+            ports=[ServicePort.from_dict(entry) for entry in spec.get("ports") or ()],
+            type=spec.get("type", "ClusterIP"),
+            cluster_ip=str(cluster_ip) if cluster_ip is not None else "",
+        )
+
+
+@dataclass(frozen=True)
+class EndpointAddress:
+    """A single pod backing a service."""
+
+    ip: str
+    pod_name: str = ""
+    node_name: str = ""
+
+
+@dataclass
+class Endpoints(KubernetesObject):
+    """The ``Endpoints`` object maintained by the endpoint controller."""
+
+    KIND: ClassVar[str] = "Endpoints"
+    API_VERSION: ClassVar[str] = "v1"
+
+    addresses: list[EndpointAddress] = field(default_factory=list)
+    ports: list[ServicePort] = field(default_factory=list)
+
+    def spec_to_dict(self) -> dict:
+        return {
+            "subsets": [
+                {
+                    "addresses": [
+                        {"ip": address.ip, "targetRef": {"kind": "Pod", "name": address.pod_name}}
+                        for address in self.addresses
+                    ],
+                    "ports": [
+                        {"port": port.port, "protocol": port.protocol, "name": port.name}
+                        for port in self.ports
+                    ],
+                }
+            ]
+            if self.addresses or self.ports
+            else []
+        }

@@ -1,0 +1,27 @@
+"""Runtime analysis substrate (Kubesonde-style probing).
+
+Takes netstat-style snapshots of running pods, handles the double-snapshot
+strategy for dynamic ports and the host-port baseline for hostNetwork pods,
+and measures endpoint reachability from an attacker-controlled pod.
+"""
+
+from .reachability import (
+    ATTACKER_POD_NAME,
+    ReachabilityProbe,
+    ReachabilityReport,
+    make_attacker_pod,
+)
+from .scanner import RuntimeObservation, RuntimeScanner
+from .snapshot import ClusterSnapshot, PodSnapshot, SocketRecord
+
+__all__ = [
+    "ATTACKER_POD_NAME",
+    "ClusterSnapshot",
+    "PodSnapshot",
+    "ReachabilityProbe",
+    "ReachabilityReport",
+    "RuntimeObservation",
+    "RuntimeScanner",
+    "SocketRecord",
+    "make_attacker_pod",
+]

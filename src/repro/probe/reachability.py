@@ -1,0 +1,106 @@
+"""Reachability probing: which misconfigured endpoints stay reachable.
+
+Reproduces the Section 4.3.2 analysis (Figure 4b): after enabling the
+network policies shipped with a chart, how many misconfigured pods and
+services can still be reached from an attacker-controlled pod in the same
+cluster?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster import Cluster, RunningPod
+from ..k8s import Container, LabelSet, ObjectMeta, Pod, PodSpec
+
+
+@dataclass
+class ReachabilityReport:
+    """Reachability of one application's endpoints from an attacker pod."""
+
+    app: str
+    reachable_pod_endpoints: list[tuple[str, int]] = field(default_factory=list)
+    reachable_service_endpoints: list[tuple[str, int]] = field(default_factory=list)
+    reachable_dynamic_endpoints: list[tuple[str, int]] = field(default_factory=list)
+    isolated_pods: int = 0
+    unprotected_pods: int = 0
+
+    @property
+    def reachable_pods(self) -> set[str]:
+        return {name for name, _ in self.reachable_pod_endpoints}
+
+    @property
+    def reachable_services(self) -> set[str]:
+        return {name for name, _ in self.reachable_service_endpoints}
+
+    @property
+    def pods_with_dynamic_ports(self) -> set[str]:
+        return {name for name, _ in self.reachable_dynamic_endpoints}
+
+    @property
+    def affected(self) -> bool:
+        """An application is *affected* when some endpoint remains reachable."""
+        return bool(self.reachable_pod_endpoints or self.reachable_service_endpoints)
+
+
+ATTACKER_POD_NAME = "attacker"
+
+
+def make_attacker_pod(namespace: str = "default") -> Pod:
+    """The attacker-controlled pod of the threat model (Section 3.1)."""
+    return Pod(
+        metadata=ObjectMeta(
+            name=ATTACKER_POD_NAME,
+            namespace=namespace,
+            labels=LabelSet({"app.kubernetes.io/name": "attacker"}),
+        ),
+        spec=PodSpec(containers=[Container(name="shell", image="probe/attacker")]),
+    )
+
+
+class ReachabilityProbe:
+    """Measures the lateral-movement surface of installed applications."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+
+    def ensure_attacker(self, namespace: str = "default") -> RunningPod:
+        """Install the attacker pod (idempotent) and return its running instance."""
+        try:
+            return self.cluster.running_pod(ATTACKER_POD_NAME, namespace)
+        except Exception:  # noqa: BLE001 - not yet installed
+            self.cluster.install([make_attacker_pod(namespace)], app_name="__attacker__",
+                                 namespace=namespace)
+            return self.cluster.running_pod(ATTACKER_POD_NAME, namespace)
+
+    def probe_application(self, app: str, namespace: str = "default") -> ReachabilityReport:
+        """Probe every endpoint of one installed application from the attacker."""
+        attacker = self.ensure_attacker(namespace)
+        policies = self.cluster.network_policies()
+        report = ReachabilityReport(app=app)
+        app_pods = self.cluster.running_pods(app_name=app)
+        report.isolated_pods = len(self.cluster.enforcer.isolated_pods(policies, app_pods))
+        report.unprotected_pods = len(app_pods) - report.isolated_pods
+        for destination in app_pods:
+            for socket in destination.sockets:
+                if not socket.reachable_from_network:
+                    continue
+                attempt = self.cluster.network.connect_pod_to_pod(
+                    policies, attacker, destination, socket.port, socket.protocol
+                )
+                if attempt.success:
+                    report.reachable_pod_endpoints.append((destination.name, socket.port))
+                    if socket.dynamic:
+                        report.reachable_dynamic_endpoints.append((destination.name, socket.port))
+        for binding in self.cluster.service_bindings():
+            if not any(backend.app == app for backend in binding.backends):
+                continue
+            for service_port in binding.service.ports:
+                attempt = self.cluster.network.connect_pod_to_service(
+                    policies, attacker, binding, service_port.port, service_port.protocol
+                )
+                if attempt.success:
+                    report.reachable_service_endpoints.append(
+                        (binding.service.name, service_port.port)
+                    )
+        return report

@@ -1,0 +1,150 @@
+"""Runtime snapshots: the netstat-style view of running pods.
+
+The runtime analysis of the paper installs each chart into a clean cluster
+and observes its actual behaviour (following the Kubesonde approach).  A
+:class:`PodSnapshot` captures what ``netstat -a`` inside one pod would show,
+and a :class:`ClusterSnapshot` aggregates them for all pods of interest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..cluster import RunningPod, Socket
+from ..k8s import is_ephemeral_port
+
+
+@dataclass(frozen=True)
+class SocketRecord:
+    """One observed listening socket."""
+
+    port: int
+    protocol: str = "TCP"
+    interface: str = "0.0.0.0"
+    process: str = ""
+    container: str = ""
+    dynamic: bool = False
+
+    @property
+    def reachable_from_network(self) -> bool:
+        return self.interface != "127.0.0.1"
+
+    @property
+    def in_ephemeral_range(self) -> bool:
+        return is_ephemeral_port(self.port)
+
+    def netstat_line(self) -> str:
+        """Format the socket the way ``netstat -a`` prints listening sockets."""
+        protocol = self.protocol.lower()
+        return f"{protocol:<5} 0      0 {self.interface}:{self.port:<15} 0.0.0.0:*               LISTEN"
+
+    @classmethod
+    def from_socket(cls, socket: Socket) -> "SocketRecord":
+        return cls(
+            port=socket.port,
+            protocol=socket.protocol,
+            interface=socket.interface,
+            process=socket.process,
+            container=socket.container,
+            dynamic=socket.dynamic,
+        )
+
+
+@dataclass
+class PodSnapshot:
+    """The runtime observation of one pod."""
+
+    pod_name: str
+    namespace: str
+    app: str = ""
+    owner: str = ""
+    labels: dict[str, str] = field(default_factory=dict)
+    host_network: bool = False
+    node_name: str = ""
+    declared_ports: dict[str, set[int]] = field(default_factory=dict)
+    sockets: list[SocketRecord] = field(default_factory=list)
+
+    def open_ports(self, protocol: str | None = None, include_loopback: bool = True) -> set[int]:
+        return {
+            record.port
+            for record in self.sockets
+            if (protocol is None or record.protocol == protocol)
+            and (include_loopback or record.reachable_from_network)
+        }
+
+    def declared(self, protocol: str = "TCP") -> set[int]:
+        return set(self.declared_ports.get(protocol, set()))
+
+    def undeclared_open_ports(self, protocol: str = "TCP") -> set[int]:
+        """Ports open at runtime but absent from the declaration (M1 input)."""
+        return self.open_ports(protocol) - self.declared(protocol)
+
+    def declared_closed_ports(self, protocol: str = "TCP") -> set[int]:
+        """Ports declared but not open at runtime (M3 input)."""
+        return self.declared(protocol) - self.open_ports(protocol)
+
+    def netstat_output(self) -> str:
+        """A human-readable dump matching Figure 1b of the paper."""
+        lines = [
+            "Active Internet connections (servers and established)",
+            "Proto Recv-Q Send-Q Local Address           Foreign Address         State",
+        ]
+        lines.extend(record.netstat_line() for record in sorted(self.sockets, key=lambda r: r.port))
+        return "\n".join(lines)
+
+    @classmethod
+    def from_running_pod(cls, running: RunningPod) -> "PodSnapshot":
+        declared: dict[str, set[int]] = {}
+        for container in running.pod.spec.containers:
+            for port in container.ports:
+                declared.setdefault(port.protocol, set()).add(port.container_port)
+        return cls(
+            pod_name=running.name,
+            namespace=running.namespace,
+            app=running.app,
+            owner=running.owner,
+            labels=dict(running.labels),
+            host_network=running.host_network,
+            node_name=running.node.name,
+            declared_ports=declared,
+            sockets=[SocketRecord.from_socket(socket) for socket in running.sockets],
+        )
+
+
+@dataclass
+class ClusterSnapshot:
+    """Runtime observations of a set of pods, taken at one point in time."""
+
+    pods: list[PodSnapshot] = field(default_factory=list)
+    host_ports: set[int] = field(default_factory=set)
+    sequence: int = 0
+
+    def pod(self, name: str, namespace: str = "default") -> PodSnapshot | None:
+        for snapshot in self.pods:
+            if snapshot.pod_name == name and snapshot.namespace == namespace:
+                return snapshot
+        return None
+
+    def for_app(self, app: str) -> list[PodSnapshot]:
+        return [snapshot for snapshot in self.pods if snapshot.app == app]
+
+    def by_owner(self) -> dict[str, list[PodSnapshot]]:
+        """Group pod snapshots by their owning compute unit."""
+        grouped: dict[str, list[PodSnapshot]] = {}
+        for snapshot in self.pods:
+            grouped.setdefault(snapshot.owner or snapshot.pod_name, []).append(snapshot)
+        return grouped
+
+    def total_open_ports(self) -> int:
+        return sum(len(snapshot.sockets) for snapshot in self.pods)
+
+    @classmethod
+    def from_pods(
+        cls, pods: Iterable[RunningPod], host_ports: set[int] | None = None, sequence: int = 0
+    ) -> "ClusterSnapshot":
+        return cls(
+            pods=[PodSnapshot.from_running_pod(pod) for pod in pods],
+            host_ports=set(host_ports or ()),
+            sequence=sequence,
+        )

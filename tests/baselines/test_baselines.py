@@ -1,0 +1,168 @@
+"""Unit tests for the re-implemented state-of-the-art tools."""
+
+import pytest
+
+from repro.baselines import (
+    BaselineInput,
+    Checkov,
+    FOUND,
+    KubeBench,
+    KubeLinter,
+    KubeScore,
+    Kubeaudit,
+    Kubesec,
+    Kubescape,
+    MISSED,
+    NOT_APPLICABLE,
+    NeuVector,
+    OurSolution,
+    PARTIAL,
+    SLIKube,
+    StackRox,
+    Trivy,
+    all_tools,
+    third_party_tools,
+    tool_by_name,
+)
+from repro.core import MisconfigClass
+from repro.k8s import Inventory, deny_all_policy
+from tests.conftest import make_deployment, make_service
+
+
+def static_input(*objects) -> BaselineInput:
+    return BaselineInput(inventory=Inventory(objects))
+
+
+class TestRegistry:
+    def test_eleven_third_party_tools(self):
+        assert len(third_party_tools()) == 11
+
+    def test_all_tools_includes_ours_last(self):
+        tools = all_tools()
+        assert len(tools) == 12
+        assert tools[-1].name == "Our solution"
+
+    def test_lookup_by_name_case_insensitive(self):
+        assert tool_by_name("checkov").name == "Checkov"
+        with pytest.raises(KeyError):
+            tool_by_name("nonexistent")
+
+    def test_categories(self):
+        assert Checkov().category == "Static"
+        assert KubeBench().category == "Runtime"
+        assert Kubescape().category == "Hybrid"
+        assert NeuVector().category == "Platform"
+
+
+class TestHostNetworkCheck:
+    @pytest.mark.parametrize(
+        "tool_cls",
+        [Checkov, Kubeaudit, KubeLinter, Kubesec, SLIKube, KubeBench, Kubescape, Trivy,
+         NeuVector, StackRox],
+    )
+    def test_host_network_detected(self, tool_cls):
+        findings = tool_cls().run(static_input(make_deployment(host_network=True)))
+        assert any(f.misconfig_class is MisconfigClass.M7 for f in findings)
+
+    def test_kube_score_does_not_check_host_network(self):
+        findings = KubeScore().run(static_input(make_deployment(host_network=True)))
+        assert not any(f.misconfig_class is MisconfigClass.M7 for f in findings)
+
+
+class TestNetworkPolicyCheck:
+    @pytest.mark.parametrize("tool_cls", [Checkov, Kubeaudit, KubeScore, Kubescape])
+    def test_missing_policy_detected(self, tool_cls):
+        findings = tool_cls().run(static_input(make_deployment()))
+        assert any(f.misconfig_class is MisconfigClass.M6 for f in findings)
+
+    @pytest.mark.parametrize("tool_cls", [Checkov, Kubeaudit, KubeScore, Kubescape])
+    def test_covered_workload_not_flagged(self, tool_cls):
+        findings = tool_cls().run(static_input(make_deployment(), deny_all_policy("deny")))
+        assert not any(f.misconfig_class is MisconfigClass.M6 for f in findings)
+
+    @pytest.mark.parametrize("tool_cls", [KubeLinter, Kubesec, SLIKube, Trivy, KubeBench])
+    def test_tools_without_policy_check_miss_it(self, tool_cls):
+        findings = tool_cls().run(static_input(make_deployment()))
+        assert not any(f.misconfig_class is MisconfigClass.M6 for f in findings)
+
+
+class TestDanglingServiceCheck:
+    @pytest.mark.parametrize("tool_cls", [KubeLinter, KubeScore])
+    def test_dangling_service_detected(self, tool_cls):
+        findings = tool_cls().run(static_input(make_service(selector={"app": "ghost"})))
+        assert any(f.misconfig_class is MisconfigClass.M5D for f in findings)
+
+    @pytest.mark.parametrize("tool_cls", [KubeLinter, KubeScore])
+    def test_matched_service_not_flagged(self, tool_cls):
+        findings = tool_cls().run(static_input(make_deployment(), make_service()))
+        assert not any(f.misconfig_class is MisconfigClass.M5D for f in findings)
+
+    @pytest.mark.parametrize("tool_cls", [Checkov, Kubeaudit, Kubesec, SLIKube])
+    def test_other_static_tools_miss_it(self, tool_cls):
+        findings = tool_cls().run(static_input(make_service(selector={"app": "ghost"})))
+        assert not any(f.misconfig_class is MisconfigClass.M5D for f in findings)
+
+
+class TestKubescapeLabelHints:
+    def test_shared_labels_reported_as_partial(self):
+        shared = {"app": "shared"}
+        findings = Kubescape().run(
+            static_input(make_deployment("a", labels=shared), make_deployment("b", labels=shared))
+        )
+        label_findings = [f for f in findings if f.misconfig_class is MisconfigClass.M4A]
+        assert label_findings and all(f.partial for f in label_findings)
+
+    def test_unique_labels_not_reported(self):
+        findings = Kubescape().run(
+            static_input(make_deployment("a", labels={"app": "a"}),
+                         make_deployment("b", labels={"app": "b"}))
+        )
+        assert not any(f.misconfig_class is MisconfigClass.M4A for f in findings)
+
+
+class TestDetectionOutcomes:
+    def test_found_outcome(self):
+        tool = Checkov()
+        findings = tool.run(static_input(make_deployment(host_network=True)))
+        assert tool.detection_outcome(MisconfigClass.M7, findings) == FOUND
+
+    def test_partial_outcome(self):
+        tool = Kubescape()
+        shared = {"app": "shared"}
+        findings = tool.run(
+            static_input(make_deployment("a", labels=shared), make_deployment("b", labels=shared))
+        )
+        assert tool.detection_outcome(MisconfigClass.M4A, findings) == PARTIAL
+
+    def test_missed_outcome(self):
+        tool = Checkov()
+        assert tool.detection_outcome(MisconfigClass.M4A, []) == MISSED
+
+    def test_not_applicable_for_runtime_classes_on_static_tools(self):
+        tool = Checkov()
+        assert tool.detection_outcome(MisconfigClass.M1, []) == NOT_APPLICABLE
+        assert tool.detection_outcome(MisconfigClass.M2, []) == NOT_APPLICABLE
+
+    def test_cluster_wide_not_applicable_for_static_and_runtime_tools(self):
+        assert Checkov().detection_outcome(MisconfigClass.M4_GLOBAL, []) == NOT_APPLICABLE
+        assert KubeBench().detection_outcome(MisconfigClass.M4_GLOBAL, []) == NOT_APPLICABLE
+        assert Trivy().detection_outcome(MisconfigClass.M4_GLOBAL, []) == MISSED
+
+
+class TestOurSolutionAdapter:
+    def test_detects_static_classes_without_runtime(self):
+        tool = OurSolution()
+        findings = tool.run(static_input(make_deployment(host_network=True), make_service()))
+        classes = {f.misconfig_class for f in findings}
+        assert MisconfigClass.M7 in classes
+        assert MisconfigClass.M6 in classes
+
+    def test_cluster_inventories_enable_global_collisions(self):
+        tool = OurSolution()
+        shared = {"app": "shared"}
+        data = BaselineInput(
+            inventory=Inventory([make_deployment("a", labels=shared)]),
+            cluster_inventories=[Inventory([make_deployment("a", labels=shared)])],
+        )
+        findings = tool.run(data)
+        assert any(f.misconfig_class is MisconfigClass.M4_GLOBAL for f in findings)

@@ -1,0 +1,104 @@
+"""Tests for the responsible-disclosure tooling (Section 5 / Appendix A)."""
+
+from repro.core import (
+    FEEDBACK_QUESTIONNAIRE,
+    AnalysisReport,
+    DisclosureOutcome,
+    Finding,
+    LikertAnswer,
+    MisconfigClass,
+    QuestionnaireResponse,
+    Severity,
+    build_disclosures,
+    summarize_outcomes,
+)
+
+
+def _report(name: str, dataset: str, classes=(MisconfigClass.M1,)) -> AnalysisReport:
+    report = AnalysisReport(application=name, dataset=dataset)
+    report.add(
+        Finding(
+            misconfig_class=cls,
+            application=name,
+            resource=f"Deployment/default/{name}",
+            message=f"{cls.value} issue",
+            port=8080 if cls is MisconfigClass.M1 else None,
+            mitigation="declare the port",
+        )
+        for cls in classes
+    )
+    return report
+
+
+class TestDisclosureReports:
+    def test_reports_grouped_by_dataset(self):
+        disclosures = build_disclosures(
+            [_report("a", "Bitnami"), _report("b", "Bitnami"), _report("c", "Wikimedia")]
+        )
+        assert [d.organization for d in disclosures] == ["Bitnami", "Wikimedia"]
+        assert disclosures[0].total_findings == 2
+
+    def test_explicit_organization_mapping_wins(self):
+        disclosures = build_disclosures(
+            [_report("a", "Bitnami")], organization_of={"a": "VMware"}
+        )
+        assert disclosures[0].organization == "VMware"
+
+    def test_affected_applications_excludes_clean_charts(self):
+        clean = AnalysisReport(application="clean", dataset="Bitnami")
+        disclosures = build_disclosures([_report("a", "Bitnami"), clean])
+        assert len(disclosures[0].reports) == 2
+        assert [r.application for r in disclosures[0].affected_applications] == ["a"]
+
+    def test_severity_breakdown(self):
+        disclosure = build_disclosures(
+            [_report("a", "Bitnami", (MisconfigClass.M4A, MisconfigClass.M3))]
+        )[0]
+        breakdown = disclosure.severity_breakdown()
+        assert breakdown[Severity.HIGH] == 1
+        assert breakdown[Severity.LOW] == 1
+
+    def test_markdown_contains_threat_model_findings_and_mitigations(self):
+        disclosure = build_disclosures([_report("rabbitmq", "Bitnami")])[0]
+        markdown = disclosure.to_markdown()
+        assert "Threat model" in markdown
+        assert "rabbitmq" in markdown
+        assert "proposed mitigation" in markdown
+        assert "M1" in markdown
+        assert "questionnaire" in markdown.lower()
+
+
+class TestQuestionnaire:
+    def test_questionnaire_has_the_core_appendix_questions(self):
+        numbers = {question.number for question in FEEDBACK_QUESTIONNAIRE}
+        assert {1, 7, 11, 13, 15} <= numbers
+        kinds = {question.kind for question in FEEDBACK_QUESTIONNAIRE}
+        assert {"text", "options", "likert", "yes/no"} <= kinds
+
+    def test_likert_answers_order(self):
+        assert LikertAnswer.STRONGLY_AGREE > LikertAnswer.NEUTRAL > LikertAnswer.STRONGLY_DISAGREE
+
+    def test_label_collision_criticality_detection(self):
+        agrees = QuestionnaireResponse("Bitnami", {13: LikertAnswer.AGREE})
+        disagrees = QuestionnaireResponse("EEA", {13: LikertAnswer.DISAGREE})
+        empty = QuestionnaireResponse("CNCF")
+        assert agrees.rates_label_collisions_critical()
+        assert not disagrees.rates_label_collisions_critical()
+        assert not empty.rates_label_collisions_critical()
+
+
+class TestOutcomes:
+    def test_summary_counts_fixed_applications(self):
+        outcomes = [
+            DisclosureOutcome("Bitnami", acknowledged=True, applications_fixed=22,
+                              response=QuestionnaireResponse("Bitnami",
+                                                             {13: LikertAnswer.STRONGLY_AGREE})),
+            DisclosureOutcome("EEA", acknowledged=True, applications_fixed=6),
+            DisclosureOutcome("Wikimedia", acknowledged=True, applications_fixed=4),
+            DisclosureOutcome("CNCF", acknowledged=False),
+        ]
+        summary = summarize_outcomes(outcomes)
+        assert summary["organizations_contacted"] == 4
+        assert summary["organizations_acknowledging"] == 3
+        assert summary["applications_fixed"] == 32
+        assert summary["respondents_rating_label_collisions_critical"] == 1

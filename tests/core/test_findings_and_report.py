@@ -1,0 +1,165 @@
+"""Unit tests for the findings model and report aggregation."""
+
+from repro.core import (
+    CATALOG,
+    TABLE_ORDER,
+    AnalysisReport,
+    EvaluationSummary,
+    Finding,
+    MisconfigClass,
+    Severity,
+    deduplicate_findings,
+    format_report_json,
+    format_report_markdown,
+    format_report_text,
+)
+
+
+def finding(cls=MisconfigClass.M1, app="app", resource="Deployment/default/web", port=None):
+    return Finding(misconfig_class=cls, application=app, resource=resource,
+                   message="msg", port=port)
+
+
+class TestCatalog:
+    def test_catalog_covers_all_thirteen_classes(self):
+        assert len(CATALOG) == 13
+        assert set(CATALOG) == set(TABLE_ORDER)
+
+    def test_label_collisions_are_most_severe(self):
+        assert CATALOG[MisconfigClass.M4A].severity == Severity.HIGH
+        assert CATALOG[MisconfigClass.M3].severity == Severity.LOW
+
+    def test_family_grouping(self):
+        assert MisconfigClass.M4_GLOBAL.family == "M4"
+        assert MisconfigClass.M5B.family == "M5"
+        assert MisconfigClass.M1.family == "M1"
+
+    def test_every_entry_documents_attacks_and_mitigation_path(self):
+        for descriptor in CATALOG.values():
+            assert descriptor.description
+            assert descriptor.issue
+            assert descriptor.attacks
+            assert descriptor.detection in ("static", "runtime", "hybrid")
+
+
+class TestFindings:
+    def test_finding_severity_comes_from_catalog(self):
+        assert finding(MisconfigClass.M4B).severity == Severity.HIGH
+
+    def test_deduplication_by_class_resource_and_port(self):
+        findings = [finding(port=80), finding(port=80), finding(port=81)]
+        assert len(deduplicate_findings(findings)) == 2
+
+    def test_to_dict_contains_key_fields(self):
+        data = finding(port=9090).to_dict()
+        assert data["class"] == "M1"
+        assert data["port"] == 9090
+        assert data["severity"] == "medium"
+
+
+class TestAnalysisReport:
+    def test_add_deduplicates(self):
+        report = AnalysisReport(application="app")
+        report.add([finding(), finding()])
+        assert report.total == 1
+
+    def test_count_by_class_includes_all_classes(self):
+        report = AnalysisReport(application="app")
+        report.add([finding(MisconfigClass.M1), finding(MisconfigClass.M6, resource="app")])
+        counts = report.count_by_class()
+        assert counts[MisconfigClass.M1] == 1
+        assert counts[MisconfigClass.M6] == 1
+        assert counts[MisconfigClass.M7] == 0
+
+    def test_type_count_and_affected(self):
+        report = AnalysisReport(application="app")
+        assert not report.affected
+        report.add([finding(MisconfigClass.M1, port=1), finding(MisconfigClass.M1, port=2),
+                    finding(MisconfigClass.M2, resource="x")])
+        assert report.affected
+        assert report.type_count() == 2
+
+    def test_by_severity(self):
+        report = AnalysisReport(application="app")
+        report.add([finding(MisconfigClass.M4A), finding(MisconfigClass.M3, port=1)])
+        by_severity = report.by_severity()
+        assert by_severity[Severity.HIGH] == 1
+        assert by_severity[Severity.LOW] == 1
+
+
+class TestFormatting:
+    def _report(self):
+        report = AnalysisReport(application="demo", dataset="Bitnami")
+        report.add([finding(MisconfigClass.M1, app="demo", port=9999),
+                    finding(MisconfigClass.M6, app="demo", resource="demo")])
+        return report
+
+    def test_text_format_lists_findings(self):
+        text = format_report_text(self._report())
+        assert "Application: demo" in text
+        assert "[M1]" in text and "[M6]" in text
+
+    def test_text_format_clean_report(self):
+        text = format_report_text(AnalysisReport(application="clean"))
+        assert "No network misconfigurations" in text
+
+    def test_json_format_is_parseable(self):
+        import json
+
+        data = json.loads(format_report_json(self._report()))
+        assert data["total"] == 2
+
+    def test_markdown_format_has_table(self):
+        markdown = format_report_markdown(self._report())
+        assert markdown.startswith("## demo")
+        assert "| M1 |" in markdown
+
+
+class TestEvaluationSummary:
+    def _summary(self):
+        summary = EvaluationSummary()
+        first = AnalysisReport(application="a", dataset="DS1")
+        first.add([finding(MisconfigClass.M1, app="a", port=p) for p in range(12)])
+        second = AnalysisReport(application="b", dataset="DS1")
+        second.add([finding(MisconfigClass.M6, app="b", resource="b")])
+        third = AnalysisReport(application="c", dataset="DS2")
+        summary.add(first)
+        summary.add(second)
+        summary.add(third)
+        return summary
+
+    def test_totals(self):
+        summary = self._summary()
+        assert summary.total_applications == 3
+        assert summary.affected_applications == 2
+        assert summary.total_misconfigurations == 13
+
+    def test_dataset_summaries(self):
+        summary = self._summary()
+        ds1 = summary.dataset_summary("DS1")
+        assert ds1.total_applications == 2
+        assert ds1.affected_applications == 2
+        assert ds1.counts[MisconfigClass.M1] == 12
+        assert ds1.average_per_application == 6.5
+
+    def test_rankings(self):
+        summary = self._summary()
+        assert summary.top_by_count(1)[0].application == "a"
+        assert summary.top_by_types(2)[0].application in {"a", "b"}
+
+    def test_distribution_and_concentration(self):
+        summary = self._summary()
+        assert summary.distribution() == [12, 1, 0]
+        app_share, finding_share = summary.concentration(10)
+        assert app_share == 1 / 3
+        assert finding_share == 12 / 13
+
+    def test_table2_text_has_total_row(self):
+        text = self._summary().table2_text()
+        assert "Total" in text
+        assert "DS1" in text
+
+    def test_to_dict_round_trip_fields(self):
+        data = self._summary().to_dict()
+        assert data["total_applications"] == 3
+        assert data["datasets"]["DS1"]["total"] == 13

@@ -1,0 +1,246 @@
+"""Unit tests for the detection rules, each exercised in isolation.
+
+Every test builds a minimal application via the dataset builder (so that the
+declared/runtime mismatch is realistic) or assembles objects by hand, then
+checks that exactly the expected rule fires.
+"""
+
+import pytest
+
+from repro.cluster import BehaviorRegistry, Cluster
+from repro.core import AnalysisContext, MisconfigClass, MisconfigurationAnalyzer
+from repro.core.rules import (
+    ComputeUnitCollisionRule,
+    ComputeUnitSubsetCollisionRule,
+    DeclaredClosedPortsRule,
+    DynamicPortsRule,
+    HeadlessServicePortUnavailableRule,
+    HostNetworkRule,
+    LackOfNetworkPoliciesRule,
+    ServiceLabelCollisionRule,
+    ServiceTargetsUndeclaredPortRule,
+    ServiceTargetsUnopenedPortRule,
+    ServiceWithoutTargetRule,
+    UndeclaredOpenPortsRule,
+    default_rules,
+)
+from repro.datasets import InjectionPlan, build_application
+from repro.helm import render_chart
+from repro.k8s import Inventory, allow_ports_policy, deny_all_policy, equality_selector
+from repro.probe import RuntimeScanner
+from tests.conftest import make_deployment, make_service
+
+
+def analyze_plan(plan: InjectionPlan, archetype: str = "web"):
+    """Build an app from a plan and return its hybrid analysis report."""
+    app = build_application("rule-test", "Test Org", plan, archetype=archetype)
+    analyzer = MisconfigurationAnalyzer()
+    return analyzer.analyze_chart(app.chart, behaviors=app.behaviors)
+
+
+def context_for(objects, observation=None, disabled_policies=False) -> AnalysisContext:
+    return AnalysisContext(
+        application="manual",
+        inventory=Inventory(objects),
+        observation=observation,
+        network_policies_available_but_disabled=disabled_policies,
+    )
+
+
+def observe(objects, behaviors=None, app_name="manual"):
+    cluster = Cluster(name="rules", worker_count=2, behaviors=behaviors or BehaviorRegistry(), seed=9)
+    cluster.install(list(objects), app_name=app_name)
+    return RuntimeScanner(cluster).observe(app_name)
+
+
+class TestPortRules:
+    def test_m1_detects_each_undeclared_open_port(self):
+        report = analyze_plan(InjectionPlan(m1=3))
+        assert len(report.of_class(MisconfigClass.M1)) == 3
+        ports = {finding.port for finding in report.of_class(MisconfigClass.M1)}
+        assert len(ports) == 3
+
+    def test_m1_not_reported_for_declared_ports(self):
+        report = analyze_plan(InjectionPlan())
+        assert report.of_class(MisconfigClass.M1) == []
+
+    def test_m1_excludes_dynamic_ports(self):
+        report = analyze_plan(InjectionPlan(m2=1))
+        assert report.of_class(MisconfigClass.M1) == []
+        assert len(report.of_class(MisconfigClass.M2)) == 1
+
+    def test_m2_reported_once_per_compute_unit(self):
+        report = analyze_plan(InjectionPlan(m2=2), archetype="pipeline")
+        assert len(report.of_class(MisconfigClass.M2)) == 2
+
+    def test_m3_detects_declared_but_closed_ports(self):
+        report = analyze_plan(InjectionPlan(m3=2))
+        assert len(report.of_class(MisconfigClass.M3)) == 2
+
+    def test_port_rules_require_runtime_observation(self):
+        context = context_for([make_deployment()])
+        assert not UndeclaredOpenPortsRule().applicable(context)
+        assert not DynamicPortsRule().applicable(context)
+        assert not DeclaredClosedPortsRule().applicable(context)
+
+    def test_m3_skips_units_without_running_pods(self):
+        deployment = make_deployment(ports=[8080])
+        observation = observe([deployment])
+        # A second workload that never started any pod must not produce M3.
+        other = make_deployment("other", labels={"app": "other"}, ports=[9999])
+        context = context_for([deployment, other], observation)
+        findings = DeclaredClosedPortsRule().evaluate(context)
+        assert findings == []
+
+
+class TestLabelRules:
+    def test_m4a_detects_identical_label_sets(self):
+        report = analyze_plan(InjectionPlan(m4a=1))
+        findings = report.of_class(MisconfigClass.M4A)
+        assert len(findings) == 1
+        assert len(findings[0].related_resources) >= 1
+
+    def test_m4a_one_finding_per_collision_group(self):
+        report = analyze_plan(InjectionPlan(m4a=2))
+        assert len(report.of_class(MisconfigClass.M4A)) == 2
+
+    def test_m4a_ignores_unique_labels(self):
+        context = context_for([make_deployment("a", labels={"app": "a"}),
+                               make_deployment("b", labels={"app": "b"})])
+        assert ComputeUnitCollisionRule().evaluate(context) == []
+
+    def test_m4b_detects_multiple_services_on_one_unit(self):
+        report = analyze_plan(InjectionPlan(m4b=1))
+        assert len(report.of_class(MisconfigClass.M4B)) == 1
+
+    def test_m4b_single_service_is_fine(self):
+        context = context_for([make_deployment(), make_service()])
+        assert ServiceLabelCollisionRule().evaluate(context) == []
+
+    def test_m4c_detects_subset_collision(self):
+        report = analyze_plan(InjectionPlan(m4c=1))
+        assert len(report.of_class(MisconfigClass.M4C)) == 1
+
+    def test_m4c_skips_identical_label_sets(self):
+        # Two units with the exact same labels are an M4A case, not M4C.
+        objects = [
+            make_deployment("a", labels={"app": "shared"}),
+            make_deployment("b", labels={"app": "shared"}),
+            make_service("svc", selector={"app": "shared"}),
+        ]
+        assert ComputeUnitSubsetCollisionRule().evaluate(context_for(objects)) == []
+
+
+class TestServiceRules:
+    def test_m5a_detects_unopened_target(self):
+        report = analyze_plan(InjectionPlan(m5a=1))
+        assert len(report.of_class(MisconfigClass.M5A)) == 1
+        assert report.of_class(MisconfigClass.M5B) == []
+
+    def test_m5b_detects_undeclared_but_open_target(self):
+        report = analyze_plan(InjectionPlan(m1=1, m5b=1))
+        assert len(report.of_class(MisconfigClass.M5B)) == 1
+        # The open-but-undeclared port itself is still an M1 finding.
+        assert len(report.of_class(MisconfigClass.M1)) == 1
+
+    def test_m5b_static_mode_flags_all_undeclared_targets(self):
+        deployment = make_deployment(ports=[8080])
+        service = make_service(target_port=9999)
+        findings = ServiceTargetsUndeclaredPortRule().evaluate(context_for([deployment, service]))
+        assert len(findings) == 1
+
+    def test_m5c_detects_headless_port_unavailable(self):
+        report = analyze_plan(InjectionPlan(m5c=1))
+        assert len(report.of_class(MisconfigClass.M5C)) == 1
+
+    def test_m5c_only_applies_to_headless_services(self):
+        deployment = make_deployment(ports=[8080])
+        service = make_service(target_port=9999, headless=False)
+        observation = observe([deployment, service])
+        findings = HeadlessServicePortUnavailableRule().evaluate(
+            context_for([deployment, service], observation)
+        )
+        assert findings == []
+
+    def test_m5d_detects_service_without_target(self):
+        report = analyze_plan(InjectionPlan(m5d=1))
+        assert len(report.of_class(MisconfigClass.M5D)) == 1
+
+    def test_m5d_ignores_selectorless_services(self):
+        service = make_service()
+        service.selector = equality_selector()
+        assert ServiceWithoutTargetRule().evaluate(context_for([service])) == []
+
+    def test_named_target_port_resolves_correctly(self):
+        deployment = make_deployment(ports=[8080])
+        deployment.template.spec.containers[0].ports[0] = (
+            type(deployment.template.spec.containers[0].ports[0])(8080, name="http")
+        )
+        service = make_service(target_port="http")
+        findings = ServiceTargetsUndeclaredPortRule().evaluate(context_for([deployment, service]))
+        assert findings == []
+
+    def test_m5a_ignores_service_without_backends(self):
+        service = make_service(selector={"app": "ghost"}, target_port=1234)
+        observation = observe([make_deployment(), service])
+        findings = ServiceTargetsUnopenedPortRule().evaluate(
+            context_for([make_deployment(), service], observation)
+        )
+        assert findings == []
+
+
+class TestPolicyRules:
+    def test_m6_reported_when_no_policy_exists(self):
+        context = context_for([make_deployment()])
+        findings = LackOfNetworkPoliciesRule().evaluate(context)
+        assert len(findings) == 1
+        assert "does not define any NetworkPolicy" in findings[0].message
+
+    def test_m6_reported_when_policies_are_disabled_in_chart(self):
+        context = context_for([make_deployment()], disabled_policies=True)
+        findings = LackOfNetworkPoliciesRule().evaluate(context)
+        assert "disabled by default" in findings[0].message
+
+    def test_m6_reported_when_policy_selects_nothing(self):
+        policy = allow_ports_policy("allow", equality_selector(app="other"), [80])
+        findings = LackOfNetworkPoliciesRule().evaluate(context_for([make_deployment(), policy]))
+        assert len(findings) == 1
+        assert "none of them selects" in findings[0].message
+
+    def test_m6_not_reported_when_policy_covers_pods(self):
+        policy = deny_all_policy("deny")
+        assert LackOfNetworkPoliciesRule().evaluate(context_for([make_deployment(), policy])) == []
+
+    def test_m6_not_reported_for_chart_without_compute_units(self):
+        assert LackOfNetworkPoliciesRule().evaluate(context_for([make_service()])) == []
+
+    def test_m7_reported_per_host_network_unit(self):
+        objects = [
+            make_deployment("a", labels={"app": "a"}, host_network=True),
+            make_deployment("b", labels={"app": "b"}, host_network=True),
+            make_deployment("c", labels={"app": "c"}),
+        ]
+        findings = HostNetworkRule().evaluate(context_for(objects))
+        assert len(findings) == 2
+        assert all(f.misconfig_class is MisconfigClass.M7 for f in findings)
+
+
+class TestRuleRegistry:
+    def test_default_rules_cover_twelve_per_application_classes(self):
+        registry = default_rules()
+        covered = set()
+        for rule in registry:
+            covered.update(rule.produces)
+        assert covered == set(MisconfigClass) - {MisconfigClass.M4_GLOBAL}
+
+    def test_rules_for_skips_runtime_rules_without_observation(self):
+        registry = default_rules()
+        context = context_for([make_deployment()])
+        applicable = registry.rules_for(context)
+        names = {rule.name for rule in applicable}
+        assert "UndeclaredOpenPortsRule" not in names
+        assert "HostNetworkRule" in names
+
+    def test_covering_lookup(self):
+        registry = default_rules()
+        assert len(registry.covering(MisconfigClass.M6)) == 1

@@ -1,0 +1,79 @@
+"""Additional tests for report exports, CLI wiring and figure formatting."""
+
+import pytest
+
+from repro.cli import build_parser
+from repro.core import AnalysisReport, Finding, MisconfigClass, TABLE_ORDER
+from repro.core.report import DatasetSummary, EvaluationSummary
+from repro.experiments import class_breakdown_csv, figure4a, format_figure4a
+
+
+def _summary_with(*counts: tuple[str, str, int]) -> EvaluationSummary:
+    summary = EvaluationSummary()
+    for name, dataset, total in counts:
+        report = AnalysisReport(application=name, dataset=dataset)
+        report.add(
+            Finding(misconfig_class=MisconfigClass.M1, application=name,
+                    resource=f"Deployment/default/{name}", message="m", port=10000 + index)
+            for index in range(total)
+        )
+        summary.add(report)
+    return summary
+
+
+class TestDatasetSummaryRow:
+    def test_row_follows_table_column_order(self):
+        summary = DatasetSummary(dataset="DS", total_applications=3, affected_applications=2,
+                                 counts={cls: 0 for cls in TABLE_ORDER})
+        summary.counts[MisconfigClass.M6] = 4
+        row = summary.row()
+        assert row[0] == "DS"
+        assert row[1] == "2 / 3"
+        assert row[2 + TABLE_ORDER.index(MisconfigClass.M6)] == 4
+        assert len(row) == 2 + len(TABLE_ORDER)
+
+    def test_average_handles_empty_dataset(self):
+        empty = DatasetSummary(dataset="DS")
+        assert empty.average_per_application == 0.0
+
+
+class TestCsvExport:
+    def test_csv_has_header_and_one_row_per_application(self):
+        summary = _summary_with(("a", "DS1", 2), ("b", "DS2", 0))
+        csv_text = class_breakdown_csv(summary)
+        lines = csv_text.splitlines()
+        assert lines[0].startswith("application,dataset,total,types")
+        assert len(lines) == 3
+        assert lines[1].startswith("a,DS1,2,1")
+        assert lines[2].startswith("b,DS2,0,0")
+
+
+class TestFigure4aFormatting:
+    def test_empty_summary_renders_without_errors(self):
+        distribution = figure4a(EvaluationSummary())
+        text = format_figure4a(distribution)
+        assert "0.0%" in text
+
+    def test_concentration_shares_are_fractions(self):
+        summary = _summary_with(("a", "DS", 12), ("b", "DS", 1), ("c", "DS", 0))
+        distribution = figure4a(summary)
+        assert distribution.share_apps_ge_10 == pytest.approx(1 / 3)
+        assert distribution.share_findings_ge_10 == pytest.approx(12 / 13)
+
+
+class TestCliParser:
+    def test_parser_knows_all_subcommands(self):
+        parser = build_parser()
+        for command in ("catalog", "table2", "table3", "figure3", "figure4a", "figure4b"):
+            assert callable(parser.parse_args([command]).handler)
+        assert callable(parser.parse_args(["analyze", "x.yaml"]).handler)
+        assert parser.parse_args(["attack", "concourse"]).scenario == "concourse"
+
+    def test_attack_requires_valid_scenario(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["attack", "unknown-scenario"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

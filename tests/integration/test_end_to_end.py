@@ -1,0 +1,130 @@
+"""Integration tests: full pipeline, Table 2 reproduction, CLI entry points."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import MisconfigClass, MisconfigurationAnalyzer
+from repro.datasets import (
+    DATASET_ORDER,
+    TABLE2_TOTAL_MISCONFIGURATIONS,
+    build_catalog,
+    build_dataset,
+    expected_dataset_counts,
+)
+from repro.experiments import run_full_evaluation
+from repro.helm import render_chart
+from repro.k8s import dump_yaml
+
+
+class TestChartToFindingsPipeline:
+    def test_chart_render_install_probe_analyze(self, misconfigured_application, analyzer):
+        """The full hybrid pipeline on one chart behaves consistently."""
+        report = analyzer.analyze_chart(
+            misconfigured_application.chart,
+            behaviors=misconfigured_application.behaviors,
+            dataset="fixtures",
+        )
+        expected = misconfigured_application.plan.expected_counts()
+        got = {cls.value: count for cls, count in report.count_by_class().items()}
+        for name, count in expected.items():
+            if name == "M4*":
+                continue
+            assert got.get(name, 0) == count, f"{name}: expected {count}, got {got.get(name)}"
+
+    def test_analysis_is_deterministic(self, misconfigured_application):
+        reports = []
+        for _ in range(2):
+            analyzer = MisconfigurationAnalyzer()
+            reports.append(
+                analyzer.analyze_chart(
+                    misconfigured_application.chart, behaviors=misconfigured_application.behaviors
+                )
+            )
+        first = sorted(f.dedupe_key() for f in reports[0].findings)
+        second = sorted(f.dedupe_key() for f in reports[1].findings)
+        assert first == second
+
+
+@pytest.mark.slow
+class TestTable2Reproduction:
+    """Exact reproduction of every Table 2 row (the paper's main result)."""
+
+    @pytest.fixture(scope="class")
+    def evaluation(self):
+        return run_full_evaluation()
+
+    @pytest.mark.parametrize("dataset", DATASET_ORDER)
+    def test_dataset_row_matches_paper(self, evaluation, dataset):
+        summary = evaluation.summary.dataset_summary(dataset)
+        got = {cls.value: count for cls, count in summary.counts.items()}
+        for name, count in expected_dataset_counts(dataset).items():
+            assert got.get(name, 0) == count, f"{dataset} {name}"
+
+    def test_grand_total_is_634(self, evaluation):
+        assert evaluation.summary.total_misconfigurations == TABLE2_TOTAL_MISCONFIGURATIONS
+
+    def test_259_applications_affected(self, evaluation):
+        assert evaluation.summary.affected_applications == 259
+
+    def test_most_common_classes_are_m6_m1_m3(self, evaluation):
+        counts = evaluation.summary.counts_by_class()
+        ranked = sorted(counts, key=counts.get, reverse=True)
+        assert ranked[0] is MisconfigClass.M6
+        assert ranked[1] is MisconfigClass.M1
+        assert ranked[2] is MisconfigClass.M3
+
+    def test_sharing_charts_more_misconfigured_than_internal(self, evaluation):
+        from repro.experiments import compute_stats
+
+        stats = compute_stats(evaluation)
+        assert stats.use_case("sharing").average > 2 * stats.use_case("internal").average
+        assert stats.use_case("production").average > 2 * stats.use_case("internal").average
+
+    def test_top_application_is_kube_prometheus_stack(self, evaluation):
+        top = evaluation.summary.top_by_count(1)[0]
+        assert top.application == "kube-prometheus-stack"
+        assert top.total >= 15
+
+
+class TestCLI:
+    def test_analyze_command_reports_findings(self, tmp_path, misconfigured_application, capsys):
+        rendered = render_chart(misconfigured_application.chart)
+        manifest = tmp_path / "manifests.yaml"
+        manifest.write_text(dump_yaml(rendered.objects), encoding="utf-8")
+        exit_code = cli_main(["analyze", str(manifest)])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "[M6]" in output
+        assert "[M7]" in output
+
+    def test_analyze_strict_mode_fails_on_findings(self, tmp_path, misconfigured_application):
+        rendered = render_chart(misconfigured_application.chart)
+        manifest = tmp_path / "manifests.yaml"
+        manifest.write_text(dump_yaml(rendered.objects), encoding="utf-8")
+        assert cli_main(["analyze", str(manifest), "--strict"]) == 1
+
+    def test_attack_commands(self, capsys):
+        assert cli_main(["attack", "concourse"]) == 0
+        assert cli_main(["attack", "thanos"]) == 0
+        output = capsys.readouterr().out
+        assert "attack succeeded" in output
+        assert "impersonation succeeded" in output
+
+    def test_table3_command(self, capsys):
+        assert cli_main(["table3"]) == 0
+        assert "Our solution" in capsys.readouterr().out
+
+
+class TestSmallCatalogEndToEnd:
+    def test_wikimedia_dataset_matches_row(self):
+        result = run_full_evaluation(applications=build_dataset("Wikimedia"))
+        summary = result.summary.dataset_summary("Wikimedia")
+        got = {cls.value: count for cls, count in summary.counts.items() if count}
+        expected = {k: v for k, v in expected_dataset_counts("Wikimedia").items() if v}
+        assert got == expected
+        assert summary.affected_applications == 10
+
+    def test_catalog_subset_builds_consistently(self):
+        apps = build_catalog(("CNCF",))
+        assert len(apps) == 10
+        assert all(app.dataset == "CNCF" for app in apps)

@@ -1,0 +1,207 @@
+"""Unit tests for label and selector semantics."""
+
+import pytest
+
+from repro.k8s import (
+    LabelSelectorRequirement,
+    LabelSet,
+    Selector,
+    SelectorError,
+    ValidationError,
+    equality_selector,
+    find_duplicate_label_sets,
+    parse_selector,
+    selectors_overlap,
+)
+from repro.k8s.labels import validate_label_key, validate_label_value
+
+
+class TestLabelValidation:
+    def test_simple_key_is_valid(self):
+        assert validate_label_key("app") == "app"
+
+    def test_prefixed_key_is_valid(self):
+        assert validate_label_key("app.kubernetes.io/name") == "app.kubernetes.io/name"
+
+    def test_empty_key_is_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_label_key("")
+
+    def test_key_with_invalid_characters_is_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_label_key("app name")
+
+    def test_key_longer_than_63_characters_is_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_label_key("a" * 64)
+
+    def test_invalid_prefix_is_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_label_key("UPPER.example.com/name")
+
+    def test_empty_value_is_allowed(self):
+        assert validate_label_value("") == ""
+
+    def test_value_with_spaces_is_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_label_value("two words")
+
+    def test_non_string_value_is_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_label_value(None)  # type: ignore[arg-type]
+
+
+class TestLabelSet:
+    def test_behaves_like_a_mapping(self):
+        labels = LabelSet({"app": "web", "tier": "frontend"})
+        assert labels["app"] == "web"
+        assert len(labels) == 2
+        assert set(labels) == {"app", "tier"}
+
+    def test_is_hashable_and_equal_by_content(self):
+        first = LabelSet({"app": "web"})
+        second = LabelSet({"app": "web"})
+        assert first == second
+        assert hash(first) == hash(second)
+        assert len({first, second}) == 1
+
+    def test_equality_with_plain_dict(self):
+        assert LabelSet({"app": "web"}) == {"app": "web"}
+
+    def test_merged_overrides_existing_keys(self):
+        merged = LabelSet({"app": "web", "tier": "x"}).merged({"tier": "backend"})
+        assert merged == {"app": "web", "tier": "backend"}
+
+    def test_merged_does_not_mutate_original(self):
+        original = LabelSet({"app": "web"})
+        original.merged({"extra": "1"})
+        assert "extra" not in original
+
+    def test_subset_of(self):
+        assert LabelSet({"app": "web"}).subset_of({"app": "web", "tier": "f"})
+        assert not LabelSet({"app": "web", "x": "y"}).subset_of({"app": "web"})
+
+    def test_shared_with(self):
+        shared = LabelSet({"a": "1", "b": "2"}).shared_with({"a": "1", "b": "3"})
+        assert shared == {"a": "1"}
+
+    def test_values_are_coerced_to_strings(self):
+        assert LabelSet({"replicas": 3})["replicas"] == "3"
+
+    def test_invalid_key_raises(self):
+        with pytest.raises(ValidationError):
+            LabelSet({"bad key": "x"})
+
+
+class TestSelectorRequirement:
+    def test_in_operator(self):
+        requirement = LabelSelectorRequirement("tier", "In", ("web", "api"))
+        assert requirement.matches({"tier": "web"})
+        assert not requirement.matches({"tier": "db"})
+        assert not requirement.matches({})
+
+    def test_not_in_operator_matches_absent_key(self):
+        requirement = LabelSelectorRequirement("tier", "NotIn", ("db",))
+        assert requirement.matches({})
+        assert requirement.matches({"tier": "web"})
+        assert not requirement.matches({"tier": "db"})
+
+    def test_exists_operator(self):
+        requirement = LabelSelectorRequirement("tier", "Exists")
+        assert requirement.matches({"tier": "anything"})
+        assert not requirement.matches({})
+
+    def test_does_not_exist_operator(self):
+        requirement = LabelSelectorRequirement("tier", "DoesNotExist")
+        assert requirement.matches({})
+        assert not requirement.matches({"tier": "x"})
+
+    def test_in_without_values_is_rejected(self):
+        with pytest.raises(SelectorError):
+            LabelSelectorRequirement("tier", "In")
+
+    def test_exists_with_values_is_rejected(self):
+        with pytest.raises(SelectorError):
+            LabelSelectorRequirement("tier", "Exists", ("x",))
+
+    def test_unknown_operator_is_rejected(self):
+        with pytest.raises(SelectorError):
+            LabelSelectorRequirement("tier", "Matches")
+
+
+class TestSelector:
+    def test_equality_selector_matches_superset(self):
+        selector = equality_selector(app="web")
+        assert selector.matches({"app": "web", "extra": "1"})
+
+    def test_equality_selector_rejects_different_value(self):
+        assert not equality_selector(app="web").matches({"app": "api"})
+
+    def test_empty_selector_matches_everything(self):
+        assert Selector().matches({"anything": "goes"})
+        assert Selector().is_empty
+
+    def test_match_expressions_are_conjunctive(self):
+        selector = Selector(
+            match_labels=LabelSet({"app": "web"}),
+            match_expressions=(LabelSelectorRequirement("tier", "Exists"),),
+        )
+        assert selector.matches({"app": "web", "tier": "frontend"})
+        assert not selector.matches({"app": "web"})
+
+    def test_from_dict_modern_shape(self):
+        selector = Selector.from_dict(
+            {"matchLabels": {"app": "web"},
+             "matchExpressions": [{"key": "tier", "operator": "In", "values": ["a"]}]}
+        )
+        assert selector.matches({"app": "web", "tier": "a"})
+
+    def test_from_dict_legacy_shape(self):
+        selector = parse_selector({"app": "web"})
+        assert selector.match_labels == {"app": "web"}
+
+    def test_from_dict_none_gives_empty_selector(self):
+        assert Selector.from_dict(None).is_empty
+
+    def test_round_trip_to_dict(self):
+        selector = Selector(
+            match_labels=LabelSet({"app": "web"}),
+            match_expressions=(LabelSelectorRequirement("tier", "NotIn", ("db",)),),
+        )
+        assert Selector.from_dict(selector.to_dict()) == selector
+
+    def test_requirement_keys(self):
+        selector = Selector(
+            match_labels=LabelSet({"app": "web"}),
+            match_expressions=(LabelSelectorRequirement("tier", "Exists"),),
+        )
+        assert selector.requirement_keys() == {"app", "tier"}
+
+
+class TestCollisionHelpers:
+    def test_find_duplicate_label_sets_groups_identical_sets(self):
+        duplicates = find_duplicate_label_sets(
+            [
+                ("a", {"app": "x"}),
+                ("b", {"app": "x"}),
+                ("c", {"app": "y"}),
+            ]
+        )
+        assert len(duplicates) == 1
+        labels, names = duplicates[0]
+        assert labels == {"app": "x"}
+        assert names == ["a", "b"]
+
+    def test_find_duplicate_label_sets_ignores_empty_labels(self):
+        assert find_duplicate_label_sets([("a", {}), ("b", {})]) == []
+
+    def test_find_duplicate_label_sets_skips_invalid_labels(self):
+        duplicates = find_duplicate_label_sets([("a", {"bad key": "x"}), ("b", {"bad key": "x"})])
+        assert duplicates == []
+
+    def test_selectors_overlap(self):
+        first = equality_selector(app="web")
+        second = equality_selector(tier="frontend")
+        population = [{"app": "web", "tier": "frontend"}]
+        assert selectors_overlap(first, second, population)
+        assert not selectors_overlap(first, second, [{"app": "web"}])

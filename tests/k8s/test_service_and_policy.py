@@ -1,0 +1,261 @@
+"""Unit tests for services, network policies, parsing and inventories."""
+
+import pytest
+
+from repro.k8s import (
+    Inventory,
+    NetworkPolicy,
+    NetworkPolicyPeer,
+    NetworkPolicyPort,
+    NetworkPolicyRule,
+    ObjectMeta,
+    Selector,
+    Service,
+    ServicePort,
+    ValidationError,
+    allow_ports_policy,
+    deny_all_policy,
+    dump_yaml,
+    equality_selector,
+    known_kinds,
+    load_yaml,
+    object_from_dict,
+)
+from repro.k8s.errors import ParseError
+from tests.conftest import make_deployment, make_pod, make_service
+
+
+class TestServicePort:
+    def test_resolved_target_defaults_to_port(self):
+        assert ServicePort(port=80).resolved_target() == 80
+
+    def test_resolved_target_uses_explicit_target(self):
+        assert ServicePort(port=80, target_port=8080).resolved_target() == 8080
+
+    def test_named_target_port(self):
+        assert ServicePort(port=80, target_port="http").resolved_target() == "http"
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ValidationError):
+            ServicePort(port=0)
+
+    def test_from_dict_coerces_numeric_string_target(self):
+        port = ServicePort.from_dict({"port": 80, "targetPort": "8080"})
+        assert port.resolved_target() == 8080
+
+
+class TestService:
+    def test_headless_detection(self):
+        assert make_service(headless=True).is_headless
+        assert not make_service().is_headless
+
+    def test_duplicate_ports_rejected(self):
+        service = Service(
+            metadata=ObjectMeta(name="s"),
+            selector=equality_selector(app="web"),
+            ports=[ServicePort(port=80, name="a"), ServicePort(port=80, name="b")],
+        )
+        with pytest.raises(ValidationError):
+            service.validate()
+
+    def test_multiple_ports_require_names(self):
+        service = Service(
+            metadata=ObjectMeta(name="s"),
+            selector=equality_selector(app="web"),
+            ports=[ServicePort(port=80), ServicePort(port=81)],
+        )
+        with pytest.raises(ValidationError):
+            service.validate()
+
+    def test_invalid_type_rejected(self):
+        service = make_service()
+        service.type = "Magic"
+        with pytest.raises(ValidationError):
+            service.validate()
+
+    def test_from_dict_headless(self):
+        service = Service.from_dict(
+            {
+                "metadata": {"name": "db"},
+                "spec": {"clusterIP": None, "selector": {"app": "db"}, "ports": [{"port": 5432}]},
+            }
+        )
+        assert service.is_headless
+
+    def test_round_trip(self):
+        service = make_service()
+        restored = Service.from_dict(service.to_dict())
+        assert restored.name == service.name
+        assert restored.port_numbers() == {80}
+        assert restored.target_ports() == [8080]
+
+
+class TestNetworkPolicy:
+    def test_empty_pod_selector_selects_all_in_namespace(self):
+        policy = deny_all_policy("deny", "prod")
+        assert policy.selects({"any": "labels"}, "prod")
+        assert not policy.selects({"any": "labels"}, "other")
+
+    def test_deny_all_blocks_everything(self):
+        policy = deny_all_policy("deny")
+        assert not policy.allows_ingress({"app": "x"}, "default", 80)
+
+    def test_allow_ports_policy_allows_listed_port_only(self):
+        policy = allow_ports_policy("allow", equality_selector(app="web"), [8080])
+        assert policy.allows_ingress({"any": "pod"}, "default", 8080)
+        assert not policy.allows_ingress({"any": "pod"}, "default", 9090)
+
+    def test_peer_restriction(self):
+        policy = allow_ports_policy(
+            "allow", equality_selector(app="web"), [8080],
+            peer_selector=equality_selector(role="frontend"),
+        )
+        assert policy.allows_ingress({"role": "frontend"}, "default", 8080)
+        assert not policy.allows_ingress({"role": "batch"}, "default", 8080)
+
+    def test_cross_namespace_peer_denied_without_namespace_selector(self):
+        policy = allow_ports_policy("allow", equality_selector(app="web"), [8080])
+        rule = policy.ingress[0]
+        rule.peers.append(NetworkPolicyPeer(pod_selector=Selector()))
+        assert not policy.allows_ingress({"x": "y"}, "other-namespace", 8080)
+
+    def test_namespace_selector_peer(self):
+        peer = NetworkPolicyPeer(namespace_selector=equality_selector(team="platform"))
+        assert peer.matches_pod({"a": "b"}, "other", "default", namespace_labels={"team": "platform"})
+        assert not peer.matches_pod({"a": "b"}, "other", "default", namespace_labels={"team": "x"})
+
+    def test_ip_block_peer_never_matches_pods(self):
+        peer = NetworkPolicyPeer(ip_block="10.0.0.0/8")
+        assert not peer.matches_pod({"a": "b"}, "default", "default")
+
+    def test_named_port_resolution(self):
+        port = NetworkPolicyPort(port="http")
+        assert port.matches(8080, "TCP", named_ports={"http": 8080})
+        assert not port.matches(8080, "TCP", named_ports={})
+
+    def test_port_range(self):
+        port = NetworkPolicyPort(port=30000, end_port=32000)
+        assert port.matches(31000)
+        assert not port.matches(33000)
+
+    def test_end_port_without_numeric_port_rejected(self):
+        with pytest.raises(ValidationError):
+            NetworkPolicyPort(port="http", end_port=90)
+
+    def test_policy_round_trip(self):
+        policy = allow_ports_policy("allow", equality_selector(app="web"), [80, 443])
+        restored = NetworkPolicy.from_dict(policy.to_dict())
+        assert restored.allows_ingress({"x": "y"}, "default", 443)
+        assert not restored.allows_ingress({"x": "y"}, "default", 8443)
+
+    def test_rule_with_no_peers_and_no_ports_allows_all(self):
+        rule = NetworkPolicyRule()
+        assert rule.allows({"a": "b"}, "default", "default", 12345)
+
+    def test_invalid_policy_type_rejected(self):
+        policy = deny_all_policy("deny")
+        policy.policy_types = ["Sideways"]
+        with pytest.raises(ValidationError):
+            policy.validate()
+
+
+class TestRegistryAndYaml:
+    def test_known_kinds_include_core_resources(self):
+        kinds = known_kinds()
+        assert {"Pod", "Deployment", "Service", "NetworkPolicy"} <= set(kinds)
+
+    def test_object_from_dict_dispatches_on_kind(self):
+        obj = object_from_dict({"kind": "Service", "metadata": {"name": "s"}, "spec": {"ports": []}})
+        assert isinstance(obj, Service)
+
+    def test_unknown_kind_falls_back_to_generic(self):
+        obj = object_from_dict({"kind": "FancyCRD", "metadata": {"name": "x"}})
+        assert obj.kind == "FancyCRD"
+
+    def test_missing_kind_raises(self):
+        with pytest.raises(ParseError):
+            object_from_dict({"metadata": {"name": "x"}})
+
+    def test_load_yaml_multi_document(self):
+        text = """
+apiVersion: v1
+kind: Service
+metadata:
+  name: web
+spec:
+  selector:
+    app: web
+  ports:
+    - port: 80
+---
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: web
+spec:
+  selector:
+    matchLabels:
+      app: web
+  template:
+    metadata:
+      labels:
+        app: web
+    spec:
+      containers:
+        - name: web
+          image: nginx
+          ports:
+            - containerPort: 80
+"""
+        objects = load_yaml(text)
+        assert [obj.kind for obj in objects] == ["Service", "Deployment"]
+
+    def test_load_yaml_invalid_text_raises(self):
+        with pytest.raises(ParseError):
+            load_yaml("key: [unclosed")
+
+    def test_dump_and_reload_round_trip(self):
+        objects = [make_deployment(), make_service()]
+        reloaded = load_yaml(dump_yaml(objects))
+        assert {obj.kind for obj in reloaded} == {"Deployment", "Service"}
+        deployment = next(obj for obj in reloaded if obj.kind == "Deployment")
+        assert deployment.pod_labels() == {"app": "web"}
+
+
+class TestInventory:
+    def test_compute_units_include_workloads_and_pods(self):
+        inventory = Inventory([make_deployment(), make_pod("p"), make_service()])
+        assert {unit.kind for unit in inventory.compute_units()} == {"Deployment", "Pod"}
+
+    def test_services_selecting(self):
+        inventory = Inventory([make_deployment(), make_service()])
+        services = inventory.services_selecting({"app": "web"}, "default")
+        assert [service.name for service in services] == ["web"]
+        assert inventory.services_selecting({"app": "other"}, "default") == []
+
+    def test_compute_units_selected_by_service(self):
+        inventory = Inventory([make_deployment(), make_service()])
+        selected = inventory.compute_units_selected_by(inventory.services()[0])
+        assert [unit.name for unit in selected] == ["web"]
+
+    def test_selection_respects_namespace(self):
+        inventory = Inventory([make_deployment(namespace="prod"), make_service(namespace="dev")])
+        assert inventory.compute_units_selected_by(inventory.services()[0]) == []
+
+    def test_policies_selecting(self):
+        inventory = Inventory([make_deployment(), deny_all_policy("deny")])
+        assert len(inventory.policies_selecting({"app": "web"}, "default")) == 1
+
+    def test_validate_all_collects_errors(self):
+        bad = make_deployment()
+        bad.selector = equality_selector(app="mismatch")
+        errors = Inventory([bad, make_service()]).validate_all()
+        assert len(errors) == 1
+        assert "selector" in errors[0]
+
+    def test_compute_unit_wrapper_helpers(self):
+        inventory = Inventory([make_deployment(ports=[80, 443], host_network=True)])
+        unit = inventory.compute_units()[0]
+        assert unit.declared_port_numbers() == {80, 443}
+        assert unit.uses_host_network()
+        assert unit.replica_count() == 1

@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MisconfigClass, MisconfigurationAnalyzer, deduplicate_findings, Finding
+from repro.datasets import InjectionPlan, build_application
+from repro.helm import deep_merge, get_path, set_path
+from repro.k8s import LabelSet, Selector, equality_selector, is_ephemeral_port
+from repro.k8s.container import EPHEMERAL_PORT_RANGE
+
+# --------------------------------------------------------------------------
+# Strategies
+# --------------------------------------------------------------------------
+
+label_keys = st.from_regex(r"[a-z][a-z0-9]{0,20}", fullmatch=True)
+label_values = st.from_regex(r"[a-z0-9][a-z0-9-]{0,20}[a-z0-9]", fullmatch=True)
+label_dicts = st.dictionaries(label_keys, label_values, max_size=5)
+
+scalars = st.one_of(st.integers(-1000, 1000), st.booleans(), label_values)
+values_trees = st.recursive(
+    scalars,
+    lambda children: st.dictionaries(label_keys, children, max_size=4),
+    max_leaves=12,
+)
+values_dicts = st.dictionaries(label_keys, values_trees, max_size=4)
+
+
+# --------------------------------------------------------------------------
+# Labels and selectors
+# --------------------------------------------------------------------------
+
+
+class TestLabelProperties:
+    @given(label_dicts)
+    def test_labelset_round_trips_through_dict(self, labels):
+        assert LabelSet(labels).to_dict() == labels
+
+    @given(label_dicts)
+    def test_equal_label_sets_have_equal_hashes(self, labels):
+        assert hash(LabelSet(labels)) == hash(LabelSet(dict(labels)))
+
+    @given(label_dicts, label_dicts)
+    def test_merged_contains_both_key_sets(self, first, second):
+        merged = LabelSet(first).merged(second)
+        assert set(merged) == set(first) | set(second)
+        for key, value in second.items():
+            assert merged[key] == value
+
+    @given(label_dicts)
+    def test_selector_built_from_labels_matches_them(self, labels):
+        selector = Selector.from_dict({"matchLabels": labels})
+        assert selector.matches(labels)
+
+    @given(label_dicts, label_dicts)
+    def test_selector_matches_any_superset(self, selector_labels, extra):
+        selector = Selector.from_dict({"matchLabels": selector_labels})
+        superset = {**extra, **selector_labels}
+        assert selector.matches(superset)
+
+    @given(label_dicts)
+    def test_selector_round_trips_through_dict(self, labels):
+        selector = Selector.from_dict({"matchLabels": labels})
+        assert Selector.from_dict(selector.to_dict()) == selector
+
+    @given(st.integers(min_value=1, max_value=65535))
+    def test_ephemeral_port_classification_matches_range(self, port):
+        low, high = EPHEMERAL_PORT_RANGE
+        assert is_ephemeral_port(port) == (low <= port <= high)
+
+
+# --------------------------------------------------------------------------
+# Helm values
+# --------------------------------------------------------------------------
+
+
+class TestValuesProperties:
+    @given(values_dicts)
+    def test_merge_with_empty_is_identity(self, values):
+        assert deep_merge(values, {}) == values
+        assert deep_merge({}, values) == values
+
+    @given(values_dicts, values_dicts)
+    def test_override_keys_always_win(self, base, override):
+        merged = deep_merge(base, override)
+        for key, value in override.items():
+            if not isinstance(value, dict):
+                assert merged[key] == value
+
+    @given(values_dicts, values_dicts, values_dicts)
+    def test_merge_is_associative_for_disjoint_scalars(self, a, b, c):
+        left = deep_merge(deep_merge(a, b), c)
+        right = deep_merge(a, deep_merge(b, c))
+        assert left == right
+
+    @given(st.lists(label_keys, min_size=1, max_size=4, unique=True), scalars)
+    def test_set_then_get_path_round_trips(self, parts, value):
+        path = ".".join(parts)
+        values: dict = {}
+        set_path(values, path, value)
+        assert get_path(values, path) == value
+
+
+# --------------------------------------------------------------------------
+# Findings
+# --------------------------------------------------------------------------
+
+
+class TestFindingProperties:
+    findings_strategy = st.lists(
+        st.builds(
+            Finding,
+            misconfig_class=st.sampled_from(list(MisconfigClass)),
+            application=st.just("app"),
+            resource=st.sampled_from(["Deployment/default/a", "Service/default/b"]),
+            message=st.just("m"),
+            port=st.one_of(st.none(), st.integers(1, 65535)),
+        ),
+        max_size=20,
+    )
+
+    @given(findings_strategy)
+    def test_deduplication_is_idempotent(self, findings):
+        once = deduplicate_findings(findings)
+        twice = deduplicate_findings(once)
+        assert [f.dedupe_key() for f in once] == [f.dedupe_key() for f in twice]
+
+    @given(findings_strategy)
+    def test_deduplication_never_increases_count(self, findings):
+        assert len(deduplicate_findings(findings)) <= len(findings)
+
+    @given(findings_strategy)
+    def test_deduplicated_keys_are_unique(self, findings):
+        keys = [f.dedupe_key() for f in deduplicate_findings(findings)]
+        assert len(keys) == len(set(keys))
+
+
+# --------------------------------------------------------------------------
+# End-to-end invariant: the analyzer finds exactly what the plan injects
+# --------------------------------------------------------------------------
+
+plans = st.builds(
+    InjectionPlan,
+    m1=st.integers(0, 3),
+    m2=st.integers(0, 1),
+    m3=st.integers(0, 2),
+    m4a=st.integers(0, 1),
+    m4b=st.integers(0, 1),
+    m4c=st.integers(0, 1),
+    m5a=st.integers(0, 1),
+    m5c=st.integers(0, 1),
+    m5d=st.integers(0, 1),
+    m6=st.booleans(),
+    m7=st.integers(0, 1),
+)
+
+
+class TestAnalyzerRoundTrip:
+    @settings(max_examples=15, deadline=None)
+    @given(plans, st.sampled_from(["web", "database", "pipeline"]))
+    def test_analysis_matches_injection_plan_exactly(self, plan, archetype):
+        """The central soundness/completeness property of the reproduction:
+        for any injection plan, the hybrid analyzer reports exactly the
+        planned findings -- no false positives, no false negatives."""
+        app = build_application("prop-app", "Property Org", plan, archetype=archetype)
+        report = MisconfigurationAnalyzer().analyze_chart(app.chart, behaviors=app.behaviors)
+        got = {cls.value: count for cls, count in report.count_by_class().items() if count}
+        expected = {name: count for name, count in plan.expected_counts().items() if count}
+        assert got == expected
