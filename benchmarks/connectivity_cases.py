@@ -1,0 +1,312 @@
+"""Shared scenario builder and timing helpers for the connectivity benchmarks.
+
+Used by ``test_bench_connectivity.py`` (pytest harness) and ``run.py`` (the
+JSON-writing bench helper) so both measure exactly the same cases:
+
+* ``check_ingress`` -- single policy decisions, naive scan vs compiled index;
+* ``reachable_endpoints`` -- the full lateral-movement surface of one source
+  pod, pre-PR per-attempt path vs the cached ``ReachabilityMatrix``;
+* ``matrix_sources`` -- many sources sharing one matrix (the all-pairs use
+  case), where the decision memo amortizes across sources.
+
+Fleets are built directly from runtime primitives (no full cluster install)
+so a thousand-pod case sets up in milliseconds and the timings isolate the
+connectivity engine itself.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+
+from repro.cluster import (
+    ClusterNetwork,
+    EndpointController,
+    NetworkPolicyEnforcer,
+    Node,
+    PolicyIndex,
+    RunningPod,
+    Socket,
+)
+from repro.k8s import (
+    Container,
+    ContainerPort,
+    LabelSet,
+    NetworkPolicy,
+    ObjectMeta,
+    Pod,
+    PodSpec,
+    Service,
+    ServicePort,
+    allow_ports_policy,
+    deny_all_policy,
+    equality_selector,
+)
+
+NAMESPACES = ("default", "prod", "staging", "infra")
+
+
+@dataclass
+class Fleet:
+    """One synthetic cluster state: pods, services, bindings, policies."""
+
+    pods: list[RunningPod]
+    attacker: RunningPod
+    policies: list[NetworkPolicy]
+    bindings: list
+    namespace_labels: dict[str, dict[str, str]]
+
+    def naive_network(self) -> ClusterNetwork:
+        """The pre-PR reference engine (uncompiled per-attempt scans)."""
+        return ClusterNetwork(
+            enforcer=NetworkPolicyEnforcer(self.namespace_labels, use_index=False)
+        )
+
+    def compiled_network(self) -> ClusterNetwork:
+        return ClusterNetwork(enforcer=NetworkPolicyEnforcer(self.namespace_labels))
+
+    def index(self) -> PolicyIndex:
+        return PolicyIndex(self.policies)
+
+
+def _running_pod(
+    name: str,
+    namespace: str,
+    labels: dict[str, str],
+    node: Node,
+    ip: str,
+    sockets: list[Socket],
+    app: str = "",
+    host_network: bool = False,
+) -> RunningPod:
+    pod = Pod(
+        metadata=ObjectMeta(name=name, namespace=namespace, labels=LabelSet(labels)),
+        spec=PodSpec(
+            containers=[
+                Container(
+                    name="main",
+                    image="bench/app",
+                    ports=[ContainerPort(8080, name="http")],
+                )
+            ],
+            host_network=host_network,
+        ),
+    )
+    return RunningPod(pod=pod, ip=ip, node=node, sockets=sockets, app=app)
+
+
+def build_fleet(pod_count: int) -> Fleet:
+    """A deterministic fleet of ``pod_count`` pods across apps and namespaces.
+
+    Roughly one app per ten pods; half the apps carry an allow-port policy,
+    every namespace carries a default-deny, so the decision mix contains
+    default-allow, rule-allow and deny outcomes (as in the Figure 4b runs).
+    """
+    node = Node(name="bench-node")
+    app_count = max(pod_count // 10, 4)
+    namespace_labels = {
+        namespace: {"kubernetes.io/metadata.name": namespace} for namespace in NAMESPACES
+    }
+    pods: list[RunningPod] = []
+    services: list[Service] = []
+    policies: list[NetworkPolicy] = []
+
+    for app_id in range(app_count):
+        namespace = NAMESPACES[app_id % len(NAMESPACES)]
+        app = f"app-{app_id}"
+        labels = {"app": app, "tier": "backend" if app_id % 2 else "frontend"}
+        services.append(
+            Service(
+                metadata=ObjectMeta(name=app, namespace=namespace),
+                selector=equality_selector(**labels),
+                ports=[ServicePort(port=80, target_port=8080, name="http")],
+            )
+        )
+        if app_id % 2 == 0:
+            policies.append(
+                allow_ports_policy(
+                    f"allow-{app}",
+                    equality_selector(app=app),
+                    [8080],
+                    namespace=namespace,
+                    peer_selector=equality_selector(role="client"),
+                )
+            )
+    for namespace in NAMESPACES[2:]:
+        policies.append(deny_all_policy(f"deny-all-{namespace}", namespace=namespace))
+
+    for pod_id in range(pod_count):
+        app_id = pod_id % app_count
+        namespace = NAMESPACES[app_id % len(NAMESPACES)]
+        app = f"app-{app_id}"
+        labels = {"app": app, "tier": "backend" if app_id % 2 else "frontend"}
+        sockets = [Socket(port=8080, protocol="TCP", container="main", process="srv")]
+        if pod_id % 3 == 0:
+            sockets.append(
+                Socket(port=9090, protocol="TCP", container="main", process="metrics")
+            )
+        if pod_id % 7 == 0:
+            sockets.append(
+                Socket(
+                    port=6060,
+                    protocol="TCP",
+                    interface="127.0.0.1",
+                    container="main",
+                    process="debug",
+                )
+            )
+        pods.append(
+            _running_pod(
+                f"{app}-{pod_id // app_count}",
+                namespace,
+                labels,
+                node,
+                f"10.1.{pod_id // 250}.{pod_id % 250 + 1}",
+                sockets,
+                app=app,
+            )
+        )
+
+    attacker = _running_pod(
+        "attacker",
+        "default",
+        {"app": "attacker", "role": "client"},
+        node,
+        "10.9.9.9",
+        [],
+    )
+    pods_with_attacker = pods + [attacker]
+    bindings = EndpointController().bind(services, pods_with_attacker)
+    return Fleet(
+        pods=pods_with_attacker,
+        attacker=attacker,
+        policies=policies,
+        bindings=bindings,
+        namespace_labels=namespace_labels,
+    )
+
+
+def sample_attempts(fleet: Fleet, count: int = 200) -> list[tuple]:
+    """A deterministic mix of (source, destination, port) attempt triples."""
+    pods = fleet.pods
+    attempts = []
+    for i in range(count):
+        source = pods[(i * 7) % len(pods)]
+        destination = pods[(i * 13 + 1) % len(pods)]
+        port = (8080, 9090, 6060, 22)[i % 4]
+        attempts.append((source, destination, port))
+    return attempts
+
+
+def median_ns(fn, repeats: int = 5) -> float:
+    """Median wall time of ``fn()`` in nanoseconds over ``repeats`` runs."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        fn()
+        samples.append(time.perf_counter_ns() - start)
+    return statistics.median(samples)
+
+
+# ---------------------------------------------------------------------------
+# Benchmark cases.  Each returns {case_name: ns_per_op} for one fleet size.
+# ---------------------------------------------------------------------------
+
+
+def bench_check_ingress(fleet: Fleet, repeats: int = 5) -> dict[str, float]:
+    """Per-decision cost of check_ingress, naive scan vs compiled index."""
+    attempts = sample_attempts(fleet)
+    naive = fleet.naive_network().enforcer
+    compiled = fleet.compiled_network().enforcer
+    policies = fleet.policies
+    index = fleet.index()
+
+    def run_naive():
+        for source, destination, port in attempts:
+            naive.check_ingress(policies, source, destination, port)
+
+    def run_compiled():
+        for source, destination, port in attempts:
+            compiled.check_ingress(index, source, destination, port)
+
+    run_compiled()  # warm the isolating-set memo once, as in steady state
+    return {
+        "check_ingress/naive": median_ns(run_naive, repeats) / len(attempts),
+        "check_ingress/compiled": median_ns(run_compiled, repeats) / len(attempts),
+    }
+
+
+def bench_reachable_endpoints(fleet: Fleet, repeats: int = 5) -> dict[str, float]:
+    """Full lateral-movement surface of one source, pre-PR path vs matrix."""
+    naive = fleet.naive_network()
+    compiled = fleet.compiled_network()
+
+    def run_naive():
+        naive.reachable_endpoints(
+            fleet.policies, fleet.attacker, fleet.pods, fleet.bindings
+        )
+
+    def run_compiled():
+        compiled.reachable_endpoints(
+            fleet.policies, fleet.attacker, fleet.pods, fleet.bindings
+        )
+
+    return {
+        "reachable_endpoints/naive": median_ns(run_naive, repeats),
+        "reachable_endpoints/compiled": median_ns(run_compiled, repeats),
+    }
+
+
+def bench_matrix_sources(
+    fleet: Fleet, source_count: int = 16, repeats: int = 5
+) -> dict[str, float]:
+    """Many sources sharing one ReachabilityMatrix vs per-source naive scans."""
+    naive = fleet.naive_network()
+    compiled = fleet.compiled_network()
+    sources = fleet.pods[:: max(len(fleet.pods) // source_count, 1)][:source_count]
+
+    def run_naive():
+        for source in sources:
+            naive.reachable_endpoints(
+                fleet.policies, source, fleet.pods, fleet.bindings
+            )
+
+    def run_compiled():
+        matrix = compiled.reachability_matrix(
+            fleet.policies, fleet.pods, fleet.bindings
+        )
+        for source in sources:
+            matrix.endpoints_from(source)
+
+    return {
+        "matrix_sources/naive": median_ns(run_naive, repeats) / len(sources),
+        "matrix_sources/compiled": median_ns(run_compiled, repeats) / len(sources),
+    }
+
+
+def run_size(pod_count: int, repeats: int = 5) -> dict[str, float]:
+    """All connectivity cases for one fleet size, as {case: ns_per_op}."""
+    fleet = build_fleet(pod_count)
+    results: dict[str, float] = {}
+    results.update(bench_check_ingress(fleet, repeats))
+    results.update(bench_reachable_endpoints(fleet, repeats))
+    results.update(bench_matrix_sources(fleet, repeats=repeats))
+    return results
+
+
+def format_table(per_size: dict[int, dict[str, float]]) -> str:
+    """Render the before/after throughput table printed by the benchmarks."""
+    cases = ("check_ingress", "reachable_endpoints", "matrix_sources")
+    lines = [
+        f"{'case':<22} {'pods':>6} {'naive ns/op':>14} {'compiled ns/op':>15} {'speedup':>9}"
+    ]
+    for case in cases:
+        for pod_count, results in sorted(per_size.items()):
+            naive = results[f"{case}/naive"]
+            compiled = results[f"{case}/compiled"]
+            lines.append(
+                f"{case:<22} {pod_count:>6} {naive:>14,.0f} {compiled:>15,.0f} "
+                f"{naive / compiled:>8.1f}x"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Bench helper: run the connectivity benchmark suite, record the trajectory.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/run.py [--full] [--output BENCH_connectivity.json]
+
+Runs the same cases as ``benchmarks/test_bench_connectivity.py`` -- naive
+(pre-PR) vs compiled/cached engine for ``check_ingress``,
+``reachable_endpoints`` and the ``ReachabilityMatrix`` at three fleet sizes
+-- plus an end-to-end Figure 4b sweep over a catalogue sample (the whole
+catalogue with ``--full``), then writes median ns/op per case to a JSON file
+so future PRs have a perf trajectory to compare against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from connectivity_cases import format_table, run_size  # noqa: E402
+
+FLEET_SIZES = (30, 240, 1000)
+
+
+def bench_netpol_sweep(sample: int | None) -> dict[str, float]:
+    """End-to-end Figure 4b sweep, naive vs compiled engine, seconds."""
+    from repro.datasets import build_catalog
+    from repro.experiments import run_netpol_impact
+
+    applications = build_catalog()
+    if sample is not None:
+        applications = applications[:sample]
+    timings: dict[str, float] = {"charts": float(len(applications))}
+    for label, compiled in (("naive", False), ("compiled", True)):
+        start = time.perf_counter()
+        run_netpol_impact(applications=applications, compiled=compiled)
+        timings[f"netpol_impact/{label}_s"] = round(time.perf_counter() - start, 3)
+    return timings
+
+
+def bench_full_evaluation(sample: int | None) -> dict[str, float]:
+    """Full-catalogue evaluation: pre-PR double-render shape vs current."""
+    from repro.core import AnalyzerSettings, MisconfigurationAnalyzer
+    from repro.datasets import build_catalog
+    from repro.experiments import run_full_evaluation
+    from repro.helm import render_chart
+    from repro.k8s import Inventory
+
+    applications = build_catalog()
+    if sample is not None:
+        applications = applications[:sample]
+    analyzer = MisconfigurationAnalyzer(settings=AnalyzerSettings())
+
+    # The pre-PR pipeline rendered every chart twice: once inside
+    # analyze_chart and once more for the cluster-wide inventory.
+    start = time.perf_counter()
+    for app in applications:
+        analyzer.analyze_chart(app.chart, behaviors=app.behaviors, dataset=app.dataset)
+        Inventory(render_chart(app.chart).objects)
+    double_render = time.perf_counter() - start
+
+    start = time.perf_counter()
+    run_full_evaluation(applications=applications)
+    current = time.perf_counter() - start
+    return {
+        "charts": float(len(applications)),
+        "evaluation/double_render_s": round(double_render, 3),
+        "evaluation/current_s": round(current, 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_connectivity.json"),
+        help="where to write the JSON record",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timing repeats per case (median is kept)"
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the end-to-end sweep over the full catalogue instead of a sample",
+    )
+    parser.add_argument(
+        "--sample", type=int, default=60, help="catalogue sample size for the e2e sweep"
+    )
+    args = parser.parse_args(argv)
+    args.repeats = max(args.repeats, 1)
+
+    per_size: dict[int, dict[str, float]] = {}
+    for pod_count in FLEET_SIZES:
+        per_size[pod_count] = run_size(pod_count, repeats=args.repeats)
+    print(format_table(per_size))
+
+    def ratio(before: float, after: float) -> str:
+        # Tiny samples can round a sweep to 0.000s; don't divide by it.
+        return f"{before / after:.2f}x" if after else "n/a"
+
+    sample = None if args.full else args.sample
+    e2e = bench_netpol_sweep(sample)
+    print(
+        f"\nFigure 4b sweep over {int(e2e['charts'])} charts: "
+        f"naive {e2e['netpol_impact/naive_s']}s -> "
+        f"compiled {e2e['netpol_impact/compiled_s']}s "
+        f"({ratio(e2e['netpol_impact/naive_s'], e2e['netpol_impact/compiled_s'])})"
+    )
+    evaluation = bench_full_evaluation(sample)
+    e2e.update(evaluation)
+    print(
+        f"Catalogue evaluation over {int(evaluation['charts'])} charts: "
+        f"double-render {evaluation['evaluation/double_render_s']}s -> "
+        f"single-render {evaluation['evaluation/current_s']}s "
+        f"({ratio(evaluation['evaluation/double_render_s'], evaluation['evaluation/current_s'])})"
+    )
+
+    record = {
+        "suite": "connectivity",
+        "unit": "ns/op",
+        "fleet_sizes": list(FLEET_SIZES),
+        "cases": {
+            f"{case}/pods={pod_count}": round(value, 1)
+            for pod_count, results in per_size.items()
+            for case, value in results.items()
+        },
+        "speedups": {
+            f"{case}/pods={pod_count}": round(
+                results[f"{case}/naive"] / results[f"{case}/compiled"], 2
+            )
+            for pod_count, results in per_size.items()
+            for case in ("check_ingress", "reachable_endpoints", "matrix_sources")
+        },
+        "end_to_end": e2e,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

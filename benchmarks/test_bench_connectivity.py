@@ -1,0 +1,66 @@
+"""Micro-benchmarks for the connectivity hot path (compiled policy engine).
+
+Times ``check_ingress``, ``reachable_endpoints`` and the batched
+``ReachabilityMatrix`` at three cluster sizes, comparing the pre-PR naive
+evaluator (kept as the reference path) against the compiled/cached engine,
+and prints the before/after throughput table.  ``benchmarks/run.py`` runs
+the same cases standalone and records them in ``BENCH_connectivity.json``.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from connectivity_cases import (
+    build_fleet,
+    format_table,
+    run_size,
+)
+
+#: tens / hundreds / a thousand pods, as in the ISSUE acceptance criteria.
+FLEET_SIZES = (30, 240, 1000)
+
+
+def test_connectivity_engine_throughput(benchmark):
+    per_size = {}
+    for pod_count in FLEET_SIZES[:-1]:
+        per_size[pod_count] = run_size(pod_count, repeats=3)
+    # The headline case runs under the benchmark timer: the full cached
+    # matrix sweep (compile + all queries) at the thousand-pod size.
+    per_size[FLEET_SIZES[-1]] = run_once(benchmark, run_size, FLEET_SIZES[-1], repeats=3)
+
+    print("\n" + "=" * 78)
+    print("Connectivity engine - naive (pre-PR) vs compiled/cached, ns per operation")
+    print("=" * 78)
+    print(format_table(per_size))
+
+    for pod_count, results in per_size.items():
+        for case in ("check_ingress", "reachable_endpoints", "matrix_sources"):
+            naive = results[f"{case}/naive"]
+            compiled = results[f"{case}/compiled"]
+            # The compiled engine must never lose to the naive scan, and at
+            # the thousand-pod size the batched paths must win big (the
+            # recorded target in BENCH_connectivity.json is >= 5x; assert a
+            # conservative floor so timing noise cannot flake the suite).
+            assert compiled <= naive * 1.1, f"{case} slower than naive at {pod_count} pods"
+            if pod_count == FLEET_SIZES[-1] and case != "check_ingress":
+                assert naive / compiled >= 2.5, (
+                    f"{case} speedup collapsed at {pod_count} pods: "
+                    f"{naive / compiled:.1f}x"
+                )
+
+
+def test_matrix_matches_naive_surface_on_bench_fleet():
+    """The bench fleet itself double-checks compiled == naive results."""
+    fleet = build_fleet(240)
+    naive = fleet.naive_network()
+    compiled = fleet.compiled_network()
+    matrix = compiled.reachability_matrix(fleet.policies, fleet.pods, fleet.bindings)
+    for source in fleet.pods[::40] + [fleet.attacker]:
+        expected = naive.reachable_endpoints(
+            fleet.policies, source, fleet.pods, fleet.bindings
+        )
+        assert matrix.endpoints_from(source) == expected
+        assert (
+            compiled.reachable_endpoints(fleet.policies, source, fleet.pods, fleet.bindings)
+            == expected
+        )

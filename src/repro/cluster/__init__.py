@@ -28,11 +28,13 @@ from .errors import (
     ClusterError,
     IPAMError,
     NotFoundError,
+    PodNotFound,
     SchedulingError,
 )
 from .ipam import AddressPool, ClusterIPAM
-from .network import ClusterNetwork, ConnectionAttempt, ReachableEndpoint
+from .network import ClusterNetwork, ConnectionAttempt, ReachabilityMatrix, ReachableEndpoint
 from .node import CONTROL_PLANE_PROCESSES, DEFAULT_HOST_PROCESSES, HostProcess, Node
+from .policy_index import PolicyIndex
 from .runtime import ContainerRuntime, RunningPod, Socket
 from .scheduler import Scheduler
 
@@ -65,7 +67,10 @@ __all__ = [
     "Node",
     "NotFoundError",
     "ObjectStore",
+    "PodNotFound",
     "PolicyDecision",
+    "PolicyIndex",
+    "ReachabilityMatrix",
     "ReachableEndpoint",
     "RunningPod",
     "SchedulingError",

@@ -31,6 +31,10 @@ class ObjectStore:
 
     def __init__(self) -> None:
         self._objects: dict[tuple[str, str, str], KubernetesObject] = {}
+        #: Monotonic counter bumped on every successful mutation.  Consumers
+        #: (the cluster's compiled policy index) use it as a cheap epoch to
+        #: invalidate derived caches without subscribing to individual writes.
+        self.generation: int = 0
 
     # CRUD ------------------------------------------------------------------
     def put(self, obj: KubernetesObject, replace: bool = False) -> None:
@@ -38,6 +42,7 @@ class ObjectStore:
         if not replace and key in self._objects:
             raise AlreadyExistsError(f"{obj.qualified_name()} already exists")
         self._objects[key] = obj
+        self.generation += 1
 
     def get(self, kind: str, name: str, namespace: str = "default") -> KubernetesObject:
         for key in ((kind, namespace, name), (kind, "", name)):
@@ -49,6 +54,7 @@ class ObjectStore:
         for key in ((kind, namespace, name), (kind, "", name)):
             obj = self._objects.pop(key, None)
             if obj is not None:
+                self.generation += 1
                 return obj
         raise NotFoundError(f"{kind}/{namespace}/{name} not found")
 

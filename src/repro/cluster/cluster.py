@@ -33,10 +33,11 @@ from .behavior import BehaviorRegistry
 from .cni import NetworkPolicyEnforcer
 from .dns import ClusterDNS
 from .endpoints import EndpointController, ServiceBinding
-from .errors import ClusterError
+from .errors import ClusterError, PodNotFound
 from .ipam import ClusterIPAM
-from .network import ClusterNetwork, ConnectionAttempt, ReachableEndpoint
+from .network import ClusterNetwork, ConnectionAttempt, ReachabilityMatrix, ReachableEndpoint
 from .node import Node
+from .policy_index import PolicyIndex
 from .runtime import ContainerRuntime, RunningPod
 from .scheduler import Scheduler
 
@@ -67,6 +68,7 @@ class Cluster:
         worker_count: int = 3,
         behaviors: BehaviorRegistry | None = None,
         seed: int = 2025,
+        compiled_policies: bool = True,
     ) -> None:
         self.name = name
         self.ipam = ClusterIPAM()
@@ -74,7 +76,11 @@ class Cluster:
         self.behaviors = behaviors or BehaviorRegistry()
         self.runtime = ContainerRuntime(self.behaviors, seed=seed)
         self.dns = ClusterDNS()
-        self.enforcer = NetworkPolicyEnforcer()
+        #: ``compiled_policies=False`` pins every evaluation to the naive
+        #: uncompiled scan -- the reference semantics used by differential
+        #: tests and the before/after benchmarks.
+        self.compiled_policies = compiled_policies
+        self.enforcer = NetworkPolicyEnforcer(use_index=compiled_policies)
         self.network = ClusterNetwork(enforcer=self.enforcer)
         self.endpoint_controller = EndpointController()
         self.nodes: list[Node] = []
@@ -84,6 +90,10 @@ class Cluster:
         self.scheduler = Scheduler(self.nodes)
         self._running: dict[tuple[str, str], RunningPod] = {}
         self._applications: dict[str, InstalledApplication] = {}
+        #: Restart generation, folded into :attr:`policy_epoch` so caches
+        #: derived from runtime state invalidate on pod restarts too.
+        self._restart_generation = 0
+        self._policy_index: PolicyIndex | None = None
         self._ensure_namespace("default")
         self._ensure_namespace("kube-system")
 
@@ -204,11 +214,13 @@ class Cluster:
             running = self._running.get((application.namespace, pod_name))
             if running is not None:
                 self.runtime.restart_pod(running)
+        self._restart_generation += 1
         self.reconcile()
 
     def restart_all(self) -> None:
         for running in self._running.values():
             self.runtime.restart_pod(running)
+        self._restart_generation += 1
         self.reconcile()
 
     # Controllers -----------------------------------------------------------------------
@@ -236,7 +248,7 @@ class Cluster:
     def running_pod(self, name: str, namespace: str = "default") -> RunningPod:
         running = self._running.get((namespace, name))
         if running is None:
-            raise ClusterError(f"pod {namespace}/{name} is not running")
+            raise PodNotFound(name, namespace)
         return running
 
     def services(self, namespace: str | None = None) -> list[Service]:
@@ -271,6 +283,46 @@ class Cluster:
         return ports
 
     # Connectivity ------------------------------------------------------------------------
+    @property
+    def policy_epoch(self) -> int:
+        """Monotonic epoch of the policy-relevant cluster state.
+
+        Moves on every API-server mutation (install, uninstall, direct
+        ``api.apply``/``api.delete``) and on pod restarts, so any cache keyed
+        on it -- most importantly the compiled :class:`PolicyIndex` -- is
+        invalidated without manual plumbing.
+        """
+        return self.api.store.generation + self._restart_generation
+
+    def policy_index(self) -> PolicyIndex:
+        """The compiled policy index for the current epoch (cached)."""
+        epoch = self.policy_epoch
+        index = self._policy_index
+        if index is None or index.epoch != epoch:
+            index = PolicyIndex(self.network_policies(), epoch=epoch)
+            self._policy_index = index
+        return index
+
+    def policies_view(self) -> PolicyIndex | list[NetworkPolicy]:
+        """The policy set in the shape the connectivity engine should use.
+
+        The compiled, epoch-cached index normally; the raw list when the
+        cluster was built with ``compiled_policies=False`` (which pins every
+        downstream evaluation to the naive reference path).
+        """
+        if self.compiled_policies:
+            return self.policy_index()
+        return self.network_policies()
+
+    def reachability_matrix(self, include_loopback: bool = False) -> ReachabilityMatrix:
+        """A batched all-pairs reachability engine over the current state."""
+        return self.network.reachability_matrix(
+            self.policies_view(),
+            self.running_pods(),
+            self.service_bindings(),
+            include_loopback=include_loopback,
+        )
+
     def connect(
         self,
         source: RunningPod,
@@ -279,7 +331,7 @@ class Cluster:
         protocol: str = "TCP",
     ) -> ConnectionAttempt:
         """Simulate a connection from a pod to another pod or a service name."""
-        policies = self.network_policies()
+        policies = self.policies_view()
         if isinstance(destination, RunningPod):
             return self.network.connect_pod_to_pod(policies, source, destination, port, protocol)
         binding = self.binding_for(destination.split(".")[0], source.namespace
@@ -289,7 +341,7 @@ class Cluster:
     def reachable_from(self, source: RunningPod, include_loopback: bool = False) -> list[ReachableEndpoint]:
         """The lateral-movement surface visible from ``source``."""
         return self.network.reachable_endpoints(
-            self.network_policies(),
+            self.policies_view(),
             source,
             self.running_pods(),
             self.service_bindings(),

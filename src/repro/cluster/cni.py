@@ -10,6 +10,14 @@ specification:
   policies (union semantics);
 * pods running with ``hostNetwork: true`` are *not* isolated by policies --
   the crucial caveat behind misconfiguration M7 and the Figure 4b analysis.
+
+Evaluation runs through the compiled engine of
+:mod:`repro.cluster.policy_index` by default: policy lists are compiled once
+into a :class:`~repro.cluster.policy_index.PolicyIndex` (memoized by list
+identity, or passed in pre-compiled by the cluster facade) so the
+default-allow fast path and repeated decisions do zero selector work.  The
+naive scan is preserved behind ``use_index=False`` as the reference
+implementation for differential tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -17,7 +25,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..k8s import NetworkPolicy
+from .policy_index import PolicyIndex
 from .runtime import RunningPod
+
+#: Reasons attached to the two default-allow fast-path decisions.
+HOST_NETWORK_ALLOW_REASON = "destination uses the host network; policies do not apply"
+DEFAULT_ALLOW_REASON = "no network policy selects the destination (default allow)"
 
 
 @dataclass(frozen=True)
@@ -32,21 +45,77 @@ class PolicyDecision:
         return self.allowed
 
 
+#: Shared fast-path decisions (PolicyDecision is frozen, so sharing is safe).
+_HOST_NETWORK_ALLOW = PolicyDecision(allowed=True, reason=HOST_NETWORK_ALLOW_REASON)
+_DEFAULT_ALLOW = PolicyDecision(allowed=True, reason=DEFAULT_ALLOW_REASON)
+
+#: How many compiled indexes the enforcer keeps before dropping the memo.
+_INDEX_MEMO_LIMIT = 8
+
+
 class NetworkPolicyEnforcer:
     """Evaluates NetworkPolicies against concrete pod-to-pod connections."""
 
-    def __init__(self, namespace_labels: dict[str, dict[str, str]] | None = None) -> None:
+    def __init__(
+        self,
+        namespace_labels: dict[str, dict[str, str]] | None = None,
+        use_index: bool = True,
+    ) -> None:
         #: Labels of each namespace, needed to evaluate ``namespaceSelector``.
         self._namespace_labels = dict(namespace_labels or {})
+        #: When ``False`` every evaluation takes the original uncompiled scan
+        #: -- the reference semantics the compiled engine is verified against.
+        self.use_index = use_index
+        #: Compiled indexes memoized by the identity of the policy list
+        #: contents; the tuple of policies is retained so the ids stay valid.
+        self._index_memo: dict[
+            tuple[int, ...], tuple[tuple[NetworkPolicy, ...], PolicyIndex]
+        ] = {}
 
     def set_namespace_labels(self, namespace: str, labels: dict[str, str]) -> None:
         self._namespace_labels[namespace] = dict(labels)
 
+    def namespace_labels(self, namespace: str) -> dict[str, str]:
+        """The labels of ``namespace`` as seen by ``namespaceSelector`` rules."""
+        return self._namespace_labels.get(namespace, {})
+
+    # Compilation ------------------------------------------------------------
+    def index_for(self, policies: list[NetworkPolicy] | PolicyIndex) -> PolicyIndex:
+        """Return a compiled index for ``policies``, memoized by identity.
+
+        Passing the same list (or a fresh list holding the same policy
+        objects, as ``Cluster.network_policies()`` produces) reuses the
+        compiled form; any change in membership or order compiles a new one.
+        """
+        if isinstance(policies, PolicyIndex):
+            return policies
+        key = tuple(map(id, policies))
+        entry = self._index_memo.get(key)
+        if entry is None:
+            if len(self._index_memo) >= _INDEX_MEMO_LIMIT:
+                self._index_memo.clear()
+            entry = (tuple(policies), PolicyIndex(policies))
+            self._index_memo[key] = entry
+        return entry[1]
+
+    def _resolve_index(
+        self, policies: list[NetworkPolicy] | PolicyIndex
+    ) -> PolicyIndex | None:
+        """The index to evaluate through, or ``None`` for the naive scan."""
+        if isinstance(policies, PolicyIndex):
+            return policies
+        if not self.use_index:
+            return None
+        return self.index_for(policies)
+
     # Evaluation -------------------------------------------------------------
     def policies_isolating(
-        self, policies: list[NetworkPolicy], destination: RunningPod
+        self, policies: list[NetworkPolicy] | PolicyIndex, destination: RunningPod
     ) -> list[NetworkPolicy]:
         """Policies that select the destination pod and restrict ingress."""
+        index = self._resolve_index(policies)
+        if index is not None:
+            return list(index.isolating(destination))
         if destination.host_network:
             # Host-network pods escape the pod network namespace entirely;
             # NetworkPolicies attached to them have no effect.
@@ -60,21 +129,27 @@ class NetworkPolicyEnforcer:
 
     def check_ingress(
         self,
-        policies: list[NetworkPolicy],
+        policies: list[NetworkPolicy] | PolicyIndex,
         source: RunningPod,
         destination: RunningPod,
         port: int,
         protocol: str = "TCP",
     ) -> PolicyDecision:
-        """Decide whether ``source`` may connect to ``destination`` on ``port``."""
-        isolating = self.policies_isolating(policies, destination)
-        if not isolating:
-            reason = (
-                "destination uses the host network; policies do not apply"
-                if destination.host_network
-                else "no network policy selects the destination (default allow)"
+        """Decide whether ``source`` may connect to ``destination`` on ``port``.
+
+        The default-allow fast path (no policy isolates the destination) does
+        no selector, named-port or namespace-label work beyond the memoized
+        isolating-set lookup.
+        """
+        index = self._resolve_index(policies)
+        if index is not None:
+            isolating: list[NetworkPolicy] | tuple[NetworkPolicy, ...] = index.isolating(
+                destination
             )
-            return PolicyDecision(allowed=True, reason=reason)
+        else:
+            isolating = self.policies_isolating(policies, destination)
+        if not isolating:
+            return _HOST_NETWORK_ALLOW if destination.host_network else _DEFAULT_ALLOW
         named_ports = destination.named_ports()
         source_namespace_labels = self._namespace_labels.get(source.namespace, {})
         for policy in isolating:
@@ -97,14 +172,30 @@ class NetworkPolicyEnforcer:
             isolating_policies=tuple(p.name for p in isolating),
         )
 
+    def partition_pods(
+        self, policies: list[NetworkPolicy] | PolicyIndex, pods: list[RunningPod]
+    ) -> tuple[list[RunningPod], list[RunningPod]]:
+        """Split ``pods`` into (isolated, unprotected) in a single pass."""
+        isolated: list[RunningPod] = []
+        unprotected: list[RunningPod] = []
+        index = self._resolve_index(policies)
+        for pod in pods:
+            selecting = (
+                index.isolating(pod)
+                if index is not None
+                else self.policies_isolating(policies, pod)
+            )
+            (isolated if selecting else unprotected).append(pod)
+        return isolated, unprotected
+
     def isolated_pods(
-        self, policies: list[NetworkPolicy], pods: list[RunningPod]
+        self, policies: list[NetworkPolicy] | PolicyIndex, pods: list[RunningPod]
     ) -> list[RunningPod]:
         """Pods that have at least one ingress-restricting policy applied."""
-        return [pod for pod in pods if self.policies_isolating(policies, pod)]
+        return self.partition_pods(policies, pods)[0]
 
     def unprotected_pods(
-        self, policies: list[NetworkPolicy], pods: list[RunningPod]
+        self, policies: list[NetworkPolicy] | PolicyIndex, pods: list[RunningPod]
     ) -> list[RunningPod]:
         """Pods left wide open: either unselected or escaping via hostNetwork."""
-        return [pod for pod in pods if not self.policies_isolating(policies, pod)]
+        return self.partition_pods(policies, pods)[1]

@@ -23,6 +23,15 @@ class NotFoundError(ClusterError):
     """The requested object does not exist in the API server store."""
 
 
+class PodNotFound(ClusterError):
+    """No running pod with the requested namespace/name exists."""
+
+    def __init__(self, name: str, namespace: str = "default") -> None:
+        self.name = name
+        self.namespace = namespace
+        super().__init__(f"pod {namespace}/{name} is not running")
+
+
 class SchedulingError(ClusterError):
     """A pod could not be placed on any node."""
 

@@ -8,6 +8,12 @@ questions the runtime probe and the attack scenarios ask:
 * can pod A reach service S, and which backends would receive the traffic?
 * which endpoints in the whole cluster remain reachable from a compromised
   pod (the lateral-movement surface)?
+
+Cluster-wide questions run through :class:`ReachabilityMatrix`, the batched
+engine built on the compiled policy index: it precomputes per-destination
+isolating sets and named ports once, memoizes whole policy decisions by
+source/destination equivalence class, and answers all-pairs reachability
+without re-scanning the policy list per connection attempt.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from dataclasses import dataclass, field
 from ..k8s import NetworkPolicy
 from .cni import NetworkPolicyEnforcer, PolicyDecision
 from .endpoints import ServiceBinding
+from .policy_index import PolicyIndex
 from .runtime import RunningPod
 
 
@@ -50,6 +57,300 @@ class ReachableEndpoint:
     app: str = ""
 
 
+def _attempt_pod_connection(
+    decide,
+    source: RunningPod,
+    destination: RunningPod,
+    port: int,
+    protocol: str,
+) -> ConnectionAttempt:
+    """Socket/loopback gating + policy decision for one pod-to-pod attempt.
+
+    The single implementation behind both the per-attempt path
+    (``ClusterNetwork.connect_pod_to_pod``) and the cached matrix path;
+    ``decide(source, destination, port, protocol)`` supplies the
+    :class:`PolicyDecision` (uncached enforcer call or matrix memo).
+    """
+    same_pod = source.name == destination.name and source.namespace == destination.namespace
+    socket = destination.socket_on(port, protocol)
+    if socket is None:
+        return ConnectionAttempt(
+            source=source.name,
+            destination=destination.name,
+            port=port,
+            protocol=protocol,
+            success=False,
+            reason="connection refused: nothing is listening on that port",
+        )
+    if socket.interface == "127.0.0.1" and not same_pod:
+        return ConnectionAttempt(
+            source=source.name,
+            destination=destination.name,
+            port=port,
+            protocol=protocol,
+            success=False,
+            reason="connection refused: socket is bound to the loopback interface",
+        )
+    decision: PolicyDecision = decide(source, destination, port, protocol)
+    return ConnectionAttempt(
+        source=source.name,
+        destination=destination.name,
+        port=port,
+        protocol=protocol,
+        success=decision.allowed,
+        reason=decision.reason,
+    )
+
+
+def _attempt_service_connection(
+    connect,
+    source: RunningPod,
+    binding: ServiceBinding,
+    port: int,
+    protocol: str,
+) -> ConnectionAttempt:
+    """Service-port resolution + backend loop for one pod-to-service attempt.
+
+    ``connect(source, backend, target_port, protocol)`` performs the
+    underlying pod-to-pod attempt (uncached or matrix-cached); everything
+    else -- port lookup, empty-endpoint handling, named-target resolution,
+    backend order and reason strings -- lives here exactly once.
+    """
+    service = binding.service
+    service_port = next((p for p in service.ports if p.port == port), None)
+    if service_port is None:
+        return ConnectionAttempt(
+            source=source.name,
+            destination=service.name,
+            port=port,
+            protocol=protocol,
+            success=False,
+            via_service=service.name,
+            reason=f"service {service.name!r} does not expose port {port}",
+        )
+    if not binding.backends:
+        return ConnectionAttempt(
+            source=source.name,
+            destination=service.name,
+            port=port,
+            protocol=protocol,
+            success=False,
+            via_service=service.name,
+            reason="no endpoints: the service selector matches no running pod",
+        )
+    raw_target = service_port.resolved_target()
+    last_reason = ""
+    for backend in binding.backends:
+        target_port = (
+            raw_target
+            if isinstance(raw_target, int)
+            else backend.named_ports().get(str(raw_target))
+        )
+        if target_port is None:
+            last_reason = f"named target port {raw_target!r} is not declared by pod {backend.name!r}"
+            continue
+        attempt = connect(source, backend, target_port, protocol)
+        if attempt.success:
+            return ConnectionAttempt(
+                source=source.name,
+                destination=service.name,
+                port=port,
+                protocol=protocol,
+                success=True,
+                via_service=service.name,
+                backend_pod=backend.name,
+                reason=attempt.reason,
+            )
+        last_reason = attempt.reason
+    return ConnectionAttempt(
+        source=source.name,
+        destination=service.name,
+        port=port,
+        protocol=protocol,
+        success=False,
+        via_service=service.name,
+        reason=last_reason or "no backend accepted the connection",
+    )
+
+
+class ReachabilityMatrix:
+    """Batched connectivity over a fixed snapshot of pods, bindings, policies.
+
+    Build one per cluster state (the cluster facade does this for you via
+    ``Cluster.reachability_matrix()``) and ask it for any number of
+    connection attempts or per-source endpoint surfaces.  Internally it
+    shares, across every query:
+
+    * the compiled :class:`PolicyIndex` (isolating sets memoized per label
+      set -- replicas resolve in O(1));
+    * per-destination named-port keys;
+    * whole :class:`PolicyDecision` objects memoized by the equivalence
+      class of the attempt -- ``(source namespace+labels, destination
+      isolating set, destination named ports, port, protocol)`` -- so a
+      thousand pods probing the same destination port cost one evaluation.
+
+    Results are bit-identical to the per-attempt path: decisions come from
+    ``NetworkPolicyEnforcer.check_ingress`` on cache miss, and the
+    socket/loopback gating mirrors ``connect_pod_to_pod`` exactly.
+    """
+
+    def __init__(
+        self,
+        network: "ClusterNetwork",
+        index: PolicyIndex | None,
+        pods: list[RunningPod],
+        bindings: list[ServiceBinding],
+        include_loopback: bool = False,
+        naive_policies: list[NetworkPolicy] | None = None,
+    ) -> None:
+        self._network = network
+        self._enforcer = network.enforcer
+        self.index = index
+        self.pods = list(pods)
+        self.bindings = list(bindings)
+        self.include_loopback = include_loopback
+        #: When set (and ``index`` is ``None``) the matrix runs in naive mode:
+        #: every query delegates to the uncached per-attempt path with this
+        #: policy list.  This is the pre-compilation reference used by the
+        #: differential tests and the before/after benchmarks.
+        self._naive_policies = naive_policies
+        #: (namespace, name) -> (isolating tuple, named-port key, hostNetwork)
+        self._dest_info: dict[tuple[str, str], tuple[tuple, tuple, bool]] = {}
+        #: (namespace, name) -> hashable source equivalence key
+        self._source_keys: dict[tuple[str, str], tuple] = {}
+        #: decision memo, keyed by attempt equivalence class
+        self._decisions: dict[tuple, PolicyDecision] = {}
+
+    # Equivalence keys --------------------------------------------------------
+    def _destination_info(self, destination: RunningPod) -> tuple[tuple, tuple, bool]:
+        key = (destination.namespace, destination.name)
+        info = self._dest_info.get(key)
+        if info is None:
+            isolating = self.index.isolating(destination)
+            named_key = (
+                tuple(sorted(destination.named_ports().items())) if isolating else ()
+            )
+            info = (isolating, named_key, destination.host_network)
+            self._dest_info[key] = info
+        return info
+
+    def _source_key(self, source: RunningPod) -> tuple:
+        key = (source.namespace, source.name)
+        cached = self._source_keys.get(key)
+        if cached is None:
+            cached = (source.namespace, frozenset(source.labels.items()))
+            self._source_keys[key] = cached
+        return cached
+
+    # Decisions ---------------------------------------------------------------
+    def decision(
+        self,
+        source: RunningPod,
+        destination: RunningPod,
+        port: int,
+        protocol: str = "TCP",
+    ) -> PolicyDecision:
+        """The (memoized) policy decision for one connection attempt."""
+        if self.index is None:
+            return self._enforcer.check_ingress(
+                self._naive_policies or [], source, destination, port, protocol
+            )
+        isolating, named_key, host_network = self._destination_info(destination)
+        if not isolating:
+            memo_key: tuple = ("free", host_network)
+        else:
+            memo_key = (self._source_key(source), id(isolating), named_key, port, protocol)
+        decision = self._decisions.get(memo_key)
+        if decision is None:
+            decision = self._enforcer.check_ingress(
+                self.index, source, destination, port, protocol
+            )
+            self._decisions[memo_key] = decision
+        return decision
+
+    # Connection attempts -----------------------------------------------------
+    def connect(
+        self,
+        source: RunningPod,
+        destination: RunningPod,
+        port: int,
+        protocol: str = "TCP",
+    ) -> ConnectionAttempt:
+        """Cached equivalent of ``ClusterNetwork.connect_pod_to_pod``."""
+        if self.index is None:
+            return self._network.connect_pod_to_pod(
+                self._naive_policies or [], source, destination, port, protocol
+            )
+        return _attempt_pod_connection(self.decision, source, destination, port, protocol)
+
+    def connect_via_service(
+        self,
+        source: RunningPod,
+        binding: ServiceBinding,
+        port: int,
+        protocol: str = "TCP",
+    ) -> ConnectionAttempt:
+        """Cached equivalent of ``ClusterNetwork.connect_pod_to_service``."""
+        if self.index is None:
+            return self._network.connect_pod_to_service(
+                self._naive_policies or [], source, binding, port, protocol
+            )
+        return _attempt_service_connection(self.connect, source, binding, port, protocol)
+
+    # Surfaces ----------------------------------------------------------------
+    def endpoints_from(self, source: RunningPod) -> list[ReachableEndpoint]:
+        """Every pod socket and service port reachable from ``source``."""
+        reachable: list[ReachableEndpoint] = []
+        for destination in self.pods:
+            if destination is source:
+                continue
+            for socket in destination.sockets:
+                if not self.include_loopback and not socket.reachable_from_network:
+                    continue
+                attempt = self.connect(source, destination, socket.port, socket.protocol)
+                if attempt.success:
+                    reachable.append(
+                        ReachableEndpoint(
+                            kind="pod",
+                            namespace=destination.namespace,
+                            name=destination.name,
+                            port=socket.port,
+                            protocol=socket.protocol,
+                            dynamic=socket.dynamic,
+                            app=destination.app,
+                        )
+                    )
+        for binding in self.bindings:
+            for service_port in binding.service.ports:
+                attempt = self.connect_via_service(
+                    source, binding, service_port.port, service_port.protocol
+                )
+                if attempt.success:
+                    reachable.append(
+                        ReachableEndpoint(
+                            kind="service",
+                            namespace=binding.service.namespace,
+                            name=binding.service.name,
+                            port=service_port.port,
+                            protocol=service_port.protocol,
+                            app=binding.service.labels.get("app.kubernetes.io/part-of", ""),
+                        )
+                    )
+        return reachable
+
+    def all_pairs(self) -> dict[tuple[str, str], list[ReachableEndpoint]]:
+        """The reachable surface of every pod, keyed by ``(namespace, name)``.
+
+        One pass over the matrix: destination data and policy decisions are
+        shared across sources, so the cost grows with the number of distinct
+        (source class, destination class, port) triples, not with pods².
+        """
+        return {
+            (source.namespace, source.name): self.endpoints_from(source)
+            for source in self.pods
+        }
+
+
 @dataclass
 class ClusterNetwork:
     """Connectivity engine over running pods, bindings and policies."""
@@ -59,49 +360,23 @@ class ClusterNetwork:
     # Pod-to-pod ----------------------------------------------------------------
     def connect_pod_to_pod(
         self,
-        policies: list[NetworkPolicy],
+        policies: list[NetworkPolicy] | PolicyIndex,
         source: RunningPod,
         destination: RunningPod,
         port: int,
         protocol: str = "TCP",
     ) -> ConnectionAttempt:
         """Attempt a direct connection to a destination pod IP and port."""
-        same_pod = source.name == destination.name and source.namespace == destination.namespace
-        socket = destination.socket_on(port, protocol)
-        if socket is None:
-            return ConnectionAttempt(
-                source=source.name,
-                destination=destination.name,
-                port=port,
-                protocol=protocol,
-                success=False,
-                reason="connection refused: nothing is listening on that port",
-            )
-        if socket.interface == "127.0.0.1" and not same_pod:
-            return ConnectionAttempt(
-                source=source.name,
-                destination=destination.name,
-                port=port,
-                protocol=protocol,
-                success=False,
-                reason="connection refused: socket is bound to the loopback interface",
-            )
-        decision: PolicyDecision = self.enforcer.check_ingress(
-            policies, source, destination, port, protocol
-        )
-        return ConnectionAttempt(
-            source=source.name,
-            destination=destination.name,
-            port=port,
-            protocol=protocol,
-            success=decision.allowed,
-            reason=decision.reason,
-        )
+
+        def decide(src: RunningPod, dst: RunningPod, p: int, proto: str) -> PolicyDecision:
+            return self.enforcer.check_ingress(policies, src, dst, p, proto)
+
+        return _attempt_pod_connection(decide, source, destination, port, protocol)
 
     # Pod-to-service ----------------------------------------------------------------
     def connect_pod_to_service(
         self,
-        policies: list[NetworkPolicy],
+        policies: list[NetworkPolicy] | PolicyIndex,
         source: RunningPod,
         binding: ServiceBinding,
         port: int,
@@ -112,65 +387,15 @@ class ClusterNetwork:
         The service proxy picks backends in turn; the attempt succeeds when at
         least one selected backend accepts the forwarded connection.
         """
-        service = binding.service
-        service_port = next((p for p in service.ports if p.port == port), None)
-        if service_port is None:
-            return ConnectionAttempt(
-                source=source.name,
-                destination=service.name,
-                port=port,
-                protocol=protocol,
-                success=False,
-                via_service=service.name,
-                reason=f"service {service.name!r} does not expose port {port}",
-            )
-        if not binding.backends:
-            return ConnectionAttempt(
-                source=source.name,
-                destination=service.name,
-                port=port,
-                protocol=protocol,
-                success=False,
-                via_service=service.name,
-                reason="no endpoints: the service selector matches no running pod",
-            )
-        raw_target = service_port.resolved_target()
-        last_reason = ""
-        for backend in binding.backends:
-            target_port = (
-                raw_target
-                if isinstance(raw_target, int)
-                else backend.named_ports().get(str(raw_target))
-            )
-            if target_port is None:
-                last_reason = f"named target port {raw_target!r} is not declared by pod {backend.name!r}"
-                continue
-            attempt = self.connect_pod_to_pod(policies, source, backend, target_port, protocol)
-            if attempt.success:
-                return ConnectionAttempt(
-                    source=source.name,
-                    destination=service.name,
-                    port=port,
-                    protocol=protocol,
-                    success=True,
-                    via_service=service.name,
-                    backend_pod=backend.name,
-                    reason=attempt.reason,
-                )
-            last_reason = attempt.reason
-        return ConnectionAttempt(
-            source=source.name,
-            destination=service.name,
-            port=port,
-            protocol=protocol,
-            success=False,
-            via_service=service.name,
-            reason=last_reason or "no backend accepted the connection",
-        )
+
+        def connect(src: RunningPod, backend: RunningPod, p: int, proto: str) -> ConnectionAttempt:
+            return self.connect_pod_to_pod(policies, src, backend, p, proto)
+
+        return _attempt_service_connection(connect, source, binding, port, protocol)
 
     def service_backends_receiving(
         self,
-        policies: list[NetworkPolicy],
+        policies: list[NetworkPolicy] | PolicyIndex,
         source: RunningPod,
         binding: ServiceBinding,
         port: int,
@@ -200,9 +425,31 @@ class ClusterNetwork:
         return receiving
 
     # Cluster-wide reachability ------------------------------------------------------
+    def reachability_matrix(
+        self,
+        policies: list[NetworkPolicy] | PolicyIndex,
+        pods: list[RunningPod],
+        bindings: list[ServiceBinding],
+        include_loopback: bool = False,
+    ) -> ReachabilityMatrix:
+        """Compile ``policies`` (if needed) and build a batched matrix.
+
+        When the enforcer has the compiled engine disabled and ``policies``
+        is a raw list, the matrix is built in naive mode: same API, but every
+        query takes the uncached reference path (the pre-compilation code).
+        """
+        if isinstance(policies, PolicyIndex):
+            return ReachabilityMatrix(self, policies, pods, bindings, include_loopback)
+        if not self.enforcer.use_index:
+            return ReachabilityMatrix(
+                self, None, pods, bindings, include_loopback, naive_policies=list(policies)
+            )
+        index = self.enforcer.index_for(policies)
+        return ReachabilityMatrix(self, index, pods, bindings, include_loopback)
+
     def reachable_endpoints(
         self,
-        policies: list[NetworkPolicy],
+        policies: list[NetworkPolicy] | PolicyIndex,
         source: RunningPod,
         pods: list[RunningPod],
         bindings: list[ServiceBinding],
@@ -212,8 +459,14 @@ class ClusterNetwork:
 
         This is the lateral-movement surface of a compromised container: the
         paper's Figure 4b counts exactly these endpoints for misconfigured
-        applications after enabling network policies.
+        applications after enabling network policies.  Runs through a
+        :class:`ReachabilityMatrix` unless the enforcer has the compiled
+        engine disabled, in which case the original per-attempt scan is kept
+        as the reference path.
         """
+        if isinstance(policies, PolicyIndex) or self.enforcer.use_index:
+            matrix = self.reachability_matrix(policies, pods, bindings, include_loopback)
+            return matrix.endpoints_from(source)
         reachable: list[ReachableEndpoint] = []
         for destination in pods:
             if destination is source:

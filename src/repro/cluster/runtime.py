@@ -50,6 +50,15 @@ class RunningPod:
     app: str = ""
     #: Qualified name of the owning compute unit (e.g. ``Deployment/default/web``).
     owner: str = ""
+    #: Lazily built named-port map (the pod spec never changes after start).
+    _named_ports_cache: dict[str, int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Socket lookup table, keyed by the identity of the socket list so a
+    #: restart (which installs a fresh list) invalidates it automatically.
+    _socket_cache: tuple[list[Socket], dict[tuple[int, str], Socket]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def name(self) -> str:
@@ -79,19 +88,30 @@ class RunningPod:
         return self.pod.spec.declared_port_numbers(protocol)
 
     def named_ports(self) -> dict[str, int]:
-        """Named container ports, used to resolve named targets in policies."""
-        named: dict[str, int] = {}
-        for container in self.pod.spec.containers:
-            for port in container.ports:
-                if port.name:
-                    named[port.name] = port.container_port
+        """Named container ports, used to resolve named targets in policies.
+
+        The result is memoized (the spec is fixed once the pod is running) and
+        shared between callers; treat it as read-only.
+        """
+        named = self._named_ports_cache
+        if named is None:
+            named = {}
+            for container in self.pod.spec.containers:
+                for port in container.ports:
+                    if port.name:
+                        named[port.name] = port.container_port
+            self._named_ports_cache = named
         return named
 
     def socket_on(self, port: int, protocol: str = "TCP") -> Socket | None:
-        for socket in self.sockets:
-            if socket.port == port and socket.protocol == protocol:
-                return socket
-        return None
+        cache = self._socket_cache
+        if cache is None or cache[0] is not self.sockets:
+            table: dict[tuple[int, str], Socket] = {}
+            for socket in self.sockets:
+                table.setdefault((socket.port, socket.protocol), socket)
+            cache = (self.sockets, table)
+            self._socket_cache = cache
+        return cache[1].get((port, protocol))
 
 
 class ContainerRuntime:

@@ -73,9 +73,21 @@ class MisconfigurationAnalyzer:
         application: str | None = None,
         dataset: str = "",
         policies_available_but_disabled: bool | None = None,
+        rendered: RenderedChart | None = None,
     ) -> AnalysisReport:
-        """Render a chart, observe it at runtime, and evaluate every rule."""
-        rendered = render_chart(chart, release_name=application or chart.name, overrides=overrides)
+        """Render a chart, observe it at runtime, and evaluate every rule.
+
+        Callers that already rendered the chart (the evaluation pipeline
+        needs the rendered objects for its inventory anyway) can pass
+        ``rendered`` to skip the second render -- template evaluation and
+        YAML parsing dominate the full-catalogue wall time.  The provided
+        render must use the same release name and overrides this method
+        would apply.
+        """
+        if rendered is None:
+            rendered = render_chart(
+                chart, release_name=application or chart.name, overrides=overrides
+            )
         detected_disabled = (
             policies_available_but_disabled
             if policies_available_but_disabled is not None

@@ -8,7 +8,9 @@ collisions (M4*).  The result feeds every table and figure of Section 4.3.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 
 from ..core import (
     AnalysisReport,
@@ -82,29 +84,78 @@ class EvaluationResult:
         ]
 
 
+def _analyze_application(
+    app: BuiltApplication, analyzer: MisconfigurationAnalyzer
+) -> AnalyzedApplication:
+    # One render serves both the analysis and the inventory: rendering
+    # (template evaluation + YAML parsing) dominates the catalogue sweep.
+    rendered = render_chart(app.chart)
+    report = analyzer.analyze_chart(
+        app.chart, behaviors=app.behaviors, dataset=app.dataset, rendered=rendered
+    )
+    return AnalyzedApplication(
+        application=app, report=report, inventory=Inventory(rendered.objects)
+    )
+
+
+def _analyze_application_in_subprocess(
+    app: BuiltApplication, settings: AnalyzerSettings
+) -> AnalyzedApplication:
+    """Process-pool worker: rebuild the (default) analyzer from its settings."""
+    return _analyze_application(app, MisconfigurationAnalyzer(settings=settings))
+
+
 def run_full_evaluation(
     datasets: tuple[str, ...] = DATASET_ORDER,
     analyzer: MisconfigurationAnalyzer | None = None,
     applications: list[BuiltApplication] | None = None,
+    workers: int | None = None,
 ) -> EvaluationResult:
-    """Analyze the complete catalogue and run the cluster-wide pass."""
+    """Analyze the complete catalogue and run the cluster-wide pass.
+
+    ``workers`` enables the parallel evaluation path.  Charts are fully
+    independent (each gets its own throw-away cluster, the rules are
+    stateless), so with the default analyzer they fan out on a *process*
+    pool -- real parallelism for this CPU-bound, GIL-holding workload; the
+    per-chart inputs and reports are plain picklable dataclasses.  A custom
+    ``analyzer`` (whose rules or cluster factory may not pickle) falls back
+    to a thread pool, which mainly helps if its hooks release the GIL.
+    Result ordering is deterministic either way -- ``Executor.map``
+    preserves catalogue order, not completion order -- and the cluster-wide
+    M4* pass always runs sequentially afterwards over the ordered
+    inventories.
+    """
+    custom_analyzer = analyzer is not None
     analyzer = analyzer or MisconfigurationAnalyzer(settings=AnalyzerSettings())
     applications = applications if applications is not None else build_catalog(datasets)
+
     result = EvaluationResult()
-    inventories: list[ApplicationInventory] = []
-    for app in applications:
-        report = analyzer.analyze_chart(
-            app.chart, behaviors=app.behaviors, dataset=app.dataset
+    if workers and workers > 1 and not custom_analyzer:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Chunk the map: per-chart analysis is ~10ms, so one-item tasks
+            # would spend comparable time on pickling round-trips.
+            result.analyzed = list(
+                pool.map(
+                    partial(_analyze_application_in_subprocess, settings=analyzer.settings),
+                    applications,
+                    chunksize=max(len(applications) // (workers * 4), 1),
+                )
+            )
+    elif workers and workers > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            result.analyzed = list(
+                pool.map(partial(_analyze_application, analyzer=analyzer), applications)
+            )
+    else:
+        result.analyzed = [_analyze_application(app, analyzer) for app in applications]
+    inventories = [
+        ApplicationInventory(
+            application=f"{entry.application.dataset}/{entry.application.name}",
+            inventory=entry.inventory,
+            dataset=entry.application.dataset,
         )
-        rendered = render_chart(app.chart)
-        inventory = Inventory(rendered.objects)
-        unique_id = f"{app.dataset}/{app.name}"
-        inventories.append(
-            ApplicationInventory(application=unique_id, inventory=inventory, dataset=app.dataset)
-        )
-        result.analyzed.append(
-            AnalyzedApplication(application=app, report=report, inventory=inventory)
-        )
+        for entry in result.analyzed
+    ]
     # Cluster-wide pass: attribute the extra M4* findings back to the reports.
     extra = global_collision_findings(inventories)
     by_unique_id = {f"{entry.application.dataset}/{entry.application.name}": entry

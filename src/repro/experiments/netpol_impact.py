@@ -9,7 +9,9 @@ same cluster.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 
 from ..cluster import Cluster
 from ..datasets import DATASET_ORDER, BuiltApplication, build_catalog
@@ -94,8 +96,14 @@ class NetpolImpactResult:
         return "\n".join(lines)
 
 
-def probe_application_with_policies(app: BuiltApplication) -> ApplicationReachability:
-    """Force-enable the chart's policies, deploy it, and probe reachability."""
+def probe_application_with_policies(
+    app: BuiltApplication, compiled: bool = True
+) -> ApplicationReachability:
+    """Force-enable the chart's policies, deploy it, and probe reachability.
+
+    ``compiled=False`` pins the throw-away cluster to the naive policy
+    evaluator -- the pre-compilation reference path kept for benchmarks.
+    """
     outcome = ApplicationReachability(
         application=app.name,
         dataset=app.dataset,
@@ -106,14 +114,20 @@ def probe_application_with_policies(app: BuiltApplication) -> ApplicationReachab
     if not app.defines_network_policies:
         return outcome
     rendered = render_chart(app.chart, overrides={"networkPolicy": {"enabled": True}})
-    cluster = Cluster(name="netpol-impact", behaviors=app.behaviors)
+    cluster = Cluster(name="netpol-impact", behaviors=app.behaviors, compiled_policies=compiled)
     cluster.install(rendered)
     probe = ReachabilityProbe(cluster)
     attacker = probe.ensure_attacker()
-    policies = cluster.network_policies()
-    for pod in cluster.running_pods(app_name=app.name):
+    # One compiled index + decision cache for the whole probe run: replicas
+    # and repeated ports resolve from the matrix memo instead of re-scanning
+    # the policy list per connection attempt.
+    index = cluster.policies_view()
+    app_pods = cluster.running_pods(app_name=app.name)
+    bindings = cluster.service_bindings()
+    matrix = cluster.network.reachability_matrix(index, app_pods, bindings)
+    host_baseline = cluster.host_port_baseline()
+    for pod in app_pods:
         declared = pod.declared_ports("TCP") | pod.declared_ports("UDP")
-        host_baseline = cluster.host_port_baseline() if pod.host_network else set()
         for socket in pod.sockets:
             if not socket.reachable_from_network:
                 continue
@@ -127,16 +141,14 @@ def probe_application_with_policies(app: BuiltApplication) -> ApplicationReachab
                 continue
             if not misconfigured:
                 continue
-            attempt = cluster.network.connect_pod_to_pod(
-                policies, attacker, pod, socket.port, socket.protocol
-            )
+            attempt = matrix.connect(attacker, pod, socket.port, socket.protocol)
             if attempt.success:
                 outcome.reachable_misconfigured_pod_endpoints += 1
                 outcome.reachable_pods.add(pod.name)
                 if socket.dynamic:
                     outcome.reachable_dynamic_pod_endpoints += 1
                     outcome.reachable_pods_via_dynamic.add(pod.name)
-    for binding in cluster.service_bindings():
+    for binding in bindings:
         if not any(backend.app == app.name for backend in binding.backends):
             continue
         for service_port in binding.service.ports:
@@ -152,8 +164,8 @@ def probe_application_with_policies(app: BuiltApplication) -> ApplicationReachab
                     targets_misconfigured = True
             if not targets_misconfigured:
                 continue
-            attempt = cluster.network.connect_pod_to_service(
-                policies, attacker, binding, service_port.port, service_port.protocol
+            attempt = matrix.connect_via_service(
+                attacker, binding, service_port.port, service_port.protocol
             )
             if attempt.success:
                 outcome.reachable_misconfigured_services.add(binding.service.name)
@@ -163,10 +175,32 @@ def probe_application_with_policies(app: BuiltApplication) -> ApplicationReachab
 def run_netpol_impact(
     datasets: tuple[str, ...] = DATASET_ORDER,
     applications: list[BuiltApplication] | None = None,
+    workers: int | None = None,
+    compiled: bool = True,
 ) -> NetpolImpactResult:
-    """Run the Figure 4b experiment over the catalogue."""
+    """Run the Figure 4b experiment over the catalogue.
+
+    Every chart is probed in its own throw-away cluster with picklable
+    inputs and outputs, so ``workers`` fans the sweep out on a *process*
+    pool (the probe is CPU-bound pure Python; threads would serialize on
+    the GIL); ``Executor.map`` keeps the result order identical to the
+    serial path.  ``compiled=False`` runs the whole sweep on the naive
+    reference evaluator (benchmark baseline).
+    """
     applications = applications if applications is not None else build_catalog(datasets)
     result = NetpolImpactResult()
-    for app in applications:
-        result.applications.append(probe_application_with_policies(app))
+    probe_one = partial(probe_application_with_policies, compiled=compiled)
+    if workers and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Chunked map: per-chart probes are milliseconds, so one-item
+            # tasks would drown in pickling round-trips.
+            result.applications = list(
+                pool.map(
+                    probe_one,
+                    applications,
+                    chunksize=max(len(applications) // (workers * 4), 1),
+                )
+            )
+    else:
+        result.applications = [probe_one(app) for app in applications]
     return result

@@ -184,6 +184,21 @@ class Selector:
                 return False
         return all(req.matches(labels) for req in self.match_expressions)
 
+    def as_match_items(self) -> frozenset[tuple[str, str]] | None:
+        """Flatten the selector into a hashable equality-match key.
+
+        Returns a frozenset of ``(key, value)`` pairs when the selector is a
+        pure ``matchLabels`` selector: the selector matches a label mapping
+        ``L`` iff the returned set is a subset of ``frozenset(L.items())``.
+        Returns ``None`` when ``matchExpressions`` are present and the full
+        :meth:`matches` evaluation is required.  The compiled policy engine
+        (:mod:`repro.cluster.policy_index`) uses this to replace repeated
+        selector evaluation with subset tests on pre-hashed label sets.
+        """
+        if self.match_expressions:
+            return None
+        return frozenset(self.match_labels.items())
+
     def requirement_keys(self) -> set[str]:
         """Return every label key referenced by the selector."""
         keys = set(self.match_labels)

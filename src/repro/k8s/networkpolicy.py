@@ -200,6 +200,17 @@ class NetworkPolicy(KubernetesObject):
             return False
         return self.pod_selector.matches(pod_labels)
 
+    def selection_match_items(self) -> frozenset[tuple[str, str]] | None:
+        """Hashable equality key of ``spec.podSelector`` (``None`` = general).
+
+        A frozenset of ``(key, value)`` pairs when the selector uses only
+        ``matchLabels`` (the empty frozenset therefore means "every pod in the
+        namespace"); ``None`` when ``matchExpressions`` force a full
+        :meth:`Selector.matches` evaluation.  Consumed by the compiled policy
+        index to turn per-connection selector scans into subset tests.
+        """
+        return self.pod_selector.as_match_items()
+
     def restricts_ingress(self) -> bool:
         return "Ingress" in self.policy_types
 

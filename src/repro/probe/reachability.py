@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..cluster import Cluster, RunningPod
+from ..cluster import Cluster, PodNotFound, RunningPod
 from ..k8s import Container, LabelSet, ObjectMeta, Pod, PodSpec
 
 
@@ -68,36 +68,43 @@ class ReachabilityProbe:
         """Install the attacker pod (idempotent) and return its running instance."""
         try:
             return self.cluster.running_pod(ATTACKER_POD_NAME, namespace)
-        except Exception:  # noqa: BLE001 - not yet installed
+        except PodNotFound:
             self.cluster.install([make_attacker_pod(namespace)], app_name="__attacker__",
                                  namespace=namespace)
             return self.cluster.running_pod(ATTACKER_POD_NAME, namespace)
 
     def probe_application(self, app: str, namespace: str = "default") -> ReachabilityReport:
-        """Probe every endpoint of one installed application from the attacker."""
+        """Probe every endpoint of one installed application from the attacker.
+
+        Runs on the cluster's cached :class:`ReachabilityMatrix` machinery:
+        the policy index is compiled once per epoch and every decision is
+        memoized by equivalence class, so probing replicas or many sockets of
+        the same destination does no repeated policy work.
+        """
         attacker = self.ensure_attacker(namespace)
-        policies = self.cluster.network_policies()
+        index = self.cluster.policies_view()
         report = ReachabilityReport(app=app)
         app_pods = self.cluster.running_pods(app_name=app)
-        report.isolated_pods = len(self.cluster.enforcer.isolated_pods(policies, app_pods))
-        report.unprotected_pods = len(app_pods) - report.isolated_pods
+        isolated, unprotected = self.cluster.enforcer.partition_pods(index, app_pods)
+        report.isolated_pods = len(isolated)
+        report.unprotected_pods = len(unprotected)
+        bindings = self.cluster.service_bindings()
+        matrix = self.cluster.network.reachability_matrix(index, app_pods, bindings)
         for destination in app_pods:
             for socket in destination.sockets:
                 if not socket.reachable_from_network:
                     continue
-                attempt = self.cluster.network.connect_pod_to_pod(
-                    policies, attacker, destination, socket.port, socket.protocol
-                )
+                attempt = matrix.connect(attacker, destination, socket.port, socket.protocol)
                 if attempt.success:
                     report.reachable_pod_endpoints.append((destination.name, socket.port))
                     if socket.dynamic:
                         report.reachable_dynamic_endpoints.append((destination.name, socket.port))
-        for binding in self.cluster.service_bindings():
+        for binding in bindings:
             if not any(backend.app == app for backend in binding.backends):
                 continue
             for service_port in binding.service.ports:
-                attempt = self.cluster.network.connect_pod_to_service(
-                    policies, attacker, binding, service_port.port, service_port.protocol
+                attempt = matrix.connect_via_service(
+                    attacker, binding, service_port.port, service_port.protocol
                 )
                 if attempt.success:
                     report.reachable_service_endpoints.append(

@@ -68,12 +68,22 @@ class RuntimeScanner:
     def __init__(self, cluster: Cluster) -> None:
         self.cluster = cluster
 
-    def snapshot(self, app: str | None = None, sequence: int = 0) -> ClusterSnapshot:
-        """Take a single netstat-style snapshot of the running pods."""
+    def snapshot(
+        self,
+        app: str | None = None,
+        sequence: int = 0,
+        host_ports: set[int] | None = None,
+    ) -> ClusterSnapshot:
+        """Take a single netstat-style snapshot of the running pods.
+
+        ``host_ports`` lets callers that take several snapshots (the double
+        snapshot) reuse one host-port baseline instead of re-walking every
+        node per snapshot.
+        """
         pods = self.cluster.running_pods(app_name=app)
-        return ClusterSnapshot.from_pods(
-            pods, host_ports=self.cluster.host_port_baseline(), sequence=sequence
-        )
+        if host_ports is None:
+            host_ports = self.cluster.host_port_baseline()
+        return ClusterSnapshot.from_pods(pods, host_ports=host_ports, sequence=sequence)
 
     def observe(self, app: str, restart_between_snapshots: bool = True) -> RuntimeObservation:
         """Take the double snapshot of one application.
@@ -83,10 +93,10 @@ class RuntimeScanner:
         snapshot is needed for M2).
         """
         host_ports = self.cluster.host_port_baseline()
-        first = self.snapshot(app, sequence=0)
+        first = self.snapshot(app, sequence=0, host_ports=host_ports)
         if restart_between_snapshots:
             self.cluster.restart_application(app)
-            second = self.snapshot(app, sequence=1)
+            second = self.snapshot(app, sequence=1, host_ports=host_ports)
         else:
             second = first
         return RuntimeObservation(app=app, first=first, second=second, host_ports=host_ports)

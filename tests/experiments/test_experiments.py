@@ -26,6 +26,31 @@ def small_evaluation():
     return run_full_evaluation(applications=applications)
 
 
+class TestParallelEvaluation:
+    def test_parallel_path_matches_serial_in_order_and_findings(self, small_evaluation):
+        applications = small_evaluation.applications()
+        parallel = run_full_evaluation(applications=applications, workers=4)
+        assert [entry.key for entry in parallel.analyzed] == [
+            entry.key for entry in small_evaluation.analyzed
+        ]
+        for serial_entry, parallel_entry in zip(small_evaluation.analyzed, parallel.analyzed):
+            assert sorted(f.dedupe_key() for f in parallel_entry.report.findings) == sorted(
+                f.dedupe_key() for f in serial_entry.report.findings
+            )
+
+    def test_parallel_netpol_impact_matches_serial(self):
+        applications = build_dataset("CNCF")
+        serial = run_netpol_impact(applications=applications)
+        parallel = run_netpol_impact(applications=applications, workers=4)
+        assert [
+            (entry.application, entry.affected, entry.reachable_pods)
+            for entry in parallel.applications
+        ] == [
+            (entry.application, entry.affected, entry.reachable_pods)
+            for entry in serial.applications
+        ]
+
+
 class TestEvaluationPipeline:
     def test_every_application_is_analyzed(self, small_evaluation):
         assert len(small_evaluation.analyzed) == 29

@@ -1,0 +1,370 @@
+"""Differential property tests: compiled policy engine == naive evaluator.
+
+The compiled engine (PolicyIndex + enforcer memoization + ReachabilityMatrix)
+must be a *pure acceleration* of the naive per-attempt evaluation kept behind
+``use_index=False``.  Hypothesis generates randomized pods, sockets, services
+and policies (including matchExpressions, namespace selectors, named ports
+and port ranges) and asserts identical ``PolicyDecision``s and identical
+reachable-endpoint surfaces -- plus cache invalidation across real cluster
+mutations (install / uninstall / restart / direct API writes).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    ClusterNetwork,
+    Cluster,
+    EndpointController,
+    NetworkPolicyEnforcer,
+    Node,
+    PodNotFound,
+    PolicyIndex,
+    RunningPod,
+    Socket,
+)
+from repro.k8s import (
+    Container,
+    ContainerPort,
+    LabelSelectorRequirement,
+    LabelSet,
+    NetworkPolicy,
+    NetworkPolicyPeer,
+    NetworkPolicyPort,
+    NetworkPolicyRule,
+    ObjectMeta,
+    Pod,
+    PodSpec,
+    Selector,
+    Service,
+    ServicePort,
+    allow_ports_policy,
+    deny_all_policy,
+    equality_selector,
+)
+import pytest
+
+from tests.conftest import make_deployment, make_pod, make_service
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+NAMESPACES = ("default", "prod")
+NAMESPACE_LABELS = {
+    "default": {"kubernetes.io/metadata.name": "default", "env": "dev"},
+    "prod": {"kubernetes.io/metadata.name": "prod", "env": "prod"},
+}
+LABEL_KEYS = ("app", "tier", "role")
+LABEL_VALUES = ("web", "db", "cache")
+PORTS = (80, 8080, 9090)
+
+namespaces = st.sampled_from(NAMESPACES)
+label_dicts = st.dictionaries(
+    st.sampled_from(LABEL_KEYS), st.sampled_from(LABEL_VALUES), max_size=3
+)
+
+selectors = st.one_of(
+    st.builds(lambda labels: Selector(match_labels=LabelSet(labels)), label_dicts),
+    st.builds(
+        lambda key, op, values: Selector(
+            match_expressions=(
+                LabelSelectorRequirement(
+                    key=key,
+                    operator=op,
+                    values=tuple(values) if op in ("In", "NotIn") else (),
+                ),
+            )
+        ),
+        st.sampled_from(LABEL_KEYS),
+        st.sampled_from(("In", "NotIn", "Exists", "DoesNotExist")),
+        st.lists(st.sampled_from(LABEL_VALUES), min_size=1, max_size=2),
+    ),
+)
+
+peers = st.builds(
+    NetworkPolicyPeer,
+    pod_selector=st.one_of(st.none(), selectors),
+    namespace_selector=st.one_of(
+        st.none(),
+        st.builds(lambda env: Selector(match_labels=LabelSet({"env": env})),
+                  st.sampled_from(("dev", "prod"))),
+    ),
+)
+
+policy_ports = st.one_of(
+    st.builds(NetworkPolicyPort, port=st.sampled_from(PORTS)),
+    st.builds(NetworkPolicyPort, port=st.just(None)),
+    st.builds(NetworkPolicyPort, port=st.just("http")),
+    st.builds(NetworkPolicyPort, port=st.just(8000), end_port=st.just(9500)),
+)
+
+rules = st.builds(
+    NetworkPolicyRule,
+    peers=st.lists(peers, max_size=2),
+    ports=st.lists(policy_ports, max_size=2),
+)
+
+
+@st.composite
+def network_policies(draw, index: int = 0):
+    return NetworkPolicy(
+        metadata=ObjectMeta(name=f"policy-{draw(st.integers(0, 999))}-{index}",
+                            namespace=draw(namespaces)),
+        pod_selector=draw(selectors),
+        policy_types=draw(st.sampled_from((["Ingress"], ["Ingress", "Egress"], ["Egress"]))),
+        ingress=draw(st.lists(rules, max_size=2)),
+    )
+
+
+@st.composite
+def running_pods(draw, index: int):
+    namespace = draw(namespaces)
+    labels = draw(label_dicts)
+    host_network = draw(st.booleans()) and draw(st.booleans())  # ~25% hostNetwork
+    ports = draw(st.lists(st.sampled_from(PORTS), min_size=1, max_size=2, unique=True))
+    loopback = draw(st.booleans()) and draw(st.booleans())
+    pod = Pod(
+        metadata=ObjectMeta(name=f"pod-{index}", namespace=namespace,
+                            labels=LabelSet(labels)),
+        spec=PodSpec(
+            containers=[
+                Container(
+                    name="main",
+                    image="prop/app",
+                    ports=[ContainerPort(8080, name="http")],
+                )
+            ],
+            host_network=host_network,
+        ),
+    )
+    sockets = [
+        Socket(
+            port=port,
+            protocol="TCP",
+            interface="127.0.0.1" if loopback and i == 0 else "0.0.0.0",
+            container="main",
+        )
+        for i, port in enumerate(ports)
+    ]
+    return RunningPod(pod=pod, ip=f"10.0.0.{index + 1}", node=Node(name="prop-node"),
+                      sockets=sockets, app=f"app-{index % 3}")
+
+
+@st.composite
+def scenarios(draw):
+    pods = [draw(running_pods(i)) for i in range(draw(st.integers(2, 5)))]
+    policies = [draw(network_policies(i)) for i in range(draw(st.integers(0, 4)))]
+    services = []
+    for i in range(draw(st.integers(0, 2))):
+        services.append(
+            Service(
+                metadata=ObjectMeta(name=f"svc-{i}", namespace=draw(namespaces)),
+                selector=Selector(match_labels=LabelSet(draw(label_dicts))),
+                ports=[ServicePort(port=80, target_port=draw(st.sampled_from((8080, "http"))),
+                                   name="main")],
+            )
+        )
+    bindings = EndpointController().bind(services, pods)
+    return pods, policies, bindings
+
+
+def engines():
+    naive = ClusterNetwork(
+        enforcer=NetworkPolicyEnforcer(NAMESPACE_LABELS, use_index=False)
+    )
+    compiled = ClusterNetwork(enforcer=NetworkPolicyEnforcer(NAMESPACE_LABELS))
+    return naive, compiled
+
+
+# ---------------------------------------------------------------------------
+# Differential properties
+# ---------------------------------------------------------------------------
+
+
+class TestCompiledEngineEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(scenarios())
+    def test_decisions_identical_for_every_pair_and_port(self, scenario):
+        pods, policies, _ = scenario
+        naive, compiled = engines()
+        index = PolicyIndex(policies)
+        for source in pods:
+            for destination in pods:
+                for port in (*PORTS, 9000):
+                    expected = naive.enforcer.check_ingress(
+                        policies, source, destination, port
+                    )
+                    via_list = compiled.enforcer.check_ingress(
+                        policies, source, destination, port
+                    )
+                    via_index = compiled.enforcer.check_ingress(
+                        index, source, destination, port
+                    )
+                    assert via_list == expected
+                    assert via_index == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(scenarios())
+    def test_isolating_sets_and_partition_identical(self, scenario):
+        pods, policies, _ = scenario
+        naive, compiled = engines()
+        index = PolicyIndex(policies)
+        for pod in pods:
+            expected = naive.enforcer.policies_isolating(policies, pod)
+            assert compiled.enforcer.policies_isolating(policies, pod) == expected
+            assert list(index.isolating(pod)) == expected
+        isolated, unprotected = compiled.enforcer.partition_pods(policies, pods)
+        assert isolated == naive.enforcer.isolated_pods(policies, pods)
+        assert unprotected == naive.enforcer.unprotected_pods(policies, pods)
+
+    @settings(max_examples=30, deadline=None)
+    @given(scenarios())
+    def test_reachable_surfaces_identical(self, scenario):
+        pods, policies, bindings = scenario
+        naive, compiled = engines()
+        matrix = compiled.reachability_matrix(policies, pods, bindings)
+        for source in pods:
+            expected = naive.reachable_endpoints(policies, source, pods, bindings)
+            assert compiled.reachable_endpoints(policies, source, pods, bindings) == expected
+            assert matrix.endpoints_from(source) == expected
+        assert matrix.all_pairs() == {
+            (source.namespace, source.name): naive.reachable_endpoints(
+                policies, source, pods, bindings
+            )
+            for source in pods
+        }
+
+    @settings(max_examples=20, deadline=None)
+    @given(scenarios())
+    def test_service_connections_identical(self, scenario):
+        pods, policies, bindings = scenario
+        naive, compiled = engines()
+        matrix = compiled.reachability_matrix(policies, pods, bindings)
+        for source in pods[:2]:
+            for binding in bindings:
+                for port in (80, 443):
+                    expected = naive.connect_pod_to_service(
+                        policies, source, binding, port
+                    )
+                    assert (
+                        compiled.connect_pod_to_service(policies, source, binding, port)
+                        == expected
+                    )
+                    assert matrix.connect_via_service(source, binding, port) == expected
+
+
+# ---------------------------------------------------------------------------
+# Cache invalidation across real cluster mutations
+# ---------------------------------------------------------------------------
+
+
+def _naive_twin_decisions(cluster: Cluster, source, destination, port):
+    """Evaluate one attempt on a naive twin of the cluster's current state."""
+    naive = ClusterNetwork(
+        enforcer=NetworkPolicyEnforcer(
+            {
+                namespace: cluster.enforcer.namespace_labels(namespace)
+                for namespace in cluster.api.store.namespaces()
+            },
+            use_index=False,
+        )
+    )
+    return naive.connect_pod_to_pod(
+        cluster.network_policies(), source, destination, port
+    )
+
+
+class TestEpochInvalidation:
+    def _cluster(self):
+        from repro.cluster import BehaviorRegistry, ContainerBehavior, ListenSpec
+
+        registry = BehaviorRegistry()
+        registry.register(
+            "example/web",
+            ContainerBehavior(listen_on_declared=True, extra_listens=[ListenSpec(port=9999)]),
+        )
+        cluster = Cluster(name="epoch", worker_count=2, behaviors=registry, seed=13)
+        cluster.install(
+            [make_deployment(replicas=2), make_service(), make_pod("attacker")],
+            app_name="web",
+        )
+        return cluster
+
+    def _assert_matches_naive_twin(self, cluster):
+        attacker = cluster.running_pod("attacker")
+        web = cluster.running_pod("web-0")
+        for port in (8080, 9999):
+            assert cluster.connect(attacker, web, port) == _naive_twin_decisions(
+                cluster, attacker, web, port
+            )
+
+    def test_epoch_moves_on_every_mutation_kind(self):
+        cluster = self._cluster()
+        epochs = [cluster.policy_epoch]
+        cluster.api.apply(deny_all_policy("deny"))
+        epochs.append(cluster.policy_epoch)
+        cluster.api.delete("NetworkPolicy", "deny")
+        epochs.append(cluster.policy_epoch)
+        cluster.restart_application("web")
+        epochs.append(cluster.policy_epoch)
+        cluster.install([make_pod("extra")], app_name="extra")
+        epochs.append(cluster.policy_epoch)
+        cluster.uninstall("extra")
+        epochs.append(cluster.policy_epoch)
+        assert epochs == sorted(epochs) and len(set(epochs)) == len(epochs)
+
+    def test_index_is_cached_within_an_epoch_and_rebuilt_across(self):
+        cluster = self._cluster()
+        first = cluster.policy_index()
+        assert cluster.policy_index() is first
+        cluster.api.apply(deny_all_policy("deny"))
+        second = cluster.policy_index()
+        assert second is not first
+        assert [p.name for p in second.policies] == ["deny"]
+
+    def test_decisions_track_policy_install_and_uninstall(self):
+        cluster = self._cluster()
+        attacker = cluster.running_pod("attacker")
+        web = cluster.running_pod("web-0")
+        assert cluster.connect(attacker, web, 8080).success
+        self._assert_matches_naive_twin(cluster)
+
+        cluster.api.apply(deny_all_policy("deny"))
+        assert not cluster.connect(attacker, web, 8080).success
+        self._assert_matches_naive_twin(cluster)
+
+        cluster.api.apply(
+            allow_ports_policy("allow-http", equality_selector(app="web"), [8080])
+        )
+        assert cluster.connect(attacker, web, 8080).success
+        assert not cluster.connect(attacker, web, 9999).success
+        self._assert_matches_naive_twin(cluster)
+
+        cluster.api.delete("NetworkPolicy", "deny")
+        cluster.api.delete("NetworkPolicy", "allow-http")
+        assert cluster.connect(attacker, web, 9999).success
+        self._assert_matches_naive_twin(cluster)
+
+    def test_reachable_surface_tracks_restart_dynamic_ports(self):
+        from repro.cluster import BehaviorRegistry, behavior_with_dynamic_ports
+
+        registry = BehaviorRegistry()
+        registry.register("example/web", behavior_with_dynamic_ports(1))
+        cluster = Cluster(name="epoch-restart", worker_count=1, behaviors=registry, seed=5)
+        cluster.install([make_deployment(), make_pod("attacker")], app_name="web")
+        attacker = cluster.running_pod("attacker")
+        before = {e.port for e in cluster.reachable_from(attacker) if e.kind == "pod"}
+        cluster.restart_application("web")
+        after = {e.port for e in cluster.reachable_from(attacker) if e.kind == "pod"}
+        assert before != after  # dynamic port moved and the cache followed
+        web = cluster.running_pod("web-0")
+        assert after == {s.port for s in web.sockets if s.reachable_from_network}
+
+    def test_running_pod_raises_dedicated_error(self):
+        cluster = self._cluster()
+        with pytest.raises(PodNotFound) as excinfo:
+            cluster.running_pod("ghost", "nowhere")
+        assert excinfo.value.name == "ghost"
+        assert excinfo.value.namespace == "nowhere"
