@@ -8,9 +8,15 @@ Usage (from the repository root)::
 Runs the same cases as ``benchmarks/test_bench_connectivity.py`` -- naive
 (pre-PR) vs compiled/cached engine for ``check_ingress``,
 ``reachable_endpoints`` and the ``ReachabilityMatrix`` at three fleet sizes
--- plus an end-to-end Figure 4b sweep over a catalogue sample (the whole
-catalogue with ``--full``), then writes median ns/op per case to a JSON file
-so future PRs have a perf trajectory to compare against.
+-- plus the render-pipeline suite (template compile cache, cold vs warm
+chart render, class-grouped vs per-source all-pairs) and an end-to-end
+Figure 4b sweep over a catalogue sample (the whole catalogue with
+``--full``), then writes median ns/op per case to a JSON file so future PRs
+have a perf trajectory to compare against.
+
+The end-to-end sweeps start from *cold* render caches, so the recorded
+seconds measure the first pass over a catalogue; warm-path amortization is
+captured separately by the ``chart_render/warm`` case.
 """
 
 from __future__ import annotations
@@ -25,8 +31,16 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from connectivity_cases import format_table, run_size  # noqa: E402
+from render_cases import run_render_suite  # noqa: E402
 
 FLEET_SIZES = (30, 240, 1000)
+
+
+def _clear_render_caches() -> None:
+    from repro.helm import clear_template_cache, shared_render_cache
+
+    clear_template_cache()
+    shared_render_cache().clear()
 
 
 def bench_netpol_sweep(sample: int | None) -> dict[str, float]:
@@ -39,6 +53,7 @@ def bench_netpol_sweep(sample: int | None) -> dict[str, float]:
         applications = applications[:sample]
     timings: dict[str, float] = {"charts": float(len(applications))}
     for label, compiled in (("naive", False), ("compiled", True)):
+        _clear_render_caches()
         start = time.perf_counter()
         run_netpol_impact(applications=applications, compiled=compiled)
         timings[f"netpol_impact/{label}_s"] = round(time.perf_counter() - start, 3)
@@ -58,14 +73,30 @@ def bench_full_evaluation(sample: int | None) -> dict[str, float]:
         applications = applications[:sample]
     analyzer = MisconfigurationAnalyzer(settings=AnalyzerSettings())
 
+    def render_pre_pr(chart):
+        # The pre-PR engine re-parsed every template on every render: bypass
+        # the render cache AND drop compiled templates before each render so
+        # the baseline keeps measuring the old per-render parse cost.
+        from repro.helm import clear_template_cache
+
+        clear_template_cache()
+        return render_chart(chart, cached=False)
+
     # The pre-PR pipeline rendered every chart twice: once inside
     # analyze_chart and once more for the cluster-wide inventory.
+    _clear_render_caches()
     start = time.perf_counter()
     for app in applications:
-        analyzer.analyze_chart(app.chart, behaviors=app.behaviors, dataset=app.dataset)
-        Inventory(render_chart(app.chart).objects)
+        analyzer.analyze_chart(
+            app.chart,
+            behaviors=app.behaviors,
+            dataset=app.dataset,
+            rendered=render_pre_pr(app.chart),
+        )
+        Inventory(render_pre_pr(app.chart).objects)
     double_render = time.perf_counter() - start
 
+    _clear_render_caches()
     start = time.perf_counter()
     run_full_evaluation(applications=applications)
     current = time.perf_counter() - start
@@ -106,6 +137,27 @@ def main(argv: list[str] | None = None) -> int:
         # Tiny samples can round a sweep to 0.000s; don't divide by it.
         return f"{before / after:.2f}x" if after else "n/a"
 
+    render = run_render_suite(repeats=args.repeats)
+    print(
+        f"\ntemplate compile: cold {render['template_compile/cold']:,.0f} ns -> "
+        f"cached {render['template_compile/cached']:,.0f} ns "
+        f"({ratio(render['template_compile/cold'], render['template_compile/cached'])})"
+    )
+    print(
+        f"chart render: cold {render['chart_render/cold']:,.0f} ns -> "
+        f"warm {render['chart_render/warm']:,.0f} ns "
+        f"({ratio(render['chart_render/cold'], render['chart_render/warm'])})"
+    )
+    for key in sorted(render):
+        if key.startswith("all_pairs/grouped"):
+            pods = key.rsplit("=", 1)[1]
+            per_source = render[f"all_pairs/per_source/pods={pods}"]
+            print(
+                f"all_pairs pods={pods}: per-source {per_source:,.0f} ns/src -> "
+                f"grouped {render[key]:,.0f} ns/src "
+                f"({ratio(per_source, render[key])})"
+            )
+
     sample = None if args.full else args.sample
     e2e = bench_netpol_sweep(sample)
     print(
@@ -139,6 +191,7 @@ def main(argv: list[str] | None = None) -> int:
             for pod_count, results in per_size.items()
             for case in ("check_ingress", "reachable_endpoints", "matrix_sources")
         },
+        "render": {case: round(value, 1) for case, value in render.items()},
         "end_to_end": e2e,
     }
     output = Path(args.output)

@@ -94,6 +94,10 @@ class Cluster:
         #: derived from runtime state invalidate on pod restarts too.
         self._restart_generation = 0
         self._policy_index: PolicyIndex | None = None
+        #: Service bindings computed by the last reconcile, plus the epoch
+        #: they were computed at (``None`` = never reconciled).
+        self._bindings: list[ServiceBinding] = []
+        self._bindings_epoch: int | None = None
         self._ensure_namespace("default")
         self._ensure_namespace("kube-system")
 
@@ -225,7 +229,7 @@ class Cluster:
 
     # Controllers -----------------------------------------------------------------------
     def reconcile(self) -> None:
-        """Recompute service bindings and DNS records."""
+        """Recompute service bindings and DNS records (unconditionally)."""
         bindings = self.endpoint_controller.bind(self.services(), self.running_pods())
         service_ips = {}
         for binding in bindings:
@@ -235,6 +239,7 @@ class Cluster:
                 service_ips[(service.namespace, service.name)] = self.ipam.services.allocate(owner)
         self.dns.program(bindings, service_ips)
         self._bindings = bindings
+        self._bindings_epoch = self.policy_epoch
 
     # Queries ------------------------------------------------------------------------------
     def running_pods(self, app_name: str | None = None, namespace: str | None = None) -> list[RunningPod]:
@@ -266,7 +271,17 @@ class Cluster:
         ]
 
     def service_bindings(self) -> list[ServiceBinding]:
-        self.reconcile()
+        """The current service-to-pod bindings (epoch-cached).
+
+        Bindings derive from the API store (services, selectors) and the set
+        of running pods, both of which move :attr:`policy_epoch` on every
+        mutation (install, uninstall, restart, direct ``api.apply``/
+        ``api.delete``).  The endpoint controller therefore only re-reconciles
+        when the epoch moved since the last reconcile -- the same
+        store-generation pattern as :meth:`policy_index`.
+        """
+        if self._bindings_epoch != self.policy_epoch:
+            self.reconcile()
         return list(self._bindings)
 
     def binding_for(self, service_name: str, namespace: str = "default") -> ServiceBinding:

@@ -44,9 +44,14 @@ class ConnectionAttempt:
         return self.success
 
 
-@dataclass
+@dataclass(frozen=True)
 class ReachableEndpoint:
-    """An endpoint (pod socket or service port) reachable from a source pod."""
+    """An endpoint (pod socket or service port) reachable from a source pod.
+
+    Frozen: surfaces answered from the matrix share endpoint instances
+    between every pod of a policy-equivalence class, so mutation would
+    corrupt the memoized class surfaces.
+    """
 
     kind: str  # "pod" or "service"
     namespace: str
@@ -220,6 +225,10 @@ class ReachabilityMatrix:
         self._source_keys: dict[tuple[str, str], tuple] = {}
         #: decision memo, keyed by attempt equivalence class
         self._decisions: dict[tuple, PolicyDecision] = {}
+        #: source class key -> (pod entries, service entries); the whole
+        #: reachable surface of an equivalence class, computed once and
+        #: filtered per member (see :meth:`endpoints_from`).
+        self._class_surfaces: dict[tuple, tuple[list, list]] = {}
 
     # Equivalence keys --------------------------------------------------------
     def _destination_info(self, destination: RunningPod) -> tuple[tuple, tuple, bool]:
@@ -299,7 +308,50 @@ class ReachabilityMatrix:
 
     # Surfaces ----------------------------------------------------------------
     def endpoints_from(self, source: RunningPod) -> list[ReachableEndpoint]:
-        """Every pod socket and service port reachable from ``source``."""
+        """Every pod socket and service port reachable from ``source``.
+
+        Answered from the source's *class surface*: the full reachable
+        surface of the source's policy-equivalence class -- the
+        ``(namespace, labels)`` key every decision is memoized under --
+        computed once per class against every destination and service, then
+        filtered per member with two exact corrections:
+
+        * the member's own sockets are excluded (a pod is not part of its
+          own lateral-movement surface);
+        * a service whose only accepting backend path is loopback-bound is
+          reachable solely by that backend pod itself (``same_pod``
+          semantics), so such endpoints are attached per-member.
+
+        Results are identical, entry for entry and in the same order, to the
+        per-attempt reference scan; endpoint objects are shared between
+        members of a class, so treat them as read-only.
+        """
+        if self.index is None:
+            return self._endpoints_from_uncached(source)
+        class_key = self._source_key(source)
+        surface = self._class_surfaces.get(class_key)
+        if surface is None:
+            surface = (
+                self._class_pod_endpoints(source),
+                self._class_service_endpoints(source),
+            )
+            self._class_surfaces[class_key] = surface
+        pod_entries, service_entries = surface
+        source_key = (source.namespace, source.name)
+        reachable = [
+            endpoint
+            for destination_key, endpoint in pod_entries
+            if destination_key != source_key
+        ]
+        reachable.extend(
+            endpoint
+            for only_members, endpoint in service_entries
+            if only_members is None or source_key in only_members
+        )
+        return reachable
+
+    def _endpoints_from_uncached(self, source: RunningPod) -> list[ReachableEndpoint]:
+        """The per-attempt reference scan (naive mode keeps this path)."""
         reachable: list[ReachableEndpoint] = []
         for destination in self.pods:
             if destination is source:
@@ -341,14 +393,130 @@ class ReachabilityMatrix:
     def all_pairs(self) -> dict[tuple[str, str], list[ReachableEndpoint]]:
         """The reachable surface of every pod, keyed by ``(namespace, name)``.
 
-        One pass over the matrix: destination data and policy decisions are
-        shared across sources, so the cost grows with the number of distinct
-        (source class, destination class, port) triples, not with pods².
+        One class-surface computation per source equivalence class -- O(
+        classes x destinations) instead of O(sources x destinations) -- with
+        every member sharing its class's memoized surface through
+        :meth:`endpoints_from`.
         """
         return {
             (source.namespace, source.name): self.endpoints_from(source)
             for source in self.pods
         }
+
+    def _class_pod_endpoints(
+        self, representative: RunningPod
+    ) -> list[tuple[tuple[str, str], ReachableEndpoint]]:
+        """Pod endpoints reachable by every member of one source class.
+
+        Computed with non-``same_pod`` semantics (gating on the socket the
+        connection would actually resolve to, exactly as the per-attempt
+        path does), which is correct for every class member except the
+        destination pod itself -- and that pair is excluded by the caller.
+        """
+        entries: list[tuple[tuple[str, str], ReachableEndpoint]] = []
+        include_loopback = self.include_loopback
+        for destination in self.pods:
+            for socket in destination.sockets:
+                if not include_loopback and not socket.reachable_from_network:
+                    continue
+                resolved = destination.socket_on(socket.port, socket.protocol)
+                if resolved is None or resolved.interface == "127.0.0.1":
+                    continue
+                if self.decision(
+                    representative, destination, socket.port, socket.protocol
+                ).allowed:
+                    entries.append(
+                        (
+                            (destination.namespace, destination.name),
+                            ReachableEndpoint(
+                                kind="pod",
+                                namespace=destination.namespace,
+                                name=destination.name,
+                                port=socket.port,
+                                protocol=socket.protocol,
+                                dynamic=socket.dynamic,
+                                app=destination.app,
+                            ),
+                        )
+                    )
+        return entries
+
+    def _class_service_endpoints(
+        self, representative: RunningPod
+    ) -> list[tuple[frozenset[tuple[str, str]] | None, ReachableEndpoint]]:
+        """Service endpoints reachable by one source class.
+
+        Each entry carries ``None`` when every class member reaches it, or
+        the set of ``(namespace, name)`` keys of the only pods that do --
+        backends whose sole accepting socket is loopback-bound, reachable
+        through the service only by themselves (``same_pod`` semantics).
+        """
+        entries: list[tuple[frozenset[tuple[str, str]] | None, ReachableEndpoint]] = []
+        for binding in self.bindings:
+            service = binding.service
+            for service_port in binding.service.ports:
+                reachable_by_all, self_only = self._class_service_success(
+                    representative, binding, service_port.port, service_port.protocol
+                )
+                if not reachable_by_all and not self_only:
+                    continue
+                entries.append(
+                    (
+                        None if reachable_by_all else frozenset(self_only),
+                        ReachableEndpoint(
+                            kind="service",
+                            namespace=service.namespace,
+                            name=service.name,
+                            port=service_port.port,
+                            protocol=service_port.protocol,
+                            app=service.labels.get("app.kubernetes.io/part-of", ""),
+                        ),
+                    )
+                )
+        return entries
+
+    def _class_service_success(
+        self,
+        representative: RunningPod,
+        binding: ServiceBinding,
+        port: int,
+        protocol: str,
+    ) -> tuple[bool, list[tuple[str, str]]]:
+        """Whether one source class reaches a service port, per member.
+
+        Returns ``(reachable_by_all, self_only_backends)``.  Mirrors
+        ``_attempt_service_connection`` exactly: the service port is looked
+        up by number (the first match wins, as in the per-attempt path),
+        named targets resolve per backend, and a backend accepts when its
+        socket exists, is not loopback-bound, and the policy decision -- a
+        function of the source *class* only -- allows the connection.  A
+        loopback-bound accepting socket counts only for the backend pod
+        itself, which is the single ``same_pod`` case a service hop allows.
+        """
+        service = binding.service
+        service_port = next((p for p in service.ports if p.port == port), None)
+        if service_port is None or not binding.backends:
+            return False, []
+        raw_target = service_port.resolved_target()
+        self_only: list[tuple[str, str]] = []
+        for backend in binding.backends:
+            target_port = (
+                raw_target
+                if isinstance(raw_target, int)
+                else backend.named_ports().get(str(raw_target))
+            )
+            if target_port is None:
+                continue
+            socket = backend.socket_on(target_port, protocol)
+            if socket is None:
+                continue
+            if not self.decision(representative, backend, target_port, protocol).allowed:
+                continue
+            if socket.interface == "127.0.0.1":
+                self_only.append((backend.namespace, backend.name))
+            else:
+                return True, []
+        return False, self_only
 
 
 @dataclass

@@ -61,21 +61,38 @@ def find_cross_application_selector_matches(
     This is the second flavour of global collision: even without identical
     label sets, a service can accidentally (or maliciously) select compute
     units belonging to a different application deployed in the same cluster.
+
+    The unit inventory is flattened once into a per-namespace index with
+    pre-hashed label items, so pure ``matchLabels`` selectors reduce to
+    frozenset subset tests (the policy-index idiom) instead of re-walking
+    every other application's compute units per service -- this pass used to
+    be the quadratic tail of the catalogue evaluation.
     """
+    #: namespace -> [(application, qualified name, hashed labels, labels)]
+    units_by_namespace: dict[str, list[tuple[str, str, frozenset, dict]]] = {}
+    for entry in applications:
+        for unit in entry.inventory.compute_units():
+            labels = dict(unit.pod_labels())
+            units_by_namespace.setdefault(unit.namespace, []).append(
+                (entry.application, unit.qualified_name(), frozenset(labels.items()), labels)
+            )
     collisions: list[GlobalCollision] = []
     for entry in applications:
         for service in entry.inventory.services():
             if not service.has_selector:
                 continue
-            foreign_members: list[tuple[str, str]] = []
-            for other in applications:
-                if other.application == entry.application:
-                    continue
-                for unit in other.inventory.compute_units():
-                    if unit.namespace == service.namespace and service.selector.matches(
-                        unit.pod_labels()
-                    ):
-                        foreign_members.append((other.application, unit.qualified_name()))
+            candidates = units_by_namespace.get(service.namespace, ())
+            match_items = service.selector.as_match_items()
+            foreign_members = [
+                (application, name)
+                for application, name, label_items, labels in candidates
+                if application != entry.application
+                and (
+                    match_items <= label_items
+                    if match_items is not None
+                    else service.selector.matches(labels)
+                )
+            ]
             if foreign_members:
                 collisions.append(
                     GlobalCollision(

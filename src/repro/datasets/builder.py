@@ -11,10 +11,9 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-import yaml
-
 from ..cluster import BehaviorRegistry, ContainerBehavior, ListenSpec
 from ..helm import Chart
+from ..k8s.yamlio import yaml_dump
 from .spec import (
     AppSpec,
     ComponentSpec,
@@ -556,7 +555,7 @@ def build_chart(app: AppSpec) -> Chart:
         templates["networkpolicy.yaml"] = _NETWORKPOLICY_TEMPLATE
     chart = Chart.from_files(
         name=app.name,
-        values_yaml=yaml.safe_dump(values, sort_keys=True),
+        values_yaml=yaml_dump(values, sort_keys=True),
         templates=templates,
         version=app.version,
         description=app.description or f"{app.archetype} application",

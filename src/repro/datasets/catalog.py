@@ -515,11 +515,45 @@ def build_dataset(dataset: str) -> list[BuiltApplication]:
 
 
 def build_catalog(datasets: tuple[str, ...] = DATASET_ORDER) -> list[BuiltApplication]:
-    """Build the full 287-application catalogue."""
+    """Build the full 287-application catalogue.
+
+    The catalogue is deterministic, so content fingerprints -- and therefore
+    shared render-cache entries -- are stable across rebuilds: a catalogue
+    built twice in one process renders each chart at most once.
+    """
     applications: list[BuiltApplication] = []
     for dataset in datasets:
         applications.extend(build_dataset(dataset))
     return applications
+
+
+def catalog_fingerprints(applications: list[BuiltApplication]) -> list[str]:
+    """Content fingerprints of every application chart, in catalogue order.
+
+    Computed once up front so sweeps (and their process-pool fan-outs) can
+    ship fingerprints to the render cache instead of re-hashing charts.
+    """
+    return [app.chart.fingerprint() for app in applications]
+
+
+def prerender_catalog(
+    applications: list[BuiltApplication] | None = None,
+    overrides: dict | None = None,
+) -> list[str]:
+    """Warm the shared render cache for every application chart.
+
+    Returns the chart fingerprints in catalogue order.  After this, any
+    consumer rendering the same (chart, values) pairs -- the full evaluation,
+    the Figure 4b sweep, forked pool workers -- pays only the copy-on-read
+    cost per chart.
+    """
+    from ..helm import render_chart
+
+    applications = applications if applications is not None else build_catalog()
+    fingerprints = catalog_fingerprints(applications)
+    for app, fingerprint in zip(applications, fingerprints):
+        render_chart(app.chart, overrides=overrides, fingerprint=fingerprint)
+    return fingerprints
 
 
 def expected_dataset_counts(dataset: str) -> dict[str, int]:

@@ -20,7 +20,7 @@ from ..core import (
     MisconfigurationAnalyzer,
     global_collision_findings,
 )
-from ..datasets import DATASET_ORDER, BuiltApplication, build_catalog
+from ..datasets import DATASET_ORDER, BuiltApplication, build_catalog, catalog_fingerprints
 from ..helm import render_chart
 from ..k8s import Inventory
 
@@ -85,11 +85,14 @@ class EvaluationResult:
 
 
 def _analyze_application(
-    app: BuiltApplication, analyzer: MisconfigurationAnalyzer
+    app: BuiltApplication,
+    analyzer: MisconfigurationAnalyzer,
+    fingerprint: str | None = None,
 ) -> AnalyzedApplication:
-    # One render serves both the analysis and the inventory: rendering
-    # (template evaluation + YAML parsing) dominates the catalogue sweep.
-    rendered = render_chart(app.chart)
+    # One render serves both the analysis and the inventory, and it goes
+    # through the shared render cache: re-sweeping the same catalogue pays
+    # only the copy-on-read cost per chart.
+    rendered = render_chart(app.chart, fingerprint=fingerprint)
     report = analyzer.analyze_chart(
         app.chart, behaviors=app.behaviors, dataset=app.dataset, rendered=rendered
     )
@@ -99,10 +102,17 @@ def _analyze_application(
 
 
 def _analyze_application_in_subprocess(
-    app: BuiltApplication, settings: AnalyzerSettings
+    app: BuiltApplication, fingerprint: str, settings: AnalyzerSettings
 ) -> AnalyzedApplication:
-    """Process-pool worker: rebuild the (default) analyzer from its settings."""
-    return _analyze_application(app, MisconfigurationAnalyzer(settings=settings))
+    """Process-pool worker: rebuild the (default) analyzer from its settings.
+
+    The parent ships each chart's content fingerprint alongside the chart so
+    workers key straight into their (fork-inherited) render cache without
+    re-hashing -- and, when the cache is warm, without re-rendering.
+    """
+    return _analyze_application(
+        app, MisconfigurationAnalyzer(settings=settings), fingerprint
+    )
 
 
 def run_full_evaluation(
@@ -131,6 +141,7 @@ def run_full_evaluation(
 
     result = EvaluationResult()
     if workers and workers > 1 and not custom_analyzer:
+        fingerprints = catalog_fingerprints(applications)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # Chunk the map: per-chart analysis is ~10ms, so one-item tasks
             # would spend comparable time on pickling round-trips.
@@ -138,6 +149,7 @@ def run_full_evaluation(
                 pool.map(
                     partial(_analyze_application_in_subprocess, settings=analyzer.settings),
                     applications,
+                    fingerprints,
                     chunksize=max(len(applications) // (workers * 4), 1),
                 )
             )

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from functools import partial
 
 from ..cluster import Cluster
-from ..datasets import DATASET_ORDER, BuiltApplication, build_catalog
+from ..datasets import DATASET_ORDER, BuiltApplication, build_catalog, catalog_fingerprints
 from ..helm import render_chart
 from ..probe import ReachabilityProbe
 
@@ -97,12 +97,13 @@ class NetpolImpactResult:
 
 
 def probe_application_with_policies(
-    app: BuiltApplication, compiled: bool = True
+    app: BuiltApplication, compiled: bool = True, fingerprint: str | None = None
 ) -> ApplicationReachability:
     """Force-enable the chart's policies, deploy it, and probe reachability.
 
     ``compiled=False`` pins the throw-away cluster to the naive policy
     evaluator -- the pre-compilation reference path kept for benchmarks.
+    ``fingerprint`` keys the render cache without re-hashing the chart.
     """
     outcome = ApplicationReachability(
         application=app.name,
@@ -113,7 +114,11 @@ def probe_application_with_policies(
     )
     if not app.defines_network_policies:
         return outcome
-    rendered = render_chart(app.chart, overrides={"networkPolicy": {"enabled": True}})
+    rendered = render_chart(
+        app.chart,
+        overrides={"networkPolicy": {"enabled": True}},
+        fingerprint=fingerprint,
+    )
     cluster = Cluster(name="netpol-impact", behaviors=app.behaviors, compiled_policies=compiled)
     cluster.install(rendered)
     probe = ReachabilityProbe(cluster)
@@ -172,6 +177,13 @@ def probe_application_with_policies(
     return outcome
 
 
+def _probe_with_fingerprint(
+    app: BuiltApplication, fingerprint: str, compiled: bool
+) -> ApplicationReachability:
+    """Process-pool worker shim: positional ``(app, fingerprint)`` for map."""
+    return probe_application_with_policies(app, compiled=compiled, fingerprint=fingerprint)
+
+
 def run_netpol_impact(
     datasets: tuple[str, ...] = DATASET_ORDER,
     applications: list[BuiltApplication] | None = None,
@@ -189,18 +201,24 @@ def run_netpol_impact(
     """
     applications = applications if applications is not None else build_catalog(datasets)
     result = NetpolImpactResult()
-    probe_one = partial(probe_application_with_policies, compiled=compiled)
     if workers and workers > 1:
+        # The parent ships content fingerprints with the charts: workers key
+        # straight into their (fork-inherited) render cache instead of
+        # re-hashing -- and skip re-rendering entirely when it is warm.
+        fingerprints = catalog_fingerprints(applications)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # Chunked map: per-chart probes are milliseconds, so one-item
             # tasks would drown in pickling round-trips.
             result.applications = list(
                 pool.map(
-                    probe_one,
+                    partial(_probe_with_fingerprint, compiled=compiled),
                     applications,
+                    fingerprints,
                     chunksize=max(len(applications) // (workers * 4), 1),
                 )
             )
     else:
-        result.applications = [probe_one(app) for app in applications]
+        result.applications = [
+            probe_application_with_policies(app, compiled=compiled) for app in applications
+        ]
     return result

@@ -7,10 +7,20 @@ and cluster simulator consume.
 
 from .chart import Chart, ChartDependency, ChartMetadata, ChartRepository, ChartTemplate
 from .errors import ChartError, HelmError, RenderError, TemplateError, ValuesError
+from .render_cache import RenderCache, shared_render_cache
 from .renderer import HelmRenderer, ReleaseInfo, RenderedChart, render_chart
-from .template import TemplateEngine, parse_template, tokenize_expression
+from .template import (
+    CompiledTemplate,
+    TemplateEngine,
+    clear_template_cache,
+    compile_source,
+    parse_template,
+    template_parse_count,
+    tokenize_expression,
+)
 from .values import (
     apply_set_strings,
+    canonical_values,
     deep_merge,
     dump_values,
     get_path,
@@ -26,15 +36,20 @@ __all__ = [
     "ChartMetadata",
     "ChartRepository",
     "ChartTemplate",
+    "CompiledTemplate",
     "HelmError",
     "HelmRenderer",
     "ReleaseInfo",
+    "RenderCache",
     "RenderError",
     "RenderedChart",
     "TemplateEngine",
     "TemplateError",
     "ValuesError",
     "apply_set_strings",
+    "canonical_values",
+    "clear_template_cache",
+    "compile_source",
     "deep_merge",
     "dump_values",
     "get_path",
@@ -43,5 +58,7 @@ __all__ = [
     "parse_template",
     "render_chart",
     "set_path",
+    "shared_render_cache",
+    "template_parse_count",
     "tokenize_expression",
 ]

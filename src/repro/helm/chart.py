@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 from .errors import ChartError
-from .values import deep_merge, load_values
+from .values import canonical_values, deep_merge, load_values
 
 
 @dataclass
@@ -102,6 +103,39 @@ class Chart:
             if template.name == name:
                 return template
         return None
+
+    # Identity -----------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """A content fingerprint over everything that affects rendering.
+
+        Covers metadata, default values, template names and sources,
+        dependency declarations and (recursively) packaged subcharts.  Two
+        charts with equal content produce the same fingerprint in any
+        process, so render-cache keys survive the process-pool fan-out and
+        catalogue rebuilds.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+
+        def feed(text: str) -> None:
+            digest.update(text.encode())
+            digest.update(b"\x00")
+
+        meta = self.metadata
+        for part in (meta.name, meta.version, meta.app_version, meta.description,
+                     meta.home, meta.organization):
+            feed(part)
+        feed(repr(canonical_values(self.values)))
+        for template in self.templates:
+            feed(template.name)
+            feed(template.source)
+        for dependency in self.dependencies:
+            for part in (dependency.name, dependency.version, dependency.repository,
+                         dependency.condition, dependency.alias):
+                feed(part)
+        for name in sorted(self.subcharts):
+            feed(name)
+            feed(self.subcharts[name].fingerprint())
+        return digest.hexdigest()
 
     # Values handling ----------------------------------------------------------
     def effective_values(self, overrides: Mapping[str, Any] | None = None) -> dict[str, Any]:

@@ -1,0 +1,121 @@
+"""Memoized chart rendering with copy-on-read semantics.
+
+Rendering a chart -- template evaluation plus YAML parsing plus typed-object
+construction -- dominates the catalogue sweep.  :class:`RenderCache` memoizes
+full render results keyed on ``(chart fingerprint, release identity,
+canonical merged values)``:
+
+* **Key**: the chart fingerprint covers every input that affects rendering
+  (:meth:`Chart.fingerprint`), and the values component is canonical
+  (:func:`canonical_values`), so equal-but-not-identical override dicts and
+  freshly rebuilt but content-identical charts hit the same entry.
+* **Copy-on-read**: entries are stored as pickle blobs and every hit is
+  materialized by unpickling, so callers can mutate the returned documents,
+  objects and values freely (the cluster facade stamps namespaces onto
+  installed objects, for example) without ever corrupting the cache.
+* **Fingerprint shipping**: callers that already know the chart fingerprint
+  (the process-pool fan-out computes them once in the parent) pass it in and
+  skip the re-hash.
+
+The module-level :func:`shared_render_cache` instance backs
+``repro.helm.render_chart``; per-experiment caches can be constructed
+directly for isolation.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Mapping
+
+from .chart import Chart
+from .renderer import HelmRenderer, ReleaseInfo, RenderedChart
+from .values import canonical_values
+
+
+class RenderCache:
+    """A bounded memo of fully rendered charts."""
+
+    def __init__(self, renderer: HelmRenderer | None = None, maxsize: int = 2048) -> None:
+        self._renderer = renderer or HelmRenderer()
+        self._maxsize = maxsize
+        #: key -> pickled (release, values, documents, objects, sources)
+        self._entries: dict[tuple, bytes] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # Rendering ----------------------------------------------------------------
+    def render(
+        self,
+        chart: Chart,
+        release: ReleaseInfo | None = None,
+        overrides: Mapping[str, Any] | None = None,
+        fingerprint: str | None = None,
+    ) -> RenderedChart:
+        """Render ``chart`` (or return a private copy of the cached render).
+
+        The key's values component is the canonical form of ``overrides``:
+        together with the chart fingerprint (which covers the chart's default
+        values) it determines the canonical *merged* values exactly, while
+        letting cache hits skip the deep merge entirely.
+        """
+        release = release or ReleaseInfo(name=chart.name)
+        fingerprint = fingerprint or chart.fingerprint()
+        key = (
+            fingerprint,
+            release.name,
+            release.namespace,
+            release.revision,
+            release.is_install,
+            release.service,
+            canonical_values(overrides or {}),
+        )
+        blob = self._entries.get(key)
+        if blob is not None:
+            self.hits += 1
+            cached_release, values, documents, objects, sources = pickle.loads(blob)
+            return RenderedChart(
+                chart=chart,
+                release=cached_release,
+                values=values,
+                documents=documents,
+                objects=objects,
+                sources=sources,
+            )
+        self.misses += 1
+        rendered = self._renderer.render(chart, release, overrides)
+        # Snapshot the pristine result *before* handing it to the caller:
+        # the blob is immutable bytes, so later mutations cannot leak back.
+        self._entries[key] = pickle.dumps(
+            (
+                rendered.release,
+                rendered.values,
+                rendered.documents,
+                rendered.objects,
+                rendered.sources,
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        while len(self._entries) > self._maxsize:
+            # pop with a default: under the thread-pool render path two
+            # threads may race to evict the same oldest key.
+            self._entries.pop(next(iter(self._entries)), None)
+        return rendered
+
+
+_SHARED = RenderCache()
+
+
+def shared_render_cache() -> RenderCache:
+    """The process-wide cache behind ``repro.helm.render_chart``."""
+    return _SHARED

@@ -20,6 +20,7 @@ from typing import Any, Mapping
 import yaml
 
 from ..k8s import Inventory, KubernetesObject, objects_from_dicts
+from ..k8s.yamlio import yaml_load_all
 from .chart import Chart
 from .errors import RenderError, TemplateError
 from .template import TemplateEngine
@@ -173,7 +174,7 @@ class HelmRenderer:
         if not rendered.strip():
             return []
         try:
-            parsed = list(yaml.safe_load_all(rendered))
+            parsed = list(yaml_load_all(rendered))
         except yaml.YAMLError as exc:
             raise RenderError(
                 f"template {source_name} produced invalid YAML: {exc}\n--- output ---\n{rendered}"
@@ -186,7 +187,21 @@ def render_chart(
     release_name: str | None = None,
     namespace: str = "default",
     overrides: Mapping[str, Any] | None = None,
+    cached: bool = True,
+    fingerprint: str | None = None,
 ) -> RenderedChart:
-    """Convenience wrapper: render a chart with a default release."""
+    """Convenience wrapper: render a chart with a default release.
+
+    Goes through the shared :class:`RenderCache` by default -- repeated
+    renders of the same chart/values pair return a private copy of the
+    memoized result instead of re-evaluating templates.  ``cached=False``
+    forces a fresh render (the differential tests compare both paths);
+    ``fingerprint`` skips re-hashing the chart when the caller already knows
+    its content fingerprint.
+    """
     release = ReleaseInfo(name=release_name or chart.name, namespace=namespace)
-    return HelmRenderer().render(chart, release, overrides)
+    if not cached:
+        return HelmRenderer().render(chart, release, overrides)
+    from .render_cache import shared_render_cache
+
+    return shared_render_cache().render(chart, release, overrides, fingerprint=fingerprint)

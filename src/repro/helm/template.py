@@ -13,8 +13,14 @@ rely on for the networking-relevant parts the paper studies:
 * the most common Sprig/Go functions (``default``, ``quote``, ``toYaml``,
   ``nindent``, ``printf``, comparison and boolean helpers, ...).
 
-The engine is deliberately explicit rather than clever: templates are parsed
-into a small AST and evaluated recursively.
+Templates are parsed into a small AST and then *compiled*: every node and
+every pipeline expression becomes a precomputed closure (dotted paths are
+pre-split, literals pre-decoded, functions resolved against a shared dispatch
+table), so rendering pays no per-render tokenization, parsing or token
+re-interpretation.  Compiled templates are cached module-wide keyed on their
+content, which makes repeated renders of the same chart amortized-free:
+only the first render of a given template source parses anything at all
+(``template_parse_count`` exposes the parse counter for guard tests).
 """
 
 from __future__ import annotations
@@ -23,8 +29,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
-import yaml
-
+from ..k8s.yamlio import yaml_dump, yaml_load
 from .errors import TemplateError
 
 # --------------------------------------------------------------------------
@@ -358,7 +363,7 @@ def _is_truthy(value: Any) -> bool:
 
 
 def _to_yaml(value: Any) -> str:
-    text = yaml.safe_dump(value, default_flow_style=False, sort_keys=False)
+    text = yaml_dump(value, default_flow_style=False, sort_keys=False)
     return text.rstrip("\n")
 
 
@@ -379,74 +384,306 @@ def _format_value(value: Any) -> str:
 
 
 # --------------------------------------------------------------------------
-# Engine
+# Compiler: AST -> closures
 # --------------------------------------------------------------------------
 
+#: A compiled node: renders itself to text given the engine (for ``include``)
+#: and the evaluation state.
+Renderer = Callable[["TemplateEngine", RenderContext], str]
+#: A compiled expression term or pipeline: produces a value.
+ValueFn = Callable[["TemplateEngine", RenderContext], Any]
 
-class TemplateEngine:
-    """Parses and renders templates, holding named ``define`` blocks."""
+_INT_RE = re.compile(r"-?\d+")
+_FLOAT_RE = re.compile(r"-?\d+\.\d+")
 
-    def __init__(self) -> None:
-        self._defines: dict[str, list[Node]] = {}
-        self._functions: dict[str, Callable[..., Any]] = self._build_functions()
 
-    # Public API -----------------------------------------------------------
-    def register_source(self, source: str, template_name: str = "") -> list[Node]:
-        """Parse a template, record its ``define`` blocks, return its AST."""
-        nodes = parse_template(source, template_name)
-        self._collect_defines(nodes)
-        return nodes
+@dataclass
+class CompiledTemplate:
+    """One template source compiled to closures, plus its ``define`` blocks.
 
-    def render(self, source: str, context: Mapping[str, Any], template_name: str = "") -> str:
-        """Render template ``source`` with ``context`` as the root dot."""
-        nodes = self.register_source(source, template_name)
-        return self.render_nodes(nodes, RenderContext(dict(context)))
+    Only the compiled form is kept -- the parse AST is discarded after
+    compilation so the process-wide compile cache stores closures, not trees.
+    """
 
-    def render_nodes(self, nodes: Sequence[Node], ctx: RenderContext) -> str:
-        output: list[str] = []
-        for node in nodes:
-            output.append(self._render_node(node, ctx))
-        return "".join(output)
+    name: str
+    renderers: list[Renderer]
+    defines: dict[str, list[Renderer]]
 
-    # Defines ----------------------------------------------------------------
-    def _collect_defines(self, nodes: Sequence[Node]) -> None:
-        for node in nodes:
-            if isinstance(node, DefineNode):
-                self._defines[node.name] = node.body
+    def render(self, engine: "TemplateEngine", ctx: RenderContext) -> str:
+        return "".join(fn(engine, ctx) for fn in self.renderers)
 
-    def include(self, name: str, dot: Any, ctx: RenderContext) -> str:
-        body = self._defines.get(name)
-        if body is None:
-            raise TemplateError(f"included template {name!r} is not defined")
-        return self.render_nodes(body, RenderContext(ctx.root, dot, ctx.variables))
 
-    # Node rendering -----------------------------------------------------------
-    def _render_node(self, node: Node, ctx: RenderContext) -> str:
+def _constant(value: Any) -> ValueFn:
+    return lambda engine, ctx: value
+
+
+def _compile_term(token: str) -> ValueFn:
+    """Compile a single expression token into a value closure.
+
+    The checks mirror the term grammar exactly; all string decoding and path
+    splitting happens here, once, instead of on every evaluation.
+    """
+    if token.startswith('"'):
+        return _constant(
+            token[1:-1].replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+        )
+    if token.startswith("`"):
+        return _constant(token[1:-1])
+    if token == "true":
+        return _constant(True)
+    if token == "false":
+        return _constant(False)
+    if token == "nil":
+        return _constant(None)
+    if _INT_RE.fullmatch(token):
+        return _constant(int(token))
+    if _FLOAT_RE.fullmatch(token):
+        return _constant(float(token))
+    if token == ".":
+        return lambda engine, ctx: ctx.dot
+    if token == "$":
+        return lambda engine, ctx: ctx.root
+    if token.startswith("$."):
+        root_parts = tuple(part for part in token[2:].split(".") if part)
+        return lambda engine, ctx: _resolve_path(ctx.root, root_parts)
+    if token.startswith("$"):
+        name, _, rest = token.partition(".")
+        var_parts = tuple(rest.split(".")) if rest else ()
+
+        def lookup_variable(engine: "TemplateEngine", ctx: RenderContext) -> Any:
+            if name not in ctx.variables:
+                raise TemplateError(f"undefined template variable {name!r}")
+            base = ctx.variables[name]
+            return _resolve_path(base, var_parts) if var_parts else base
+
+        return lookup_variable
+    if token.startswith("."):
+        parts = tuple(part for part in token.split(".") if part)
+        if len(parts) == 1:
+            key = parts[0]
+
+            def lookup_attr(engine: "TemplateEngine", ctx: RenderContext) -> Any:
+                dot = ctx.dot
+                if isinstance(dot, Mapping):
+                    return dot.get(key)
+                return getattr(dot, key, None)
+
+            return lookup_attr
+        return lambda engine, ctx: _resolve_path(ctx.dot, parts)
+    # Bare identifier used as a value (rare); treat as function call with no args.
+    return _compile_stage([token], piped=False)
+
+
+def _compile_terms(tokens: Sequence[str]) -> list[ValueFn]:
+    """Compile each term of a command, handling parenthesised pipelines."""
+    fns: list[ValueFn] = []
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if token == "(":
+            depth = 1
+            closing = index + 1
+            while closing < len(tokens) and depth:
+                if tokens[closing] == "(":
+                    depth += 1
+                elif tokens[closing] == ")":
+                    depth -= 1
+                closing += 1
+            if depth:
+                raise TemplateError("unbalanced parentheses in expression")
+            fns.append(_compile_pipeline(tokens[index + 1 : closing - 1]))
+            index = closing
+            continue
+        fns.append(_compile_term(token))
+        index += 1
+    return fns
+
+
+def _compile_stage(tokens: Sequence[str], piped: bool) -> Callable[..., Any]:
+    """Compile one pipeline stage.
+
+    Non-first stages receive the previous stage's value as a third argument
+    and append it as the final function argument, mirroring Go template
+    semantics.  The returned closure takes ``(engine, ctx)`` for the first
+    stage and ``(engine, ctx, piped_value)`` otherwise.
+    """
+    if not tokens:
+        if piped:
+            return lambda engine, ctx, value: value
+        return lambda engine, ctx: None
+    head = tokens[0]
+    head_is_function = (
+        not head.startswith(('"', "`", ".", "$", "("))
+        and not head.lstrip("-").replace(".", "").isdigit()
+        and head not in ("true", "false", "nil")
+    )
+    if head_is_function:
+        arg_fns = tuple(_compile_terms(tokens[1:]))
+        if head == "include":
+
+            def run_include(engine: "TemplateEngine", ctx: RenderContext, *piped_value: Any) -> Any:
+                args = [fn(engine, ctx) for fn in arg_fns]
+                args.extend(piped_value)
+                if not args:
+                    raise TemplateError("include requires a template name")
+                dot = args[1] if len(args) > 1 else ctx.dot
+                return engine.include(str(args[0]), dot, ctx)
+
+            return run_include
+        function = _FUNCTIONS.get(head)
+        if function is None:
+            # Unknown functions stay lazy: the error only fires if the stage
+            # is actually evaluated (it may sit in a never-taken branch).
+            def unknown(engine: "TemplateEngine", ctx: RenderContext, *piped_value: Any) -> Any:
+                raise TemplateError(f"unknown template function {head!r}")
+
+            return unknown
+
+        def run_function(engine: "TemplateEngine", ctx: RenderContext, *piped_value: Any) -> Any:
+            args = [fn(engine, ctx) for fn in arg_fns]
+            args.extend(piped_value)
+            try:
+                return function(*args)
+            except TemplateError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - surface as template error
+                raise TemplateError(f"error calling {head}: {exc}") from exc
+
+        return run_function
+    term_fns = _compile_terms(tokens)
+    if len(term_fns) == 1:
+        fn = term_fns[0]
+        if piped:
+            return lambda engine, ctx, value, fn=fn: fn(engine, ctx)
+        return fn
+    expression = " ".join(tokens)
+
+    def unsupported(engine: "TemplateEngine", ctx: RenderContext, *piped_value: Any) -> Any:
+        raise TemplateError(f"cannot evaluate expression: {expression!r}")
+
+    return unsupported
+
+
+def _compile_pipeline(tokens: Sequence[str]) -> ValueFn:
+    """Compile a full pipeline: stages separated by top-level ``|``."""
+    segments: list[list[str]] = [[]]
+    depth = 0
+    for token in tokens:
+        if token == "(":
+            depth += 1
+        elif token == ")":
+            depth -= 1
+        if token == "|" and depth == 0:
+            segments.append([])
+        else:
+            segments[-1].append(token)
+    first = _compile_stage(segments[0], piped=False)
+    if len(segments) == 1:
+        return first
+    rest = tuple(_compile_stage(segment, piped=True) for segment in segments[1:])
+
+    def run(engine: "TemplateEngine", ctx: RenderContext) -> Any:
+        value = first(engine, ctx)
+        for stage in rest:
+            value = stage(engine, ctx, value)
+        return value
+
+    return run
+
+
+def _render_nothing(engine: "TemplateEngine", ctx: RenderContext) -> str:
+    return ""
+
+
+def _compile_nodes(
+    nodes: Sequence[Node], defines: dict[str, list[Renderer]] | None
+) -> list[Renderer]:
+    """Compile AST nodes into render closures.
+
+    ``defines`` collects compiled ``define`` blocks; only top-level defines
+    are registered (nested ones render to nothing, matching the interpreter
+    this compiler replaced).
+    """
+    renderers: list[Renderer] = []
+    for node in nodes:
         if isinstance(node, TextNode):
-            return node.text
-        if isinstance(node, DefineNode):
-            return ""
-        if isinstance(node, VariableNode):
-            ctx.variables[node.name] = self._eval_pipeline(node.tokens, ctx)
-            return ""
-        if isinstance(node, ActionNode):
-            return _format_value(self._eval_pipeline(node.tokens, ctx))
-        if isinstance(node, IfNode):
-            for condition, body in node.branches:
-                if condition is None or _is_truthy(self._eval_pipeline(condition, ctx)):
-                    return self.render_nodes(body, ctx)
-            return ""
-        if isinstance(node, WithNode):
-            value = self._eval_pipeline(node.tokens, ctx)
-            if _is_truthy(value):
-                return self.render_nodes(node.body, ctx.child(value))
-            return self.render_nodes(node.else_body, ctx)
-        if isinstance(node, RangeNode):
-            return self._render_range(node, ctx)
-        raise TemplateError(f"unknown template node: {node!r}")
+            renderers.append(_constant(node.text))
+        elif isinstance(node, DefineNode):
+            if defines is not None:
+                defines[node.name] = _compile_nodes(node.body, None)
+            renderers.append(_render_nothing)
+        elif isinstance(node, VariableNode):
+            pipeline = _compile_pipeline(node.tokens)
+            name = node.name
 
-    def _render_range(self, node: RangeNode, ctx: RenderContext) -> str:
-        value = self._eval_pipeline(node.tokens, ctx)
+            def assign(
+                engine: "TemplateEngine",
+                ctx: RenderContext,
+                pipeline: ValueFn = pipeline,
+                name: str = name,
+            ) -> str:
+                ctx.variables[name] = pipeline(engine, ctx)
+                return ""
+
+            renderers.append(assign)
+        elif isinstance(node, ActionNode):
+            pipeline = _compile_pipeline(node.tokens)
+            renderers.append(
+                lambda engine, ctx, pipeline=pipeline: _format_value(pipeline(engine, ctx))
+            )
+        elif isinstance(node, IfNode):
+            branches = tuple(
+                (
+                    None if condition is None else _compile_pipeline(condition),
+                    tuple(_compile_nodes(body, None)),
+                )
+                for condition, body in node.branches
+            )
+
+            def render_if(
+                engine: "TemplateEngine", ctx: RenderContext, branches=branches
+            ) -> str:
+                for condition, body in branches:
+                    if condition is None or _is_truthy(condition(engine, ctx)):
+                        return "".join(fn(engine, ctx) for fn in body)
+                return ""
+
+            renderers.append(render_if)
+        elif isinstance(node, WithNode):
+            pipeline = _compile_pipeline(node.tokens)
+            body = tuple(_compile_nodes(node.body, None))
+            else_body = tuple(_compile_nodes(node.else_body, None))
+
+            def render_with(
+                engine: "TemplateEngine",
+                ctx: RenderContext,
+                pipeline: ValueFn = pipeline,
+                body=body,
+                else_body=else_body,
+            ) -> str:
+                value = pipeline(engine, ctx)
+                if _is_truthy(value):
+                    child = ctx.child(value)
+                    return "".join(fn(engine, child) for fn in body)
+                return "".join(fn(engine, ctx) for fn in else_body)
+
+            renderers.append(render_with)
+        elif isinstance(node, RangeNode):
+            renderers.append(_compile_range(node))
+        else:
+            raise TemplateError(f"unknown template node: {node!r}")
+    return renderers
+
+
+def _compile_range(node: RangeNode) -> Renderer:
+    pipeline = _compile_pipeline(node.tokens)
+    body = tuple(_compile_nodes(node.body, None))
+    else_body = tuple(_compile_nodes(node.else_body, None))
+    key_var = node.key_var
+    value_var = node.value_var
+
+    def render_range(engine: "TemplateEngine", ctx: RenderContext) -> str:
+        value = pipeline(engine, ctx)
         items: list[tuple[Any, Any]]
         if isinstance(value, Mapping):
             items = list(value.items())
@@ -457,246 +694,208 @@ class TemplateEngine:
         else:
             raise TemplateError(f"cannot range over {type(value).__name__}")
         if not items:
-            return self.render_nodes(node.else_body, ctx)
+            return "".join(fn(engine, ctx) for fn in else_body)
         output: list[str] = []
         for key, item in items:
             child = ctx.child(item)
-            if node.key_var:
-                child.variables[node.key_var] = key
-            if node.value_var:
-                child.variables[node.value_var] = item
-            output.append(self.render_nodes(node.body, child))
+            if key_var:
+                child.variables[key_var] = key
+            if value_var:
+                child.variables[value_var] = item
+            output.append("".join(fn(engine, child) for fn in body))
         return "".join(output)
 
-    # Expression evaluation ------------------------------------------------------
-    def _eval_pipeline(self, tokens: Sequence[str], ctx: RenderContext) -> Any:
-        """Evaluate a full pipeline: stages separated by top-level ``|``."""
-        segments: list[list[str]] = [[]]
-        depth = 0
-        for token in tokens:
-            if token == "(":
-                depth += 1
-            elif token == ")":
-                depth -= 1
-            if token == "|" and depth == 0:
-                segments.append([])
-            else:
-                segments[-1].append(token)
-        value = self._eval_stage(segments[0], ctx, piped=None, append_piped=False)
-        for segment in segments[1:]:
-            value = self._eval_stage(segment, ctx, piped=value, append_piped=True)
+    return render_range
+
+
+# --------------------------------------------------------------------------
+# Compile cache
+# --------------------------------------------------------------------------
+
+#: Compiled templates keyed by (template name, full source) -- content-keyed,
+#: so identical template files shared across charts compile exactly once.
+_COMPILE_CACHE: dict[tuple[str, str], CompiledTemplate] = {}
+_PARSE_COUNT = 0
+
+
+def compile_source(source: str, template_name: str = "") -> CompiledTemplate:
+    """Compile (or fetch from the cache) one template source."""
+    key = (template_name, source)
+    compiled = _COMPILE_CACHE.get(key)
+    if compiled is None:
+        global _PARSE_COUNT
+        _PARSE_COUNT += 1
+        nodes = parse_template(source, template_name)
+        defines: dict[str, list[Renderer]] = {}
+        renderers = _compile_nodes(nodes, defines)
+        compiled = CompiledTemplate(template_name, renderers, defines)
+        _COMPILE_CACHE[key] = compiled
+    return compiled
+
+
+def template_parse_count() -> int:
+    """How many template sources have been lexed/parsed/compiled so far.
+
+    A warm render must not move this counter -- the render-cache guard tests
+    assert exactly that.
+    """
+    return _PARSE_COUNT
+
+
+def clear_template_cache() -> None:
+    """Drop every compiled template (benchmarks measure cold compiles)."""
+    _COMPILE_CACHE.clear()
+
+
+# --------------------------------------------------------------------------
+# Engine
+# --------------------------------------------------------------------------
+
+
+class TemplateEngine:
+    """Renders compiled templates, holding named ``define`` blocks."""
+
+    def __init__(self) -> None:
+        self._defines: dict[str, list[Renderer]] = {}
+        self._functions: dict[str, Callable[..., Any]] = _FUNCTIONS
+
+    # Public API -----------------------------------------------------------
+    def register_source(self, source: str, template_name: str = "") -> CompiledTemplate:
+        """Compile a template, record its ``define`` blocks, return it."""
+        compiled = compile_source(source, template_name)
+        self._defines.update(compiled.defines)
+        return compiled
+
+    def render(self, source: str, context: Mapping[str, Any], template_name: str = "") -> str:
+        """Render template ``source`` with ``context`` as the root dot."""
+        compiled = self.register_source(source, template_name)
+        return compiled.render(self, RenderContext(dict(context)))
+
+    def render_nodes(self, nodes: Sequence[Node], ctx: RenderContext) -> str:
+        """Render already-parsed AST nodes (compiled on the fly, uncached)."""
+        defines: dict[str, list[Renderer]] = {}
+        renderers = _compile_nodes(nodes, defines)
+        self._defines.update(defines)
+        return "".join(fn(self, ctx) for fn in renderers)
+
+    # Defines ----------------------------------------------------------------
+    def include(self, name: str, dot: Any, ctx: RenderContext) -> str:
+        body = self._defines.get(name)
+        if body is None:
+            raise TemplateError(f"included template {name!r} is not defined")
+        child = RenderContext(ctx.root, dot, ctx.variables)
+        return "".join(fn(self, child) for fn in body)
+
+
+def _build_functions() -> dict[str, Callable[..., Any]]:
+    def default(fallback: Any, value: Any = None) -> Any:
+        return value if _is_truthy(value) else fallback
+
+    def required(message: str, value: Any = None) -> Any:
+        if not _is_truthy(value):
+            raise TemplateError(str(message))
         return value
 
-    def _eval_stage(
-        self, tokens: list[str], ctx: RenderContext, piped: Any, append_piped: bool
-    ) -> Any:
-        """Evaluate one pipeline stage.
+    def printf(fmt: str, *args: Any) -> str:
+        converted = re.sub(r"%[#+\- 0]*\d*\.?\d*[vdsqfgt]", _printf_to_python, str(fmt))
+        return converted % tuple(args)
 
-        The value produced by the previous stage (``piped``) is appended as the
-        final function argument, mirroring Go template semantics.
-        """
-        if not tokens:
-            return piped
-        head_token = tokens[0]
-        head_is_function = (
-            not head_token.startswith(('"', "`", ".", "$", "("))
-            and not head_token.lstrip("-").replace(".", "").isdigit()
-            and head_token not in ("true", "false", "nil")
-        )
-        if head_is_function:
-            args, index = self._collect_terms(tokens[1:], ctx)
-            if index != len(tokens) - 1:
-                raise TemplateError(f"trailing tokens in expression: {tokens[1 + index:]!r}")
-            if append_piped:
-                args = args + [piped]
-            return self._call_function(head_token, args, ctx)
-        terms, index = self._collect_terms(tokens, ctx)
-        if index != len(tokens):
-            raise TemplateError(f"trailing tokens in expression: {tokens[index:]!r}")
-        if len(terms) == 1:
-            return terms[0]
-        raise TemplateError(f"cannot evaluate expression: {' '.join(tokens)!r}")
+    def _printf_to_python(match: re.Match[str]) -> str:
+        spec = match.group(0)
+        kind = spec[-1]
+        if kind in ("v", "s", "t"):
+            return spec[:-1] + "s"
+        if kind == "d":
+            return spec[:-1] + "d"
+        if kind == "q":
+            return '"%s"'
+        if kind in ("f", "g"):
+            return spec[:-1] + kind
+        return spec
 
-    def _collect_terms(self, tokens: list[str], ctx: RenderContext) -> tuple[list[Any], int]:
-        """Evaluate each term of a command, handling parenthesised pipelines."""
-        terms: list[Any] = []
-        index = 0
-        while index < len(tokens):
-            token = tokens[index]
-            if token == "(":
-                depth = 1
-                closing = index + 1
-                while closing < len(tokens) and depth:
-                    if tokens[closing] == "(":
-                        depth += 1
-                    elif tokens[closing] == ")":
-                        depth -= 1
-                    closing += 1
-                if depth:
-                    raise TemplateError("unbalanced parentheses in expression")
-                terms.append(self._eval_pipeline(tokens[index + 1 : closing - 1], ctx))
-                index = closing
-                continue
-            terms.append(self._eval_term(token, ctx))
-            index += 1
-        return terms, index
+    def ternary(if_true: Any, if_false: Any, condition: Any) -> Any:
+        return if_true if _is_truthy(condition) else if_false
 
-    def _eval_term(self, token: str, ctx: RenderContext) -> Any:
-        if token.startswith('"'):
-            return token[1:-1].replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
-        if token.startswith("`"):
-            return token[1:-1]
-        if token == "true":
-            return True
-        if token == "false":
-            return False
-        if token == "nil":
-            return None
-        if re.fullmatch(r"-?\d+", token):
-            return int(token)
-        if re.fullmatch(r"-?\d+\.\d+", token):
-            return float(token)
-        if token == ".":
-            return ctx.dot
-        if token == "$":
-            return ctx.root
-        if token.startswith("$."):
-            return _resolve_path(ctx.root, [part for part in token[2:].split(".") if part])
-        if token.startswith("$"):
-            name, _, rest = token.partition(".")
-            if name not in ctx.variables:
-                raise TemplateError(f"undefined template variable {name!r}")
-            base = ctx.variables[name]
-            return _resolve_path(base, rest.split(".")) if rest else base
-        if token.startswith("."):
-            return _resolve_path(ctx.dot, [part for part in token.split(".") if part])
-        # Bare identifier used as a value (rare); treat as function call with no args.
-        return self._call_function(token, [], ctx)
+    functions: dict[str, Callable[..., Any]] = {
+        "default": default,
+        "required": required,
+        "quote": lambda *values: " ".join(f'"{_format_value(v)}"' for v in values),
+        "squote": lambda *values: " ".join(f"'{_format_value(v)}'" for v in values),
+        "upper": lambda value: str(value).upper(),
+        "lower": lambda value: str(value).lower(),
+        "title": lambda value: str(value).title(),
+        "trim": lambda value: str(value).strip(),
+        "trunc": lambda length, value: str(value)[: int(length)]
+        if int(length) >= 0
+        else str(value)[int(length) :],
+        "trimSuffix": lambda suffix, value: str(value).removesuffix(str(suffix)),
+        "trimPrefix": lambda prefix, value: str(value).removeprefix(str(prefix)),
+        "replace": lambda old, new, value: str(value).replace(str(old), str(new)),
+        "contains": lambda needle, haystack: str(needle) in str(haystack),
+        "hasPrefix": lambda prefix, value: str(value).startswith(str(prefix)),
+        "hasSuffix": lambda suffix, value: str(value).endswith(str(suffix)),
+        "repeat": lambda count, value: str(value) * int(count),
+        "join": lambda separator, values: str(separator).join(
+            _format_value(v) for v in (values or [])
+        ),
+        "splitList": lambda separator, value: str(value).split(str(separator)),
+        "toString": _format_value,
+        "toYaml": _to_yaml,
+        "fromYaml": lambda value: yaml_load(str(value)),
+        "toJson": lambda value: yaml_dump(value, default_flow_style=True).strip(),
+        "indent": _indent,
+        "nindent": lambda spaces, text: "\n" + _indent(spaces, text),
+        "b64enc": lambda value: __import__("base64").b64encode(str(value).encode()).decode(),
+        "b64dec": lambda value: __import__("base64").b64decode(str(value).encode()).decode(),
+        "int": lambda value: int(float(value)) if value not in (None, "") else 0,
+        "int64": lambda value: int(float(value)) if value not in (None, "") else 0,
+        "float64": lambda value: float(value) if value not in (None, "") else 0.0,
+        "add": lambda *values: sum(int(v) for v in values),
+        "add1": lambda value: int(value) + 1,
+        "sub": lambda a, b: int(a) - int(b),
+        "mul": lambda *values: __import__("math").prod(int(v) for v in values),
+        "div": lambda a, b: int(a) // int(b),
+        "mod": lambda a, b: int(a) % int(b),
+        "max": lambda *values: max(int(v) for v in values),
+        "min": lambda *values: min(int(v) for v in values),
+        "eq": lambda a, b: a == b,
+        "ne": lambda a, b: a != b,
+        "lt": lambda a, b: a < b,
+        "le": lambda a, b: a <= b,
+        "gt": lambda a, b: a > b,
+        "ge": lambda a, b: a >= b,
+        "not": lambda value: not _is_truthy(value),
+        "and": lambda *values: next((v for v in values if not _is_truthy(v)), values[-1]),
+        "or": lambda *values: next((v for v in values if _is_truthy(v)), values[-1]),
+        "empty": lambda value: not _is_truthy(value),
+        "coalesce": lambda *values: next((v for v in values if _is_truthy(v)), None),
+        "ternary": ternary,
+        "list": lambda *values: list(values),
+        "dict": lambda *pairs: {
+            str(pairs[i]): pairs[i + 1] for i in range(0, len(pairs) - 1, 2)
+        },
+        "get": lambda mapping, key: (mapping or {}).get(key),
+        "hasKey": lambda mapping, key: key in (mapping or {}),
+        "keys": lambda mapping: sorted((mapping or {}).keys()),
+        "values": lambda mapping: list((mapping or {}).values()),
+        "len": lambda value: len(value) if value is not None else 0,
+        "first": lambda value: value[0] if value else None,
+        "last": lambda value: value[-1] if value else None,
+        "printf": printf,
+        "print": lambda *values: "".join(_format_value(v) for v in values),
+        "kindIs": lambda kind, value: _kind_of(value) == kind,
+        "typeOf": lambda value: _kind_of(value),
+        "lookup": lambda *args: {},
+        "randAlphaNum": lambda length: "x" * int(length),
+        "uuidv4": lambda: "00000000-0000-4000-8000-000000000000",
+        "now": lambda: "1970-01-01T00:00:00Z",
+        "semverCompare": lambda constraint, version: True,
+    }
+    return functions
 
-    # Function library --------------------------------------------------------
-    def _call_function(self, name: str, args: list[Any], ctx: RenderContext) -> Any:
-        if name == "include":
-            if not args:
-                raise TemplateError("include requires a template name")
-            template_name = args[0]
-            dot = args[1] if len(args) > 1 else ctx.dot
-            return self.include(str(template_name), dot, ctx)
-        function = self._functions.get(name)
-        if function is None:
-            raise TemplateError(f"unknown template function {name!r}")
-        try:
-            return function(*args)
-        except TemplateError:
-            raise
-        except Exception as exc:  # noqa: BLE001 - surface as template error
-            raise TemplateError(f"error calling {name}: {exc}") from exc
 
-    @staticmethod
-    def _build_functions() -> dict[str, Callable[..., Any]]:
-        def default(fallback: Any, value: Any = None) -> Any:
-            return value if _is_truthy(value) else fallback
-
-        def required(message: str, value: Any = None) -> Any:
-            if not _is_truthy(value):
-                raise TemplateError(str(message))
-            return value
-
-        def printf(fmt: str, *args: Any) -> str:
-            converted = re.sub(r"%[#+\- 0]*\d*\.?\d*[vdsqfgt]", _printf_to_python, str(fmt))
-            return converted % tuple(args)
-
-        def _printf_to_python(match: re.Match[str]) -> str:
-            spec = match.group(0)
-            kind = spec[-1]
-            if kind in ("v", "s", "t"):
-                return spec[:-1] + "s"
-            if kind == "d":
-                return spec[:-1] + "d"
-            if kind == "q":
-                return '"%s"'
-            if kind in ("f", "g"):
-                return spec[:-1] + kind
-            return spec
-
-        def ternary(if_true: Any, if_false: Any, condition: Any) -> Any:
-            return if_true if _is_truthy(condition) else if_false
-
-        functions: dict[str, Callable[..., Any]] = {
-            "default": default,
-            "required": required,
-            "quote": lambda *values: " ".join(f'"{_format_value(v)}"' for v in values),
-            "squote": lambda *values: " ".join(f"'{_format_value(v)}'" for v in values),
-            "upper": lambda value: str(value).upper(),
-            "lower": lambda value: str(value).lower(),
-            "title": lambda value: str(value).title(),
-            "trim": lambda value: str(value).strip(),
-            "trunc": lambda length, value: str(value)[: int(length)]
-            if int(length) >= 0
-            else str(value)[int(length) :],
-            "trimSuffix": lambda suffix, value: str(value).removesuffix(str(suffix)),
-            "trimPrefix": lambda prefix, value: str(value).removeprefix(str(prefix)),
-            "replace": lambda old, new, value: str(value).replace(str(old), str(new)),
-            "contains": lambda needle, haystack: str(needle) in str(haystack),
-            "hasPrefix": lambda prefix, value: str(value).startswith(str(prefix)),
-            "hasSuffix": lambda suffix, value: str(value).endswith(str(suffix)),
-            "repeat": lambda count, value: str(value) * int(count),
-            "join": lambda separator, values: str(separator).join(
-                _format_value(v) for v in (values or [])
-            ),
-            "splitList": lambda separator, value: str(value).split(str(separator)),
-            "toString": _format_value,
-            "toYaml": _to_yaml,
-            "fromYaml": lambda value: yaml.safe_load(str(value)),
-            "toJson": lambda value: yaml.safe_dump(value, default_flow_style=True).strip(),
-            "indent": _indent,
-            "nindent": lambda spaces, text: "\n" + _indent(spaces, text),
-            "b64enc": lambda value: __import__("base64").b64encode(str(value).encode()).decode(),
-            "b64dec": lambda value: __import__("base64").b64decode(str(value).encode()).decode(),
-            "int": lambda value: int(float(value)) if value not in (None, "") else 0,
-            "int64": lambda value: int(float(value)) if value not in (None, "") else 0,
-            "float64": lambda value: float(value) if value not in (None, "") else 0.0,
-            "add": lambda *values: sum(int(v) for v in values),
-            "add1": lambda value: int(value) + 1,
-            "sub": lambda a, b: int(a) - int(b),
-            "mul": lambda *values: __import__("math").prod(int(v) for v in values),
-            "div": lambda a, b: int(a) // int(b),
-            "mod": lambda a, b: int(a) % int(b),
-            "max": lambda *values: max(int(v) for v in values),
-            "min": lambda *values: min(int(v) for v in values),
-            "eq": lambda a, b: a == b,
-            "ne": lambda a, b: a != b,
-            "lt": lambda a, b: a < b,
-            "le": lambda a, b: a <= b,
-            "gt": lambda a, b: a > b,
-            "ge": lambda a, b: a >= b,
-            "not": lambda value: not _is_truthy(value),
-            "and": lambda *values: next((v for v in values if not _is_truthy(v)), values[-1]),
-            "or": lambda *values: next((v for v in values if _is_truthy(v)), values[-1]),
-            "empty": lambda value: not _is_truthy(value),
-            "coalesce": lambda *values: next((v for v in values if _is_truthy(v)), None),
-            "ternary": ternary,
-            "list": lambda *values: list(values),
-            "dict": lambda *pairs: {
-                str(pairs[i]): pairs[i + 1] for i in range(0, len(pairs) - 1, 2)
-            },
-            "get": lambda mapping, key: (mapping or {}).get(key),
-            "hasKey": lambda mapping, key: key in (mapping or {}),
-            "keys": lambda mapping: sorted((mapping or {}).keys()),
-            "values": lambda mapping: list((mapping or {}).values()),
-            "len": lambda value: len(value) if value is not None else 0,
-            "first": lambda value: value[0] if value else None,
-            "last": lambda value: value[-1] if value else None,
-            "printf": printf,
-            "print": lambda *values: "".join(_format_value(v) for v in values),
-            "kindIs": lambda kind, value: _kind_of(value) == kind,
-            "typeOf": lambda value: _kind_of(value),
-            "lookup": lambda *args: {},
-            "randAlphaNum": lambda length: "x" * int(length),
-            "uuidv4": lambda: "00000000-0000-4000-8000-000000000000",
-            "now": lambda: "1970-01-01T00:00:00Z",
-            "semverCompare": lambda constraint, version: True,
-        }
-        return functions
+#: The shared function dispatch table: built once, resolved at compile time.
+_FUNCTIONS: dict[str, Callable[..., Any]] = _build_functions()
 
 
 def _kind_of(value: Any) -> str:

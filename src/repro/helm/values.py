@@ -12,6 +12,7 @@ from typing import Any, Iterable, Mapping
 
 import yaml
 
+from ..k8s.yamlio import yaml_dump, yaml_load
 from .errors import ValuesError
 
 
@@ -103,7 +104,7 @@ def apply_set_strings(values: Mapping[str, Any], assignments: Iterable[str]) -> 
 def load_values(text: str) -> dict[str, Any]:
     """Parse a ``values.yaml`` document; an empty document yields ``{}``."""
     try:
-        data = yaml.safe_load(text)
+        data = yaml_load(text)
     except yaml.YAMLError as exc:
         raise ValuesError(f"invalid values YAML: {exc}") from exc
     if data is None:
@@ -115,4 +116,30 @@ def load_values(text: str) -> dict[str, Any]:
 
 def dump_values(values: Mapping[str, Any]) -> str:
     """Serialize values back to YAML (stable key order for reproducibility)."""
-    return yaml.safe_dump(dict(values), sort_keys=True, default_flow_style=False)
+    return yaml_dump(dict(values), sort_keys=True, default_flow_style=False)
+
+
+def canonical_values(value: Any) -> Any:
+    """A hashable, order-insensitive canonical form of a values tree.
+
+    Two values dictionaries that compare equal produce identical canonical
+    forms regardless of key insertion order or object identity -- the render
+    cache keys on this, so equal-but-not-identical overrides share a cache
+    entry.  Mappings sort their items by type name and string form (YAML
+    allows non-string keys, which Python cannot sort against strings).
+    """
+    if isinstance(value, Mapping):
+        return (
+            "map",
+            tuple(
+                sorted(
+                    (type(key).__name__, str(key), canonical_values(item))
+                    for key, item in value.items()
+                )
+            ),
+        )
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(canonical_values(item) for item in value))
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return (type(value).__name__, value)
+    return (type(value).__name__, repr(value))

@@ -59,6 +59,7 @@ from .networkpolicy import (
 from .pod import Pod, PodSpec, PodTemplateSpec
 from .registry import dump_yaml, known_kinds, load_yaml, object_from_dict, objects_from_dicts
 from .service import EndpointAddress, Endpoints, Service, ServicePort
+from .yamlio import USING_LIBYAML, yaml_dump, yaml_dump_all, yaml_load, yaml_load_all
 from .workloads import (
     COMPUTE_UNIT_KINDS,
     CronJob,
@@ -119,7 +120,12 @@ __all__ = [
     "StatefulSet",
     "UnknownKindError",
     "ValidationError",
+    "USING_LIBYAML",
     "Workload",
+    "yaml_dump",
+    "yaml_dump_all",
+    "yaml_load",
+    "yaml_load_all",
     "allow_ports_policy",
     "deny_all_policy",
     "dump_yaml",

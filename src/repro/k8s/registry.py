@@ -13,6 +13,7 @@ import yaml
 
 from .errors import ParseError
 from .meta import KubernetesObject
+from .yamlio import yaml_dump_all, yaml_load_all
 from .misc import (
     ClusterRole,
     ClusterRoleBinding,
@@ -82,7 +83,7 @@ def objects_from_dicts(documents: Iterable[Mapping | None]) -> list[KubernetesOb
 def load_yaml(text: str) -> list[KubernetesObject]:
     """Parse multi-document YAML text into model objects."""
     try:
-        documents = list(yaml.safe_load_all(text))
+        documents = list(yaml_load_all(text))
     except yaml.YAMLError as exc:
         raise ParseError(f"invalid YAML: {exc}") from exc
     return objects_from_dicts(documents)
@@ -91,4 +92,4 @@ def load_yaml(text: str) -> list[KubernetesObject]:
 def dump_yaml(objects: Iterable[KubernetesObject]) -> str:
     """Serialize model objects back to multi-document YAML."""
     documents = [obj.to_dict() for obj in objects]
-    return yaml.safe_dump_all(documents, sort_keys=False, default_flow_style=False)
+    return yaml_dump_all(documents, sort_keys=False, default_flow_style=False)

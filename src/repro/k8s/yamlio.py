@@ -1,0 +1,45 @@
+"""Fastest available YAML load/dump for the render pipeline.
+
+PyYAML ships optional libyaml C bindings (``CSafeLoader``/``CSafeDumper``)
+that parse and emit roughly an order of magnitude faster than the pure-Python
+classes.  Template evaluation and YAML parsing dominate the catalogue sweep,
+so every hot loader in the repository (chart values, rendered manifests,
+``toYaml``/``fromYaml`` template functions) goes through this single helper,
+which picks the C classes when the extension is compiled in and falls back to
+the pure-Python ``SafeLoader``/``SafeDumper`` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+import yaml
+
+try:  # pragma: no cover - depends on how PyYAML was built
+    _LOADER = yaml.CSafeLoader
+    _DUMPER = yaml.CSafeDumper
+    USING_LIBYAML = True
+except AttributeError:  # pragma: no cover
+    _LOADER = yaml.SafeLoader
+    _DUMPER = yaml.SafeDumper
+    USING_LIBYAML = False
+
+
+def yaml_load(stream: str) -> Any:
+    """``yaml.safe_load`` with the fastest available loader."""
+    return yaml.load(stream, Loader=_LOADER)
+
+
+def yaml_load_all(stream: str) -> Iterator[Any]:
+    """``yaml.safe_load_all`` with the fastest available loader."""
+    return yaml.load_all(stream, Loader=_LOADER)
+
+
+def yaml_dump(data: Any, **kwargs: Any) -> str:
+    """``yaml.safe_dump`` with the fastest available dumper."""
+    return yaml.dump(data, Dumper=_DUMPER, **kwargs)
+
+
+def yaml_dump_all(documents: Iterable[Any], **kwargs: Any) -> str:
+    """``yaml.safe_dump_all`` with the fastest available dumper."""
+    return yaml.dump_all(documents, Dumper=_DUMPER, **kwargs)

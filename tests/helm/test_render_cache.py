@@ -1,0 +1,181 @@
+"""Render-cache correctness: keying, copy-on-read, and warm-path guards.
+
+The memoized render pipeline must be a pure acceleration: cached renders are
+indistinguishable from fresh ones (the differential test sweeps the full
+catalogue), cache keys are content-based (equal-but-not-identical values
+dicts share an entry; any mutation misses), returned objects are private
+copies (mutating them never corrupts later hits), and a warm render performs
+no template re-parsing at all (parse-counter guard).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.datasets import build_application, build_catalog, prerender_catalog
+from repro.datasets.spec import InjectionPlan
+from repro.helm import (
+    Chart,
+    RenderCache,
+    clear_template_cache,
+    render_chart,
+    shared_render_cache,
+    template_parse_count,
+)
+
+
+def _app():
+    return build_application(
+        name="cache-app",
+        organization="Cache Org",
+        plan=InjectionPlan(m1=2, m3=1, m5a=1, m6=True),
+        archetype="messaging",
+        dataset="Cache",
+    )
+
+
+@pytest.fixture
+def cache() -> RenderCache:
+    return RenderCache()
+
+
+class TestCacheKeying:
+    def test_equal_but_not_identical_values_hit(self, cache: RenderCache):
+        chart = _app().chart
+        overrides = {"networkPolicy": {"enabled": True}, "extra": [1, 2, {"a": "b"}]}
+        cache.render(chart, overrides=overrides)
+        assert cache.stats()["misses"] == 1
+        cache.render(chart, overrides=copy.deepcopy(overrides))
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        # Key order must not matter either.
+        reordered = {"extra": [1, 2, {"a": "b"}], "networkPolicy": {"enabled": True}}
+        cache.render(chart, overrides=reordered)
+        assert cache.stats()["hits"] == 2
+
+    def test_mutated_values_miss(self, cache: RenderCache):
+        chart = _app().chart
+        overrides = {"networkPolicy": {"enabled": True}}
+        cache.render(chart, overrides=overrides)
+        overrides["networkPolicy"]["enabled"] = False
+        rendered = cache.render(chart, overrides=overrides)
+        assert cache.stats() == {"hits": 0, "misses": 2, "entries": 2}
+        assert not rendered.objects_of_kind("NetworkPolicy")
+
+    def test_chart_content_mutation_misses(self, cache: RenderCache):
+        chart = _app().chart
+        cache.render(chart)
+        chart.add_template("extra.yaml", "apiVersion: v1\nkind: Namespace\nmetadata:\n  name: extra\n")
+        rendered = cache.render(chart)
+        assert cache.stats()["misses"] == 2
+        assert any(obj.kind == "Namespace" for obj in rendered.objects)
+
+    def test_rebuilt_chart_with_same_content_hits(self, cache: RenderCache):
+        cache.render(_app().chart)
+        cache.render(_app().chart)  # fresh object, identical content
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+
+class TestCopyOnRead:
+    def test_mutating_returned_inventory_never_leaks(self, cache: RenderCache):
+        chart = _app().chart
+        first = cache.render(chart)
+        # Mutate everything a caller could plausibly touch (the cluster
+        # facade stamps namespaces onto installed objects, for example).
+        for obj in first.objects:
+            obj.metadata.namespace = "mutated"
+        first.objects.clear()
+        first.documents[0]["kind"] = "Corrupted"
+        first.values["networkPolicy"] = "broken"
+        second = cache.render(chart)
+        assert second.objects, "cached objects were lost to a caller mutation"
+        assert all(obj.metadata.namespace != "mutated" for obj in second.objects)
+        assert all(doc.get("kind") != "Corrupted" for doc in second.documents)
+        assert isinstance(second.values["networkPolicy"], dict)
+        # And hits hand out distinct copies every time.
+        third = cache.render(chart)
+        assert second.objects == third.objects
+        assert all(a is not b for a, b in zip(second.objects, third.objects))
+
+
+class TestDifferentialFullCatalogue:
+    def test_cached_render_equals_fresh_render_across_catalogue(self):
+        cache = RenderCache()
+        for app in build_catalog():
+            fresh = render_chart(app.chart, cached=False)
+            via_cache_cold = cache.render(app.chart)
+            via_cache_warm = cache.render(app.chart)
+            for cached in (via_cache_cold, via_cache_warm):
+                assert cached.documents == fresh.documents, app.name
+                assert cached.objects == fresh.objects, app.name
+                assert cached.sources == fresh.sources, app.name
+                assert cached.values == fresh.values, app.name
+                assert cached.release == fresh.release, app.name
+        assert cache.stats()["hits"] == cache.stats()["misses"]
+
+
+class TestPrerenderCatalog:
+    def test_prerender_warms_shared_cache_for_consumers(self):
+        applications = build_catalog(("CNCF",))
+        shared = shared_render_cache()
+        shared.clear()
+        fingerprints = prerender_catalog(applications)
+        assert len(fingerprints) == len(applications)
+        assert fingerprints == [app.chart.fingerprint() for app in applications]
+        misses = shared.stats()["misses"]
+        # Consumers rendering the same (chart, values) pairs now only hit.
+        for app, fingerprint in zip(applications, fingerprints):
+            render_chart(app.chart, fingerprint=fingerprint)
+            render_chart(app.chart)  # fingerprint omitted: same key
+        assert shared.stats()["misses"] == misses
+        assert shared.stats()["hits"] >= 2 * len(applications)
+
+    def test_prerender_with_overrides_warms_the_override_entry(self):
+        applications = build_catalog(("CNCF",))[:3]
+        shared = shared_render_cache()
+        shared.clear()
+        overrides = {"networkPolicy": {"enabled": True}}
+        prerender_catalog(applications, overrides=overrides)
+        misses = shared.stats()["misses"]
+        for app in applications:
+            render_chart(app.chart, overrides={"networkPolicy": {"enabled": True}})
+        assert shared.stats()["misses"] == misses
+
+
+class TestWarmPathGuards:
+    def test_warm_render_performs_no_template_reparse(self):
+        chart = _app().chart
+        shared_render_cache().clear()
+        render_chart(chart)  # cold: compiles whatever is not yet cached
+        parses_before = template_parse_count()
+        for _ in range(3):
+            render_chart(chart)
+        assert template_parse_count() == parses_before
+
+    def test_even_cache_miss_reuses_compiled_templates(self):
+        chart = _app().chart
+        render_chart(chart, cached=False)  # ensure sources are compiled
+        parses_before = template_parse_count()
+        # A different release is a render-cache miss, but the template
+        # sources are unchanged, so the compile cache must absorb it.
+        render_chart(chart, release_name="other-release")
+        assert template_parse_count() == parses_before
+
+    def test_template_source_change_reparses(self):
+        engine_chart = Chart.from_files(
+            name="guard", templates={"cm.yaml": "kind: ConfigMap\nmetadata:\n  name: a\n"}
+        )
+        render_chart(engine_chart)
+        parses_before = template_parse_count()
+        engine_chart.templates[0].source = "kind: ConfigMap\nmetadata:\n  name: b\n"
+        render_chart(engine_chart)
+        assert template_parse_count() == parses_before + 1
+
+    def test_clear_template_cache_forces_reparse(self):
+        chart = _app().chart
+        render_chart(chart, cached=False)
+        clear_template_cache()
+        parses_before = template_parse_count()
+        render_chart(chart, cached=False)
+        assert template_parse_count() > parses_before

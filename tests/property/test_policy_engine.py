@@ -368,3 +368,138 @@ class TestEpochInvalidation:
             cluster.running_pod("ghost", "nowhere")
         assert excinfo.value.name == "ghost"
         assert excinfo.value.namespace == "nowhere"
+
+
+# ---------------------------------------------------------------------------
+# Class-grouped all-pairs: deterministic edge cases
+# ---------------------------------------------------------------------------
+
+
+def _make_running(name, namespace, labels, sockets, ip):
+    pod = Pod(
+        metadata=ObjectMeta(name=name, namespace=namespace, labels=LabelSet(labels)),
+        spec=PodSpec(
+            containers=[
+                Container(name="main", image="grp/app", ports=[ContainerPort(8080, name="http")])
+            ]
+        ),
+    )
+    return RunningPod(pod=pod, ip=ip, node=Node(name="grp-node"), sockets=sockets)
+
+
+class TestGroupedAllPairs:
+    """The grouped all-pairs path must equal per-source scans exactly.
+
+    The deterministic scenario pins its two exact corrections: self-exclusion
+    within an equivalence class, and a loopback-bound backend that is
+    reachable through its service only by the backend pod itself.
+    """
+
+    def _scenario(self):
+        replicas = [
+            _make_running(
+                f"web-{i}",
+                "default",
+                {"app": "web"},
+                [
+                    Socket(port=8080, protocol="TCP", container="main"),
+                    Socket(port=6060, protocol="TCP", interface="127.0.0.1", container="main"),
+                ],
+                f"10.0.0.{i + 1}",
+            )
+            for i in range(3)
+        ]
+        client = _make_running("client", "default", {"role": "client"}, [], "10.0.0.9")
+        # The service targets the loopback-bound debug port: only each
+        # backend pod itself can reach it through the service.
+        loopback_service = Service(
+            metadata=ObjectMeta(name="debug", namespace="default"),
+            selector=equality_selector(app="web"),
+            ports=[ServicePort(port=60, target_port=6060, name="debug")],
+        )
+        open_service = Service(
+            metadata=ObjectMeta(name="web", namespace="default"),
+            selector=equality_selector(app="web"),
+            ports=[ServicePort(port=80, target_port=8080, name="http")],
+        )
+        pods = replicas + [client]
+        bindings = EndpointController().bind([loopback_service, open_service], pods)
+        return pods, bindings
+
+    def test_grouped_equals_per_source_with_loopback_service(self):
+        pods, bindings = self._scenario()
+        naive, compiled = engines()
+        for policies in ([], [deny_all_policy("deny", namespace="default")]):
+            matrix = compiled.reachability_matrix(policies, pods, bindings)
+            expected = {
+                (source.namespace, source.name): naive.reachable_endpoints(
+                    policies, source, pods, bindings
+                )
+                for source in pods
+            }
+            assert matrix.all_pairs() == expected
+
+    def test_loopback_service_endpoint_is_self_only(self):
+        pods, bindings = self._scenario()
+        _, compiled = engines()
+        surfaces = compiled.reachability_matrix([], pods, bindings).all_pairs()
+        for source_key, endpoints in surfaces.items():
+            service_ports = {(e.name, e.port) for e in endpoints if e.kind == "service"}
+            if source_key[1].startswith("web-"):
+                assert service_ports == {("debug", 60), ("web", 80)}
+            else:
+                assert service_ports == {("web", 80)}
+
+    def test_include_loopback_surfaces_match(self):
+        pods, bindings = self._scenario()
+        naive, compiled = engines()
+        matrix = compiled.reachability_matrix([], pods, bindings, include_loopback=True)
+        for source in pods:
+            assert matrix.all_pairs()[(source.namespace, source.name)] == (
+                naive.reachable_endpoints(
+                    [], source, pods, bindings, include_loopback=True
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# Endpoint-controller epoch: bindings re-reconcile only when state moved
+# ---------------------------------------------------------------------------
+
+
+class TestServiceBindingEpoch:
+    def _cluster(self):
+        cluster = Cluster(name="bindings", worker_count=1, seed=7)
+        cluster.install(
+            [make_deployment(replicas=2), make_service(), make_pod("attacker")],
+            app_name="web",
+        )
+        return cluster
+
+    def test_bindings_cached_within_epoch(self):
+        cluster = self._cluster()
+        first = cluster.service_bindings()
+        assert cluster.service_bindings()[0] is first[0]  # no re-reconcile
+
+    def test_bindings_follow_service_and_pod_mutations(self):
+        cluster = self._cluster()
+        assert {b.service.name for b in cluster.service_bindings()} == {"web"}
+        cluster.api.apply(
+            Service(
+                metadata=ObjectMeta(name="late", namespace="default"),
+                selector=equality_selector(app="web"),
+                ports=[ServicePort(port=81, target_port=8080, name="http")],
+            )
+        )
+        assert {b.service.name for b in cluster.service_bindings()} == {"web", "late"}
+        before = {backend.name for b in cluster.service_bindings() for backend in b.backends}
+        cluster.uninstall("web")
+        after = {backend.name for b in cluster.service_bindings() for backend in b.backends}
+        assert before and not after
+
+    def test_bindings_follow_restart(self):
+        cluster = self._cluster()
+        first = cluster.service_bindings()
+        cluster.restart_application("web")
+        second = cluster.service_bindings()
+        assert second[0] is not first[0]
