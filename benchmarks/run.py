@@ -3,20 +3,25 @@
 
 Usage (from the repository root)::
 
-    PYTHONPATH=src python benchmarks/run.py [--full] [--output BENCH_connectivity.json]
+    PYTHONPATH=src python benchmarks/run.py [--full] [--smoke] [--output BENCH_connectivity.json]
 
 Runs the same cases as ``benchmarks/test_bench_connectivity.py`` -- naive
 (pre-PR) vs compiled/cached engine for ``check_ingress``,
 ``reachable_endpoints`` and the ``ReachabilityMatrix`` at three fleet sizes
 -- plus the render-pipeline suite (template compile cache, cold vs warm
-chart render, class-grouped vs per-source all-pairs) and an end-to-end
-Figure 4b sweep over a catalogue sample (the whole catalogue with
-``--full``), then writes median ns/op per case to a JSON file so future PRs
-have a perf trajectory to compare against.
+chart render, class-grouped vs per-source all-pairs), the session suite
+(install/observe slice: fresh vs pooled clusters vs install-free fast
+observation) and an end-to-end Figure 4b sweep over a catalogue sample (the
+whole catalogue with ``--full``), then writes median ns/op per case to a
+JSON file so future PRs have a perf trajectory to compare against.
 
 The end-to-end sweeps start from *cold* render caches, so the recorded
 seconds measure the first pass over a catalogue; warm-path amortization is
 captured separately by the ``chart_render/warm`` case.
+
+``--smoke`` runs a seconds-long sanity pass (one repeat, one fleet size, a
+tiny catalogue sample) and writes no file unless ``--output`` is given --
+wired into CI-style checks via ``tests/smoke``.
 """
 
 from __future__ import annotations
@@ -32,8 +37,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from connectivity_cases import format_table, run_size  # noqa: E402
 from render_cases import run_render_suite  # noqa: E402
+from session_cases import run_session_suite  # noqa: E402
 
 FLEET_SIZES = (30, 240, 1000)
+SMOKE_FLEET_SIZES = (30,)
 
 
 def _clear_render_caches() -> None:
@@ -61,7 +68,13 @@ def bench_netpol_sweep(sample: int | None) -> dict[str, float]:
 
 
 def bench_full_evaluation(sample: int | None) -> dict[str, float]:
-    """Full-catalogue evaluation: pre-PR double-render shape vs current."""
+    """Full-catalogue evaluation: pre-PR shapes vs current, cold caches.
+
+    Three shapes: the PR-1 double-render pipeline, the PR-2 pipeline
+    (single render, throw-away cluster + full install/observe per chart),
+    and the current default (pooled session, install-free observation).
+    """
+    from repro.cluster import OBSERVE_FULL
     from repro.core import AnalyzerSettings, MisconfigurationAnalyzer
     from repro.datasets import build_catalog
     from repro.experiments import run_full_evaluation
@@ -71,7 +84,9 @@ def bench_full_evaluation(sample: int | None) -> dict[str, float]:
     applications = build_catalog()
     if sample is not None:
         applications = applications[:sample]
-    analyzer = MisconfigurationAnalyzer(settings=AnalyzerSettings())
+    analyzer = MisconfigurationAnalyzer(
+        settings=AnalyzerSettings(observe_mode=OBSERVE_FULL, pooled_clusters=False)
+    )
 
     def render_pre_pr(chart):
         # The pre-PR engine re-parsed every template on every render: bypass
@@ -96,6 +111,18 @@ def bench_full_evaluation(sample: int | None) -> dict[str, float]:
         Inventory(render_pre_pr(app.chart).objects)
     double_render = time.perf_counter() - start
 
+    # PR-2 shape: single cached render, but a throw-away cluster with a full
+    # install + double snapshot per chart.
+    _clear_render_caches()
+    start = time.perf_counter()
+    run_full_evaluation(
+        applications=applications,
+        analyzer=MisconfigurationAnalyzer(
+            settings=AnalyzerSettings(observe_mode=OBSERVE_FULL, pooled_clusters=False)
+        ),
+    )
+    fresh_full = time.perf_counter() - start
+
     _clear_render_caches()
     start = time.perf_counter()
     run_full_evaluation(applications=applications)
@@ -103,6 +130,7 @@ def bench_full_evaluation(sample: int | None) -> dict[str, float]:
     return {
         "charts": float(len(applications)),
         "evaluation/double_render_s": round(double_render, 3),
+        "evaluation/fresh_full_s": round(fresh_full, 3),
         "evaluation/current_s": round(current, 3),
     }
 
@@ -111,8 +139,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_connectivity.json"),
-        help="where to write the JSON record",
+        default=None,
+        help="where to write the JSON record (default: BENCH_connectivity.json; "
+        "--smoke writes nothing unless set explicitly)",
     )
     parser.add_argument(
         "--repeats", type=int, default=5, help="timing repeats per case (median is kept)"
@@ -125,11 +154,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--sample", type=int, default=60, help="catalogue sample size for the e2e sweep"
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-long sanity pass: one repeat, one fleet size, tiny sample",
+    )
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.repeats = 1
+        args.sample = min(args.sample, 4)
+        args.full = False
     args.repeats = max(args.repeats, 1)
+    fleet_sizes = SMOKE_FLEET_SIZES if args.smoke else FLEET_SIZES
 
     per_size: dict[int, dict[str, float]] = {}
-    for pod_count in FLEET_SIZES:
+    for pod_count in fleet_sizes:
         per_size[pod_count] = run_size(pod_count, repeats=args.repeats)
     print(format_table(per_size))
 
@@ -159,9 +198,18 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     sample = None if args.full else args.sample
+    session = run_session_suite(sample=sample, repeats=args.repeats)
+    print(
+        f"\ninstall/observe slice over {int(session['charts'])} charts: "
+        f"fresh+full {session['observe/fresh_full_s']}s -> "
+        f"pooled+full {session['observe/pooled_full_s']}s "
+        f"({ratio(session['observe/fresh_full_s'], session['observe/pooled_full_s'])}) -> "
+        f"fast {session['observe/fast_s']}s "
+        f"({ratio(session['observe/fresh_full_s'], session['observe/fast_s'])})"
+    )
     e2e = bench_netpol_sweep(sample)
     print(
-        f"\nFigure 4b sweep over {int(e2e['charts'])} charts: "
+        f"Figure 4b sweep over {int(e2e['charts'])} charts: "
         f"naive {e2e['netpol_impact/naive_s']}s -> "
         f"compiled {e2e['netpol_impact/compiled_s']}s "
         f"({ratio(e2e['netpol_impact/naive_s'], e2e['netpol_impact/compiled_s'])})"
@@ -171,14 +219,15 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"Catalogue evaluation over {int(evaluation['charts'])} charts: "
         f"double-render {evaluation['evaluation/double_render_s']}s -> "
-        f"single-render {evaluation['evaluation/current_s']}s "
-        f"({ratio(evaluation['evaluation/double_render_s'], evaluation['evaluation/current_s'])})"
+        f"fresh clusters {evaluation['evaluation/fresh_full_s']}s -> "
+        f"pooled+fast {evaluation['evaluation/current_s']}s "
+        f"({ratio(evaluation['evaluation/fresh_full_s'], evaluation['evaluation/current_s'])} over PR-2)"
     )
 
     record = {
         "suite": "connectivity",
         "unit": "ns/op",
-        "fleet_sizes": list(FLEET_SIZES),
+        "fleet_sizes": list(fleet_sizes),
         "cases": {
             f"{case}/pods={pod_count}": round(value, 1)
             for pod_count, results in per_size.items()
@@ -192,9 +241,17 @@ def main(argv: list[str] | None = None) -> int:
             for case in ("check_ingress", "reachable_endpoints", "matrix_sources")
         },
         "render": {case: round(value, 1) for case, value in render.items()},
+        "session": session,
         "end_to_end": e2e,
     }
-    output = Path(args.output)
+    if args.output is None and args.smoke:
+        print("\nsmoke pass complete (no file written)")
+        return 0
+    output = Path(
+        args.output
+        if args.output is not None
+        else Path(__file__).resolve().parent.parent / "BENCH_connectivity.json"
+    )
     output.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {output}")
     return 0

@@ -1,0 +1,82 @@
+"""Benchmark cases for the analysis-session subsystem (PR 3).
+
+Measures the evaluation's install/observe slice in isolation -- the part of
+the per-chart pipeline that :class:`repro.cluster.AnalysisSession` attacks:
+
+* ``observe/fresh_full`` -- the seed shape: a throw-away cluster per chart,
+  full install, double runtime snapshot;
+* ``observe/pooled_full`` -- one recycled cluster skeleton
+  (``Cluster.reset()`` between charts), full install + snapshot;
+* ``observe/fast`` -- the install-free observation substrate.
+
+Charts are pre-rendered once so the render cache is warm for every variant:
+the observation step itself never touches the render cache, so the timings
+below are pure install/observe cost, directly comparable across variants.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def run_session_suite(sample: int | None = None, repeats: int = 3) -> dict[str, float]:
+    """Time the observe slice over a catalogue (sample), seconds per sweep."""
+    from repro.cluster import AnalysisSession, Cluster, OBSERVE_FAST, OBSERVE_FULL
+    from repro.datasets import build_catalog, prerender_catalog
+    from repro.helm import render_chart
+    from repro.probe import RuntimeScanner
+
+    applications = build_catalog()
+    if sample is not None:
+        applications = applications[:sample]
+    fingerprints = prerender_catalog(applications)
+    rendered = [
+        render_chart(app.chart, fingerprint=fingerprint)
+        for app, fingerprint in zip(applications, fingerprints)
+    ]
+
+    def sweep_fresh() -> None:
+        for app, chart in zip(applications, rendered):
+            cluster = Cluster(name="analysis", behaviors=app.behaviors)
+            cluster.install(chart)
+            RuntimeScanner(cluster).observe(chart.release.name)
+
+    def sweep_pooled() -> None:
+        session = AnalysisSession(observe_mode=OBSERVE_FULL)
+        for app, chart in zip(applications, rendered):
+            session.observe(chart, app.behaviors)
+
+    def sweep_fast() -> None:
+        session = AnalysisSession(observe_mode=OBSERVE_FAST)
+        for app, chart in zip(applications, rendered):
+            session.observe(chart, app.behaviors)
+
+    def best_of(sweep) -> float:
+        timings = []
+        for _ in range(max(repeats, 1)):
+            # Each run re-renders per chart from the warm cache so every
+            # variant observes freshly materialized (mutable) objects.
+            rendered[:] = [
+                render_chart(app.chart, fingerprint=fingerprint)
+                for app, fingerprint in zip(applications, fingerprints)
+            ]
+            start = time.perf_counter()
+            sweep()
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    results = {
+        "charts": float(len(applications)),
+        "observe/fresh_full_s": round(best_of(sweep_fresh), 4),
+        "observe/pooled_full_s": round(best_of(sweep_pooled), 4),
+        "observe/fast_s": round(best_of(sweep_fast), 4),
+    }
+    if results["observe/pooled_full_s"]:
+        results["observe/pooled_speedup"] = round(
+            results["observe/fresh_full_s"] / results["observe/pooled_full_s"], 2
+        )
+    if results["observe/fast_s"]:
+        results["observe/fast_speedup"] = round(
+            results["observe/fresh_full_s"] / results["observe/fast_s"], 2
+        )
+    return results

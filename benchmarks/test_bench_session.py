@@ -1,0 +1,64 @@
+"""Benchmarks of the analysis-session subsystem: pooling + fast observation."""
+
+from __future__ import annotations
+
+from repro.cluster import AnalysisSession, Cluster, OBSERVE_FAST, OBSERVE_FULL
+from repro.datasets import InjectionPlan, build_application
+from repro.helm import render_chart
+from repro.probe import RuntimeScanner
+
+
+def _app():
+    return build_application(
+        "bench-app", "Fixtures", InjectionPlan(m1=2, m2=1, m6=True), archetype="microservices"
+    )
+
+
+def test_bench_observe_fresh_full(benchmark):
+    """The seed shape: throw-away cluster + install + double snapshot."""
+    app = _app()
+    rendered = render_chart(app.chart)
+
+    def observe():
+        cluster = Cluster(name="analysis", behaviors=app.behaviors)
+        cluster.install(render_chart(app.chart))
+        return RuntimeScanner(cluster).observe(rendered.release.name)
+
+    assert benchmark(observe).pods()
+
+
+def test_bench_observe_pooled_full(benchmark):
+    """Recycled cluster skeleton, full install + double snapshot."""
+    app = _app()
+    session = AnalysisSession(observe_mode=OBSERVE_FULL)
+
+    def observe():
+        return session.observe(render_chart(app.chart), app.behaviors)
+
+    assert benchmark(observe).pods()
+
+
+def test_bench_observe_fast(benchmark):
+    """The install-free observation substrate."""
+    app = _app()
+    session = AnalysisSession(observe_mode=OBSERVE_FAST)
+
+    def observe():
+        return session.observe(render_chart(app.chart), app.behaviors)
+
+    assert benchmark(observe).pods()
+
+
+def test_bench_cluster_reset(benchmark):
+    """One reset cycle of an installed cluster skeleton."""
+    app = _app()
+    rendered = render_chart(app.chart)
+    cluster = Cluster(name="analysis", behaviors=app.behaviors)
+
+    def cycle():
+        cluster.reset(behaviors=app.behaviors)
+        cluster.install(render_chart(app.chart))
+        return cluster
+
+    cluster.install(rendered)
+    assert benchmark(cycle).running_pods()

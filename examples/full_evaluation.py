@@ -2,12 +2,16 @@
 """Reproduce the full evaluation of Section 4: Table 2, Figures 3, 4a, 4b.
 
 Builds the synthetic 290-chart catalogue (six organizations), analyzes every
-application in its own clean cluster with the hybrid analyzer, runs the
-cluster-wide collision pass, and prints every table/figure of Section 4.3.
+application through the pooled analysis session with the hybrid analyzer,
+runs the cluster-wide collision pass, and prints every table/figure of
+Section 4.3.  ``--sample N`` restricts the sweep to the first N charts (the
+smoke-test harness uses this to exercise the script against a tiny
+catalogue).
 
-Runtime: roughly 15-30 seconds on a laptop.
+Runtime: a few seconds on a laptop for the full catalogue.
 """
 
+import argparse
 import time
 
 from repro.experiments import (
@@ -24,8 +28,22 @@ from repro.experiments import (
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=0,
+        help="restrict the sweep to the first N catalogue charts (0 = all)",
+    )
+    args = parser.parse_args()
+    applications = None
+    if args.sample:
+        from repro.datasets import build_catalog
+
+        applications = build_catalog()[: args.sample]
+
     started = time.time()
-    result = run_full_evaluation()
+    result = run_full_evaluation(applications=applications)
     summary = result.summary
 
     print("=" * 78)

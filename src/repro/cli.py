@@ -37,10 +37,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if report.affected and args.strict else 0
 
 
+def _sampled_applications(args: argparse.Namespace):
+    """The catalogue restricted to ``--sample N`` charts (None = full)."""
+    sample = getattr(args, "sample", None)
+    if not sample:
+        return None
+    from .datasets import build_catalog
+
+    return build_catalog()[:sample]
+
+
 def _cmd_catalog(args: argparse.Namespace) -> int:
     from .experiments import run_full_evaluation
 
-    result = run_full_evaluation()
+    result = run_full_evaluation(applications=_sampled_applications(args))
     print(result.summary.table2_text())
     return 0
 
@@ -59,7 +69,7 @@ def _cmd_table3(args: argparse.Namespace) -> int:
 def _cmd_figure3(args: argparse.Namespace) -> int:
     from .experiments import figure3a, figure3b, format_figure3, run_full_evaluation
 
-    summary = run_full_evaluation().summary
+    summary = run_full_evaluation(applications=_sampled_applications(args)).summary
     print("Figure 3a - applications with the most misconfigurations")
     print(format_figure3(figure3a(summary), metric="total"))
     print()
@@ -71,7 +81,7 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
 def _cmd_figure4a(args: argparse.Namespace) -> int:
     from .experiments import figure4a, format_figure4a, run_full_evaluation
 
-    summary = run_full_evaluation().summary
+    summary = run_full_evaluation(applications=_sampled_applications(args)).summary
     print(format_figure4a(figure4a(summary)))
     return 0
 
@@ -79,7 +89,7 @@ def _cmd_figure4a(args: argparse.Namespace) -> int:
 def _cmd_figure4b(args: argparse.Namespace) -> int:
     from .experiments import run_netpol_impact
 
-    print(run_netpol_impact().format_text())
+    print(run_netpol_impact(applications=_sampled_applications(args)).format_text())
     return 0
 
 
@@ -126,6 +136,13 @@ def build_parser() -> argparse.ArgumentParser:
         ("figure4b", _cmd_figure4b, "regenerate Figure 4b (network-policy impact)"),
     ):
         sub = subparsers.add_parser(name, help=help_text)
+        if name != "table3":
+            sub.add_argument(
+                "--sample",
+                type=int,
+                default=0,
+                help="restrict the sweep to the first N catalogue charts (0 = all)",
+            )
         sub.set_defaults(handler=handler)
 
     attack = subparsers.add_parser("attack", help="run a proof-of-concept attack")

@@ -18,7 +18,7 @@ from .behavior import (
     behavior_with_undeclared_ports,
     faithful_behavior,
 )
-from .cluster import Cluster, InstalledApplication
+from .cluster import Cluster, InstalledApplication, build_node_set, expand_workload_pods
 from .cni import NetworkPolicyEnforcer, PolicyDecision
 from .dns import ClusterDNS, DNSRecord
 from .endpoints import EndpointController, ServiceBinding
@@ -38,6 +38,17 @@ from .policy_index import PolicyIndex
 from .runtime import ContainerRuntime, RunningPod, Socket
 from .scheduler import Scheduler
 
+# Imported last: session pulls in repro.probe, which imports back into this
+# package and needs the names above to be bound already.
+from .session import (  # noqa: E402
+    OBSERVE_FAST,
+    OBSERVE_FULL,
+    OBSERVE_MODES,
+    AnalysisSession,
+    ObservationSubstrate,
+    SessionStats,
+)
+
 __all__ = [
     "ALL_INTERFACES",
     "APIServer",
@@ -45,6 +56,7 @@ __all__ = [
     "AdmissionController",
     "AdmissionError",
     "AlreadyExistsError",
+    "AnalysisSession",
     "BehaviorRegistry",
     "CONTROL_PLANE_PROCESSES",
     "Cluster",
@@ -66,7 +78,11 @@ __all__ = [
     "NetworkPolicyEnforcer",
     "Node",
     "NotFoundError",
+    "OBSERVE_FAST",
+    "OBSERVE_FULL",
+    "OBSERVE_MODES",
     "ObjectStore",
+    "ObservationSubstrate",
     "PodNotFound",
     "PolicyDecision",
     "PolicyIndex",
@@ -76,9 +92,12 @@ __all__ = [
     "SchedulingError",
     "Scheduler",
     "ServiceBinding",
+    "SessionStats",
     "Socket",
     "behavior_with_closed_ports",
     "behavior_with_dynamic_ports",
     "behavior_with_undeclared_ports",
+    "build_node_set",
+    "expand_workload_pods",
     "faithful_behavior",
 ]

@@ -79,6 +79,11 @@ class ObjectStore:
     def namespaces(self) -> set[str]:
         return {namespace for (_, namespace, _) in self._objects if namespace}
 
+    def clear(self) -> None:
+        """Drop every object; the generation keeps moving strictly forward."""
+        self._objects.clear()
+        self.generation += 1
+
     def __len__(self) -> int:
         return len(self._objects)
 
@@ -90,6 +95,13 @@ class APIServer:
         self.store = ObjectStore()
         self._admission_controllers: list[AdmissionController] = []
         self.audit_log: list[dict] = []
+
+    def reset(self) -> None:
+        """Back to as-constructed state (store generation excepted, which
+        only ever moves forward so epoch-keyed caches invalidate)."""
+        self.store.clear()
+        self._admission_controllers.clear()
+        self.audit_log.clear()
 
     # Admission -----------------------------------------------------------------
     def register_admission_controller(self, controller: AdmissionController) -> None:

@@ -49,6 +49,44 @@ def _sanitize(name: str) -> str:
     return cleaned or "pod"
 
 
+def build_node_set(name: str, worker_count: int) -> list[Node]:
+    """The node set of a cluster: one control-plane plus ``worker_count`` workers.
+
+    Shared by :class:`Cluster` and the install-free observation substrate
+    (:mod:`repro.cluster.session`) -- fast==full equivalence depends on both
+    building exactly the same nodes (names, roles, host-process tables).
+    """
+    nodes = [Node(name=f"{name}-control-plane", control_plane=True)]
+    for index in range(worker_count):
+        nodes.append(Node(name=f"{name}-worker-{index + 1}"))
+    return nodes
+
+
+def expand_workload_pods(workload: Workload, worker_count: int) -> list[Pod]:
+    """Expand a workload into the pods the cluster would start for it.
+
+    ``worker_count`` is the number of schedulable nodes (DaemonSets run one
+    replica per worker).  Shared by :class:`Cluster` and the install-free
+    fast observation path (:mod:`repro.cluster.session`), so both expand
+    workloads identically by construction.
+    """
+    if isinstance(workload, DaemonSet):
+        replicas = worker_count
+    else:
+        replicas = workload.replica_count()
+    pods: list[Pod] = []
+    for index in range(replicas):
+        pod_name = _sanitize(f"{workload.name}-{index}")
+        pods.append(
+            Pod.from_template(
+                workload.pod_template(),
+                name=pod_name,
+                namespace=workload.namespace,
+            )
+        )
+    return pods
+
+
 @dataclass
 class InstalledApplication:
     """Book-keeping for one installed application (Helm release)."""
@@ -71,6 +109,7 @@ class Cluster:
         compiled_policies: bool = True,
     ) -> None:
         self.name = name
+        self._seed = seed
         self.ipam = ClusterIPAM()
         self.api = APIServer()
         self.behaviors = behaviors or BehaviorRegistry()
@@ -84,9 +123,8 @@ class Cluster:
         self.network = ClusterNetwork(enforcer=self.enforcer)
         self.endpoint_controller = EndpointController()
         self.nodes: list[Node] = []
-        self._add_node(Node(name=f"{name}-control-plane", control_plane=True))
-        for index in range(worker_count):
-            self._add_node(Node(name=f"{name}-worker-{index + 1}"))
+        for node in build_node_set(name, worker_count):
+            self._add_node(node)
         self.scheduler = Scheduler(self.nodes)
         self._running: dict[tuple[str, str], RunningPod] = {}
         self._applications: dict[str, InstalledApplication] = {}
@@ -98,6 +136,53 @@ class Cluster:
         #: they were computed at (``None`` = never reconciled).
         self._bindings: list[ServiceBinding] = []
         self._bindings_epoch: int | None = None
+        #: Number of :meth:`reset` cycles this skeleton has been through.
+        self.session_epoch = 0
+        self._ensure_namespace("default")
+        self._ensure_namespace("kube-system")
+
+    # Session recycling ------------------------------------------------------
+    def reset(self, behaviors: BehaviorRegistry | None = None, seed: int | None = None) -> None:
+        """Recycle the cluster skeleton: back to as-constructed state.
+
+        The *reset-epoch contract*: after ``reset(behaviors, seed)`` the
+        cluster behaves exactly like ``Cluster(name, worker_count, behaviors,
+        seed, compiled_policies)`` freshly constructed -- same node names and
+        IPs, same deterministic IPAM and ephemeral-port sequences, empty API
+        store, no applications, no admission controllers -- *except* that
+        :attr:`policy_epoch` keeps moving strictly forward (the store
+        generation is carried over and bumped, never rewound), so any cache
+        keyed on the epoch (the compiled policy index, the service-binding
+        reconcile, external consumers) invalidates without manual plumbing.
+
+        What is recycled rather than rebuilt: the :class:`Node` objects (with
+        their host-process tables), the scheduler wired to them, and the
+        namespace defaults.  Everything derived from installed state is
+        dropped.  :class:`AnalysisSession` calls this between charts instead
+        of constructing a throw-away cluster per chart.
+        """
+        if behaviors is not None:
+            self.behaviors = behaviors
+        if seed is not None:
+            self._seed = seed
+        self.session_epoch += 1
+        # Every component clears in place (identities survive, so external
+        # references like ``network.enforcer`` stay wired); the store
+        # generation moves forward by at least one even on a mutation-free
+        # cycle, so the epoch never stands still across a reset.
+        self.api.reset()
+        self.ipam.reset()
+        self.runtime.reset(self.behaviors, seed=self._seed)
+        self.dns.reset()
+        self.enforcer.reset()
+        for node in self.nodes:
+            node.pod_names.clear()
+            node.ip = self.ipam.nodes.allocate(node.name)
+        self._running.clear()
+        self._applications.clear()
+        self._policy_index = None
+        self._bindings = []
+        self._bindings_epoch = None
         self._ensure_namespace("default")
         self._ensure_namespace("kube-system")
 
@@ -111,11 +196,24 @@ class Cluster:
 
     # Namespace helpers --------------------------------------------------------
     def _ensure_namespace(self, namespace: str, labels: Mapping[str, str] | None = None) -> None:
+        effective = dict(labels or {"kubernetes.io/metadata.name": namespace})
         if not self.api.store.exists("Namespace", namespace, ""):
             self.api.apply(make_namespace(namespace, labels))
-        self.enforcer.set_namespace_labels(
-            namespace, dict(labels or {"kubernetes.io/metadata.name": namespace})
-        )
+        elif labels is None:
+            # Ensuring an existing namespace without explicit labels (e.g.
+            # installing a release into it) must not clobber labels a
+            # Namespace object set earlier -- but a namespace created behind
+            # the enforcer's back (direct ``api.apply``) still needs its
+            # default registration, or namespaceSelector rules never match.
+            if self.enforcer.namespace_labels(namespace):
+                return
+        elif self.enforcer.namespace_labels(namespace) != effective:
+            # Label update on an existing namespace: namespaceSelector
+            # semantics just changed, so the store must reflect the new
+            # labels and the mutation must move :attr:`policy_epoch` like
+            # every other policy-relevant write.
+            self.api.apply(make_namespace(namespace, labels))
+        self.enforcer.set_namespace_labels(namespace, effective)
 
     # Admission ------------------------------------------------------------------
     def register_admission_controller(self, controller: AdmissionController) -> None:
@@ -183,20 +281,7 @@ class Cluster:
                 self._start_pod(obj, application, owner=obj.qualified_name())
 
     def _expand_workload(self, workload: Workload) -> list[Pod]:
-        pods: list[Pod] = []
-        if isinstance(workload, DaemonSet):
-            replicas = len(self.worker_nodes())
-        else:
-            replicas = workload.replica_count()
-        for index in range(replicas):
-            pod_name = _sanitize(f"{workload.name}-{index}")
-            pod = Pod.from_template(
-                workload.pod_template(),
-                name=pod_name,
-                namespace=workload.namespace,
-            )
-            pods.append(pod)
-        return pods
+        return expand_workload_pods(workload, len(self.worker_nodes()))
 
     def _start_pod(self, pod: Pod, application: InstalledApplication, owner: str = "") -> RunningPod:
         node = self.scheduler.schedule(pod)

@@ -72,6 +72,11 @@ class NetworkPolicyEnforcer:
             tuple[int, ...], tuple[tuple[NetworkPolicy, ...], PolicyIndex]
         ] = {}
 
+    def reset(self) -> None:
+        """Drop namespace labels and compiled-index memos (session recycle)."""
+        self._namespace_labels.clear()
+        self._index_memo.clear()
+
     def set_namespace_labels(self, namespace: str, labels: dict[str, str]) -> None:
         self._namespace_labels[namespace] = dict(labels)
 

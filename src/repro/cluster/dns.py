@@ -39,6 +39,11 @@ class ClusterDNS:
         self._bindings: dict[tuple[str, str], ServiceBinding] = {}
         self._service_ips: dict[tuple[str, str], str] = {}
 
+    def reset(self) -> None:
+        """Forget every programmed record."""
+        self._bindings.clear()
+        self._service_ips.clear()
+
     # Programming the resolver ------------------------------------------------
     def program(self, bindings: list[ServiceBinding], service_ips: dict[tuple[str, str], str]) -> None:
         """Load the current service bindings and allocated ClusterIPs."""

@@ -18,10 +18,21 @@ class AddressPool:
 
     def __init__(self, cidr: str, reserve_first: int = 1) -> None:
         self._network = ipaddress.ip_network(cidr)
+        self._reserve_first = reserve_first
         self._next_index = reserve_first + 1  # skip the network address + reserved
         self._max_index = self._network.num_addresses - 1
         self._allocated: dict[str, str] = {}
         self._released: list[int] = []
+
+    def reset(self) -> None:
+        """Forget every allocation; the next sequence replays from scratch.
+
+        Keeps the parsed network, so recycling a pool (the cluster session's
+        ``reset()``) skips the CIDR re-parse a fresh pool would pay.
+        """
+        self._allocated.clear()
+        self._released.clear()
+        self._next_index = self._reserve_first + 1
 
     @property
     def cidr(self) -> str:
@@ -80,6 +91,12 @@ class ClusterIPAM:
         self.pods = AddressPool(pod_cidr)
         self.services = AddressPool(service_cidr)
         self.nodes = AddressPool(node_cidr)
+
+    def reset(self) -> None:
+        """Reset all three pools to their as-constructed state."""
+        self.pods.reset()
+        self.services.reset()
+        self.nodes.reset()
 
     def classify(self, address: str) -> str:
         """Classify an address as ``pod``, ``service``, ``node`` or ``external``."""

@@ -122,6 +122,14 @@ class ContainerRuntime:
         self._rng = random.Random(seed)
         self._used_ephemeral: dict[str, set[int]] = {}
 
+    def reset(self, behaviors: BehaviorRegistry | None = None, seed: int = 2025) -> None:
+        """Re-seed the runtime: the ephemeral-port sequence replays exactly
+        as a freshly constructed runtime's would."""
+        if behaviors is not None:
+            self.behaviors = behaviors
+        self._rng.seed(seed)
+        self._used_ephemeral.clear()
+
     # Pod lifecycle -----------------------------------------------------------
     def start_pod(self, pod: Pod, ip: str, node: Node, app: str = "", owner: str = "") -> RunningPod:
         """Start every container of ``pod`` and return the running instance."""
@@ -135,6 +143,17 @@ class ContainerRuntime:
         self._used_ephemeral.pop(self._pod_key(running), None)
         running.sockets = self._open_sockets(running)
         return running
+
+    def drew_ephemeral(self, running: RunningPod) -> bool:
+        """Whether this pod's last (re)start drew any ephemeral port.
+
+        Exact even when the drawn socket was later deduplicated away by a
+        same-port static socket: the draw itself (which advances the shared
+        RNG) is what is recorded.  The fast observation path keys its
+        skip-restart decision on this, keeping RNG parity with a real
+        restart of every pod.
+        """
+        return bool(self._used_ephemeral.get(self._pod_key(running)))
 
     # Socket derivation ----------------------------------------------------------
     def _open_sockets(self, running: RunningPod) -> list[Socket]:

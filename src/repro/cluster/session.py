@@ -1,0 +1,383 @@
+"""Install-free analysis sessions over pooled cluster substrates.
+
+The evaluation pipeline analyzes hundreds of charts, and the seed code built
+a throw-away :class:`~repro.cluster.cluster.Cluster` per chart: nodes, IPAM
+pools, DNS, scheduler and API server were reconstructed ~300 times per sweep,
+and every runtime observation paid a full install (validation, store writes,
+endpoint reconciles) it never looked at again.  This module removes both
+costs without changing a single observable result:
+
+* :class:`AnalysisSession` **pools cluster skeletons**.  A cluster is built
+  once and recycled between charts through ``Cluster.reset()`` -- the
+  *reset-epoch contract*: after ``reset(behaviors, seed)`` the cluster is
+  indistinguishable from a freshly constructed one (same node names,
+  deterministic IPAM and ephemeral-port sequences, empty store), except that
+  ``policy_epoch`` keeps moving strictly forward so every epoch-keyed cache
+  (policy index, service bindings) invalidates for free.
+
+* :class:`ObservationSubstrate` is the **fast observation path**
+  (``observe_mode="fast"``): it derives the netstat-style double snapshot
+  directly from the rendered objects and the registered workload behaviours
+  -- the same workload expansion, scheduler placement, container runtime and
+  restart ordering as a real install, minus the API server, IPAM, DNS and
+  endpoint machinery that contributes nothing to a
+  :class:`~repro.probe.snapshot.PodSnapshot`.  ``observe_mode="full"`` keeps
+  the install-and-scan path as the reference implementation.
+
+Equivalence -- pooled == fresh and fast == full, for findings, snapshots and
+reachability surfaces alike -- is proven over the whole catalogue and over
+Hypothesis-generated app specs by the differential conformance suite in
+``tests/property/test_session_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..helm import RenderedChart
+from ..k8s import CronJob, DaemonSet, ObjectMeta, Pod, Workload
+from ..probe.scanner import RuntimeObservation, RuntimeScanner
+from ..probe.snapshot import ClusterSnapshot, PodSnapshot
+from .behavior import BehaviorRegistry
+from .cluster import Cluster, _sanitize, build_node_set
+from .node import Node
+from .runtime import ContainerRuntime, RunningPod
+from .scheduler import Scheduler
+
+#: Observation modes: ``"fast"`` derives snapshots install-free from rendered
+#: objects + behaviours; ``"full"`` installs into a (pooled) cluster and runs
+#: the :class:`~repro.probe.scanner.RuntimeScanner` -- the reference path.
+OBSERVE_FAST = "fast"
+OBSERVE_FULL = "full"
+OBSERVE_MODES = (OBSERVE_FAST, OBSERVE_FULL)
+
+
+class ObservationSubstrate:
+    """Nodes, scheduler and container runtime without a control plane.
+
+    Mirrors exactly the parts of ``Cluster.install`` + ``RuntimeScanner``
+    that a runtime observation can see: object validation and namespace
+    defaulting, workload expansion (a shared-structure mirror of
+    :func:`~repro.cluster.cluster.expand_workload_pods`, see
+    :meth:`_expand_workload`), least-loaded scheduling onto the shared node
+    set (:func:`~repro.cluster.cluster.build_node_set`), socket derivation
+    through the same :class:`ContainerRuntime` (identical ephemeral-port
+    RNG sequence), and the restart-between-snapshots ordering of the double
+    snapshot.  The API server, admission chain, IPAM pools, DNS and
+    endpoint controller are skipped -- none of their state reaches a
+    snapshot.
+
+    Not thread-safe: one substrate serves one observation at a time (the
+    catalogue fan-out is process-based and each worker owns its session).
+    """
+
+    def __init__(
+        self,
+        name: str = "analysis",
+        worker_count: int = 3,
+        seed: int = 2025,
+        behaviors: BehaviorRegistry | None = None,
+    ) -> None:
+        self.name = name
+        self.worker_count = worker_count
+        self._seed = seed
+        self.behaviors = behaviors or BehaviorRegistry()
+        self.nodes: list[Node] = build_node_set(name, worker_count)
+        self.scheduler = Scheduler(self.nodes)
+        self.runtime = ContainerRuntime(self.behaviors, seed=seed)
+        self._pod_counter = 0
+        self._host_ports: frozenset[int] | None = None
+
+    def reset(self, behaviors: BehaviorRegistry | None = None, seed: int | None = None) -> None:
+        """Recycle the substrate: nodes stay, runtime state is re-seeded."""
+        if behaviors is not None:
+            self.behaviors = behaviors
+        if seed is not None:
+            self._seed = seed
+        for node in self.nodes:
+            node.pod_names.clear()
+        self.runtime.reset(self.behaviors, seed=self._seed)
+        self._pod_counter = 0
+
+    def worker_nodes(self) -> list[Node]:
+        return [node for node in self.nodes if node.schedulable]
+
+    def host_port_baseline(self) -> set[int]:
+        """Ports open on the nodes themselves (computed once; copied out)."""
+        if self._host_ports is None:
+            ports: set[int] = set()
+            for node in self.nodes:
+                ports.update(node.host_port_numbers())
+            self._host_ports = frozenset(ports)
+        return set(self._host_ports)
+
+    # Observation -------------------------------------------------------------
+    def observe(
+        self, rendered: RenderedChart, double_snapshot: bool = True
+    ) -> RuntimeObservation:
+        """The install-free double snapshot of one rendered chart.
+
+        Byte-compatible with installing ``rendered`` into a fresh cluster and
+        running ``RuntimeScanner.observe``: objects are validated and
+        namespace-defaulted in apply order (mutating the rendered objects the
+        way an install does, so downstream rule evaluation sees identical
+        inventories), pods start in workload order, and the restart between
+        snapshots walks the started pod names in the same order so dynamic
+        ports replay the same RNG draws.
+        """
+        app = rendered.release.name
+        namespace = rendered.release.namespace or "default"
+        objects = []
+        for obj in rendered.objects:
+            if obj.kind == "Namespace":
+                continue
+            if obj.NAMESPACED and not obj.metadata.namespace:
+                obj.metadata.namespace = namespace
+            obj.validate()
+            objects.append(obj)
+        running: dict[tuple[str, str], RunningPod] = {}
+        pod_names: list[str] = []
+        worker_count = len(self.worker_nodes())
+        for obj in objects:
+            if isinstance(obj, Workload) and not isinstance(obj, CronJob):
+                for pod in self._expand_workload(obj, worker_count):
+                    self._start_pod(pod, app, obj.qualified_name(), running, pod_names)
+            elif isinstance(obj, Pod):
+                self._start_pod(obj, app, obj.qualified_name(), running, pod_names)
+        host_ports = self.host_port_baseline()
+        pods = list(running.values())
+        first = ClusterSnapshot.from_pods(pods, host_ports=host_ports, sequence=0)
+        if double_snapshot:
+            second = ClusterSnapshot(
+                pods=self._second_snapshot_pods(running, pod_names, namespace, first),
+                host_ports=set(host_ports),
+                sequence=1,
+            )
+        else:
+            second = first
+        return RuntimeObservation(app=app, first=first, second=second, host_ports=host_ports)
+
+    def _second_snapshot_pods(
+        self,
+        running: dict[tuple[str, str], RunningPod],
+        pod_names: list[str],
+        namespace: str,
+        first: ClusterSnapshot,
+    ) -> list:
+        """The post-restart pod snapshots, re-deriving only what can change.
+
+        A restart re-opens exactly the same sockets except for dynamic
+        (ephemeral) ones, and restarting a pod that drew no ephemeral port
+        draws nothing from the shared RNG -- so such pods are skipped
+        entirely and their first :class:`~repro.probe.snapshot.PodSnapshot`
+        is shared into the second snapshot (snapshots are read-only by
+        contract).  The skip keys on ``ContainerRuntime.drew_ephemeral``
+        (the recorded draws), not on surviving sockets: a dynamic socket
+        deduplicated away by a same-port static socket still advanced the
+        RNG and still must restart.  Pods that drew restart in the same
+        start order (and with the same duplicate-name lookup) as
+        ``Cluster.restart_application``, replaying the reference RNG
+        sequence exactly.
+        """
+        restarted: set[int] = set()
+        for name in pod_names:
+            pod = running.get((namespace, name))
+            if pod is not None and self.runtime.drew_ephemeral(pod):
+                self.runtime.restart_pod(pod)
+                restarted.add(id(pod))
+        return [
+            PodSnapshot.from_running_pod(pod) if id(pod) in restarted else snapshot
+            for pod, snapshot in zip(running.values(), first.pods)
+        ]
+
+    @staticmethod
+    def _expand_workload(workload: Workload, worker_count: int) -> list[Pod]:
+        """Expand a workload into pods, sharing the immutable parts.
+
+        Mirrors :func:`~repro.cluster.cluster.expand_workload_pods` --
+        same replica counts, pod names and namespaces -- but replicas share
+        the template's spec, labels and annotations instead of paying a
+        serialize/deserialize deep copy each.  Safe here because the fast
+        path never hands pods to a mutable store: the runtime and the
+        snapshots only ever read them.  Equivalence with the copying
+        expansion is part of the differential conformance suite.
+        """
+        replicas = worker_count if isinstance(workload, DaemonSet) else workload.replica_count()
+        template = workload.pod_template()
+        labels = template.metadata.labels
+        annotations = template.metadata.annotations
+        namespace = workload.namespace
+        return [
+            Pod(
+                metadata=ObjectMeta(
+                    name=_sanitize(f"{workload.name}-{index}"),
+                    namespace=namespace,
+                    labels=labels,
+                    annotations=annotations,
+                ),
+                spec=template.spec,
+            )
+            for index in range(replicas)
+        ]
+
+    def _start_pod(
+        self,
+        pod: Pod,
+        app: str,
+        owner: str,
+        running: dict[tuple[str, str], RunningPod],
+        pod_names: list[str],
+    ) -> None:
+        node = self.scheduler.schedule(pod)
+        if pod.spec.host_network:
+            ip = node.ip
+        else:
+            # Snapshots never observe pod IPs; a cheap deterministic stand-in
+            # replaces the IPAM pool walk.
+            self._pod_counter += 1
+            serial = self._pod_counter + 1
+            ip = f"10.244.{(serial >> 8) & 0xFF}.{serial & 0xFF}"
+        started = self.runtime.start_pod(pod, ip, node, app=app, owner=owner)
+        running[(pod.namespace, pod.name)] = started
+        pod_names.append(pod.name)
+
+
+@dataclass
+class SessionStats:
+    """Counters exposed for tests and the benchmark harness."""
+
+    clusters_built: int = 0
+    resets: int = 0
+    leases: int = 0
+    fast_observations: int = 0
+    full_observations: int = 0
+
+
+class AnalysisSession:
+    """Pooled cluster substrates plus the fast/full observation switch.
+
+    One session serves one sequential consumer (an analyzer instance, a
+    sweep worker process).  ``lease()`` hands out a clean cluster -- recycled
+    through ``Cluster.reset()`` when the pool has one, freshly built
+    otherwise -- and ``observe()`` produces a
+    :class:`~repro.probe.scanner.RuntimeObservation` through the configured
+    ``observe_mode``.  A custom ``cluster_factory`` disables pooling and
+    pins observation to the full path, preserving the semantics of callers
+    that bring their own cluster subclass.
+    """
+
+    def __init__(
+        self,
+        name: str = "analysis",
+        worker_count: int = 3,
+        seed: int = 2025,
+        observe_mode: str = OBSERVE_FAST,
+        compiled_policies: bool = True,
+        pooled: bool = True,
+        cluster_factory: Callable[[BehaviorRegistry], Cluster] | None = None,
+    ) -> None:
+        if observe_mode not in OBSERVE_MODES:
+            raise ValueError(f"unknown observe_mode {observe_mode!r}; expected one of {OBSERVE_MODES}")
+        self.name = name
+        self.worker_count = worker_count
+        self.seed = seed
+        self.compiled_policies = compiled_policies
+        self._factory = cluster_factory
+        #: A custom factory may return cluster subclasses whose reset
+        #: semantics we cannot vouch for: build fresh, observe via install.
+        self.pooled = pooled and cluster_factory is None
+        self.observe_mode = OBSERVE_FULL if cluster_factory is not None else observe_mode
+        self._free: list[Cluster] = []
+        self._lock = threading.Lock()
+        self._substrate: ObservationSubstrate | None = None
+        #: Serializes fast observations: the substrate is a single recycled
+        #: instance, and the evaluation's custom-analyzer path shares one
+        #: session across a *thread* pool (the full path is already safe --
+        #: every thread leases its own cluster).
+        self._observe_lock = threading.Lock()
+        self.stats = SessionStats()
+
+    # Cluster pool ------------------------------------------------------------
+    def acquire(self, behaviors: BehaviorRegistry | None = None) -> Cluster:
+        """A clean cluster carrying ``behaviors`` (reset happens here).
+
+        Released clusters are recycled lazily on the next acquire, so a
+        consumer that dies mid-lease costs nothing extra.
+        """
+        behaviors = behaviors or BehaviorRegistry()
+        self.stats.leases += 1
+        if self._factory is not None:
+            self.stats.clusters_built += 1
+            return self._factory(behaviors)
+        cluster: Cluster | None = None
+        if self.pooled:
+            with self._lock:
+                cluster = self._free.pop() if self._free else None
+        if cluster is None:
+            self.stats.clusters_built += 1
+            return Cluster(
+                name=self.name,
+                worker_count=self.worker_count,
+                behaviors=behaviors,
+                seed=self.seed,
+                compiled_policies=self.compiled_policies,
+            )
+        cluster.reset(behaviors=behaviors, seed=self.seed)
+        self.stats.resets += 1
+        return cluster
+
+    def release(self, cluster: Cluster) -> None:
+        """Return a leased cluster to the pool (no-op when pooling is off)."""
+        if not self.pooled:
+            return
+        with self._lock:
+            self._free.append(cluster)
+
+    @contextmanager
+    def lease(self, behaviors: BehaviorRegistry | None = None) -> Iterator[Cluster]:
+        cluster = self.acquire(behaviors)
+        try:
+            yield cluster
+        finally:
+            self.release(cluster)
+
+    # Observation -------------------------------------------------------------
+    def observe(
+        self,
+        rendered: RenderedChart,
+        behaviors: BehaviorRegistry | None = None,
+        double_snapshot: bool = True,
+    ) -> RuntimeObservation:
+        """The runtime observation of one rendered chart.
+
+        ``"fast"`` mode goes through the install-free
+        :class:`ObservationSubstrate`; ``"full"`` mode leases a cluster,
+        installs the chart and runs the reference
+        :class:`~repro.probe.scanner.RuntimeScanner`.
+        """
+        if self.observe_mode == OBSERVE_FAST:
+            behaviors = behaviors or BehaviorRegistry()
+            with self._observe_lock:
+                substrate = self._substrate
+                if substrate is None:
+                    substrate = ObservationSubstrate(
+                        name=self.name,
+                        worker_count=self.worker_count,
+                        seed=self.seed,
+                        behaviors=behaviors,
+                    )
+                    self._substrate = substrate
+                else:
+                    substrate.reset(behaviors=behaviors, seed=self.seed)
+                self.stats.fast_observations += 1
+                return substrate.observe(rendered, double_snapshot=double_snapshot)
+        self.stats.full_observations += 1
+        with self.lease(behaviors) as cluster:
+            cluster.install(rendered)
+            scanner = RuntimeScanner(cluster)
+            return scanner.observe(
+                rendered.release.name, restart_between_snapshots=double_snapshot
+            )

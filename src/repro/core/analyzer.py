@@ -1,21 +1,29 @@
 """The hybrid misconfiguration analyzer -- the paper's core contribution.
 
-The analyzer takes a Helm chart, renders it (static analysis), installs it
-into a clean simulated cluster and observes its runtime behaviour with a
-double snapshot (runtime analysis), then evaluates the machine-readable
-rules of Table 1 against the combined evidence.  A final cluster-wide pass
-over all analyzed applications detects global label collisions (M4*).
+The analyzer takes a Helm chart, renders it (static analysis), observes its
+runtime behaviour with a double snapshot (runtime analysis), then evaluates
+the machine-readable rules of Table 1 against the combined evidence.  A
+final cluster-wide pass over all analyzed applications detects global label
+collisions (M4*).
+
+Runtime observation goes through an :class:`~repro.cluster.AnalysisSession`:
+cluster skeletons are pooled and recycled between charts instead of rebuilt,
+and the default ``observe_mode="fast"`` derives the snapshots install-free
+from the rendered objects and workload behaviours.  ``observe_mode="full"``
+(plus ``pooled_clusters=False`` for a throw-away cluster per chart) keeps
+the original install-and-scan path as the reference implementation; the
+differential conformance suite proves all modes produce identical reports.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
-from ..cluster import BehaviorRegistry, Cluster
+from ..cluster import AnalysisSession, BehaviorRegistry, Cluster, OBSERVE_FAST
 from ..helm import Chart, RenderedChart, render_chart
 from ..k8s import Inventory, KubernetesObject
-from ..probe import RuntimeObservation, RuntimeScanner
+from ..probe import RuntimeObservation
 from .cluster_wide import ApplicationInventory, global_collision_findings
 from .context import AnalysisContext
 from .findings import AnalysisReport, Finding, MisconfigClass
@@ -36,10 +44,16 @@ class AnalyzerSettings:
     double_snapshot: bool = True
     #: Subtract the node's own ports from hostNetwork pods (avoids M1 false positives).
     host_port_filtering: bool = True
-    #: Number of worker nodes in the throw-away analysis cluster.
+    #: Number of worker nodes in the analysis cluster / substrate.
     worker_count: int = 3
     #: Seed for the analysis cluster (ephemeral port allocation).
     seed: int = 2025
+    #: ``"fast"`` = install-free observation substrate; ``"full"`` = install
+    #: into a cluster and scan (the reference path).
+    observe_mode: str = OBSERVE_FAST
+    #: Recycle one cluster skeleton across charts (``observe_mode="full"``);
+    #: ``False`` rebuilds a throw-away cluster per chart, as the seed did.
+    pooled_clusters: bool = True
 
 
 class MisconfigurationAnalyzer:
@@ -50,18 +64,20 @@ class MisconfigurationAnalyzer:
         rules: RuleRegistry | None = None,
         settings: AnalyzerSettings | None = None,
         cluster_factory: Callable[[BehaviorRegistry], Cluster] | None = None,
+        session: AnalysisSession | None = None,
     ) -> None:
         self.rules = rules or default_rules()
         self.settings = settings or AnalyzerSettings()
-        self._cluster_factory = cluster_factory or self._default_cluster_factory
-
-    # Cluster management -------------------------------------------------------
-    def _default_cluster_factory(self, behaviors: BehaviorRegistry) -> Cluster:
-        return Cluster(
+        #: A caller-supplied ``cluster_factory`` preserves the historical
+        #: semantics -- a fresh factory-built cluster per observation, full
+        #: install-and-scan path (the session enforces this itself).
+        self.session = session or AnalysisSession(
             name="analysis",
             worker_count=self.settings.worker_count,
-            behaviors=behaviors,
             seed=self.settings.seed,
+            observe_mode=self.settings.observe_mode,
+            pooled=self.settings.pooled_clusters,
+            cluster_factory=cluster_factory,
         )
 
     # Chart-level analysis ---------------------------------------------------------
@@ -149,13 +165,11 @@ class MisconfigurationAnalyzer:
     def _observe(
         self, rendered: RenderedChart, behaviors: BehaviorRegistry | None
     ) -> RuntimeObservation:
-        """Install the chart into a clean cluster and take the double snapshot."""
-        cluster = self._cluster_factory(behaviors or BehaviorRegistry())
-        cluster.install(rendered)
-        scanner = RuntimeScanner(cluster)
-        observation = scanner.observe(
-            rendered.release.name,
-            restart_between_snapshots=self.settings.double_snapshot,
+        """Take the double snapshot through the analysis session."""
+        observation = self.session.observe(
+            rendered,
+            behaviors=behaviors,
+            double_snapshot=self.settings.double_snapshot,
         )
         if not self.settings.host_port_filtering:
             observation.host_ports = set()

@@ -596,6 +596,19 @@ class BuiltApplication:
     behaviors: BehaviorRegistry
     dataset: str = ""
     use_case: str = ""  # sharing | internal | production
+    #: Cached chart content fingerprint (charts are immutable once built).
+    _fingerprint: str | None = field(default=None, init=False, repr=False, compare=False)
+
+    def fingerprint(self) -> str:
+        """The chart's content fingerprint, hashed once and cached.
+
+        Sweeps key the render cache on this repeatedly (serial pass, bench
+        reruns, process fan-outs); caching it here means a catalogue is
+        hashed once per build instead of once per consumer.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = self.chart.fingerprint()
+        return self._fingerprint
 
     @property
     def name(self) -> str:

@@ -532,8 +532,10 @@ def catalog_fingerprints(applications: list[BuiltApplication]) -> list[str]:
 
     Computed once up front so sweeps (and their process-pool fan-outs) can
     ship fingerprints to the render cache instead of re-hashing charts.
+    Delegates to the per-application cache, so repeated sweeps over the same
+    built catalogue hash each chart once.
     """
-    return [app.chart.fingerprint() for app in applications]
+    return [app.fingerprint() for app in applications]
 
 
 def prerender_catalog(

@@ -101,6 +101,12 @@ def _analyze_application(
     )
 
 
+#: Per-worker-process analyzer, so the pooled cluster/substrate of its
+#: analysis session survives across every chart the worker handles instead
+#: of being rebuilt per task.
+_WORKER_ANALYZER: MisconfigurationAnalyzer | None = None
+
+
 def _analyze_application_in_subprocess(
     app: BuiltApplication, fingerprint: str, settings: AnalyzerSettings
 ) -> AnalyzedApplication:
@@ -108,11 +114,16 @@ def _analyze_application_in_subprocess(
 
     The parent ships each chart's content fingerprint alongside the chart so
     workers key straight into their (fork-inherited) render cache without
-    re-hashing -- and, when the cache is warm, without re-rendering.
+    re-hashing -- and, when the cache is warm, without re-rendering.  The
+    analyzer itself is cached per process (keyed on the settings), keeping
+    one warm :class:`~repro.cluster.AnalysisSession` per worker.
     """
-    return _analyze_application(
-        app, MisconfigurationAnalyzer(settings=settings), fingerprint
-    )
+    global _WORKER_ANALYZER
+    analyzer = _WORKER_ANALYZER
+    if analyzer is None or analyzer.settings != settings:
+        analyzer = MisconfigurationAnalyzer(settings=settings)
+        _WORKER_ANALYZER = analyzer
+    return _analyze_application(app, analyzer, fingerprint)
 
 
 def run_full_evaluation(
@@ -156,10 +167,15 @@ def run_full_evaluation(
     elif workers and workers > 1:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             result.analyzed = list(
-                pool.map(partial(_analyze_application, analyzer=analyzer), applications)
+                pool.map(
+                    lambda app: _analyze_application(app, analyzer, app.fingerprint()),
+                    applications,
+                )
             )
     else:
-        result.analyzed = [_analyze_application(app, analyzer) for app in applications]
+        result.analyzed = [
+            _analyze_application(app, analyzer, app.fingerprint()) for app in applications
+        ]
     inventories = [
         ApplicationInventory(
             application=f"{entry.application.dataset}/{entry.application.name}",

@@ -13,7 +13,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
 
-from ..cluster import Cluster
+from ..cluster import AnalysisSession, Cluster, OBSERVE_FULL
 from ..datasets import DATASET_ORDER, BuiltApplication, build_catalog, catalog_fingerprints
 from ..helm import render_chart
 from ..probe import ReachabilityProbe
@@ -96,14 +96,40 @@ class NetpolImpactResult:
         return "\n".join(lines)
 
 
+#: Shared sessions for the sweep, one per ``compiled`` flag: each worker
+#: process (or the serial sweep) recycles a single cluster skeleton across
+#: every chart it probes instead of rebuilding one per chart.
+_SESSIONS: dict[bool, AnalysisSession] = {}
+
+
+def _shared_session(compiled: bool) -> AnalysisSession:
+    session = _SESSIONS.get(compiled)
+    if session is None:
+        session = AnalysisSession(
+            name="netpol-impact",
+            observe_mode=OBSERVE_FULL,
+            compiled_policies=compiled,
+        )
+        _SESSIONS[compiled] = session
+    return session
+
+
 def probe_application_with_policies(
-    app: BuiltApplication, compiled: bool = True, fingerprint: str | None = None
+    app: BuiltApplication,
+    compiled: bool = True,
+    fingerprint: str | None = None,
+    session: AnalysisSession | None = None,
+    pooled: bool = True,
 ) -> ApplicationReachability:
     """Force-enable the chart's policies, deploy it, and probe reachability.
 
-    ``compiled=False`` pins the throw-away cluster to the naive policy
-    evaluator -- the pre-compilation reference path kept for benchmarks.
-    ``fingerprint`` keys the render cache without re-hashing the chart.
+    ``compiled=False`` pins the cluster to the naive policy evaluator -- the
+    pre-compilation reference path kept for benchmarks.  ``fingerprint``
+    keys the render cache without re-hashing the chart.  The cluster comes
+    from ``session`` (default: a process-wide pooled session, recycled via
+    ``Cluster.reset()`` between charts); ``pooled=False`` rebuilds a
+    throw-away cluster per chart, the seed reference behaviour the
+    conformance suite diffs against.
     """
     outcome = ApplicationReachability(
         application=app.name,
@@ -119,7 +145,21 @@ def probe_application_with_policies(
         overrides={"networkPolicy": {"enabled": True}},
         fingerprint=fingerprint,
     )
-    cluster = Cluster(name="netpol-impact", behaviors=app.behaviors, compiled_policies=compiled)
+    if session is None and pooled:
+        session = _shared_session(compiled)
+    if session is not None:
+        with session.lease(app.behaviors) as cluster:
+            _probe_installed(cluster, app, rendered, outcome)
+    else:
+        cluster = Cluster(
+            name="netpol-impact", behaviors=app.behaviors, compiled_policies=compiled
+        )
+        _probe_installed(cluster, app, rendered, outcome)
+    return outcome
+
+
+def _probe_installed(cluster, app, rendered, outcome) -> None:
+    """Install ``rendered`` into ``cluster`` and fill in ``outcome``."""
     cluster.install(rendered)
     probe = ReachabilityProbe(cluster)
     attacker = probe.ensure_attacker()
@@ -174,14 +214,15 @@ def probe_application_with_policies(
             )
             if attempt.success:
                 outcome.reachable_misconfigured_services.add(binding.service.name)
-    return outcome
 
 
 def _probe_with_fingerprint(
-    app: BuiltApplication, fingerprint: str, compiled: bool
+    app: BuiltApplication, fingerprint: str, compiled: bool, pooled: bool = True
 ) -> ApplicationReachability:
     """Process-pool worker shim: positional ``(app, fingerprint)`` for map."""
-    return probe_application_with_policies(app, compiled=compiled, fingerprint=fingerprint)
+    return probe_application_with_policies(
+        app, compiled=compiled, fingerprint=fingerprint, pooled=pooled
+    )
 
 
 def run_netpol_impact(
@@ -189,15 +230,18 @@ def run_netpol_impact(
     applications: list[BuiltApplication] | None = None,
     workers: int | None = None,
     compiled: bool = True,
+    pooled: bool = True,
 ) -> NetpolImpactResult:
     """Run the Figure 4b experiment over the catalogue.
 
-    Every chart is probed in its own throw-away cluster with picklable
-    inputs and outputs, so ``workers`` fans the sweep out on a *process*
-    pool (the probe is CPU-bound pure Python; threads would serialize on
-    the GIL); ``Executor.map`` keeps the result order identical to the
-    serial path.  ``compiled=False`` runs the whole sweep on the naive
-    reference evaluator (benchmark baseline).
+    Every chart is probed in an isolated cluster with picklable inputs and
+    outputs, so ``workers`` fans the sweep out on a *process* pool (the
+    probe is CPU-bound pure Python; threads would serialize on the GIL);
+    ``Executor.map`` keeps the result order identical to the serial path.
+    Each worker process recycles one pooled cluster skeleton across its
+    charts (``pooled=False`` restores the throw-away-cluster-per-chart
+    reference behaviour).  ``compiled=False`` runs the whole sweep on the
+    naive reference evaluator (benchmark baseline).
     """
     applications = applications if applications is not None else build_catalog(datasets)
     result = NetpolImpactResult()
@@ -211,7 +255,7 @@ def run_netpol_impact(
             # tasks would drown in pickling round-trips.
             result.applications = list(
                 pool.map(
-                    partial(_probe_with_fingerprint, compiled=compiled),
+                    partial(_probe_with_fingerprint, compiled=compiled, pooled=pooled),
                     applications,
                     fingerprints,
                     chunksize=max(len(applications) // (workers * 4), 1),
@@ -219,6 +263,9 @@ def run_netpol_impact(
             )
     else:
         result.applications = [
-            probe_application_with_policies(app, compiled=compiled) for app in applications
+            probe_application_with_policies(
+                app, compiled=compiled, fingerprint=app.fingerprint(), pooled=pooled
+            )
+            for app in applications
         ]
     return result

@@ -39,6 +39,17 @@ class SocketRecord:
         protocol = self.protocol.lower()
         return f"{protocol:<5} 0      0 {self.interface}:{self.port:<15} 0.0.0.0:*               LISTEN"
 
+    def to_dict(self) -> dict:
+        """Canonical serialization, used by the conformance differ."""
+        return {
+            "port": self.port,
+            "protocol": self.protocol,
+            "interface": self.interface,
+            "process": self.process,
+            "container": self.container,
+            "dynamic": self.dynamic,
+        }
+
     @classmethod
     def from_socket(cls, socket: Socket) -> "SocketRecord":
         return cls(
@@ -93,6 +104,35 @@ class PodSnapshot:
         lines.extend(record.netstat_line() for record in sorted(self.sockets, key=lambda r: r.port))
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """Canonical serialization: deterministic ordering of every field.
+
+        Two snapshots with equal semantic content -- regardless of socket or
+        declaration insertion order -- serialize identically, which is what
+        the differential conformance suite (``tests/support/diffing.py``)
+        compares byte for byte.
+        """
+        return {
+            "pod": self.pod_name,
+            "namespace": self.namespace,
+            "app": self.app,
+            "owner": self.owner,
+            "labels": dict(sorted(self.labels.items())),
+            "host_network": self.host_network,
+            "node": self.node_name,
+            "declared_ports": {
+                protocol: sorted(ports)
+                for protocol, ports in sorted(self.declared_ports.items())
+            },
+            "sockets": [
+                record.to_dict()
+                for record in sorted(
+                    self.sockets,
+                    key=lambda r: (r.port, r.protocol, r.interface, r.container),
+                )
+            ],
+        }
+
     @classmethod
     def from_running_pod(cls, running: RunningPod) -> "PodSnapshot":
         declared: dict[str, set[int]] = {}
@@ -138,6 +178,19 @@ class ClusterSnapshot:
 
     def total_open_ports(self) -> int:
         return sum(len(snapshot.sockets) for snapshot in self.pods)
+
+    def to_dict(self) -> dict:
+        """Canonical serialization (pods ordered by namespace and name)."""
+        return {
+            "sequence": self.sequence,
+            "host_ports": sorted(self.host_ports),
+            "pods": [
+                snapshot.to_dict()
+                for snapshot in sorted(
+                    self.pods, key=lambda s: (s.namespace, s.pod_name)
+                )
+            ],
+        }
 
     @classmethod
     def from_pods(

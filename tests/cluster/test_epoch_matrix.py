@@ -1,0 +1,206 @@
+"""Epoch-invalidation matrix: every mutating cluster verb x every epoch cache.
+
+``Cluster.policy_epoch`` is the single invalidation signal for the compiled
+policy index and the service-binding reconcile.  This matrix pins the
+contract explicitly: **every** mutating verb -- install, uninstall, restarts,
+direct API writes, namespace label updates, session resets -- must move the
+epoch, and immediately afterwards both epoch-keyed caches must serve state
+identical to a from-scratch recomputation.  A verb that forgets to bump the
+epoch would serve stale isolating-policy sets or stale endpoints; the
+namespace-label-update verb was exactly such a gap (labels reached the
+enforcer without a store write) until this matrix forced the fix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import BehaviorRegistry, Cluster, ContainerBehavior, ListenSpec
+from repro.k8s import Selector, allow_ports_policy, deny_all_policy, make_namespace
+from tests.conftest import make_deployment, make_pod, make_service
+
+
+def build_cluster() -> Cluster:
+    registry = BehaviorRegistry()
+    registry.register(
+        "example/web",
+        ContainerBehavior(listen_on_declared=True, extra_listens=[ListenSpec(port=None)]),
+    )
+    cluster = Cluster(name="matrix", worker_count=2, behaviors=registry, seed=5)
+    cluster.install(
+        [
+            make_deployment(name="web", replicas=2, ports=[8080]),
+            make_service(name="web"),
+            allow_ports_policy("allow-web", Selector(match_labels={"app": "web"}), [8080]),
+        ],
+        app_name="web",
+    )
+    return cluster
+
+
+# --- The mutating verbs -----------------------------------------------------
+
+
+def verb_api_apply_create(cluster: Cluster) -> None:
+    cluster.api.apply(deny_all_policy("deny-all"))
+
+
+def verb_api_apply_replace(cluster: Cluster) -> None:
+    # Re-point the service selector at nothing: bindings must drop backends.
+    cluster.api.apply(make_service(name="web", selector={"app": "retired"}))
+
+
+def verb_api_delete(cluster: Cluster) -> None:
+    cluster.api.delete("NetworkPolicy", "allow-web")
+
+
+def verb_install(cluster: Cluster) -> None:
+    cluster.install(
+        [
+            make_deployment(name="extra", labels={"app": "extra"}, ports=[9000]),
+            make_service(name="extra", selector={"app": "extra"}, target_port=9000),
+            deny_all_policy("deny-extra"),
+        ],
+        app_name="extra",
+    )
+
+
+def verb_uninstall(cluster: Cluster) -> None:
+    cluster.uninstall("web")
+
+
+def verb_restart_application(cluster: Cluster) -> None:
+    cluster.restart_application("web")
+
+
+def verb_restart_all(cluster: Cluster) -> None:
+    cluster.restart_all()
+
+
+def verb_namespace_label_update(cluster: Cluster) -> None:
+    # Installing a Namespace object with new labels onto an existing
+    # namespace changes namespaceSelector semantics: it must count as a
+    # policy-relevant mutation like any other write.
+    cluster.install(
+        [make_namespace("default", {"kubernetes.io/metadata.name": "default", "env": "prod"})],
+        app_name="ns-update",
+    )
+
+
+def verb_reset(cluster: Cluster) -> None:
+    cluster.reset()
+
+
+VERBS = [
+    verb_api_apply_create,
+    verb_api_apply_replace,
+    verb_api_delete,
+    verb_install,
+    verb_uninstall,
+    verb_restart_application,
+    verb_restart_all,
+    verb_namespace_label_update,
+    verb_reset,
+]
+
+
+# --- The epoch caches -------------------------------------------------------
+
+
+def assert_policy_index_fresh(cluster: Cluster, old_index) -> None:
+    index = cluster.policy_index()
+    assert index is not old_index, "policy index served stale compiled state"
+    assert index.epoch == cluster.policy_epoch
+    assert [p.name for p in index.policies] == [
+        p.name for p in cluster.network_policies()
+    ]
+
+
+def assert_service_bindings_fresh(cluster: Cluster) -> None:
+    cached = {
+        (b.service.namespace, b.service.name): sorted(p.name for p in b.backends)
+        for b in cluster.service_bindings()
+    }
+    recomputed = {
+        (b.service.namespace, b.service.name): sorted(p.name for p in b.backends)
+        for b in cluster.endpoint_controller.bind(
+            cluster.services(), cluster.running_pods()
+        )
+    }
+    assert cached == recomputed, "service bindings served stale endpoints"
+
+
+# --- The matrix -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("verb", VERBS, ids=lambda v: v.__name__.removeprefix("verb_"))
+@pytest.mark.parametrize("cache", ["policy_index", "service_bindings"])
+def test_every_verb_bumps_the_epoch_and_refreshes(verb, cache):
+    cluster = build_cluster()
+    # Warm both caches so staleness (not cold misses) is what gets tested.
+    old_index = cluster.policy_index()
+    cluster.service_bindings()
+    epoch_before = cluster.policy_epoch
+
+    verb(cluster)
+
+    assert cluster.policy_epoch > epoch_before, (
+        f"{verb.__name__} did not move the policy epoch"
+    )
+    if cache == "policy_index":
+        assert_policy_index_fresh(cluster, old_index)
+    else:
+        assert_service_bindings_fresh(cluster)
+
+
+def test_reads_do_not_move_the_epoch_and_reuse_the_index():
+    cluster = build_cluster()
+    index = cluster.policy_index()
+    epoch = cluster.policy_epoch
+    cluster.running_pods()
+    cluster.services()
+    cluster.network_policies()
+    cluster.service_bindings()
+    cluster.reachability_matrix()
+    cluster.host_port_baseline()
+    assert cluster.policy_epoch == epoch
+    assert cluster.policy_index() is index
+
+
+def test_restart_refreshes_socket_dependent_state():
+    cluster = build_cluster()
+    dynamic_before = {
+        p.name: sorted(s.port for s in p.sockets if s.dynamic)
+        for p in cluster.running_pods(app_name="web")
+    }
+    cluster.restart_all()
+    dynamic_after = {
+        p.name: sorted(s.port for s in p.sockets if s.dynamic)
+        for p in cluster.running_pods(app_name="web")
+    }
+    assert dynamic_before != dynamic_after
+    # Bindings still point at the live RunningPod objects after the restart.
+    binding = cluster.binding_for("web")
+    assert {p.name for p in binding.backends} == {"web-0", "web-1"}
+
+
+def test_namespace_label_update_reaches_the_store_and_the_enforcer():
+    cluster = build_cluster()
+    verb_namespace_label_update(cluster)
+    stored = cluster.api.store.get("Namespace", "default", "")
+    assert stored.labels.get("env") == "prod"
+    assert cluster.enforcer.namespace_labels("default").get("env") == "prod"
+
+
+def test_labelless_ensure_does_not_clobber_existing_namespace_labels():
+    """Installing a release into an existing namespace keeps its labels."""
+    cluster = build_cluster()
+    verb_namespace_label_update(cluster)
+    epoch = cluster.policy_epoch
+    # A later install into "default" ensures the namespace without labels:
+    # the custom labels (and the epoch) must be left alone by the ensure.
+    cluster.install([make_pod("late-arrival")], app_name="late")
+    assert cluster.enforcer.namespace_labels("default").get("env") == "prod"
+    stored = cluster.api.store.get("Namespace", "default", "")
+    assert stored.labels.get("env") == "prod"
+    assert cluster.policy_epoch > epoch  # the pod install itself moved it

@@ -1,0 +1,201 @@
+"""Pinned compiled-vs-naive regressions for the engine's trickiest cases.
+
+The class-grouped :class:`ReachabilityMatrix` (PR 2) and the compiled policy
+index (PR 1) special-case three behaviours that the property tests only hit
+probabilistically.  These tests pin each one explicitly, always asserting
+both the concrete expected outcome *and* compiled == naive equality:
+
+* **self-exclusion** -- a pod shares its class surface with its replicas but
+  must never appear in its own lateral-movement surface;
+* **loopback-via-service ``same_pod``** -- a service backend listening only
+  on ``127.0.0.1`` is reachable through the service solely by itself;
+* **named ports after restart** -- policies referencing named ports must
+  resolve correctly after a restart replaces every socket list (the
+  named-port memo survives, the socket memo must not).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    BehaviorRegistry,
+    Cluster,
+    ContainerBehavior,
+    ListenSpec,
+    LOOPBACK,
+)
+from repro.k8s import ContainerPort, NetworkPolicyPort, Selector, allow_ports_policy
+from tests.conftest import make_deployment, make_pod, make_service
+
+
+def both_engines(behaviors=None):
+    """A (compiled, naive) cluster pair built identically."""
+    return (
+        Cluster(name="edge", worker_count=2, behaviors=behaviors, seed=3,
+                compiled_policies=True),
+        Cluster(name="edge", worker_count=2, behaviors=behaviors, seed=3,
+                compiled_policies=False),
+    )
+
+
+def surface(cluster: Cluster, pod_name: str):
+    source = cluster.running_pod(pod_name)
+    return [
+        (e.kind, e.namespace, e.name, e.port, e.protocol)
+        for e in cluster.reachable_from(source)
+    ]
+
+
+class TestSelfExclusion:
+    def install(self, cluster: Cluster) -> None:
+        cluster.install(
+            [make_deployment(name="web", replicas=3, ports=[8080]), make_service()],
+            app_name="web",
+        )
+
+    def test_replicas_share_a_class_but_exclude_themselves(self):
+        compiled, naive = both_engines()
+        self.install(compiled)
+        self.install(naive)
+        for pod_index in range(3):
+            pod_name = f"web-{pod_index}"
+            compiled_surface = surface(compiled, pod_name)
+            assert compiled_surface == surface(naive, pod_name)
+            reachable_pods = {
+                name for kind, _, name, _, _ in compiled_surface if kind == "pod"
+            }
+            # Both sibling replicas, never the source itself.
+            assert reachable_pods == {f"web-{i}" for i in range(3)} - {pod_name}
+
+    def test_self_exclusion_survives_isolation_policies(self):
+        compiled, naive = both_engines()
+        for cluster in (compiled, naive):
+            self.install(cluster)
+            cluster.api.apply(
+                allow_ports_policy(
+                    "allow-web", Selector(match_labels={"app": "web"}), [8080]
+                )
+            )
+        for pod_name in ("web-0", "web-1"):
+            compiled_surface = surface(compiled, pod_name)
+            assert compiled_surface == surface(naive, pod_name)
+            assert (("pod", "default", pod_name, 8080, "TCP")) not in compiled_surface
+
+
+class TestLoopbackViaService:
+    ADMIN_PORT = 9100
+
+    def behaviors(self) -> BehaviorRegistry:
+        registry = BehaviorRegistry()
+        registry.register(
+            "example/web",
+            ContainerBehavior(
+                listen_on_declared=True,
+                extra_listens=[ListenSpec(port=self.ADMIN_PORT, interface=LOOPBACK)],
+            ),
+        )
+        return registry
+
+    def install(self, cluster: Cluster) -> None:
+        cluster.install(
+            [
+                make_deployment(name="web", replicas=2, ports=[8080]),
+                make_service(name="admin", port=9100, target_port=self.ADMIN_PORT),
+                make_pod("attacker"),
+            ],
+            app_name="web",
+        )
+
+    def test_loopback_backends_reachable_only_by_themselves(self):
+        compiled, naive = both_engines(self.behaviors())
+        self.install(compiled)
+        self.install(naive)
+        admin_endpoint = ("service", "default", "admin", 9100, "TCP")
+        # Every backend reaches the admin service -- the service hop lands on
+        # the pod's *own* loopback socket (the same_pod case).  This holds
+        # per member even though both replicas share one policy-equivalence
+        # class, which is exactly what the per-member surface filter handles.
+        for backend in ("web-0", "web-1"):
+            backend_surface = surface(compiled, backend)
+            assert backend_surface == surface(naive, backend)
+            assert admin_endpoint in backend_surface
+        # A pod that is not a backend never reaches it.
+        attacker_surface = surface(compiled, "attacker")
+        assert attacker_surface == surface(naive, "attacker")
+        assert admin_endpoint not in attacker_surface
+
+    def test_direct_loopback_connection_refused_for_others(self):
+        compiled, naive = both_engines(self.behaviors())
+        self.install(compiled)
+        self.install(naive)
+        for cluster in (compiled, naive):
+            attacker = cluster.running_pod("attacker")
+            backend = cluster.running_pod("web-0")
+            direct = cluster.connect(attacker, backend, self.ADMIN_PORT)
+            assert not direct.success
+            assert "loopback" in direct.reason
+            self_attempt = cluster.connect(backend, backend, self.ADMIN_PORT)
+            assert self_attempt.success
+
+
+class TestNamedPortsAfterRestart:
+    def behaviors(self) -> BehaviorRegistry:
+        registry = BehaviorRegistry()
+        registry.register(
+            "example/web",
+            ContainerBehavior(
+                listen_on_declared=True, extra_listens=[ListenSpec(port=None)]
+            ),
+        )
+        return registry
+
+    def named_port_policy(self):
+        policy = allow_ports_policy(
+            "allow-named", Selector(match_labels={"app": "web"}), []
+        )
+        policy.ingress[0].ports = [NetworkPolicyPort(port="main")]
+        return policy
+
+    def install(self, cluster: Cluster) -> None:
+        deployment = make_deployment(name="web", replicas=1, ports=[8080])
+        container = deployment.template.spec.containers[0]
+        container.ports[0] = ContainerPort(8080, name="main")
+        cluster.install(
+            [deployment, make_pod("attacker"), self.named_port_policy()],
+            app_name="web",
+        )
+
+    def test_named_port_decisions_survive_restart(self):
+        compiled, naive = both_engines(self.behaviors())
+        self.install(compiled)
+        self.install(naive)
+
+        def check(cluster: Cluster) -> tuple[bool, set[int]]:
+            attacker = cluster.running_pod("attacker")
+            web = cluster.running_pod("web-0")
+            allowed = cluster.connect(attacker, web, 8080).success
+            dynamic = {s.port for s in web.sockets if s.dynamic}
+            # Dynamic ports are not covered by the named-port rule.
+            for port in dynamic:
+                assert not cluster.connect(attacker, web, port).success
+            return allowed, dynamic
+
+        # Before the restart: the named port resolves and admits traffic.
+        before_compiled = check(compiled)
+        before_naive = check(naive)
+        assert before_compiled[0] is True
+        assert before_compiled == before_naive
+
+        compiled.restart_all()
+        naive.restart_all()
+
+        after_compiled = check(compiled)
+        after_naive = check(naive)
+        assert after_compiled[0] is True
+        assert after_compiled == after_naive
+        # The restart re-allocated the dynamic ports (socket memo refreshed)...
+        assert after_compiled[1] != before_compiled[1]
+        # ...while the named-port resolution still pins 8080 open.
+        web = compiled.running_pod("web-0")
+        assert web.named_ports() == {"main": 8080}

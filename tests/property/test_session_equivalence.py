@@ -1,0 +1,228 @@
+"""Differential conformance suite: pooled == fresh and fast == full.
+
+The :class:`repro.cluster.AnalysisSession` subsystem must be a *pure
+acceleration* of the seed pipeline: recycling cluster skeletons through
+``Cluster.reset()`` and deriving runtime observations install-free
+(``observe_mode="fast"``) must produce byte-identical canonical reports,
+snapshots and reachability surfaces.  This suite proves it three ways:
+
+* over the **whole 290-chart catalogue** -- full-evaluation reports, per-chart
+  double snapshots, the Figure 4b sweep, and all-pairs reachability surfaces;
+* over **Hypothesis-generated app specs** -- arbitrary injection plans and
+  archetypes, diffed fast vs. full and pooled vs. fresh;
+* across **arbitrary reset sequences** -- one long-lived session serving many
+  different charts must match a fresh cluster at every step.
+
+All comparisons go through the shared canonical differ in
+``tests/support/diffing.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import (
+    AnalysisSession,
+    Cluster,
+    OBSERVE_FAST,
+    OBSERVE_FULL,
+)
+from repro.core import AnalyzerSettings, MisconfigurationAnalyzer
+from repro.datasets import InjectionPlan, build_application, build_catalog
+from repro.experiments import run_full_evaluation, run_netpol_impact
+from repro.helm import render_chart
+from repro.probe import RuntimeScanner
+
+from tests.support.diffing import (
+    assert_identical,
+    canonical_evaluation,
+    canonical_netpol,
+    canonical_observation,
+    canonical_report,
+    canonical_surface,
+)
+
+ARCHETYPES = ("web", "database", "monitoring", "messaging", "pipeline", "microservices")
+
+
+@pytest.fixture(scope="module")
+def catalog_apps():
+    return build_catalog()
+
+
+def reference_analyzer() -> MisconfigurationAnalyzer:
+    """The seed-shaped pipeline: throw-away cluster + install per chart."""
+    return MisconfigurationAnalyzer(
+        settings=AnalyzerSettings(observe_mode=OBSERVE_FULL, pooled_clusters=False)
+    )
+
+
+def observe_fresh(app, double_snapshot: bool = True):
+    """The seed observation path: fresh cluster, install, runtime scan."""
+    rendered = render_chart(app.chart)
+    cluster = Cluster(name="analysis", behaviors=app.behaviors)
+    cluster.install(rendered)
+    return RuntimeScanner(cluster).observe(
+        rendered.release.name, restart_between_snapshots=double_snapshot
+    )
+
+
+# ---------------------------------------------------------------------------
+# Whole-catalogue conformance
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_catalogue_reports_identical_across_session_modes(catalog_apps):
+    """Full-evaluation reports: fresh+full == pooled+full == pooled+fast."""
+    reference = run_full_evaluation(
+        applications=catalog_apps, analyzer=reference_analyzer()
+    )
+    pooled_full = run_full_evaluation(
+        applications=catalog_apps,
+        analyzer=MisconfigurationAnalyzer(
+            settings=AnalyzerSettings(observe_mode=OBSERVE_FULL, pooled_clusters=True)
+        ),
+    )
+    fast = run_full_evaluation(applications=catalog_apps)
+    assert_identical(
+        canonical_evaluation(reference), canonical_evaluation(pooled_full),
+        label="reports/pooled-vs-fresh",
+    )
+    assert_identical(
+        canonical_evaluation(reference), canonical_evaluation(fast),
+        label="reports/fast-vs-full",
+    )
+
+
+@pytest.mark.slow
+def test_catalogue_observations_fast_equals_full_and_fresh(catalog_apps):
+    """Per-chart double snapshots, across every chart of the catalogue."""
+    full_session = AnalysisSession(observe_mode=OBSERVE_FULL)
+    fast_session = AnalysisSession(observe_mode=OBSERVE_FAST)
+    for app in catalog_apps:
+        reference = canonical_observation(observe_fresh(app))
+        pooled = full_session.observe(render_chart(app.chart), app.behaviors)
+        fast = fast_session.observe(render_chart(app.chart), app.behaviors)
+        assert_identical(
+            reference, canonical_observation(pooled),
+            label=f"observation/pooled/{app.dataset}/{app.name}",
+        )
+        assert_identical(
+            reference, canonical_observation(fast),
+            label=f"observation/fast/{app.dataset}/{app.name}",
+        )
+    assert fast_session.stats.fast_observations == len(catalog_apps)
+    # The pooled session built exactly one skeleton for the whole catalogue.
+    assert full_session.stats.clusters_built == 1
+    assert full_session.stats.resets == len(catalog_apps) - 1
+
+
+@pytest.mark.slow
+def test_catalogue_netpol_sweep_pooled_equals_fresh(catalog_apps):
+    """The Figure 4b reachability sweep: pooled clusters == throw-away ones."""
+    fresh = run_netpol_impact(applications=catalog_apps, pooled=False)
+    pooled = run_netpol_impact(applications=catalog_apps, pooled=True)
+    assert_identical(
+        canonical_netpol(fresh), canonical_netpol(pooled), label="netpol/pooled-vs-fresh"
+    )
+
+
+@pytest.mark.slow
+def test_catalogue_reachability_surfaces_pooled_equals_fresh(catalog_apps):
+    """All-pairs reachability surfaces computed on recycled clusters.
+
+    Beyond snapshots and findings: the connectivity engine (policy index,
+    service bindings, matrix memos) must see no residue from previous leases.
+    """
+    session = AnalysisSession(name="surface", observe_mode=OBSERVE_FULL)
+    checked = 0
+    for app in catalog_apps:
+        if not app.defines_network_policies:
+            continue
+        overrides = {"networkPolicy": {"enabled": True}}
+        fresh_cluster = Cluster(name="surface", behaviors=app.behaviors)
+        fresh_cluster.install(render_chart(app.chart, overrides=overrides))
+        expected = canonical_surface(fresh_cluster.reachability_matrix().all_pairs())
+        with session.lease(app.behaviors) as cluster:
+            cluster.install(render_chart(app.chart, overrides=overrides))
+            actual = canonical_surface(cluster.reachability_matrix().all_pairs())
+        assert_identical(expected, actual, label=f"surface/{app.dataset}/{app.name}")
+        checked += 1
+    assert checked > 50  # the catalogue ships plenty of policy-defining charts
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis-generated app specs
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def injection_plans(draw):
+    m1 = draw(st.integers(min_value=0, max_value=3))
+    return InjectionPlan(
+        m1=m1,
+        m2=draw(st.integers(min_value=0, max_value=2)),
+        m3=draw(st.integers(min_value=0, max_value=2)),
+        m4a=draw(st.integers(min_value=0, max_value=1)),
+        m4b=draw(st.integers(min_value=0, max_value=1)),
+        m4c=draw(st.integers(min_value=0, max_value=1)),
+        m5a=draw(st.integers(min_value=0, max_value=1)),
+        m5b=draw(st.integers(min_value=0, max_value=m1)),
+        m5c=draw(st.integers(min_value=0, max_value=1)),
+        m5d=draw(st.integers(min_value=0, max_value=1)),
+        m6=draw(st.booleans()),
+        m7=draw(st.integers(min_value=0, max_value=1)),
+        global_collision=draw(st.booleans()),
+    )
+
+
+@st.composite
+def built_applications(draw):
+    plan = draw(injection_plans())
+    archetype = draw(st.sampled_from(ARCHETYPES))
+    return build_application(
+        "gen-app", "Gen Org", plan, archetype=archetype, dataset="generated"
+    )
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(app=built_applications(), double_snapshot=st.booleans())
+def test_generated_specs_fast_observation_equals_full(app, double_snapshot):
+    """fast == full for arbitrary generated app specs, single & double snapshot."""
+    reference = observe_fresh(app, double_snapshot=double_snapshot)
+    fast = AnalysisSession(observe_mode=OBSERVE_FAST).observe(
+        render_chart(app.chart), app.behaviors, double_snapshot=double_snapshot
+    )
+    assert_identical(
+        canonical_observation(reference), canonical_observation(fast),
+        label="generated/fast-vs-full",
+    )
+
+
+#: One long-lived session shared across Hypothesis examples: every example
+#: exercises a reset after an arbitrary predecessor chart, which is exactly
+#: the reset-epoch contract pooling relies on.
+_PERSISTENT_FULL = AnalysisSession(observe_mode=OBSERVE_FULL)
+_PERSISTENT_FAST = AnalysisSession(observe_mode=OBSERVE_FAST)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(app=built_applications())
+def test_generated_specs_reports_identical_across_session_modes(app):
+    """Analyzer reports: persistent pooled/fast sessions == fresh reference."""
+    expected = canonical_report(
+        reference_analyzer().analyze_chart(
+            app.chart, behaviors=app.behaviors, dataset="generated"
+        )
+    )
+    pooled = MisconfigurationAnalyzer(
+        settings=AnalyzerSettings(observe_mode=OBSERVE_FULL),
+        session=_PERSISTENT_FULL,
+    ).analyze_chart(app.chart, behaviors=app.behaviors, dataset="generated")
+    fast = MisconfigurationAnalyzer(
+        session=_PERSISTENT_FAST
+    ).analyze_chart(app.chart, behaviors=app.behaviors, dataset="generated")
+    assert_identical(expected, canonical_report(pooled), label="generated/pooled-report")
+    assert_identical(expected, canonical_report(fast), label="generated/fast-report")

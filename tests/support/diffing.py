@@ -1,0 +1,95 @@
+"""Canonical-report differs shared by the differential conformance suites.
+
+Every equivalence claim in the test suite -- pooled == fresh clusters,
+fast == full observation, compiled == naive policy evaluation -- reduces to
+"two runs produce byte-identical canonical serializations".  This module
+owns the canonical forms (fully deterministic JSON, independent of dict
+insertion order or set iteration order) and a differ that fails with a
+readable unified diff instead of a useless giant-string comparison.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from dataclasses import asdict
+from typing import Any
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, stable separators, one line per node."""
+    return json.dumps(payload, sort_keys=True, indent=1, default=str)
+
+
+def canonical_report(report) -> dict:
+    """Canonical form of a :class:`repro.core.AnalysisReport`."""
+    data = report.to_dict()
+    # Findings keep their emission order (ordering is part of the contract:
+    # the fast path must reproduce it exactly), so no re-sorting here.
+    return data
+
+
+def canonical_observation(observation) -> dict:
+    """Canonical form of a :class:`repro.probe.RuntimeObservation`."""
+    return {
+        "app": observation.app,
+        "first": observation.first.to_dict(),
+        "second": observation.second.to_dict(),
+        "host_ports": sorted(observation.host_ports),
+    }
+
+
+def canonical_reachability(outcome) -> dict:
+    """Canonical form of one Figure 4b ``ApplicationReachability`` outcome."""
+    data = asdict(outcome)
+    for key in (
+        "reachable_pods",
+        "reachable_pods_via_dynamic",
+        "reachable_misconfigured_services",
+    ):
+        data[key] = sorted(data[key])
+    return data
+
+
+def canonical_surface(all_pairs: dict) -> dict:
+    """Canonical form of ``ReachabilityMatrix.all_pairs()`` output.
+
+    Endpoint order within one source is part of the engine's contract
+    (grouped == per-source, entry for entry), so entries are kept in order.
+    """
+    return {
+        f"{namespace}/{name}": [asdict(endpoint) for endpoint in endpoints]
+        for (namespace, name), endpoints in all_pairs.items()
+    }
+
+
+def canonical_evaluation(result) -> list[dict]:
+    """Canonical form of a full ``EvaluationResult``: every report, in order."""
+    return [canonical_report(entry.report) for entry in result.analyzed]
+
+
+def canonical_netpol(result) -> list[dict]:
+    """Canonical form of a ``NetpolImpactResult``: every outcome, in order."""
+    return [canonical_reachability(outcome) for outcome in result.applications]
+
+
+def diff_canonical(expected: Any, actual: Any, label: str = "canonical") -> str:
+    """A unified diff between two canonical payloads ('' when identical)."""
+    expected_text = canonical_json(expected)
+    actual_text = canonical_json(actual)
+    if expected_text == actual_text:
+        return ""
+    diff = difflib.unified_diff(
+        expected_text.splitlines(keepends=True),
+        actual_text.splitlines(keepends=True),
+        fromfile=f"{label}/expected",
+        tofile=f"{label}/actual",
+        n=3,
+    )
+    return "".join(diff)
+
+
+def assert_identical(expected: Any, actual: Any, label: str = "canonical") -> None:
+    """Assert two canonical payloads serialize byte-identically."""
+    diff = diff_canonical(expected, actual, label)
+    assert not diff, f"{label} diverged:\n{diff}"
