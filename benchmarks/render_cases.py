@@ -1,12 +1,16 @@
 """Render-pipeline benchmark cases: compile cache, chart cache, all-pairs.
 
-Used by ``run.py`` to record the PR-2 trajectory into
+Used by ``run.py`` to record the PR-2 and PR-4 trajectory into
 ``BENCH_connectivity.json``:
 
 * ``template_compile`` -- lex/parse/compile a chart's template sources cold
   vs fetching the compiled closures from the content-keyed cache;
-* ``chart_render`` -- full chart render (template evaluation + YAML parsing
-  + typed-object construction) cold vs the memoized copy-on-read path;
+* ``chart_render`` -- full chart render (template evaluation + document
+  assembly + typed-object construction) cold vs the memoized copy-on-read
+  path;
+* ``catalog_render`` -- the cold catalogue render slice (every chart of the
+  290-chart catalogue rendered once, bypassing the render cache): classic
+  text pipeline vs the dict-native structured pipeline (PR 4);
 * ``all_pairs`` -- the whole-fleet reachability surface, class-grouped
   (one computation per source equivalence class) vs per-source
   ``endpoints_from`` on the same warmed matrix.
@@ -14,9 +18,11 @@ Used by ``run.py`` to record the PR-2 trajectory into
 
 from __future__ import annotations
 
+import time
+
 from connectivity_cases import build_fleet, median_ns
 
-from repro.datasets import build_application
+from repro.datasets import build_application, build_catalog
 from repro.datasets.spec import InjectionPlan
 from repro.helm import (
     clear_template_cache,
@@ -77,6 +83,40 @@ def bench_chart_render(repeats: int = 5) -> dict[str, float]:
     return {"chart_render/cold": cold, "chart_render/warm": warm}
 
 
+def bench_catalog_render(repeats: int = 3, sample: int | None = None) -> dict[str, float]:
+    """The cold catalogue render slice: text pipeline vs structured pipeline.
+
+    Renders every catalogue chart once per repeat with the render cache
+    bypassed (the compile cache stays warm -- in a real sweep the handful of
+    shared template sources compile once).  This is the slice that dominated
+    ``evaluation/current_s`` after PR 3; the structured path skips the
+    ``toYaml`` dumps and most of the document parse.  Reported as ns per
+    chart; ``run.py`` derives the ``catalog_render`` speedup from the ratio.
+    """
+    applications = build_catalog()
+    if sample is not None:
+        applications = applications[:sample]
+    charts = [app.chart for app in applications]
+    for chart in charts:  # warm the compile cache for both cases
+        render_chart(chart, cached=False, structured=False)
+
+    def run_path(structured: bool) -> float:
+        timings = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for chart in charts:
+                render_chart(chart, cached=False, structured=structured)
+            timings.append((time.perf_counter() - start) * 1e9)
+        timings.sort()
+        return timings[len(timings) // 2] / len(charts)
+
+    return {
+        "catalog_render/charts": float(len(charts)),
+        "catalog_render/text": run_path(False),
+        "catalog_render/structured": run_path(True),
+    }
+
+
 def bench_all_pairs(pod_count: int, repeats: int = 5) -> dict[str, float]:
     """Class-grouped all-pairs vs the PR-1 per-source enumeration.
 
@@ -105,11 +145,14 @@ def bench_all_pairs(pod_count: int, repeats: int = 5) -> dict[str, float]:
     }
 
 
-def run_render_suite(repeats: int = 5, fleet_sizes=(240, 1000)) -> dict[str, float]:
+def run_render_suite(
+    repeats: int = 5, fleet_sizes=(240, 1000), catalog_sample: int | None = None
+) -> dict[str, float]:
     """All render-pipeline cases, as {case: ns_per_op}."""
     results: dict[str, float] = {}
     results.update(bench_template_compile(repeats))
     results.update(bench_chart_render(repeats))
+    results.update(bench_catalog_render(max(repeats // 2, 1), sample=catalog_sample))
     for pod_count in fleet_sizes:
         for case, value in bench_all_pairs(pod_count, repeats).items():
             results[f"{case}/pods={pod_count}"] = value

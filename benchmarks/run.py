@@ -9,11 +9,12 @@ Runs the same cases as ``benchmarks/test_bench_connectivity.py`` -- naive
 (pre-PR) vs compiled/cached engine for ``check_ingress``,
 ``reachable_endpoints`` and the ``ReachabilityMatrix`` at three fleet sizes
 -- plus the render-pipeline suite (template compile cache, cold vs warm
-chart render, class-grouped vs per-source all-pairs), the session suite
-(install/observe slice: fresh vs pooled clusters vs install-free fast
-observation) and an end-to-end Figure 4b sweep over a catalogue sample (the
-whole catalogue with ``--full``), then writes median ns/op per case to a
-JSON file so future PRs have a perf trajectory to compare against.
+chart render, the cold catalogue render slice text vs structured,
+class-grouped vs per-source all-pairs), the session suite (install/observe
+slice: fresh vs pooled clusters vs install-free fast observation) and an
+end-to-end Figure 4b sweep over a catalogue sample (the whole catalogue
+with ``--full``), then writes median ns/op per case to a JSON file so
+future PRs have a perf trajectory to compare against.
 
 The end-to-end sweeps start from *cold* render caches, so the recorded
 seconds measure the first pass over a catalogue; warm-path amortization is
@@ -89,13 +90,14 @@ def bench_full_evaluation(sample: int | None) -> dict[str, float]:
     )
 
     def render_pre_pr(chart):
-        # The pre-PR engine re-parsed every template on every render: bypass
-        # the render cache AND drop compiled templates before each render so
-        # the baseline keeps measuring the old per-render parse cost.
+        # The pre-PR engine re-parsed every template on every render and
+        # round-tripped documents through YAML text: bypass the render
+        # cache, drop compiled templates before each render, and pin the
+        # text pipeline so the baseline keeps measuring the old cost.
         from repro.helm import clear_template_cache
 
         clear_template_cache()
-        return render_chart(chart, cached=False)
+        return render_chart(chart, cached=False, structured=False)
 
     # The pre-PR pipeline rendered every chart twice: once inside
     # analyze_chart and once more for the cluster-wide inventory.
@@ -176,7 +178,9 @@ def main(argv: list[str] | None = None) -> int:
         # Tiny samples can round a sweep to 0.000s; don't divide by it.
         return f"{before / after:.2f}x" if after else "n/a"
 
-    render = run_render_suite(repeats=args.repeats)
+    render = run_render_suite(
+        repeats=args.repeats, catalog_sample=args.sample if args.smoke else None
+    )
     print(
         f"\ntemplate compile: cold {render['template_compile/cold']:,.0f} ns -> "
         f"cached {render['template_compile/cached']:,.0f} ns "
@@ -186,6 +190,12 @@ def main(argv: list[str] | None = None) -> int:
         f"chart render: cold {render['chart_render/cold']:,.0f} ns -> "
         f"warm {render['chart_render/warm']:,.0f} ns "
         f"({ratio(render['chart_render/cold'], render['chart_render/warm'])})"
+    )
+    print(
+        f"catalog cold render ({int(render['catalog_render/charts'])} charts): "
+        f"text {render['catalog_render/text']:,.0f} ns/chart -> "
+        f"structured {render['catalog_render/structured']:,.0f} ns/chart "
+        f"({ratio(render['catalog_render/text'], render['catalog_render/structured'])})"
     )
     for key in sorted(render):
         if key.startswith("all_pairs/grouped"):

@@ -24,6 +24,11 @@ costs without changing a single observable result:
   :class:`~repro.probe.snapshot.PodSnapshot`.  ``observe_mode="full"`` keeps
   the install-and-scan path as the reference implementation.
 
+With the structured render pipeline (``render_chart``'s dict-native
+default) feeding it, the fast path closes the loop: from chart to snapshot
+no YAML text is dumped or parsed anywhere -- the substrate consumes the
+typed objects the renderer assembled straight from native dicts.
+
 Equivalence -- pooled == fresh and fast == full, for findings, snapshots and
 reachability surfaces alike -- is proven over the whole catalogue and over
 Hypothesis-generated app specs by the differential conformance suite in
@@ -103,6 +108,7 @@ class ObservationSubstrate:
         self._pod_counter = 0
 
     def worker_nodes(self) -> list[Node]:
+        """The schedulable nodes of the shared node set."""
         return [node for node in self.nodes if node.schedulable]
 
     def host_port_baseline(self) -> set[int]:
@@ -338,6 +344,7 @@ class AnalysisSession:
 
     @contextmanager
     def lease(self, behaviors: BehaviorRegistry | None = None) -> Iterator[Cluster]:
+        """Context-managed acquire/release of one clean cluster."""
         cluster = self.acquire(behaviors)
         try:
             yield cluster

@@ -95,10 +95,10 @@ class MisconfigurationAnalyzer:
 
         Callers that already rendered the chart (the evaluation pipeline
         needs the rendered objects for its inventory anyway) can pass
-        ``rendered`` to skip the second render -- template evaluation and
-        YAML parsing dominate the full-catalogue wall time.  The provided
-        render must use the same release name and overrides this method
-        would apply.
+        ``rendered`` to skip the second render -- even the structured
+        dict-native render dominates the full-catalogue wall time.  The
+        provided render must use the same release name and overrides this
+        method would apply.
         """
         if rendered is None:
             rendered = render_chart(
@@ -213,4 +213,5 @@ class MisconfigurationAnalyzer:
 
     # Convenience ---------------------------------------------------------------------------
     def detected_classes(self, report: AnalysisReport) -> set[MisconfigClass]:
+        """The misconfiguration classes present in ``report``."""
         return report.classes_present()

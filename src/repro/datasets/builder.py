@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 
 from ..cluster import BehaviorRegistry, ContainerBehavior, ListenSpec
 from ..helm import Chart
-from ..k8s.yamlio import yaml_dump
 from .spec import (
     AppSpec,
     ComponentSpec,
@@ -543,6 +542,22 @@ def build_values(app: AppSpec) -> dict:
     }
 
 
+def _sorted_tree(value):
+    """Recursively key-sort a values tree.
+
+    The chart adopts the builder's values dict-natively (no ``values.yaml``
+    round trip), but the on-disk form this replaces was dumped with
+    ``sort_keys=True`` and re-parsed -- so mapping iteration order (which
+    ``range`` in templates observes) must stay sorted for charts, renders
+    and fingerprints to be byte-identical with that era.
+    """
+    if isinstance(value, dict):
+        return {key: _sorted_tree(value[key]) for key in sorted(value)}
+    if isinstance(value, list):
+        return [_sorted_tree(item) for item in value]
+    return value
+
+
 def build_chart(app: AppSpec) -> Chart:
     """Build the Helm chart of a synthetic application."""
     values = build_values(app)
@@ -555,7 +570,7 @@ def build_chart(app: AppSpec) -> Chart:
         templates["networkpolicy.yaml"] = _NETWORKPOLICY_TEMPLATE
     chart = Chart.from_files(
         name=app.name,
-        values_yaml=yaml_dump(values, sort_keys=True),
+        values=_sorted_tree(values),
         templates=templates,
         version=app.version,
         description=app.description or f"{app.archetype} application",

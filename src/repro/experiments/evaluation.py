@@ -1,7 +1,8 @@
 """The full evaluation pipeline (Section 4.2): analyze the whole catalogue.
 
-Per application: render the chart, install it into a clean simulated
-cluster, take the double runtime snapshot, evaluate every rule.  Once all
+Per application: render the chart (dict-natively, through the shared render
+cache), derive the double runtime snapshot install-free via the pooled
+:class:`~repro.cluster.AnalysisSession`, evaluate every rule.  Once all
 applications are analyzed, run the cluster-wide pass for global label
 collisions (M4*).  The result feeds every table and figure of Section 4.3.
 """
@@ -135,7 +136,7 @@ def run_full_evaluation(
     """Analyze the complete catalogue and run the cluster-wide pass.
 
     ``workers`` enables the parallel evaluation path.  Charts are fully
-    independent (each gets its own throw-away cluster, the rules are
+    independent (observations share nothing across charts, the rules are
     stateless), so with the default analyzer they fan out on a *process*
     pool -- real parallelism for this CPU-bound, GIL-holding workload; the
     per-chart inputs and reports are plain picklable dataclasses.  A custom

@@ -22,6 +22,7 @@ class ChartMetadata:
     organization: str = ""
 
     def to_dict(self) -> dict:
+        """The ``Chart.yaml`` mapping this metadata serializes to."""
         data = {
             "apiVersion": "v2",
             "name": self.name,
@@ -52,6 +53,7 @@ class ChartDependency:
 
     @property
     def effective_name(self) -> str:
+        """The values key and subchart slot this dependency occupies."""
         return self.alias or self.name
 
 
@@ -81,17 +83,21 @@ class Chart:
 
     @property
     def name(self) -> str:
+        """The chart name from ``Chart.yaml``."""
         return self.metadata.name
 
     @property
     def version(self) -> str:
+        """The chart version from ``Chart.yaml``."""
         return self.metadata.version
 
     # Construction helpers ---------------------------------------------------
     def add_template(self, name: str, source: str) -> None:
+        """Add one ``templates/`` file to the chart."""
         self.templates.append(ChartTemplate(name=name, source=source))
 
     def add_subchart(self, chart: "Chart", condition: str = "", alias: str = "") -> None:
+        """Package ``chart`` as a dependency (with optional condition/alias)."""
         dependency = ChartDependency(
             name=chart.name, version=chart.version, condition=condition, alias=alias
         )
@@ -99,6 +105,7 @@ class Chart:
         self.subcharts[dependency.effective_name] = chart
 
     def template_named(self, name: str) -> ChartTemplate | None:
+        """Look up one template file by its name (``None`` when absent)."""
         for template in self.templates:
             if template.name == name:
                 return template
@@ -143,6 +150,7 @@ class Chart:
         return deep_merge(self.values, overrides or {})
 
     def validate(self) -> None:
+        """Check structural invariants: a name, unique templates, packaged deps."""
         if not self.metadata.name:
             raise ChartError("chart name is required")
         seen: set[str] = set()
@@ -166,13 +174,24 @@ class Chart:
         version: str = "0.1.0",
         description: str = "",
         organization: str = "",
+        values: Mapping[str, Any] | None = None,
     ) -> "Chart":
-        """Build a chart from raw file contents (the way charts ship on disk)."""
+        """Build a chart from raw file contents (the way charts ship on disk).
+
+        ``values`` accepts an already-parsed values tree directly -- the
+        synthetic catalogue builders construct values as dicts, and handing
+        them over dict-natively skips a pointless dump/re-parse round trip
+        per chart.  The dict is adopted by reference (build-and-hand-over, no
+        defensive copy); it is mutually exclusive with ``values_yaml``.
+        """
+        if values is not None and values_yaml:
+            raise ChartError("pass either values_yaml or values, not both")
         chart = cls(
             metadata=ChartMetadata(
                 name=name, version=version, description=description, organization=organization
             ),
-            values=load_values(values_yaml) if values_yaml else {},
+            values=dict(values) if values is not None
+            else load_values(values_yaml) if values_yaml else {},
         )
         for template_name, source in (templates or {}).items():
             chart.add_template(template_name, source)
@@ -186,17 +205,20 @@ class ChartRepository:
         self._charts: dict[tuple[str, str], Chart] = {}
 
     def publish(self, chart: Chart, organization: str = "") -> None:
+        """Publish ``chart`` under ``organization`` (stamped onto its metadata)."""
         if organization:
             chart.metadata.organization = organization
         self._charts[(chart.metadata.organization, chart.name)] = chart
 
     def get(self, name: str, organization: str = "") -> Chart:
+        """Fetch a published chart; raises :class:`ChartError` when missing."""
         chart = self._charts.get((organization, name))
         if chart is None:
             raise ChartError(f"chart {organization}/{name} is not published")
         return chart
 
     def charts(self, organization: str | None = None) -> list[Chart]:
+        """All published charts, optionally filtered to one organization."""
         return [
             chart
             for (org, _), chart in sorted(self._charts.items())
@@ -204,6 +226,7 @@ class ChartRepository:
         ]
 
     def organizations(self) -> list[str]:
+        """The organizations that have published at least one chart."""
         return sorted({org for org, _ in self._charts})
 
     def __len__(self) -> int:

@@ -1,9 +1,10 @@
 """Memoized chart rendering with copy-on-read semantics.
 
-Rendering a chart -- template evaluation plus YAML parsing plus typed-object
-construction -- dominates the catalogue sweep.  :class:`RenderCache` memoizes
-full render results keyed on ``(chart fingerprint, release identity,
-canonical merged values)``:
+Rendering a chart -- template evaluation plus document assembly plus
+typed-object construction -- dominates the catalogue sweep.
+:class:`RenderCache` memoizes full render results (the dict-native
+structured form by default) keyed on ``(chart fingerprint, release
+identity, canonical merged values, structured?)``:
 
 * **Key**: the chart fingerprint covers every input that affects rendering
   (:meth:`Chart.fingerprint`), and the values component is canonical
@@ -47,9 +48,11 @@ class RenderCache:
         return len(self._entries)
 
     def stats(self) -> dict[str, int]:
+        """Hit/miss/entry counters (the cache-behaviour tests key on these)."""
         return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
 
     def clear(self) -> None:
+        """Drop every entry and reset the counters."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
@@ -61,13 +64,18 @@ class RenderCache:
         release: ReleaseInfo | None = None,
         overrides: Mapping[str, Any] | None = None,
         fingerprint: str | None = None,
+        structured: bool = True,
     ) -> RenderedChart:
         """Render ``chart`` (or return a private copy of the cached render).
 
         The key's values component is the canonical form of ``overrides``:
         together with the chart fingerprint (which covers the chart's default
         values) it determines the canonical *merged* values exactly, while
-        letting cache hits skip the deep merge entirely.
+        letting cache hits skip the deep merge entirely.  ``structured``
+        selects the dict-native render pipeline (the default) or the classic
+        text path; the flag is part of the key because the two produce
+        different ``sources`` maps (structured entries also pickle smaller:
+        skeleton text instead of full manifests).
         """
         release = release or ReleaseInfo(name=chart.name)
         fingerprint = fingerprint or chart.fingerprint()
@@ -79,6 +87,7 @@ class RenderCache:
             release.is_install,
             release.service,
             canonical_values(overrides or {}),
+            structured,
         )
         blob = self._entries.get(key)
         if blob is not None:
@@ -93,7 +102,10 @@ class RenderCache:
                 sources=sources,
             )
         self.misses += 1
-        rendered = self._renderer.render(chart, release, overrides)
+        if structured:
+            rendered = self._renderer.render_structured(chart, release, overrides)
+        else:
+            rendered = self._renderer.render(chart, release, overrides)
         # Snapshot the pristine result *before* handing it to the caller:
         # the blob is immutable bytes, so later mutations cannot leak back.
         self._entries[key] = pickle.dumps(

@@ -6,10 +6,21 @@ The renderer mirrors how ``helm template`` works:
 2. build the template context (``.Values``, ``.Release``, ``.Chart``,
    ``.Capabilities``);
 3. register helper templates (``_helpers.tpl``) so ``include`` works;
-4. render every non-helper template and parse the resulting YAML documents
-   into the typed Kubernetes model;
+4. render every non-helper template into manifest documents;
 5. recurse into enabled dependencies, scoping ``.Values`` to the subchart key
    and honouring ``condition:`` flags and ``global`` values.
+
+Step 4 comes in two flavours.  The classic **text path** (:meth:`
+HelmRenderer.render`) joins each template's output into a YAML string and
+re-parses it with ``yaml_load_all`` -- the reference implementation.  The
+**structured path** (:meth:`HelmRenderer.render_structured`, the default
+behind :func:`render_chart`) keeps rendered documents as Python dicts end to
+end: compiled templates emit native values for ``toYaml`` pipelines and
+compile-time document splits, and only the genuinely free-form text
+segments are string-assembled and parsed (see :mod:`repro.helm.structured`).
+Both paths produce dict-identical ``documents``/``objects``; they differ
+only in ``RenderedChart.sources`` (the structured path records the skeleton
+text it actually assembled, with structured values shown as placeholders).
 """
 
 from __future__ import annotations
@@ -23,6 +34,7 @@ from ..k8s import Inventory, KubernetesObject, objects_from_dicts
 from ..k8s.yamlio import yaml_load_all
 from .chart import Chart
 from .errors import RenderError, TemplateError
+from .structured import assemble_documents
 from .template import TemplateEngine
 from .values import deep_merge, get_path
 
@@ -38,6 +50,7 @@ class ReleaseInfo:
     service: str = "Helm"
 
     def to_context(self) -> dict[str, Any]:
+        """The ``.Release`` mapping templates see."""
         return {
             "Name": self.name,
             "Namespace": self.namespace,
@@ -50,7 +63,14 @@ class ReleaseInfo:
 
 @dataclass
 class RenderedChart:
-    """The output of rendering a chart: manifests plus typed objects."""
+    """The output of rendering a chart: manifests plus typed objects.
+
+    ``documents`` and ``objects`` are identical whichever render path
+    produced them.  ``sources`` maps each template's qualified name to the
+    text that was assembled for it: the full rendered manifest on the text
+    path, the skeleton (structured values as ``__repro_frag_N__``
+    placeholders) on the structured path.
+    """
 
     chart: Chart
     release: ReleaseInfo
@@ -60,9 +80,11 @@ class RenderedChart:
     sources: dict[str, str] = field(default_factory=dict)
 
     def inventory(self) -> Inventory:
+        """The rendered objects wrapped as a queryable :class:`Inventory`."""
         return Inventory(self.objects)
 
     def objects_of_kind(self, kind: str) -> list[KubernetesObject]:
+        """Every rendered object of one Kubernetes ``kind``."""
         return [obj for obj in self.objects if obj.kind == kind]
 
 
@@ -81,12 +103,39 @@ class HelmRenderer:
         release: ReleaseInfo | None = None,
         overrides: Mapping[str, Any] | None = None,
     ) -> RenderedChart:
-        """Render ``chart`` and all enabled dependencies."""
+        """Render ``chart`` via the text path (the reference implementation)."""
+        return self._render(chart, release, overrides, structured=False)
+
+    def render_structured(
+        self,
+        chart: Chart,
+        release: ReleaseInfo | None = None,
+        overrides: Mapping[str, Any] | None = None,
+    ) -> RenderedChart:
+        """Render ``chart`` dict-natively: no YAML text round trip.
+
+        Produces ``documents``/``objects`` dict-identical to :meth:`render`
+        (the differential suite proves it across the whole catalogue) while
+        skipping the ``toYaml`` dumps and most of the document parse.
+        """
+        return self._render(chart, release, overrides, structured=True)
+
+    # Internal ----------------------------------------------------------------
+    def _render(
+        self,
+        chart: Chart,
+        release: ReleaseInfo | None,
+        overrides: Mapping[str, Any] | None,
+        structured: bool,
+    ) -> RenderedChart:
         release = release or ReleaseInfo(name=chart.name)
         values = chart.effective_values(overrides)
         documents: list[dict] = []
         sources: dict[str, str] = {}
-        self._render_chart(chart, release, values, values, documents, sources, prefix="")
+        self._render_chart(
+            chart, release, values, values, documents, sources, prefix="",
+            structured=structured,
+        )
         objects = objects_from_dicts(documents)
         return RenderedChart(
             chart=chart,
@@ -97,7 +146,6 @@ class HelmRenderer:
             sources=sources,
         )
 
-    # Internal ----------------------------------------------------------------
     def _render_chart(
         self,
         chart: Chart,
@@ -107,6 +155,7 @@ class HelmRenderer:
         documents: list[dict],
         sources: dict[str, str],
         prefix: str,
+        structured: bool = False,
     ) -> None:
         engine = TemplateEngine()
         context = {
@@ -131,14 +180,21 @@ class HelmRenderer:
             if template.is_helper:
                 continue
             context["Template"] = {"Name": f"{chart.name}/{template.name}"}
+            qualified = f"{prefix}{chart.name}/{template.name}"
             try:
-                rendered = engine.render(template.source, context, template.name)
+                if structured:
+                    fragments = engine.render_fragments(
+                        template.source, context, template.name
+                    )
+                    parsed, skeleton = assemble_documents(fragments, qualified)
+                    sources[qualified] = skeleton
+                    documents.extend(parsed)
+                else:
+                    rendered = engine.render(template.source, context, template.name)
+                    sources[qualified] = rendered
+                    documents.extend(self._parse_documents(rendered, qualified))
             except TemplateError as exc:
                 raise RenderError(f"{chart.name}/{template.name}: {exc}") from exc
-            qualified = f"{prefix}{chart.name}/{template.name}"
-            sources[qualified] = rendered
-            for document in self._parse_documents(rendered, qualified):
-                documents.append(document)
         # Dependencies.
         for dependency in chart.dependencies:
             if dependency.condition and not get_path(root_values, dependency.condition, False):
@@ -155,6 +211,7 @@ class HelmRenderer:
                 documents,
                 sources,
                 prefix=f"{prefix}{chart.name}/charts/",
+                structured=structured,
             )
 
     @staticmethod
@@ -189,6 +246,7 @@ def render_chart(
     overrides: Mapping[str, Any] | None = None,
     cached: bool = True,
     fingerprint: str | None = None,
+    structured: bool = True,
 ) -> RenderedChart:
     """Convenience wrapper: render a chart with a default release.
 
@@ -197,11 +255,18 @@ def render_chart(
     memoized result instead of re-evaluating templates.  ``cached=False``
     forces a fresh render (the differential tests compare both paths);
     ``fingerprint`` skips re-hashing the chart when the caller already knows
-    its content fingerprint.
+    its content fingerprint.  ``structured=False`` pins the classic text
+    render pipeline, the reference implementation the structured default is
+    differentially tested against.
     """
     release = ReleaseInfo(name=release_name or chart.name, namespace=namespace)
     if not cached:
-        return HelmRenderer().render(chart, release, overrides)
+        renderer = HelmRenderer()
+        if structured:
+            return renderer.render_structured(chart, release, overrides)
+        return renderer.render(chart, release, overrides)
     from .render_cache import shared_render_cache
 
-    return shared_render_cache().render(chart, release, overrides, fingerprint=fingerprint)
+    return shared_render_cache().render(
+        chart, release, overrides, fingerprint=fingerprint, structured=structured
+    )

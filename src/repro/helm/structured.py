@@ -1,0 +1,497 @@
+"""Structured document assembly: fragments in, native dicts out.
+
+The classic render path joins every fragment into one text blob and pays a
+full YAML parse to get its documents back; this module is the dict-native
+alternative.  It consumes the fragment stream a compiled template emits
+(:mod:`repro.helm.template`) and assembles documents with as little YAML
+text as possible:
+
+* :class:`~repro.helm.template.DocumentSplit` markers (``---`` lines found
+  at compile time) split the stream into per-document groups -- no document
+  scanning over rendered text;
+* :class:`~repro.helm.template.StructuredFragment` values (``toYaml``
+  emissions) never touch YAML text: each one becomes a single placeholder
+  line in its group's *skeleton*, and after the skeleton is parsed the
+  native value is spliced into place (mappings splice entry-by-entry with
+  last-wins duplicate semantics, everything else substitutes the scalar
+  placeholder);
+* the skeleton itself -- the genuinely free-form text segments -- goes
+  through :func:`parse_simple_yaml`, a fast parser for the block-YAML
+  subset rendered manifests actually use, with PyYAML as the fallback for
+  anything outside that subset.
+
+Every step is guarded: an unplaceable fragment, a placeholder collision, a
+parse error, or an unsupported YAML construct drops the affected group back
+to the reference behaviour -- stringify the fragments, parse the real text
+-- so the structured path can only ever *accelerate* the text path, never
+diverge from it.  The differential suite in
+``tests/helm/test_structured_render.py`` proves dict-identical output over
+the full catalogue, Hypothesis-generated charts and adversarial templates.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, Mapping
+
+import yaml
+
+from ..k8s.yamlio import yaml_load_all
+from .errors import RenderError
+from .template import DocumentSplit, Fragment, StructuredFragment
+
+#: Placeholder scalars stamped into the skeleton text, one per structured
+#: fragment, numbered per group.  If rendered *text* happens to contain the
+#: prefix (an adversarial value), the whole group falls back to the text
+#: path -- a simple count check catches the collision.
+PLACEHOLDER_PREFIX = "__repro_frag_"
+
+
+class _SpliceError(Exception):
+    """The skeleton cannot host the structured values; use the text path."""
+
+
+class _UnsupportedYaml(Exception):
+    """The skeleton leaves the fast parser's subset; use PyYAML."""
+
+
+# ---------------------------------------------------------------------------
+# Assembly
+# ---------------------------------------------------------------------------
+
+
+def assemble_documents(
+    fragments: Iterable[Fragment], source_name: str = ""
+) -> tuple[list[dict], str]:
+    """Assemble a fragment stream into ``(documents, skeleton_text)``.
+
+    ``documents`` matches the text path's parse byte-for-byte (empty and
+    ``None`` documents dropped); ``skeleton_text`` is the text that was
+    actually assembled -- structured fragments appear as their placeholder
+    lines -- and is recorded as the template's source for debugging.
+    """
+    documents: list[dict] = []
+    skeleton_parts: list[str] = []
+    group: list[str | StructuredFragment] = []
+    tail = ""  # last character of the group's rendered text so far
+
+    def flush() -> None:
+        nonlocal tail
+        if group:
+            skeleton_parts.append(_flush_group(group, documents, source_name))
+            group.clear()
+        tail = ""
+
+    for fragment in fragments:
+        kind = type(fragment)
+        if kind is str:
+            if fragment:
+                group.append(fragment)
+                tail = fragment[-1]
+        elif kind is DocumentSplit:
+            # A separator only separates at the start of an output line;
+            # mid-line it is literal text (and the scoped parse, or the
+            # fallback, deals with whatever that means).
+            if not tail or tail == "\n":
+                flush()
+                skeleton_parts.append(fragment.literal)
+            else:
+                group.append(fragment.literal)
+                tail = "\n"
+        else:  # StructuredFragment
+            group.append(fragment)
+            tail = "_"  # placeholder lines never end with a newline
+    flush()
+    return documents, "".join(skeleton_parts)
+
+
+def _flush_group(
+    group: list[str | StructuredFragment], documents: list[dict], source_name: str
+) -> str:
+    """Parse one document group, splicing its structured fragments in.
+
+    Returns the skeleton text (placeholders included) for the sources map.
+    """
+    parts: list[str] = []
+    structs: list[tuple[str, bool, Any]] = []  # (token, splice_as_mapping, value)
+    tail = ""
+    glued_after_placeholder = False
+    for item in group:
+        if type(item) is str:
+            if tail == "_" and not item.startswith("\n"):
+                # Text glued onto a placeholder line: the glue would land in
+                # (or next to) the spliced value, which only the text path
+                # can interpret.  Keep building the skeleton for `sources`,
+                # but parse this group via the fallback.
+                glued_after_placeholder = True
+            parts.append(item)
+            tail = item[-1]
+            continue
+        if tail == "_" and not item.leading_newline:
+            glued_after_placeholder = True
+        at_line_start = item.leading_newline or not parts or tail == "\n"
+        if not at_line_start:
+            # Mid-line structure (``foo: {{ toYaml .x }}``): no whole line
+            # to own, so this fragment contributes text like the text path.
+            text = item.text()
+            if text:
+                parts.append(text)
+                tail = text[-1]
+            continue
+        token = f"{PLACEHOLDER_PREFIX}{len(structs)}__"
+        prefix = ("\n" if item.leading_newline else "") + " " * item.indent
+        if isinstance(item.value, Mapping):
+            parts.append(f"{prefix}{token}: null")
+            structs.append((token, True, item.value))
+        else:
+            parts.append(prefix + token)
+            structs.append((token, False, item.value))
+        tail = "_"
+    skeleton = "".join(parts)
+    if not skeleton.strip():
+        # Whitespace-only group: the text path's early-out for blank output
+        # (placeholder lines are never blank, so no structure is lost here).
+        return skeleton
+    if not structs:
+        documents.extend(
+            document for document in _parse_group_text(skeleton, source_name) if document
+        )
+        return skeleton
+    if glued_after_placeholder or skeleton.count(PLACEHOLDER_PREFIX) != len(structs):
+        # Glue on a placeholder line, or a rendered value containing the
+        # placeholder prefix: ambiguous layouts go to the reference path.
+        documents.extend(_parse_text_fallback(group, source_name))
+        return skeleton
+    try:
+        parsed = _parse_group_text(skeleton, source_name)
+        table = {token: (as_mapping, value) for token, as_mapping, value in structs}
+        consumed: set[str] = set()
+        spliced = [_substitute(document, table, consumed) for document in parsed]
+        if len(consumed) != len(structs):
+            raise _SpliceError("unconsumed placeholder")
+    except (_SpliceError, RenderError):
+        documents.extend(_parse_text_fallback(group, source_name))
+        return skeleton
+    documents.extend(document for document in spliced if document)
+    return skeleton
+
+
+def _parse_group_text(text: str, source_name: str) -> list[Any]:
+    """Parse one group's text: fast subset parser first, PyYAML second."""
+    try:
+        return parse_simple_yaml(text)
+    except _UnsupportedYaml:
+        pass
+    try:
+        return list(yaml_load_all(text))
+    except yaml.YAMLError as exc:
+        raise RenderError(
+            f"template {source_name} produced invalid YAML: {exc}\n--- output ---\n{text}"
+        ) from exc
+
+
+def _parse_text_fallback(
+    group: list[str | StructuredFragment], source_name: str
+) -> list[dict]:
+    """The reference behaviour: stringify the fragments, parse the text."""
+    text = "".join(item if type(item) is str else item.text() for item in group)
+    if not text.strip():
+        return []
+    try:
+        parsed = list(yaml_load_all(text))
+    except yaml.YAMLError as exc:
+        raise RenderError(
+            f"template {source_name} produced invalid YAML: {exc}\n--- output ---\n{text}"
+        ) from exc
+    return [document for document in parsed if document]
+
+
+# ---------------------------------------------------------------------------
+# Placeholder substitution
+# ---------------------------------------------------------------------------
+
+
+def _substitute(node: Any, table: dict[str, tuple[bool, Any]], consumed: set[str]) -> Any:
+    """Rebuild ``node`` with placeholders replaced by native values.
+
+    Rebuilding (rather than mutating) doubles as the copy that keeps parse
+    caches and chart values isolated from whatever the caller mutates later.
+    Mapping placeholders splice their entries in place with sequential
+    insertion -- the same last-wins-first-position semantics PyYAML applies
+    to duplicate keys in real text.
+    """
+    if isinstance(node, dict):
+        out: dict = {}
+        for key, value in node.items():
+            entry = table.get(key) if isinstance(key, str) else None
+            if entry is not None:
+                as_mapping, payload = entry
+                if not as_mapping or key in consumed:
+                    raise _SpliceError(key)
+                consumed.add(key)
+                for spliced_key, spliced_value in payload.items():
+                    out[_native_key(spliced_key)] = _native_value(spliced_value)
+            else:
+                out[key] = _substitute(value, table, consumed)
+        return out
+    if isinstance(node, list):
+        return [_substitute(item, table, consumed) for item in node]
+    if isinstance(node, str):
+        entry = table.get(node)
+        if entry is not None:
+            as_mapping, payload = entry
+            if as_mapping or node in consumed:
+                raise _SpliceError(node)
+            consumed.add(node)
+            return _native_value(payload)
+        if PLACEHOLDER_PREFIX in node:
+            # A placeholder fused into a larger scalar: layout we do not
+            # understand, let the text path handle it.
+            raise _SpliceError(node)
+    return node
+
+
+def _native_value(value: Any) -> Any:
+    """What dumping ``value`` and parsing it back produces, without YAML.
+
+    Containers are copied (the text path always yields fresh objects, and
+    aliasing chart values into documents would let caller mutations corrupt
+    the chart), tuples become lists, scalars pass through -- PyYAML's
+    emitter quotes any string the resolver would re-type, so strings are
+    round-trip stable.  Exotic types abort the splice; the text-path
+    fallback then reproduces the reference behaviour, errors included.
+    """
+    if isinstance(value, str) or isinstance(value, (bool, int, float)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {_native_key(key): _native_value(item) for key, item in value.items()}
+    if isinstance(value, Mapping):
+        return {_native_key(key): _native_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_native_value(item) for item in value]
+    raise _SpliceError(value)
+
+
+def _native_key(key: Any) -> Any:
+    """Mapping keys must stay scalar: YAML would turn a tuple key into an
+    (unhashable) list and fail the parse -- the fallback reproduces that."""
+    if isinstance(key, (str, bool, int, float)) or key is None:
+        return key
+    raise _SpliceError(key)
+
+
+# ---------------------------------------------------------------------------
+# Fast parser for the block-YAML subset rendered skeletons use
+# ---------------------------------------------------------------------------
+#
+# Rendered manifests are almost entirely plain block YAML: nested mappings,
+# block sequences, inline scalars, the occasional ``{}``/``[]``.  Parsing
+# that subset directly is several times faster than a general YAML load
+# (even libyaml's C scanner pays Python-side construction and resolution).
+# The parser *must never guess*: any construct outside the subset -- flow
+# collections, quotes it cannot decode exactly, anchors, tags, block
+# scalars, comments, tabs, multi-line or ambiguous plain scalars -- raises
+# ``_UnsupportedYaml`` and the caller re-parses with PyYAML.  Scalar
+# resolution replicates PyYAML's YAML 1.1 ``SafeLoader`` rules (booleans,
+# ints with base prefixes, floats, nulls); anything it is not sure about
+# (timestamps, sexagesimals, ``=``) bails out.
+
+_BOOL_VALUES = {
+    "yes": True, "Yes": True, "YES": True, "true": True, "True": True, "TRUE": True,
+    "on": True, "On": True, "ON": True,
+    "no": False, "No": False, "NO": False, "false": False, "False": False,
+    "FALSE": False, "off": False, "Off": False, "OFF": False,
+}
+_NULL_VALUES = frozenset(("~", "null", "Null", "NULL"))
+_INT_PLAIN_RE = re.compile(r"[-+]?(?:0|[1-9][0-9_]*)\Z")
+_INT_BASE_RE = re.compile(r"[-+]?0(?:b[0-1_]+|x[0-9a-fA-F_]+|[0-7_]+)\Z")
+_FLOAT_PLAIN_RE = re.compile(
+    r"(?:[-+]?(?:[0-9][0-9_]*)\.[0-9_]*(?:[eE][-+][0-9]+)?"
+    r"|\.[0-9_]+(?:[eE][-+][0-9]+)?"
+    r"|[-+]?\.(?:inf|Inf|INF)"
+    r"|\.(?:nan|NaN|NAN))\Z"
+)
+#: Plain scalars PyYAML may resolve to types we do not reproduce: timestamps
+#: (dates), sexagesimal numbers (handled by the ``:`` bail-out anyway) and
+#: the ``=`` value special.  Conservative by construction.
+_AMBIGUOUS_PLAIN_RE = re.compile(r"(?:[0-9][0-9]{3}-[0-9][0-9]?-[0-9][0-9]?|=)")
+#: Leading characters that start YAML constructs outside the subset.
+_UNSUPPORTED_LEAD = tuple("&*!|>%@`?,}]")
+#: Characters that disqualify a whole group from the fast parser: tabs,
+#: comments, and the YAML 1.1 line breaks this parser does not split on.
+_UNSUPPORTED_CHARS_RE = re.compile("[\t#\r\x85\u2028\u2029]")
+
+
+def parse_simple_yaml(text: str) -> list[Any]:
+    """Parse block-YAML subset ``text`` into its (non-empty) documents.
+
+    Raises :class:`_UnsupportedYaml` whenever the text could mean anything
+    the subset does not model bit-exactly; the caller falls back to PyYAML.
+    """
+    if _UNSUPPORTED_CHARS_RE.search(text):
+        # Tabs, comments, and every non-"\n" YAML 1.1 line break (CR, NEL,
+        # LS, PS): this parser splits on "\n" only, PyYAML does not.
+        raise _UnsupportedYaml("tabs, comments or exotic line breaks")
+    lines: list[tuple[int, str]] = []
+    for raw in text.split("\n"):
+        stripped = raw.strip(" ")
+        if not stripped:
+            continue
+        if stripped.startswith(("---", "...")):
+            raise _UnsupportedYaml("document markers in group text")
+        lines.append((len(raw) - len(raw.lstrip(" ")), stripped))
+    if not lines:
+        return []
+    value, next_index = _parse_node(lines, 0, lines[0][0])
+    if next_index != len(lines):
+        raise _UnsupportedYaml("trailing content")
+    return [value] if value is not None else []
+
+
+def _parse_node(lines: list[tuple[int, str]], index: int, indent: int) -> tuple[Any, int]:
+    content = lines[index][1]
+    if content == "-" or content.startswith("- "):
+        return _parse_sequence(lines, index, indent)
+    if content.endswith(":") or ": " in content:
+        return _parse_mapping(lines, index, indent)
+    value = _resolve_flow(content)
+    index += 1
+    if index < len(lines) and lines[index][0] >= indent:
+        raise _UnsupportedYaml("multi-line scalar")
+    return value, index
+
+
+def _parse_mapping(lines: list[tuple[int, str]], index: int, indent: int) -> tuple[dict, int]:
+    out: dict = {}
+    total = len(lines)
+    while index < total:
+        line_indent, content = lines[index]
+        if line_indent < indent:
+            break
+        if line_indent > indent or content == "-" or content.startswith("- "):
+            raise _UnsupportedYaml("irregular mapping layout")
+        key, rest = _split_key(content)
+        if rest:
+            out[key] = _resolve_flow(rest)
+            index += 1
+            if index < total and lines[index][0] > indent:
+                raise _UnsupportedYaml("continuation under inline value")
+        else:
+            index += 1
+            if index < total and lines[index][0] > indent:
+                out[key], index = _parse_node(lines, index, lines[index][0])
+            elif index < total and lines[index][0] == indent and (
+                lines[index][1] == "-" or lines[index][1].startswith("- ")
+            ):
+                # Block sequences may sit at the same indent as their key.
+                out[key], index = _parse_sequence(lines, index, indent)
+            else:
+                out[key] = None
+    return out, index
+
+
+def _parse_sequence(lines: list[tuple[int, str]], index: int, indent: int) -> tuple[list, int]:
+    items: list = []
+    total = len(lines)
+    while index < total:
+        line_indent, content = lines[index]
+        if line_indent != indent or not (content == "-" or content.startswith("- ")):
+            if line_indent > indent:
+                raise _UnsupportedYaml("irregular sequence layout")
+            break
+        if content == "-":
+            index += 1
+            if index < total and lines[index][0] > indent:
+                value, index = _parse_node(lines, index, lines[index][0])
+            else:
+                value = None
+        else:
+            inner = content[2:].lstrip(" ")
+            inner_indent = indent + (len(content) - len(inner))
+            # Re-enter the parser as if the inline content started a line of
+            # its own at its real column; continuation lines line up with it.
+            lines[index] = (inner_indent, inner)
+            value, index = _parse_node(lines, index, inner_indent)
+        items.append(value)
+    return items, index
+
+
+def _split_key(content: str) -> tuple[Any, str]:
+    """Split ``key: value`` / ``key:`` content into (resolved key, rest)."""
+    if content.endswith(":") and ": " not in content:
+        key_text, rest = content[:-1], ""
+    else:
+        cut = content.find(": ")
+        if cut < 0:
+            raise _UnsupportedYaml("scalar line in mapping context")
+        key_text, rest = content[:cut], content[cut + 2 :].strip(" ")
+        if ": " in rest or rest.endswith(":"):
+            raise _UnsupportedYaml("nested colon in value")
+    if not key_text or key_text[0] in "\"'{[" or key_text.startswith(_UNSUPPORTED_LEAD):
+        raise _UnsupportedYaml("non-plain mapping key")
+    if key_text == "<<":
+        raise _UnsupportedYaml("merge key")
+    return _resolve_plain(key_text), rest
+
+
+def _resolve_flow(text: str) -> Any:
+    """Resolve an inline value: empty flow collections, quotes, or plain."""
+    if text == "{}":
+        return {}
+    if text == "[]":
+        return []
+    first = text[0]
+    if first in "\"'":
+        if len(text) < 2 or text[-1] != first or text.find(first, 1) != len(text) - 1:
+            raise _UnsupportedYaml("complex quoted scalar")
+        body = text[1:-1]
+        if "\\" in body:
+            raise _UnsupportedYaml("escape sequence")
+        return body
+    if first in "{[" or first in _UNSUPPORTED_LEAD or (first == "-" and text != "-"
+                                                       and not text[1:2].strip()):
+        raise _UnsupportedYaml("flow or special construct")
+    return _resolve_plain(text)
+
+
+def _resolve_plain(text: str) -> Any:
+    """YAML 1.1 plain-scalar resolution, exactly where it is unambiguous."""
+    if ":" in text:
+        # Sexagesimal ints/floats and odd mapping shapes live here.
+        raise _UnsupportedYaml("colon in plain scalar")
+    if text in _BOOL_VALUES:
+        return _BOOL_VALUES[text]
+    if text in _NULL_VALUES:
+        return None
+    head = text[0]
+    if head.isdigit() or head in "+-.":
+        if _INT_PLAIN_RE.match(text):
+            return int(text.replace("_", ""))
+        if _INT_BASE_RE.match(text):
+            return _int_with_base(text)
+        if _FLOAT_PLAIN_RE.match(text):
+            return _float_value(text)
+        if _AMBIGUOUS_PLAIN_RE.match(text):
+            raise _UnsupportedYaml("ambiguous scalar")
+    if _AMBIGUOUS_PLAIN_RE.match(text):
+        raise _UnsupportedYaml("ambiguous scalar")
+    return text
+
+
+def _int_with_base(text: str) -> int:
+    sign = -1 if text[0] == "-" else 1
+    magnitude = text.lstrip("+-").replace("_", "")
+    if magnitude.startswith("0b"):
+        return sign * int(magnitude[2:], 2)
+    if magnitude.startswith("0x"):
+        return sign * int(magnitude[2:], 16)
+    return sign * int(magnitude[1:] or "0", 8)
+
+
+def _float_value(text: str) -> float:
+    lowered = text.replace("_", "").lower()
+    if lowered.endswith(".inf"):
+        return float("-inf") if lowered[0] == "-" else float("inf")
+    if lowered.endswith(".nan"):
+        return float("nan")
+    return float(lowered)

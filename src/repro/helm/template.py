@@ -21,6 +21,16 @@ re-interpretation.  Compiled templates are cached module-wide keyed on their
 content, which makes repeated renders of the same chart amortized-free:
 only the first render of a given template source parses anything at all
 (``template_parse_count`` exposes the parse counter for guard tests).
+
+Compiled closures emit **fragments** rather than plain strings: literal text
+stays ``str``, a ``toYaml`` pipeline (optionally piped through ``nindent`` /
+``indent``) becomes a :class:`StructuredFragment` carrying the *native*
+Python value, and ``---`` separator lines found in literal text become
+:class:`DocumentSplit` markers at compile time.  The classic text path joins
+the fragments back into the exact byte stream the pre-fragment engine
+produced (``CompiledTemplate.render``), while the structured render path
+(``repro.helm.structured``) splices the native values straight into parsed
+documents without ever dumping them to YAML text.
 """
 
 from __future__ import annotations
@@ -28,6 +38,8 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
+
+import yaml
 
 from ..k8s.yamlio import yaml_dump, yaml_load
 from .errors import TemplateError
@@ -133,23 +145,31 @@ def tokenize_expression(expression: str) -> list[str]:
 
 @dataclass
 class TextNode:
+    """Literal template text between actions."""
+
     text: str
 
 
 @dataclass
 class ActionNode:
+    """A ``{{ pipeline }}`` output action."""
+
     tokens: list[str]
     line: int = 0
 
 
 @dataclass
 class IfNode:
+    """An ``if``/``else if``/``else`` chain."""
+
     #: ``(condition_tokens, body)`` pairs; a ``None`` condition is the else arm.
     branches: list[tuple[list[str] | None, list[Any]]] = field(default_factory=list)
 
 
 @dataclass
 class RangeNode:
+    """A ``range`` loop with optional key/value variables."""
+
     tokens: list[str]
     key_var: str = ""
     value_var: str = ""
@@ -159,6 +179,8 @@ class RangeNode:
 
 @dataclass
 class WithNode:
+    """A ``with`` block re-scoping the dot."""
+
     tokens: list[str]
     body: list[Any] = field(default_factory=list)
     else_body: list[Any] = field(default_factory=list)
@@ -166,12 +188,16 @@ class WithNode:
 
 @dataclass
 class DefineNode:
+    """A named ``define`` block (an ``include`` target)."""
+
     name: str
     body: list[Any] = field(default_factory=list)
 
 
 @dataclass
 class VariableNode:
+    """A ``$name := pipeline`` assignment."""
+
     name: str
     tokens: list[str] = field(default_factory=list)
 
@@ -336,6 +362,7 @@ class RenderContext:
         self.variables = dict(variables or {})
 
     def child(self, dot: Any) -> "RenderContext":
+        """A nested scope with a new dot (``with``/``range`` bodies)."""
         return RenderContext(self.root, dot, self.variables)
 
 
@@ -384,12 +411,80 @@ def _format_value(value: Any) -> str:
 
 
 # --------------------------------------------------------------------------
+# Fragments: what compiled closures emit
+# --------------------------------------------------------------------------
+
+
+class StructuredFragment:
+    """A native value emitted by a compiled ``toYaml`` pipeline.
+
+    The text path stringifies it exactly the way the pre-fragment engine
+    did (``"\\n"`` for ``nindent``, then the indented YAML dump); the
+    structured path splices :attr:`value` into the parsed document without
+    ever dumping it.
+    """
+
+    __slots__ = ("value", "indent", "leading_newline")
+
+    def __init__(self, value: Any, indent: int = 0, leading_newline: bool = False) -> None:
+        self.value = value
+        self.indent = indent
+        self.leading_newline = leading_newline
+
+    def text(self) -> str:
+        """The exact text the ``toYaml``(+``nindent``/``indent``) stage emits."""
+        try:
+            dumped = _to_yaml(self.value)
+        except Exception as exc:  # noqa: BLE001 - mirror run_function's wrapping
+            raise TemplateError(f"error calling toYaml: {exc}") from exc
+        rendered = _indent(self.indent, dumped) if self.indent else dumped
+        return "\n" + rendered if self.leading_newline else rendered
+
+
+class DocumentSplit:
+    """A ``---`` separator line detected in literal template text.
+
+    Document boundaries become list splits for the structured path; the
+    text path re-emits :attr:`literal` unchanged.  The marker is only a
+    *candidate* boundary: the assembler honours it iff it lands at the
+    start of an output line (see ``repro.helm.structured``).
+    """
+
+    __slots__ = ("literal",)
+
+    def __init__(self, literal: str) -> None:
+        self.literal = literal
+
+    def text(self) -> str:
+        """The literal separator bytes, for the text path."""
+        return self.literal
+
+
+#: What compiled renderers append to their output sink.
+Fragment = Any  # str | StructuredFragment | DocumentSplit
+
+
+def fragments_text(fragments: Sequence[Fragment]) -> str:
+    """Join fragments into the byte-identical classic text rendering."""
+    return "".join(
+        fragment if type(fragment) is str else fragment.text() for fragment in fragments
+    )
+
+
+#: Separator lines eligible for compile-time document splitting.  The match
+#: must include the trailing newline: a ``---`` dangling at the very end of a
+#: text node could be continued by the next action's output, so it stays
+#: literal text (the scoped-parse fallback still handles it correctly).
+_DOC_SPLIT_RE = re.compile(r"(?m)^---[ \t]*\n")
+
+
+# --------------------------------------------------------------------------
 # Compiler: AST -> closures
 # --------------------------------------------------------------------------
 
-#: A compiled node: renders itself to text given the engine (for ``include``)
-#: and the evaluation state.
-Renderer = Callable[["TemplateEngine", RenderContext], str]
+#: A compiled node: appends its output fragments to the sink list given the
+#: engine (for ``include``) and the evaluation state.
+Renderer = Callable[["TemplateEngine", RenderContext, list], None]
 #: A compiled expression term or pipeline: produces a value.
 ValueFn = Callable[["TemplateEngine", RenderContext], Any]
 
@@ -409,8 +504,16 @@ class CompiledTemplate:
     renderers: list[Renderer]
     defines: dict[str, list[Renderer]]
 
+    def render_fragments(self, engine: "TemplateEngine", ctx: RenderContext) -> list[Fragment]:
+        """Render into the raw fragment stream (the structured path input)."""
+        out: list[Fragment] = []
+        for fn in self.renderers:
+            fn(engine, ctx, out)
+        return out
+
     def render(self, engine: "TemplateEngine", ctx: RenderContext) -> str:
-        return "".join(fn(engine, ctx) for fn in self.renderers)
+        """Render to text, byte-identical to the pre-fragment engine."""
+        return fragments_text(self.render_fragments(engine, ctx))
 
 
 def _constant(value: Any) -> ValueFn:
@@ -564,8 +667,8 @@ def _compile_stage(tokens: Sequence[str], piped: bool) -> Callable[..., Any]:
     return unsupported
 
 
-def _compile_pipeline(tokens: Sequence[str]) -> ValueFn:
-    """Compile a full pipeline: stages separated by top-level ``|``."""
+def _pipe_segments(tokens: Sequence[str]) -> list[list[str]]:
+    """Split pipeline tokens into stages at top-level ``|`` separators."""
     segments: list[list[str]] = [[]]
     depth = 0
     for token in tokens:
@@ -577,10 +680,87 @@ def _compile_pipeline(tokens: Sequence[str]) -> ValueFn:
             segments.append([])
         else:
             segments[-1].append(token)
-    first = _compile_stage(segments[0], piped=False)
-    if len(segments) == 1:
+    return segments
+
+
+def _native_roundtrip(value: Any) -> Any:
+    """What ``fromYaml (toYaml value)`` produces, without the text round trip.
+
+    Plain trees (mappings, sequences, scalars) survive a YAML dump/load as
+    fresh copies with tuples becoming lists; anything subtler -- strings the
+    YAML resolver would re-type (``"2024-01-01"``, ``"yes"``), exotic
+    objects -- falls back to the real dump+load so the peephole is
+    observation-equivalent to the two text stages it replaces.
+    """
+    try:
+        return _native_yaml_copy(value)
+    except _NotPlainYaml:
+        pass
+    try:
+        return yaml_load(_to_yaml(value))
+    except TemplateError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - mirror run_function's wrapping
+        raise TemplateError(f"error calling toYaml: {exc}") from exc
+
+
+class _NotPlainYaml(Exception):
+    """Raised when a value cannot be round-tripped without real YAML."""
+
+
+_YAML_RESOLVER = yaml.resolver.Resolver()
+
+
+def _native_yaml_copy(value: Any) -> Any:
+    if isinstance(value, str):
+        if _YAML_RESOLVER.resolve(yaml.nodes.ScalarNode, value, (True, False)) != (
+            "tag:yaml.org,2002:str"
+        ):
+            raise _NotPlainYaml(value)
+        return value
+    if isinstance(value, (bool, int, float)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {_native_yaml_copy(key): _native_yaml_copy(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_native_yaml_copy(item) for item in value]
+    raise _NotPlainYaml(value)
+
+
+def _compile_pipeline(tokens: Sequence[str]) -> ValueFn:
+    """Compile a full pipeline: stages separated by top-level ``|``.
+
+    A ``toYaml | fromYaml`` stage pair collapses into a native round trip:
+    the value never touches YAML text unless its type demands it.
+    """
+    segments = _pipe_segments(tokens)
+    stages: list[Callable[..., Any]] = []
+    index = 0
+    roundtrip = lambda engine, ctx, value: _native_roundtrip(value)  # noqa: E731
+    while index < len(segments):
+        segment = segments[index]
+        piped = bool(stages)
+        pair = (
+            index + 1 < len(segments)
+            and segment and segment[0] == "toYaml"
+            and segments[index + 1] == ["fromYaml"]
+        )
+        if pair and len(segment) > 1 and not piped:
+            # ``fromYaml (toYaml X)`` head: evaluate X, round-trip natively.
+            stages.append(_compile_stage(segment[1:], piped=False))
+            stages.append(roundtrip)
+            index += 2
+        elif pair and len(segment) == 1 and piped:
+            # ``... | toYaml | fromYaml``: collapse the pair into one stage.
+            stages.append(roundtrip)
+            index += 2
+        else:
+            stages.append(_compile_stage(segment, piped=piped))
+            index += 1
+    first = stages[0]
+    if len(stages) == 1:
         return first
-    rest = tuple(_compile_stage(segment, piped=True) for segment in segments[1:])
+    rest = tuple(stages[1:])
 
     def run(engine: "TemplateEngine", ctx: RenderContext) -> Any:
         value = first(engine, ctx)
@@ -591,14 +771,94 @@ def _compile_pipeline(tokens: Sequence[str]) -> ValueFn:
     return run
 
 
-def _render_nothing(engine: "TemplateEngine", ctx: RenderContext) -> str:
-    return ""
+def _render_nothing(engine: "TemplateEngine", ctx: RenderContext, out: list) -> None:
+    return None
+
+
+def _compile_text_node(text: str) -> Renderer:
+    """Compile literal text, carving out ``---`` document-boundary lines.
+
+    Splitting happens once, at compile time; the render closure just extends
+    the sink with the precomputed pieces.  Matches at offset 0 of the node
+    are still only *candidates* (the preceding action's output may not end
+    with a newline) -- the structured assembler re-checks line position at
+    render time, and the text path re-emits the literal either way.
+    """
+    pieces: list[str | DocumentSplit] = []
+    position = 0
+    for match in _DOC_SPLIT_RE.finditer(text):
+        if match.start() > position:
+            pieces.append(text[position : match.start()])
+        pieces.append(DocumentSplit(match.group(0)))
+        position = match.end()
+    if position < len(text):
+        pieces.append(text[position:])
+    if len(pieces) == 1 and isinstance(pieces[0], str):
+        piece = pieces[0]
+
+        def emit_text(engine: "TemplateEngine", ctx: RenderContext, out: list) -> None:
+            out.append(piece)
+
+        return emit_text
+    frozen = tuple(pieces)
+
+    def emit_pieces(engine: "TemplateEngine", ctx: RenderContext, out: list) -> None:
+        out.extend(frozen)
+
+    return emit_pieces
+
+
+def _compile_structured_action(tokens: Sequence[str]) -> Renderer | None:
+    """Compile a statement-level ``toYaml`` pipeline into a structured emit.
+
+    Recognized shapes (the ones Helm charts actually use)::
+
+        {{ toYaml .Values.x }}
+        {{ .Values.x | toYaml }}
+        {{ toYaml .Values.x | nindent 4 }}
+        {{ .Values.x | toYaml | indent 6 }}
+
+    Anything else returns ``None`` and compiles as ordinary text output.
+    The emitted :class:`StructuredFragment` stringifies to the exact bytes
+    of the text path, so one compiled form serves both render modes.
+    """
+    segments = _pipe_segments(tokens)
+    indent = 0
+    leading_newline = False
+    value_segments = segments
+    last = segments[-1]
+    if (
+        len(segments) >= 2
+        and len(last) == 2
+        and last[0] in ("nindent", "indent")
+        and _INT_RE.fullmatch(last[1])
+    ):
+        indent = int(last[1])
+        leading_newline = last[0] == "nindent"
+        value_segments = segments[:-1]
+    tail = value_segments[-1]
+    if tail == ["toYaml"] and len(value_segments) >= 2:
+        value_fn = _compile_pipeline(
+            [token for segment in value_segments[:-1] for token in segment + ["|"]][:-1]
+        )
+    elif len(value_segments) == 1 and len(tail) > 1 and tail[0] == "toYaml":
+        term_fns = _compile_terms(tail[1:])
+        if len(term_fns) != 1:
+            return None
+        value_fn = term_fns[0]
+    else:
+        return None
+
+    def emit_structured(engine: "TemplateEngine", ctx: RenderContext, out: list) -> None:
+        out.append(StructuredFragment(value_fn(engine, ctx), indent, leading_newline))
+
+    return emit_structured
 
 
 def _compile_nodes(
     nodes: Sequence[Node], defines: dict[str, list[Renderer]] | None
 ) -> list[Renderer]:
-    """Compile AST nodes into render closures.
+    """Compile AST nodes into fragment-emitting render closures.
 
     ``defines`` collects compiled ``define`` blocks; only top-level defines
     are registered (nested ones render to nothing, matching the interpreter
@@ -607,7 +867,7 @@ def _compile_nodes(
     renderers: list[Renderer] = []
     for node in nodes:
         if isinstance(node, TextNode):
-            renderers.append(_constant(node.text))
+            renderers.append(_compile_text_node(node.text))
         elif isinstance(node, DefineNode):
             if defines is not None:
                 defines[node.name] = _compile_nodes(node.body, None)
@@ -619,18 +879,31 @@ def _compile_nodes(
             def assign(
                 engine: "TemplateEngine",
                 ctx: RenderContext,
+                out: list,
                 pipeline: ValueFn = pipeline,
                 name: str = name,
-            ) -> str:
+            ) -> None:
                 ctx.variables[name] = pipeline(engine, ctx)
-                return ""
 
             renderers.append(assign)
         elif isinstance(node, ActionNode):
+            structured = _compile_structured_action(node.tokens)
+            if structured is not None:
+                renderers.append(structured)
+                continue
             pipeline = _compile_pipeline(node.tokens)
-            renderers.append(
-                lambda engine, ctx, pipeline=pipeline: _format_value(pipeline(engine, ctx))
-            )
+
+            def emit_action(
+                engine: "TemplateEngine",
+                ctx: RenderContext,
+                out: list,
+                pipeline: ValueFn = pipeline,
+            ) -> None:
+                text = _format_value(pipeline(engine, ctx))
+                if text:
+                    out.append(text)
+
+            renderers.append(emit_action)
         elif isinstance(node, IfNode):
             branches = tuple(
                 (
@@ -641,12 +914,13 @@ def _compile_nodes(
             )
 
             def render_if(
-                engine: "TemplateEngine", ctx: RenderContext, branches=branches
-            ) -> str:
+                engine: "TemplateEngine", ctx: RenderContext, out: list, branches=branches
+            ) -> None:
                 for condition, body in branches:
                     if condition is None or _is_truthy(condition(engine, ctx)):
-                        return "".join(fn(engine, ctx) for fn in body)
-                return ""
+                        for fn in body:
+                            fn(engine, ctx, out)
+                        return
 
             renderers.append(render_if)
         elif isinstance(node, WithNode):
@@ -657,15 +931,19 @@ def _compile_nodes(
             def render_with(
                 engine: "TemplateEngine",
                 ctx: RenderContext,
+                out: list,
                 pipeline: ValueFn = pipeline,
                 body=body,
                 else_body=else_body,
-            ) -> str:
+            ) -> None:
                 value = pipeline(engine, ctx)
                 if _is_truthy(value):
                     child = ctx.child(value)
-                    return "".join(fn(engine, child) for fn in body)
-                return "".join(fn(engine, ctx) for fn in else_body)
+                    for fn in body:
+                        fn(engine, child, out)
+                else:
+                    for fn in else_body:
+                        fn(engine, ctx, out)
 
             renderers.append(render_with)
         elif isinstance(node, RangeNode):
@@ -682,7 +960,7 @@ def _compile_range(node: RangeNode) -> Renderer:
     key_var = node.key_var
     value_var = node.value_var
 
-    def render_range(engine: "TemplateEngine", ctx: RenderContext) -> str:
+    def render_range(engine: "TemplateEngine", ctx: RenderContext, out: list) -> None:
         value = pipeline(engine, ctx)
         items: list[tuple[Any, Any]]
         if isinstance(value, Mapping):
@@ -694,16 +972,17 @@ def _compile_range(node: RangeNode) -> Renderer:
         else:
             raise TemplateError(f"cannot range over {type(value).__name__}")
         if not items:
-            return "".join(fn(engine, ctx) for fn in else_body)
-        output: list[str] = []
+            for fn in else_body:
+                fn(engine, ctx, out)
+            return
         for key, item in items:
             child = ctx.child(item)
             if key_var:
                 child.variables[key_var] = key
             if value_var:
                 child.variables[value_var] = item
-            output.append("".join(fn(engine, child) for fn in body))
-        return "".join(output)
+            for fn in body:
+                fn(engine, child, out)
 
     return render_range
 
@@ -771,20 +1050,39 @@ class TemplateEngine:
         compiled = self.register_source(source, template_name)
         return compiled.render(self, RenderContext(dict(context)))
 
+    def render_fragments(
+        self, source: str, context: Mapping[str, Any], template_name: str = ""
+    ) -> list[Fragment]:
+        """Render ``source`` into its fragment stream (the structured path)."""
+        compiled = self.register_source(source, template_name)
+        return compiled.render_fragments(self, RenderContext(dict(context)))
+
     def render_nodes(self, nodes: Sequence[Node], ctx: RenderContext) -> str:
         """Render already-parsed AST nodes (compiled on the fly, uncached)."""
         defines: dict[str, list[Renderer]] = {}
         renderers = _compile_nodes(nodes, defines)
         self._defines.update(defines)
-        return "".join(fn(self, ctx) for fn in renderers)
+        out: list[Fragment] = []
+        for fn in renderers:
+            fn(self, ctx, out)
+        return fragments_text(out)
 
     # Defines ----------------------------------------------------------------
     def include(self, name: str, dot: Any, ctx: RenderContext) -> str:
+        """Render a ``define`` block to text (``include`` is string-valued).
+
+        Structure emitted inside the define (a ``toYaml`` there) is
+        stringified here: an included template's value participates in
+        string pipelines (``| nindent``), exactly as in Go templates.
+        """
         body = self._defines.get(name)
         if body is None:
             raise TemplateError(f"included template {name!r} is not defined")
         child = RenderContext(ctx.root, dot, ctx.variables)
-        return "".join(fn(self, child) for fn in body)
+        out: list[Fragment] = []
+        for fn in body:
+            fn(self, child, out)
+        return fragments_text(out)
 
 
 def _build_functions() -> dict[str, Callable[..., Any]]:

@@ -1,0 +1,537 @@
+"""Differential suite: structured render == text render, always.
+
+The dict-native render path (``render_chart(structured=True)``, the
+default) must be a *pure acceleration* of the classic text pipeline:
+identical documents, identical typed objects, identical downstream reports,
+snapshots and reachability surfaces.  This suite proves it four ways:
+
+* over the **whole 290-chart catalogue** -- documents/objects per chart,
+  with and without the Figure 4b policy overrides;
+* through the **analysis pipeline** -- canonical reports, double snapshots
+  and all-pairs reachability surfaces computed from structured renders diff
+  clean against the text-rendered reference;
+* over **Hypothesis-generated app specs** -- arbitrary injection plans and
+  archetypes;
+* over **adversarial templates** -- multi-document sources, ``toYaml``
+  nested in text context, empty and non-mapping documents, placeholder
+  collisions, scalar-resolution corner cases: everything designed to force
+  the splicer, the fast subset parser, or their fallbacks off the happy
+  path.
+
+Comparisons of pipeline artefacts go through the shared canonical differ in
+``tests/support/diffing.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import AnalysisSession, Cluster, OBSERVE_FAST
+from repro.core import AnalyzerSettings, MisconfigurationAnalyzer
+from repro.datasets import InjectionPlan, build_application, build_catalog
+from repro.helm import Chart, TemplateEngine, render_chart
+from repro.helm.structured import PLACEHOLDER_PREFIX, assemble_documents, parse_simple_yaml
+from repro.k8s.errors import ParseError
+from repro.k8s.yamlio import yaml_load_all
+
+from tests.support.diffing import (
+    assert_identical,
+    canonical_observation,
+    canonical_report,
+    canonical_surface,
+)
+
+ARCHETYPES = ("web", "database", "monitoring", "messaging", "pipeline", "microservices")
+
+
+def assert_render_equivalent(chart, overrides=None, release_name=None):
+    """Both render paths must produce dict-identical output for ``chart``."""
+    text = render_chart(
+        chart, release_name=release_name, overrides=overrides, cached=False, structured=False
+    )
+    structured = render_chart(
+        chart, release_name=release_name, overrides=overrides, cached=False, structured=True
+    )
+    assert structured.documents == text.documents
+    assert structured.objects == text.objects
+    assert structured.values == text.values
+    assert structured.release == text.release
+    assert set(structured.sources) == set(text.sources)
+    return structured
+
+
+def template_documents(source: str, context: dict, structured: bool) -> list:
+    """Render one template source to documents via either path."""
+    engine = TemplateEngine()
+    if structured:
+        fragments = engine.render_fragments(source, dict(context), "test.yaml")
+        documents, _ = assemble_documents(fragments, "test.yaml")
+        return documents
+    rendered = engine.render(source, dict(context), "test.yaml")
+    if not rendered.strip():
+        return []
+    return [document for document in yaml_load_all(rendered) if document]
+
+
+def assert_template_equivalent(source: str, context: dict) -> list:
+    """Both paths must produce identical documents for one template."""
+    text_docs = template_documents(source, context, structured=False)
+    structured_docs = template_documents(source, context, structured=True)
+    assert structured_docs == text_docs
+    return structured_docs
+
+
+# ---------------------------------------------------------------------------
+# Whole-catalogue conformance
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def catalog_apps():
+    return build_catalog()
+
+
+@pytest.mark.slow
+def test_catalogue_structured_equals_text(catalog_apps):
+    """Dict-identical documents/objects for every chart of the catalogue."""
+    for app in catalog_apps:
+        assert_render_equivalent(app.chart)
+
+
+@pytest.mark.slow
+def test_catalogue_structured_equals_text_with_policy_overrides(catalog_apps):
+    """The Figure 4b force-enable override renders identically too."""
+    overrides = {"networkPolicy": {"enabled": True}}
+    for app in catalog_apps:
+        if app.defines_network_policies:
+            assert_render_equivalent(app.chart, overrides=overrides)
+
+
+@pytest.mark.slow
+def test_catalogue_reports_identical_from_structured_renders(catalog_apps):
+    """Analyzer reports from structured renders == reports from text renders."""
+    analyzer = MisconfigurationAnalyzer(settings=AnalyzerSettings())
+    for app in catalog_apps:
+        expected = canonical_report(
+            analyzer.analyze_chart(
+                app.chart,
+                behaviors=app.behaviors,
+                dataset=app.dataset,
+                rendered=render_chart(app.chart, cached=False, structured=False),
+            )
+        )
+        actual = canonical_report(
+            analyzer.analyze_chart(
+                app.chart,
+                behaviors=app.behaviors,
+                dataset=app.dataset,
+                rendered=render_chart(app.chart, cached=False, structured=True),
+            )
+        )
+        assert_identical(expected, actual, label=f"report/{app.dataset}/{app.name}")
+
+
+@pytest.mark.slow
+def test_catalogue_snapshots_identical_from_structured_renders(catalog_apps):
+    """Install-free double snapshots taken from structured renders diff clean."""
+    session = AnalysisSession(observe_mode=OBSERVE_FAST)
+    for app in catalog_apps:
+        reference = canonical_observation(
+            session.observe(render_chart(app.chart, cached=False, structured=False),
+                            app.behaviors)
+        )
+        actual = canonical_observation(
+            session.observe(render_chart(app.chart, cached=False, structured=True),
+                            app.behaviors)
+        )
+        assert_identical(reference, actual, label=f"snapshot/{app.dataset}/{app.name}")
+
+
+@pytest.mark.slow
+def test_reachability_surfaces_identical_from_structured_renders(catalog_apps):
+    """All-pairs surfaces of installed structured renders match the text path."""
+    overrides = {"networkPolicy": {"enabled": True}}
+    checked = 0
+    for app in catalog_apps:
+        if not app.defines_network_policies:
+            continue
+        text_cluster = Cluster(name="surface", behaviors=app.behaviors)
+        text_cluster.install(
+            render_chart(app.chart, overrides=overrides, cached=False, structured=False)
+        )
+        expected = canonical_surface(text_cluster.reachability_matrix().all_pairs())
+        structured_cluster = Cluster(name="surface", behaviors=app.behaviors)
+        structured_cluster.install(
+            render_chart(app.chart, overrides=overrides, cached=False, structured=True)
+        )
+        actual = canonical_surface(structured_cluster.reachability_matrix().all_pairs())
+        assert_identical(expected, actual, label=f"surface/{app.dataset}/{app.name}")
+        checked += 1
+        if checked >= 60:  # plenty of coverage; installs dominate otherwise
+            break
+    assert checked >= 50
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis-generated app specs
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def injection_plans(draw):
+    m1 = draw(st.integers(min_value=0, max_value=3))
+    return InjectionPlan(
+        m1=m1,
+        m2=draw(st.integers(min_value=0, max_value=2)),
+        m3=draw(st.integers(min_value=0, max_value=2)),
+        m4a=draw(st.integers(min_value=0, max_value=1)),
+        m4b=draw(st.integers(min_value=0, max_value=1)),
+        m4c=draw(st.integers(min_value=0, max_value=1)),
+        m5a=draw(st.integers(min_value=0, max_value=1)),
+        m5b=draw(st.integers(min_value=0, max_value=m1)),
+        m5c=draw(st.integers(min_value=0, max_value=1)),
+        m5d=draw(st.integers(min_value=0, max_value=1)),
+        m6=draw(st.booleans()),
+        m7=draw(st.integers(min_value=0, max_value=1)),
+        global_collision=draw(st.booleans()),
+    )
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(plan=injection_plans(), archetype=st.sampled_from(ARCHETYPES))
+def test_generated_specs_render_identically(plan, archetype):
+    app = build_application("gen-app", "Gen Org", plan, archetype=archetype)
+    assert_render_equivalent(app.chart)
+
+
+# ---------------------------------------------------------------------------
+# Adversarial templates
+# ---------------------------------------------------------------------------
+
+
+class TestMultiDocumentSources:
+    def test_static_separators(self):
+        source = (
+            "kind: A\nname: first\n---\nkind: B\nname: second\n---\nkind: C\nname: third\n"
+        )
+        docs = assert_template_equivalent(source, {})
+        assert [d["kind"] for d in docs] == ["A", "B", "C"]
+
+    def test_separators_inside_range(self):
+        source = (
+            "{{- range .Values.items }}\n---\nkind: Item\nvalue: {{ . }}\n{{- end }}\n"
+        )
+        docs = assert_template_equivalent(source, {"Values": {"items": [1, 2, 3]}})
+        assert [d["value"] for d in docs] == [1, 2, 3]
+
+    def test_separator_emitted_by_action_output(self):
+        # The separator arrives at render time inside a value: the compiler
+        # cannot see it, so the scoped parse must still split correctly.
+        source = "kind: A\n{{ .Values.blob }}\nkind: B\n"
+        context = {"Values": {"blob": "x: 1\n---"}}
+        docs = assert_template_equivalent(source, context)
+        assert len(docs) == 2
+
+    def test_leading_and_trailing_separators(self):
+        assert_template_equivalent("---\nkind: Only\n---\n", {})
+
+    def test_separator_like_text_mid_line_is_not_a_boundary(self):
+        source = "note: {{ .Values.x }}---\nkind: A\n"
+        assert_template_equivalent(source, {"Values": {"x": "v"}})
+
+
+class TestToYamlPlacements:
+    CONTEXT = {
+        "Values": {
+            "labels": {"app": "web", "tier": "frontend"},
+            "ports": [{"port": 80, "name": "http"}, {"port": 443, "name": "https"}],
+            "empty": {},
+            "scalar": "just-text",
+            "number": 7,
+        }
+    }
+
+    def test_whole_document_emission(self):
+        docs = assert_template_equivalent("{{ toYaml .Values.labels }}\n", self.CONTEXT)
+        assert docs == [{"app": "web", "tier": "frontend"}]
+
+    def test_nindent_mapping_under_key(self):
+        source = "metadata:\n  labels:\n    {{- toYaml .Values.labels | nindent 4 }}\n"
+        assert_template_equivalent(source, self.CONTEXT)
+
+    def test_mapping_splice_followed_by_text_keys(self):
+        # The pattern the catalogue's components template uses: a native
+        # splice and literal text lines merging into one mapping.
+        source = (
+            "labels:\n"
+            "  {{- toYaml .Values.labels | nindent 2 }}\n"
+            "  literal-key: literal-value\n"
+        )
+        docs = assert_template_equivalent(source, self.CONTEXT)
+        assert docs[0]["labels"]["literal-key"] == "literal-value"
+        assert docs[0]["labels"]["app"] == "web"
+
+    def test_duplicate_keys_keep_text_path_semantics(self):
+        source = (
+            "labels:\n"
+            "  app: overridden-before\n"
+            "  {{- toYaml .Values.labels | nindent 2 }}\n"
+        )
+        docs = assert_template_equivalent(source, self.CONTEXT)
+        assert docs[0]["labels"]["app"] == "web"  # last wins, as in real YAML
+
+    def test_list_value_as_sole_key_value(self):
+        source = "ports:\n  {{- toYaml .Values.ports | nindent 2 }}\n"
+        docs = assert_template_equivalent(source, self.CONTEXT)
+        assert docs[0]["ports"][0]["port"] == 80
+
+    def test_toYaml_in_text_context_mid_line(self):
+        # Inline (mid-line) structure cannot own a whole line: the fragment
+        # must degrade to text exactly like the classic path.
+        source = "value: {{ toYaml .Values.scalar }}\n"
+        assert_template_equivalent(source, self.CONTEXT)
+
+    def test_toYaml_scalar_and_number(self):
+        assert_template_equivalent(
+            "a: {{ toYaml .Values.number }}\nb:\n  {{- toYaml .Values.scalar | nindent 2 }}\n",
+            self.CONTEXT,
+        )
+
+    def test_empty_mapping_splice(self):
+        source = "selector:\n  {{- toYaml .Values.empty | nindent 2 }}\n"
+        docs = assert_template_equivalent(source, self.CONTEXT)
+        assert docs[0]["selector"] == {}
+
+    def test_scalar_then_sibling_lines_falls_back(self):
+        # A scalar placeholder followed by mapping lines at the same indent
+        # is invalid YAML with placeholders but valid(ish) via the text
+        # fallback; both paths must behave identically (here: both raise or
+        # both parse -- the text is genuinely invalid, so both raise).
+        source = (
+            "field:\n"
+            "  {{- toYaml .Values.scalar | nindent 2 }}\n"
+            "  other: value\n"
+        )
+        from repro.helm.errors import RenderError
+
+        chart_kwargs = dict(templates={"bad.yaml": source})
+        text_chart = Chart.from_files("adv-text", **chart_kwargs)
+        structured_chart = Chart.from_files("adv-structured", **chart_kwargs)
+        with pytest.raises(RenderError):
+            render_chart(text_chart, cached=False, structured=False)
+        with pytest.raises(RenderError):
+            render_chart(structured_chart, cached=False, structured=True)
+
+    def test_text_glued_after_mapping_splice_falls_back(self):
+        # Literal text fused onto the same output line as a mapping toYaml:
+        # only the text path can interpret the glue, so the structured path
+        # must fall back rather than silently dropping it.
+        source = "data:\n  {{- toYaml .Values.m | nindent 2 }}x\n"
+        docs = assert_template_equivalent(source, {"Values": {"m": {"a": 1, "b": 2}}})
+        assert docs[0]["data"]["b"] == "2x"
+
+    def test_quoted_glue_after_mapping_splice_fails_identically(self):
+        from repro.helm.errors import RenderError
+
+        source = "data:\n  {{- toYaml .Values.m | nindent 2 }}x\n"
+        values = {"m": {"a": "1", "b": "2"}}  # quoted dump -> '2'x is invalid
+        chart_kwargs = dict(templates={"glue.yaml": source})
+        with pytest.raises(RenderError):
+            render_chart(Chart.from_files("glue-a", values=dict(values), **chart_kwargs),
+                         overrides=None, cached=False, structured=False)
+        with pytest.raises(RenderError):
+            render_chart(Chart.from_files("glue-b", values=dict(values), **chart_kwargs),
+                         overrides=None, cached=False, structured=True)
+
+    def test_carriage_return_line_endings(self):
+        # CRLF template text: PyYAML treats \r as a line break, the fast
+        # subset parser must bail rather than fold it into scalars.
+        source = "kind: ConfigMap\r\nmeta:\n  {{- toYaml .Values.m | nindent 2 }}\n"
+        docs = assert_template_equivalent(source, {"Values": {"m": {"a": 1}}})
+        assert docs[0]["kind"] == "ConfigMap"
+
+    def test_placeholder_prefix_collision_in_rendered_text(self):
+        context = {"Values": {"labels": {"app": "web"}, "evil": f"{PLACEHOLDER_PREFIX}0__"}}
+        source = (
+            "evil: {{ .Values.evil }}\n"
+            "labels:\n"
+            "  {{- toYaml .Values.labels | nindent 2 }}\n"
+        )
+        docs = assert_template_equivalent(source, context)
+        assert docs[0]["evil"] == f"{PLACEHOLDER_PREFIX}0__"
+        assert docs[0]["labels"] == {"app": "web"}
+
+    def test_toYaml_inside_if_and_range(self):
+        source = (
+            "{{- range .Values.items }}\n"
+            "---\n"
+            "item:\n"
+            "  {{- if .enabled }}\n"
+            "  labels:\n"
+            "    {{- toYaml .labels | nindent 4 }}\n"
+            "  {{- end }}\n"
+            "{{- end }}\n"
+        )
+        context = {
+            "Values": {
+                "items": [
+                    {"enabled": True, "labels": {"a": "1"}},
+                    {"enabled": False, "labels": {"b": "2"}},
+                ]
+            }
+        }
+        docs = assert_template_equivalent(source, context)
+        assert docs == [{"item": {"labels": {"a": "1"}}}, {"item": None}]
+
+
+class TestEmptyAndNonMappingDocuments:
+    def test_whitespace_only_template(self):
+        assert assert_template_equivalent("\n  \n\n", {}) == []
+
+    def test_only_separators(self):
+        assert assert_template_equivalent("---\n---\n---\n", {}) == []
+
+    def test_null_documents_are_dropped(self):
+        assert assert_template_equivalent("null\n---\nkind: A\n---\n~\n", {}) == [
+            {"kind": "A"}
+        ]
+
+    def test_conditionally_empty_template(self):
+        source = "{{- if .Values.enabled }}\nkind: A\n{{- end }}\n"
+        assert assert_template_equivalent(source, {"Values": {"enabled": False}}) == []
+
+    def test_non_mapping_top_level_list(self):
+        docs = assert_template_equivalent("- 1\n- 2\n---\n- a: 1\n", {})
+        assert docs == [[1, 2], [{"a": 1}]]
+
+    def test_non_mapping_top_level_scalar(self):
+        assert assert_template_equivalent("just-a-scalar\n", {}) == ["just-a-scalar"]
+
+    def test_non_mapping_toYaml_document(self):
+        docs = assert_template_equivalent(
+            "{{ toYaml .Values.items }}\n", {"Values": {"items": [1, 2]}}
+        )
+        assert docs == [[1, 2]]
+
+    def test_non_mapping_document_fails_object_construction_identically(self):
+        chart_kwargs = dict(templates={"list.yaml": "- not\n- a\n- mapping\n"})
+        with pytest.raises(ParseError):
+            render_chart(Chart.from_files("adv-a", **chart_kwargs), cached=False,
+                         structured=False)
+        with pytest.raises(ParseError):
+            render_chart(Chart.from_files("adv-b", **chart_kwargs), cached=False,
+                         structured=True)
+
+
+class TestScalarResolutionParity:
+    """The fast subset parser must type plain scalars exactly like PyYAML."""
+
+    @pytest.mark.parametrize(
+        "literal",
+        [
+            "8080", "-5", "+3", "0", "0x1F", "0b101", "010", "08", "1_000",
+            "1.5", "-0.5", ".5", "1e5", "1.0e5", ".inf", "-.inf",
+            "true", "False", "yes", "NO", "on", "Off",
+            "null", "Null", "~",
+            "plain-string", "a b c", "v1.2.3", "8.15.3", "acme/image-name",
+            "2024-01-01", "2024-01-01T00:00:00Z", "07:30",
+            '"quoted: with colon"', "'single quoted'",
+        ],
+    )
+    def test_scalar_literal(self, literal):
+        assert_template_equivalent(f"value: {literal}\n", {})
+
+    def test_nan_resolves_to_nan_on_both_paths(self):
+        import math
+
+        text = template_documents("value: .nan\n", {}, structured=False)
+        structured = template_documents("value: .nan\n", {}, structured=True)
+        assert math.isnan(text[0]["value"]) and math.isnan(structured[0]["value"])
+
+    def test_value_special_scalar_fails_identically(self):
+        # "=" resolves to the YAML value tag, which SafeLoader cannot
+        # construct: both render paths must surface the same RenderError.
+        from repro.helm.errors import RenderError
+
+        chart_kwargs = dict(templates={"eq.yaml": "value: =\n"})
+        with pytest.raises(RenderError):
+            render_chart(Chart.from_files("adv-eq-a", **chart_kwargs), cached=False,
+                         structured=False)
+        with pytest.raises(RenderError):
+            render_chart(Chart.from_files("adv-eq-b", **chart_kwargs), cached=False,
+                         structured=True)
+
+    def test_fast_parser_handles_catalogue_shapes(self):
+        # Sanity: the common shapes stay on the fast path (no exception).
+        parsed = parse_simple_yaml(
+            "apiVersion: apps/v1\n"
+            "kind: Deployment\n"
+            "metadata:\n"
+            "  name: web\n"
+            "spec:\n"
+            "  replicas: 2\n"
+            "  ports:\n"
+            "    - containerPort: 8080\n"
+            "      name: http\n"
+            "  ingress:\n"
+            "    - {}\n"
+        )
+        assert parsed[0]["spec"]["replicas"] == 2
+        assert parsed[0]["spec"]["ingress"] == [{}]
+
+
+class TestFromYamlNative:
+    def test_from_yaml_of_to_yaml_roundtrip(self):
+        source = (
+            "{{- $copy := fromYaml (toYaml .Values.cfg) }}\n"
+            "a: {{ $copy.key }}\n"
+            "nested:\n"
+            "  {{- toYaml $copy | nindent 2 }}\n"
+        )
+        assert_template_equivalent(source, {"Values": {"cfg": {"key": "v", "n": [1, 2]}}})
+
+    def test_piped_pair_collapses_identically(self):
+        source = "{{- $copy := .Values.cfg | toYaml | fromYaml }}\nkey: {{ $copy.key }}\n"
+        assert_template_equivalent(source, {"Values": {"cfg": {"key": 7}}})
+
+    def test_undumpable_value_raises_render_error_on_both_paths(self):
+        from repro.helm.errors import RenderError
+
+        class Opaque:
+            pass
+
+        source = "{{- if .Values.x | toYaml | fromYaml }}y: 1\n{{- end }}\n"
+        for structured in (False, True):
+            chart = Chart.from_files(
+                f"opaque-{structured}",
+                values={"x": {"a": Opaque()}},
+                templates={"t.yaml": source},
+            )
+            with pytest.raises(RenderError):
+                render_chart(chart, cached=False, structured=structured)
+
+    def test_resolver_sensitive_string_stays_text_equivalent(self):
+        # "2024-01-01" re-types through YAML; the native peephole must not
+        # short-circuit that.
+        engine_a, engine_b = TemplateEngine(), TemplateEngine()
+        source = "{{- $v := .Values.s | toYaml | fromYaml }}{{ kindIs \"string\" $v }}"
+        context = {"Values": {"s": "2024-01-01"}}
+        assert engine_a.render(source, context) == engine_b.render(source, context)
+
+
+class TestRenderCacheStructuredKeying:
+    def test_structured_and_text_entries_do_not_collide(self):
+        from repro.helm import RenderCache
+
+        app = build_application("cache-mix", "Org", InjectionPlan(m1=1, m6=True))
+        cache = RenderCache()
+        structured = cache.render(app.chart, structured=True)
+        text = cache.render(app.chart, structured=False)
+        assert cache.stats()["misses"] == 2
+        assert structured.documents == text.documents
+        assert structured.objects == text.objects
+        # Hits keep serving the matching flavour.
+        again = cache.render(app.chart, structured=True)
+        assert cache.stats()["hits"] == 1
+        assert again.sources == structured.sources
