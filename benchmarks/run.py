@@ -23,6 +23,14 @@ captured separately by the ``chart_render/warm`` case.
 ``--smoke`` runs a seconds-long sanity pass (one repeat, one fleet size, a
 tiny catalogue sample) and writes no file unless ``--output`` is given --
 wired into CI-style checks via ``tests/smoke``.
+
+The ``analysis`` section records the rule-evaluation slice (reference
+rule-at-a-time vs the compiled single-pass engine) and the warm
+render-cache hit cost (copy-on-read reference vs shared-reference interned
+hits).  ``--check`` runs a smoke pass and compares its per-chart end-to-end
+numbers against the committed ``BENCH_connectivity.json`` with a tolerance
+band (``--tolerance``, default 3x), exiting non-zero on regression; the
+smoke suite (``tests/smoke/test_bench_check.py``) wires it into CI.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from analysis_cases import run_analysis_suite  # noqa: E402
 from connectivity_cases import format_table, run_size  # noqa: E402
 from render_cases import run_render_suite  # noqa: E402
 from session_cases import run_session_suite  # noqa: E402
@@ -45,13 +54,44 @@ SMOKE_FLEET_SIZES = (30,)
 
 
 def _clear_render_caches() -> None:
-    from repro.helm import clear_template_cache, shared_render_cache
+    from repro.helm import clear_skeleton_parse_memo, clear_template_cache, shared_render_cache
+    from repro.k8s import clear_intern_table
 
     clear_template_cache()
     shared_render_cache().clear()
+    clear_skeleton_parse_memo()
+    clear_intern_table()
 
 
-def bench_netpol_sweep(sample: int | None) -> dict[str, float]:
+def _median_cold(sweep, repeats: int) -> float:
+    """Median of ``repeats`` cold runs (caches cleared before each).
+
+    Every run is a genuine first pass over the catalogue; the median only
+    absorbs scheduler noise, in line with the per-case median methodology.
+    Garbage collection is paused during each timed run (the ``timeit``
+    convention) so earlier sweeps' allocation debt is not billed to a later
+    shape -- the collector runs between repeats instead.
+    """
+    import gc
+    import statistics
+
+    timings = []
+    for _ in range(max(repeats, 1)):
+        _clear_render_caches()
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            sweep()
+            timings.append(time.perf_counter() - start)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    return statistics.median(timings)
+
+
+def bench_netpol_sweep(sample: int | None, repeats: int = 3) -> dict[str, float]:
     """End-to-end Figure 4b sweep, naive vs compiled engine, seconds."""
     from repro.datasets import build_catalog
     from repro.experiments import run_netpol_impact
@@ -61,14 +101,17 @@ def bench_netpol_sweep(sample: int | None) -> dict[str, float]:
         applications = applications[:sample]
     timings: dict[str, float] = {"charts": float(len(applications))}
     for label, compiled in (("naive", False), ("compiled", True)):
-        _clear_render_caches()
-        start = time.perf_counter()
-        run_netpol_impact(applications=applications, compiled=compiled)
-        timings[f"netpol_impact/{label}_s"] = round(time.perf_counter() - start, 3)
+        timings[f"netpol_impact/{label}_s"] = round(
+            _median_cold(
+                lambda: run_netpol_impact(applications=applications, compiled=compiled),
+                repeats,
+            ),
+            3,
+        )
     return timings
 
 
-def bench_full_evaluation(sample: int | None) -> dict[str, float]:
+def bench_full_evaluation(sample: int | None, repeats: int = 3) -> dict[str, float]:
     """Full-catalogue evaluation: pre-PR shapes vs current, cold caches.
 
     Three shapes: the PR-1 double-render pipeline, the PR-2 pipeline
@@ -101,40 +144,76 @@ def bench_full_evaluation(sample: int | None) -> dict[str, float]:
 
     # The pre-PR pipeline rendered every chart twice: once inside
     # analyze_chart and once more for the cluster-wide inventory.
-    _clear_render_caches()
-    start = time.perf_counter()
-    for app in applications:
-        analyzer.analyze_chart(
-            app.chart,
-            behaviors=app.behaviors,
-            dataset=app.dataset,
-            rendered=render_pre_pr(app.chart),
-        )
-        Inventory(render_pre_pr(app.chart).objects)
-    double_render = time.perf_counter() - start
+    def sweep_double_render() -> None:
+        for app in applications:
+            analyzer.analyze_chart(
+                app.chart,
+                behaviors=app.behaviors,
+                dataset=app.dataset,
+                rendered=render_pre_pr(app.chart),
+            )
+            Inventory(render_pre_pr(app.chart).objects)
+
+    double_render = _median_cold(sweep_double_render, repeats)
 
     # PR-2 shape: single cached render, but a throw-away cluster with a full
     # install + double snapshot per chart.
-    _clear_render_caches()
-    start = time.perf_counter()
-    run_full_evaluation(
-        applications=applications,
-        analyzer=MisconfigurationAnalyzer(
-            settings=AnalyzerSettings(observe_mode=OBSERVE_FULL, pooled_clusters=False)
-        ),
-    )
-    fresh_full = time.perf_counter() - start
+    def sweep_fresh_full() -> None:
+        run_full_evaluation(
+            applications=applications,
+            analyzer=MisconfigurationAnalyzer(
+                settings=AnalyzerSettings(observe_mode=OBSERVE_FULL, pooled_clusters=False)
+            ),
+        )
 
-    _clear_render_caches()
-    start = time.perf_counter()
-    run_full_evaluation(applications=applications)
-    current = time.perf_counter() - start
+    fresh_full = _median_cold(sweep_fresh_full, repeats)
+
+    current = _median_cold(lambda: run_full_evaluation(applications=applications), repeats)
     return {
         "charts": float(len(applications)),
         "evaluation/double_render_s": round(double_render, 3),
         "evaluation/fresh_full_s": round(fresh_full, 3),
         "evaluation/current_s": round(current, 3),
     }
+
+
+#: ``--check`` compares these end-to-end metrics, normalized per chart, so a
+#: smoke-sized run remains comparable with a committed full-catalogue record.
+CHECK_KEYS = ("evaluation/current_s", "netpol_impact/compiled_s")
+
+
+def check_against_committed(
+    record: dict, committed_path: Path, tolerance: float
+) -> list[str]:
+    """Regression check: fresh per-chart end-to-end numbers vs the committed file.
+
+    Returns human-readable failure messages (empty = within the band).  The
+    committed numbers come from a full-catalogue run on the recording
+    machine; the fresh ones usually come from ``--smoke`` on whatever runs
+    CI, so the band (`tolerance`, a multiplier) absorbs machine variance and
+    sample-size effects while still catching order-of-magnitude
+    regressions -- a hot path falling off its compiled/cached fast path.
+    """
+    committed = json.loads(committed_path.read_text())
+    failures: list[str] = []
+    committed_e2e = committed.get("end_to_end", {})
+    fresh_e2e = record.get("end_to_end", {})
+    committed_charts = committed_e2e.get("charts") or 1.0
+    fresh_charts = fresh_e2e.get("charts") or 1.0
+    for key in CHECK_KEYS:
+        if key not in committed_e2e or key not in fresh_e2e:
+            failures.append(f"{key}: missing from committed or fresh record")
+            continue
+        committed_per_chart = committed_e2e[key] / committed_charts
+        fresh_per_chart = fresh_e2e[key] / fresh_charts
+        limit = committed_per_chart * tolerance
+        if fresh_per_chart > limit:
+            failures.append(
+                f"{key}: {fresh_per_chart * 1e3:.3f} ms/chart exceeds "
+                f"{committed_per_chart * 1e3:.3f} ms/chart × {tolerance:.1f} "
+                f"(committed {committed_path.name})"
+            )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -161,7 +240,21 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="seconds-long sanity pass: one repeat, one fleet size, tiny sample",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run a --smoke pass and fail (exit 1) when per-chart end-to-end "
+        "numbers regress past --tolerance × the committed BENCH_connectivity.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="allowed multiplier over the committed per-chart numbers for --check",
+    )
     args = parser.parse_args(argv)
+    if args.check:
+        args.smoke = True
     if args.smoke:
         args.repeats = 1
         args.sample = min(args.sample, 4)
@@ -217,14 +310,15 @@ def main(argv: list[str] | None = None) -> int:
         f"fast {session['observe/fast_s']}s "
         f"({ratio(session['observe/fresh_full_s'], session['observe/fast_s'])})"
     )
-    e2e = bench_netpol_sweep(sample)
+    e2e_repeats = 1 if args.smoke else min(args.repeats, 3)
+    e2e = bench_netpol_sweep(sample, repeats=e2e_repeats)
     print(
         f"Figure 4b sweep over {int(e2e['charts'])} charts: "
         f"naive {e2e['netpol_impact/naive_s']}s -> "
         f"compiled {e2e['netpol_impact/compiled_s']}s "
         f"({ratio(e2e['netpol_impact/naive_s'], e2e['netpol_impact/compiled_s'])})"
     )
-    evaluation = bench_full_evaluation(sample)
+    evaluation = bench_full_evaluation(sample, repeats=e2e_repeats)
     e2e.update(evaluation)
     print(
         f"Catalogue evaluation over {int(evaluation['charts'])} charts: "
@@ -232,6 +326,18 @@ def main(argv: list[str] | None = None) -> int:
         f"fresh clusters {evaluation['evaluation/fresh_full_s']}s -> "
         f"pooled+fast {evaluation['evaluation/current_s']}s "
         f"({ratio(evaluation['evaluation/fresh_full_s'], evaluation['evaluation/current_s'])} over PR-2)"
+    )
+    analysis = run_analysis_suite(sample=sample, repeats=e2e_repeats)
+    print(
+        f"rules slice over {int(analysis['charts'])} charts: "
+        f"reference {analysis['rules/reference']:,.0f} ns/chart -> "
+        f"compiled {analysis['rules/compiled']:,.0f} ns/chart "
+        f"({ratio(analysis['rules/reference'], analysis['rules/compiled'])})"
+    )
+    print(
+        f"warm render hit: copy-on-read {analysis['warm_inventory/copy']:,.0f} ns/chart -> "
+        f"shared-reference {analysis['warm_inventory/shared']:,.0f} ns/chart "
+        f"({ratio(analysis['warm_inventory/copy'], analysis['warm_inventory/shared'])})"
     )
 
     record = {
@@ -252,8 +358,25 @@ def main(argv: list[str] | None = None) -> int:
         },
         "render": {case: round(value, 1) for case, value in render.items()},
         "session": session,
+        "analysis": analysis,
         "end_to_end": e2e,
     }
+    if args.check:
+        # The gate always compares against the *committed* record --
+        # ``--output`` keeps its write-destination meaning and is simply
+        # unused here (check mode never writes a file).
+        committed = Path(__file__).resolve().parent.parent / "BENCH_connectivity.json"
+        if not committed.exists():
+            print(f"\n--check: no committed record at {committed}")
+            return 1
+        failures = check_against_committed(record, committed, args.tolerance)
+        if failures:
+            print("\n--check FAILED:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"\n--check passed (tolerance {args.tolerance:.1f}x vs {committed.name})")
+        return 0
     if args.output is None and args.smoke:
         print("\nsmoke pass complete (no file written)")
         return 0

@@ -54,8 +54,9 @@ def run_session_suite(sample: int | None = None, repeats: int = 3) -> dict[str, 
     def best_of(sweep) -> float:
         timings = []
         for _ in range(max(repeats, 1)):
-            # Each run re-renders per chart from the warm cache so every
-            # variant observes freshly materialized (mutable) objects.
+            # Each run re-renders per chart from the warm cache (a
+            # shared-reference hit per chart) so every variant starts from
+            # identical render results.
             rendered[:] = [
                 render_chart(app.chart, fingerprint=fingerprint)
                 for app, fingerprint in zip(applications, fingerprints)

@@ -127,12 +127,11 @@ class ObservationSubstrate:
         """The install-free double snapshot of one rendered chart.
 
         Byte-compatible with installing ``rendered`` into a fresh cluster and
-        running ``RuntimeScanner.observe``: objects are validated and
-        namespace-defaulted in apply order (mutating the rendered objects the
-        way an install does, so downstream rule evaluation sees identical
-        inventories), pods start in workload order, and the restart between
-        snapshots walks the started pod names in the same order so dynamic
-        ports replay the same RNG draws.
+        running ``RuntimeScanner.observe``: objects are validated (once per
+        sealed interned object -- see ``validate_cached``) and
+        namespace-defaulted in apply order, pods start in workload order, and
+        the restart between snapshots walks the started pod names in the same
+        order so dynamic ports replay the same RNG draws.
         """
         app = rendered.release.name
         namespace = rendered.release.namespace or "default"
@@ -141,8 +140,13 @@ class ObservationSubstrate:
             if obj.kind == "Namespace":
                 continue
             if obj.NAMESPACED and not obj.metadata.namespace:
+                # Only reachable for hand-built objects: parsed manifests are
+                # namespace-defaulted at construction (and interned objects,
+                # which are sealed, therefore never take this branch).
                 obj.metadata.namespace = namespace
-            obj.validate()
+            # Sealed (content-interned) objects validate once ever: warm
+            # render-cache hits skip the whole validation walk.
+            obj.validate_cached()
             objects.append(obj)
         running: dict[tuple[str, str], RunningPod] = {}
         pod_names: list[str] = []

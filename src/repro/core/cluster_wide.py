@@ -40,7 +40,9 @@ def find_global_collisions(applications: list[ApplicationInventory]) -> list[Glo
     groups: dict[LabelSet, list[tuple[str, str]]] = {}
     for entry in applications:
         for unit in entry.inventory.compute_units():
-            labels = LabelSet(unit.pod_labels())
+            labels = unit.pod_labels()
+            if type(labels) is not LabelSet:
+                labels = LabelSet(labels)
             if not labels:
                 continue
             groups.setdefault(labels, []).append((entry.application, unit.qualified_name()))
@@ -63,19 +65,30 @@ def find_cross_application_selector_matches(
     units belonging to a different application deployed in the same cluster.
 
     The unit inventory is flattened once into a per-namespace index with
-    pre-hashed label items, so pure ``matchLabels`` selectors reduce to
-    frozenset subset tests (the policy-index idiom) instead of re-walking
-    every other application's compute units per service -- this pass used to
-    be the quadratic tail of the catalogue evaluation.
+    pre-hashed label items, and every ``(key, value)`` pair additionally
+    gets a posting list of the units carrying it.  A pure ``matchLabels``
+    selector then only examines its *rarest* label's posting list (subset
+    test on pre-hashed items) instead of every unit in the namespace --
+    selectors name application-specific labels, so the examined list is
+    typically a handful of units out of hundreds.  Expression selectors
+    fall back to the full per-namespace scan; this pass used to be the
+    quadratic tail of the catalogue evaluation.
     """
     #: namespace -> [(application, qualified name, hashed labels, labels)]
     units_by_namespace: dict[str, list[tuple[str, str, frozenset, dict]]] = {}
+    #: namespace -> (key, value) -> indices into the namespace's unit list.
+    postings: dict[str, dict[tuple[str, str], list[int]]] = {}
     for entry in applications:
         for unit in entry.inventory.compute_units():
             labels = dict(unit.pod_labels())
-            units_by_namespace.setdefault(unit.namespace, []).append(
+            bucket = units_by_namespace.setdefault(unit.namespace, [])
+            posting = postings.setdefault(unit.namespace, {})
+            index = len(bucket)
+            bucket.append(
                 (entry.application, unit.qualified_name(), frozenset(labels.items()), labels)
             )
+            for item in labels.items():
+                posting.setdefault(item, []).append(index)
     collisions: list[GlobalCollision] = []
     for entry in applications:
         for service in entry.inventory.services():
@@ -83,6 +96,13 @@ def find_cross_application_selector_matches(
                 continue
             candidates = units_by_namespace.get(service.namespace, ())
             match_items = service.selector.as_match_items()
+            if match_items and candidates:
+                posting = postings[service.namespace]
+                lists = [posting.get(item) for item in match_items]
+                if any(entry_list is None for entry_list in lists):
+                    continue  # a selector label no unit carries: no matches
+                rarest = min(lists, key=len)
+                candidates = [candidates[index] for index in rarest]
             foreign_members = [
                 (application, name)
                 for application, name, label_items, labels in candidates

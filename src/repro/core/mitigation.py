@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..k8s import (
+    ComputeUnit,
     ContainerPort,
     Inventory,
     LabelSet,
@@ -24,11 +25,53 @@ from ..k8s import (
     NetworkPolicyPort,
     NetworkPolicyRule,
     ObjectMeta,
+    Pod,
     Selector,
     Service,
     Workload,
 )
 from .findings import Finding, MisconfigClass
+
+
+class PatchSet:
+    """A mutable working set of objects being patched by the engine.
+
+    :class:`~repro.k8s.Inventory` is immutable and memoizes its selector
+    indexes, which is exactly wrong for mitigation: handlers mutate labels
+    and selectors mid-run and expect subsequent queries to see the patched
+    state.  This little view recomputes every query per call (the seed
+    inventory semantics) and supports appending generated objects.
+    """
+
+    def __init__(self, objects: list[KubernetesObject]) -> None:
+        self._objects = objects
+
+    def __iter__(self):
+        return iter(self._objects)
+
+    def objects(self) -> list[KubernetesObject]:
+        return list(self._objects)
+
+    def add(self, obj: KubernetesObject) -> None:
+        self._objects.append(obj)
+
+    def compute_units(self) -> list[ComputeUnit]:
+        return [
+            ComputeUnit(obj) for obj in self._objects if isinstance(obj, (Workload, Pod))
+        ]
+
+    def services(self) -> list[Service]:
+        return [obj for obj in self._objects if isinstance(obj, Service)]
+
+    def compute_units_selected_by(self, service: Service) -> list[ComputeUnit]:
+        if not service.has_selector:
+            return []
+        return [
+            unit
+            for unit in self.compute_units()
+            if unit.namespace == service.namespace
+            and service.selector.matches(unit.pod_labels())
+        ]
 
 
 @dataclass
@@ -61,9 +104,11 @@ class MitigationEngine:
 
     def apply(self, objects: Iterable[KubernetesObject], findings: Iterable[Finding]) -> MitigationResult:
         """Return patched copies of ``objects`` with findings addressed."""
+        # deepcopy thaws sealed (content-interned) objects, so the patches
+        # below never touch a shared object graph.
         patched = [copy.deepcopy(obj) for obj in objects]
         result = MitigationResult(objects=patched)
-        inventory = Inventory(patched)
+        inventory = PatchSet(patched)
         for finding in findings:
             handler = self._HANDLERS.get(finding.misconfig_class)
             if handler is None:
@@ -82,7 +127,7 @@ class MitigationEngine:
         return result
 
     # Individual handlers ---------------------------------------------------
-    def _declare_missing_port(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+    def _declare_missing_port(self, inventory: PatchSet, finding: Finding) -> MitigationAction:
         unit = self._find_workload(inventory, finding.resource)
         if unit is None or finding.port is None:
             return MitigationAction(finding, False, "could not locate the compute unit to patch")
@@ -93,7 +138,7 @@ class MitigationEngine:
             finding, True, f"declared containerPort {finding.port} on {finding.resource}"
         )
 
-    def _remove_dead_port(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+    def _remove_dead_port(self, inventory: PatchSet, finding: Finding) -> MitigationAction:
         unit = self._find_workload(inventory, finding.resource)
         if unit is None or finding.port is None:
             return MitigationAction(finding, False, "could not locate the compute unit to patch")
@@ -110,7 +155,7 @@ class MitigationEngine:
             else "declared port was already absent",
         )
 
-    def _advise_dynamic_ports(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+    def _advise_dynamic_ports(self, inventory: PatchSet, finding: Finding) -> MitigationAction:
         return MitigationAction(
             finding,
             False,
@@ -118,7 +163,7 @@ class MitigationEngine:
             "variable) or document the dynamic port usage in the chart",
         )
 
-    def _make_labels_unique(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+    def _make_labels_unique(self, inventory: PatchSet, finding: Finding) -> MitigationAction:
         resources = (finding.resource,) + finding.related_resources
         patched_units: list[Workload] = []
         for qualified in resources:
@@ -150,7 +195,7 @@ class MitigationEngine:
         return MitigationAction(finding, bool(patched_units), description)
 
     @staticmethod
-    def _narrow_ambiguous_services(inventory: Inventory, units: list[Workload]) -> int:
+    def _narrow_ambiguous_services(inventory: PatchSet, units: list[Workload]) -> int:
         """Re-point services that selected several colliding units to one of them.
 
         The intended backend is chosen by name affinity (longest common prefix
@@ -178,7 +223,7 @@ class MitigationEngine:
             narrowed += 1
         return narrowed
 
-    def _fix_service_target(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+    def _fix_service_target(self, inventory: PatchSet, finding: Finding) -> MitigationAction:
         service = self._find_service(inventory, finding.resource)
         if service is None or finding.port is None:
             return MitigationAction(finding, False, "could not locate the service to patch")
@@ -207,7 +252,7 @@ class MitigationEngine:
             f"re-pointed service port {finding.port} to declared container port {replacement}",
         )
 
-    def _remove_headless_port(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+    def _remove_headless_port(self, inventory: PatchSet, finding: Finding) -> MitigationAction:
         service = self._find_service(inventory, finding.resource)
         if service is None or finding.port is None:
             return MitigationAction(finding, False, "could not locate the headless service")
@@ -219,7 +264,7 @@ class MitigationEngine:
             f"removed unavailable port {finding.port} from headless service {service.name!r}",
         )
 
-    def _advise_service_without_target(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+    def _advise_service_without_target(self, inventory: PatchSet, finding: Finding) -> MitigationAction:
         return MitigationAction(
             finding,
             False,
@@ -227,7 +272,7 @@ class MitigationEngine:
             "(kubectl get pods -l <selector> must return the intended pods) or delete the service",
         )
 
-    def _generate_network_policies(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+    def _generate_network_policies(self, inventory: PatchSet, finding: Finding) -> MitigationAction:
         policies = generate_network_policies(inventory, finding.application)
         for policy in policies:
             inventory.add(policy)
@@ -238,7 +283,7 @@ class MitigationEngine:
             "service traffic)",
         )
 
-    def _disable_host_network(self, inventory: Inventory, finding: Finding) -> MitigationAction:
+    def _disable_host_network(self, inventory: PatchSet, finding: Finding) -> MitigationAction:
         unit = self._find_workload(inventory, finding.resource)
         if unit is None:
             return MitigationAction(finding, False, "could not locate the compute unit to patch")
@@ -249,14 +294,14 @@ class MitigationEngine:
 
     # Lookup helpers -------------------------------------------------------------
     @staticmethod
-    def _find_workload(inventory: Inventory, qualified_name: str) -> Workload | None:
+    def _find_workload(inventory: PatchSet, qualified_name: str) -> Workload | None:
         for obj in inventory:
             if isinstance(obj, Workload) and obj.qualified_name() == qualified_name:
                 return obj
         return None
 
     @staticmethod
-    def _find_service(inventory: Inventory, qualified_name: str) -> Service | None:
+    def _find_service(inventory: PatchSet, qualified_name: str) -> Service | None:
         for obj in inventory:
             if isinstance(obj, Service) and obj.qualified_name() == qualified_name:
                 return obj
@@ -279,7 +324,7 @@ class MitigationEngine:
     }
 
 
-def generate_network_policies(inventory: Inventory, application: str) -> list[NetworkPolicy]:
+def generate_network_policies(inventory: "Inventory | PatchSet", application: str) -> list[NetworkPolicy]:
     """Generate a default-deny policy plus per-service allow rules.
 
     This is the automated mitigation for M6: deny all ingress to the

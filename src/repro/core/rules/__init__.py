@@ -1,6 +1,7 @@
 """Detection rules, one module per misconfiguration family."""
 
 from .base import HYBRID, RUNTIME, STATIC, Rule, RuleRegistry, default_rule, default_rules
+from .compiled import FusedPlan, evaluate_fused
 from .labels import ComputeUnitCollisionRule, ComputeUnitSubsetCollisionRule, ServiceLabelCollisionRule
 from .policies import HostNetworkRule, LackOfNetworkPoliciesRule
 from .ports import DeclaredClosedPortsRule, DynamicPortsRule, UndeclaredOpenPortsRule
@@ -20,6 +21,7 @@ __all__ = [
     "ComputeUnitSubsetCollisionRule",
     "DeclaredClosedPortsRule",
     "DynamicPortsRule",
+    "FusedPlan",
     "HeadlessServicePortUnavailableRule",
     "HostNetworkRule",
     "LackOfNetworkPoliciesRule",
@@ -32,5 +34,6 @@ __all__ = [
     "UndeclaredOpenPortsRule",
     "default_rule",
     "default_rules",
+    "evaluate_fused",
     "service_target_summary",
 ]

@@ -36,18 +36,42 @@ class Rule(ABC):
     def evaluate(self, context: AnalysisContext) -> list[Finding]:
         """Produce the findings for one application."""
 
+    def compile_into(self, plan) -> bool:
+        """Register fused-pass emitters with a compiled-engine plan.
+
+        The compiled engine (:mod:`repro.core.rules.compiled`) walks compute
+        units and services once and dispatches every registered emitter from
+        the shared walk.  A rule that contributes emitters returns ``True``;
+        the default ``False`` makes the engine fall back to calling
+        :meth:`evaluate` for this rule (custom rules therefore keep working
+        unchanged under ``compiled_rules=True``).  Registration must be
+        all-or-nothing: a rule either fully describes itself to the plan or
+        leaves it untouched.
+        """
+        return False
+
 
 class RuleRegistry:
     """Holds the active rule set; the analyzer iterates over it."""
 
     def __init__(self, rules: Iterable[Rule] = ()) -> None:
         self._rules: list[Rule] = list(rules)
+        self._snapshot: list[Rule] | None = None
 
     def register(self, rule: Rule) -> None:
         self._rules.append(rule)
+        self._snapshot = None
 
     def rules(self) -> list[Rule]:
-        return list(self._rules)
+        """The registered rules, as a cached read-only snapshot list.
+
+        The seed copied the list on every call; rule evaluation asks for it
+        per chart, so the copy showed up in the catalogue sweep.  The cache
+        is invalidated by :meth:`register`.
+        """
+        if self._snapshot is None:
+            self._snapshot = list(self._rules)
+        return self._snapshot
 
     def rules_for(self, context: AnalysisContext) -> list[Rule]:
         return [rule for rule in self._rules if rule.applicable(context)]

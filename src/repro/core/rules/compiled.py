@@ -1,0 +1,107 @@
+"""The compiled single-pass rule engine.
+
+The seed analyzer evaluated rules one at a time, and every rule re-walked
+the same inventory: seven rules iterate the compute units, five iterate the
+services, and each recomputed snapshots, port sets and selector matches on
+the way.  This module fuses the registered rule set into **one** evaluation
+pass:
+
+* every rule describes itself to a :class:`FusedPlan` through
+  :meth:`~repro.core.rules.base.Rule.compile_into` -- a per-unit emitter, a
+  per-service emitter, and/or a finalizer, each writing into the rule's own
+  ordered finding bucket;
+* the engine walks ``context.compute_units()`` once and dispatches every
+  unit emitter per unit, walks ``context.services()`` once and dispatches
+  every service emitter, then runs the finalizers (rules that aggregate
+  across the walk, e.g. the M4A label grouping and the M6 protection
+  census);
+* shared lookups -- owner→snapshots, stable/dynamic port sets, selector
+  matches -- come from the indexed :class:`~repro.core.context
+  .AnalysisContext` and the inventory's frozen indexes, so they are computed
+  once per chart instead of once per rule.
+
+Because the emitters are the *same functions* the rule-at-a-time reference
+path (``compiled_rules=False``) runs inside ``Rule.evaluate``, and because
+buckets are concatenated in registry order, the fused pass produces
+byte-identical findings in byte-identical order; the differential suite in
+``tests/property/test_rule_engine.py`` proves it over the full catalogue and
+Hypothesis-generated applications.  Rules that do not implement
+``compile_into`` (custom rule classes) transparently fall back to their
+``evaluate`` method, keeping the registry extensible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from ..context import AnalysisContext
+from ..findings import Finding
+from .base import Rule, RuleRegistry
+
+#: Emitter signatures (state is a per-rule, per-evaluation scratch dict).
+UnitEmitter = Callable[[AnalysisContext, object, dict, list], None]
+ServiceEmitter = Callable[[AnalysisContext, object, dict, list], None]
+Finalizer = Callable[[AnalysisContext, dict, list], None]
+
+
+class FusedPlan:
+    """Collects the emitters of every compiled rule, in registration order."""
+
+    def __init__(self) -> None:
+        self.unit_emitters: List[Tuple[Rule, UnitEmitter]] = []
+        self.service_emitters: List[Tuple[Rule, ServiceEmitter]] = []
+        self.finalizers: List[Tuple[Rule, Finalizer]] = []
+
+    def on_unit(self, rule: Rule, emitter: UnitEmitter) -> None:
+        """Run ``emitter`` for every compute unit of the shared walk."""
+        self.unit_emitters.append((rule, emitter))
+
+    def on_service(self, rule: Rule, emitter: ServiceEmitter) -> None:
+        """Run ``emitter`` for every service of the shared walk."""
+        self.service_emitters.append((rule, emitter))
+
+    def finalize(self, rule: Rule, finalizer: Finalizer) -> None:
+        """Run ``finalizer`` once, after both walks."""
+        self.finalizers.append((rule, finalizer))
+
+
+def evaluate_fused(
+    registry: RuleRegistry, context: AnalysisContext
+) -> list[tuple[Rule, list[Finding]]]:
+    """Evaluate every applicable rule of ``registry`` in one fused pass.
+
+    Returns ``(rule, findings)`` pairs in registry order -- exactly what the
+    reference loop ``[(rule, rule.evaluate(context)) for rule in
+    registry.rules_for(context)]`` returns, computed with one walk over the
+    compute units and one over the services.
+    """
+    applicable = registry.rules_for(context)
+    plan = FusedPlan()
+    fallback: list[Rule] = []
+    for rule in applicable:
+        if not rule.compile_into(plan):
+            fallback.append(rule)
+    buckets: dict[Rule, list[Finding]] = {rule: [] for rule in applicable}
+    states: dict[Rule, dict] = {rule: {} for rule in applicable}
+    # Pre-bind each emitter to its state and bucket once, so the inner
+    # dispatch loop is a plain tuple unpack per (unit, emitter) pair.
+    if plan.unit_emitters:
+        dispatch = [
+            (emitter, states[rule], buckets[rule]) for rule, emitter in plan.unit_emitters
+        ]
+        for unit in context.compute_units():
+            for emitter, state, bucket in dispatch:
+                emitter(context, unit, state, bucket)
+    if plan.service_emitters:
+        dispatch = [
+            (emitter, states[rule], buckets[rule])
+            for rule, emitter in plan.service_emitters
+        ]
+        for service in context.services():
+            for emitter, state, bucket in dispatch:
+                emitter(context, service, state, bucket)
+    for rule, finalizer in plan.finalizers:
+        finalizer(context, states[rule], buckets[rule])
+    for rule in fallback:
+        buckets[rule] = rule.evaluate(context)
+    return [(rule, buckets[rule]) for rule in applicable]

@@ -3,6 +3,12 @@
 Cluster-wide collisions across applications (M4*) are handled separately by
 :mod:`repro.core.cluster_wide` because they require the inventories of every
 installed application at once.
+
+Each rule is written as emitters shared by both evaluation paths: the
+rule-at-a-time reference (``Rule.evaluate`` drives its own walk) and the
+compiled single-pass engine (:mod:`repro.core.rules.compiled` dispatches the
+same emitters from the shared walk), so the two paths agree byte-for-byte by
+construction.
 """
 
 from __future__ import annotations
@@ -10,7 +16,7 @@ from __future__ import annotations
 from ..context import AnalysisContext
 from ..findings import Finding, MisconfigClass
 from .base import STATIC, Rule, default_rule
-from ...k8s import LabelSet
+from ...k8s import ComputeUnit, LabelSet, Service
 
 
 @default_rule
@@ -22,17 +28,38 @@ class ComputeUnitCollisionRule(Rule):
 
     def evaluate(self, context: AnalysisContext) -> list[Finding]:
         findings: list[Finding] = []
-        groups: dict[LabelSet, list] = {}
+        state: dict = {}
         for unit in context.compute_units():
-            labels = LabelSet(unit.pod_labels())
-            if not labels:
-                continue
-            groups.setdefault(labels, []).append(unit)
-        for labels, units in groups.items():
+            self._collect(context, unit, state, findings)
+        self._emit(context, state, findings)
+        return findings
+
+    def compile_into(self, plan) -> bool:
+        plan.on_unit(self, self._collect)
+        plan.finalize(self, self._emit)
+        return True
+
+    @staticmethod
+    def _collect(
+        context: AnalysisContext, unit: ComputeUnit, state: dict, out: list[Finding]
+    ) -> None:
+        labels = unit.pod_labels()
+        if type(labels) is not LabelSet:
+            labels = LabelSet(labels)
+        if not labels:
+            return
+        # Grouping hashes the unit's own LabelSet: on interned objects the
+        # hash memo persists across charts, so the M4A grouping is a dict
+        # insert per unit instead of a frozenset build.
+        state.setdefault(labels, []).append(unit)
+
+    @staticmethod
+    def _emit(context: AnalysisContext, state: dict, out: list[Finding]) -> None:
+        for labels, units in state.items():
             if len(units) < 2:
                 continue
             names = tuple(sorted(unit.qualified_name() for unit in units))
-            findings.append(
+            out.append(
                 Finding(
                     misconfig_class=MisconfigClass.M4A,
                     application=context.application,
@@ -51,7 +78,6 @@ class ComputeUnitCollisionRule(Rule):
                     ),
                 )
             )
-        return findings
 
 
 @default_rule
@@ -64,29 +90,39 @@ class ServiceLabelCollisionRule(Rule):
     def evaluate(self, context: AnalysisContext) -> list[Finding]:
         findings: list[Finding] = []
         for unit in context.compute_units():
-            selecting = context.inventory.services_selecting(unit.pod_labels(), unit.namespace)
-            if len(selecting) < 2:
-                continue
-            service_names = tuple(sorted(service.qualified_name() for service in selecting))
-            findings.append(
-                Finding(
-                    misconfig_class=MisconfigClass.M4B,
-                    application=context.application,
-                    resource=unit.qualified_name(),
-                    related_resources=service_names,
-                    message=(
-                        f"{len(selecting)} services ({', '.join(s.name for s in selecting)}) "
-                        f"select the same compute unit {unit.name!r}; a pod matching those labels "
-                        "receives traffic intended for all of them"
-                    ),
-                    evidence={"services": [s.name for s in selecting]},
-                    mitigation=(
-                        "Give each service a dedicated selector (unique label on the target "
-                        "compute unit) unless the sharing is intentional."
-                    ),
-                )
-            )
+            self._check_unit(context, unit, {}, findings)
         return findings
+
+    def compile_into(self, plan) -> bool:
+        plan.on_unit(self, self._check_unit)
+        return True
+
+    @staticmethod
+    def _check_unit(
+        context: AnalysisContext, unit: ComputeUnit, state: dict, out: list[Finding]
+    ) -> None:
+        selecting = context.services_selecting(unit.pod_labels(), unit.namespace)
+        if len(selecting) < 2:
+            return
+        service_names = tuple(sorted(service.qualified_name() for service in selecting))
+        out.append(
+            Finding(
+                misconfig_class=MisconfigClass.M4B,
+                application=context.application,
+                resource=unit.qualified_name(),
+                related_resources=service_names,
+                message=(
+                    f"{len(selecting)} services ({', '.join(s.name for s in selecting)}) "
+                    f"select the same compute unit {unit.name!r}; a pod matching those labels "
+                    "receives traffic intended for all of them"
+                ),
+                evidence={"services": [s.name for s in selecting]},
+                mitigation=(
+                    "Give each service a dedicated selector (unique label on the target "
+                    "compute unit) unless the sharing is intentional."
+                ),
+            )
+        )
 
 
 @default_rule
@@ -99,34 +135,44 @@ class ComputeUnitSubsetCollisionRule(Rule):
     def evaluate(self, context: AnalysisContext) -> list[Finding]:
         findings: list[Finding] = []
         for service in context.services():
-            if not service.has_selector:
-                continue
-            selected = context.units_selected_by(service)
-            if len(selected) < 2:
-                continue
-            # Unrelated units: their full label sets differ even though the
-            # service selector matches all of them.
-            label_sets = {LabelSet(unit.pod_labels()) for unit in selected}
-            if len(label_sets) < 2:
-                # Identical label sets are already reported as M4A.
-                continue
-            names = tuple(sorted(unit.qualified_name() for unit in selected))
-            findings.append(
-                Finding(
-                    misconfig_class=MisconfigClass.M4C,
-                    application=context.application,
-                    resource=service.qualified_name(),
-                    related_resources=names,
-                    message=(
-                        f"service {service.name!r} selects {len(selected)} unrelated compute units "
-                        f"({', '.join(unit.name for unit in selected)}) because they share the "
-                        f"label subset {service.selector.match_labels.to_dict()}"
-                    ),
-                    evidence={"selector": service.selector.to_dict()},
-                    mitigation=(
-                        "Narrow the service selector (or the compute unit labels) so it matches "
-                        "only the intended backends."
-                    ),
-                )
-            )
+            self._check_service(context, service, {}, findings)
         return findings
+
+    def compile_into(self, plan) -> bool:
+        plan.on_service(self, self._check_service)
+        return True
+
+    @staticmethod
+    def _check_service(
+        context: AnalysisContext, service: Service, state: dict, out: list[Finding]
+    ) -> None:
+        if not service.has_selector:
+            return
+        selected = context.units_selected_by(service)
+        if len(selected) < 2:
+            return
+        # Unrelated units: their full label sets differ even though the
+        # service selector matches all of them.
+        label_sets = {LabelSet(unit.pod_labels()) for unit in selected}
+        if len(label_sets) < 2:
+            # Identical label sets are already reported as M4A.
+            return
+        names = tuple(sorted(unit.qualified_name() for unit in selected))
+        out.append(
+            Finding(
+                misconfig_class=MisconfigClass.M4C,
+                application=context.application,
+                resource=service.qualified_name(),
+                related_resources=names,
+                message=(
+                    f"service {service.name!r} selects {len(selected)} unrelated compute units "
+                    f"({', '.join(unit.name for unit in selected)}) because they share the "
+                    f"label subset {service.selector.match_labels.to_dict()}"
+                ),
+                evidence={"selector": service.selector.to_dict()},
+                mitigation=(
+                    "Narrow the service selector (or the compute unit labels) so it matches "
+                    "only the intended backends."
+                ),
+            )
+        )

@@ -1,10 +1,17 @@
-"""Isolation rules: M6 (lack of network policies) and M7 (host network)."""
+"""Isolation rules: M6 (lack of network policies) and M7 (host network).
+
+Both rules are written as emitters shared by the rule-at-a-time reference
+path and the compiled single-pass engine (see
+:mod:`repro.core.rules.compiled`); M6 aggregates its protection census over
+the unit walk and emits in a finalizer.
+"""
 
 from __future__ import annotations
 
 from ..context import AnalysisContext
 from ..findings import Finding, MisconfigClass
 from .base import STATIC, Rule, default_rule
+from ...k8s import ComputeUnit
 
 
 @default_rule
@@ -20,17 +27,35 @@ class LackOfNetworkPoliciesRule(Rule):
     requires = STATIC
 
     def evaluate(self, context: AnalysisContext) -> list[Finding]:
-        units = context.compute_units()
-        if not units:
-            return []
+        findings: list[Finding] = []
+        state: dict = {}
+        for unit in context.compute_units():
+            self._census(context, unit, state, findings)
+        self._emit(context, state, findings)
+        return findings
+
+    def compile_into(self, plan) -> bool:
+        plan.on_unit(self, self._census)
+        plan.finalize(self, self._emit)
+        return True
+
+    @staticmethod
+    def _census(
+        context: AnalysisContext, unit: ComputeUnit, state: dict, out: list[Finding]
+    ) -> None:
+        state["has_units"] = True
+        if not state.get("protected") and context.policies_selecting(
+            unit.pod_labels(), unit.namespace
+        ):
+            state["protected"] = True
+
+    @staticmethod
+    def _emit(context: AnalysisContext, state: dict, out: list[Finding]) -> None:
+        if not state.get("has_units"):
+            return
         policies = context.network_policies()
-        protected_units = [
-            unit
-            for unit in units
-            if any(policy.selects(unit.pod_labels(), unit.namespace) for policy in policies)
-        ]
-        if policies and protected_units:
-            return []
+        if policies and state.get("protected"):
+            return
         if context.network_policies_available_but_disabled:
             message = (
                 "the chart defines NetworkPolicy templates but they are disabled by default; "
@@ -47,7 +72,7 @@ class LackOfNetworkPoliciesRule(Rule):
                 "the application does not define any NetworkPolicy; every pod in the cluster "
                 "can reach every port it opens (default allow-all)"
             )
-        return [
+        out.append(
             Finding(
                 misconfig_class=MisconfigClass.M6,
                 application=context.application,
@@ -62,7 +87,7 @@ class LackOfNetworkPoliciesRule(Rule):
                     "application and allow only the connections it needs."
                 ),
             )
-        ]
+        )
 
 
 @default_rule
@@ -75,22 +100,32 @@ class HostNetworkRule(Rule):
     def evaluate(self, context: AnalysisContext) -> list[Finding]:
         findings: list[Finding] = []
         for unit in context.compute_units():
-            if not unit.uses_host_network():
-                continue
-            findings.append(
-                Finding(
-                    misconfig_class=MisconfigClass.M7,
-                    application=context.application,
-                    resource=unit.qualified_name(),
-                    message=(
-                        f"{unit.kind} {unit.name!r} sets hostNetwork: true; its ports are exposed "
-                        "on the node itself and NetworkPolicies attached to the pod have no effect"
-                    ),
-                    evidence={"hostNetwork": True},
-                    mitigation=(
-                        "Set hostNetwork to false unless host-level access is strictly required; "
-                        "if it is, audit the exposed ports and firewall them at the node level."
-                    ),
-                )
-            )
+            self._check_unit(context, unit, {}, findings)
         return findings
+
+    def compile_into(self, plan) -> bool:
+        plan.on_unit(self, self._check_unit)
+        return True
+
+    @staticmethod
+    def _check_unit(
+        context: AnalysisContext, unit: ComputeUnit, state: dict, out: list[Finding]
+    ) -> None:
+        if not unit.uses_host_network():
+            return
+        out.append(
+            Finding(
+                misconfig_class=MisconfigClass.M7,
+                application=context.application,
+                resource=unit.qualified_name(),
+                message=(
+                    f"{unit.kind} {unit.name!r} sets hostNetwork: true; its ports are exposed "
+                    "on the node itself and NetworkPolicies attached to the pod have no effect"
+                ),
+                evidence={"hostNetwork": True},
+                mitigation=(
+                    "Set hostNetwork to false unless host-level access is strictly required; "
+                    "if it is, audit the exposed ports and firewall them at the node level."
+                ),
+            )
+        )

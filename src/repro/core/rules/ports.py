@@ -2,6 +2,10 @@
 
 These rules compare the declarative ``containerPort`` list of each compute
 unit against the runtime observation of its pods (Section 3.3, Figure 1).
+All three are per-unit emitters shared by the rule-at-a-time reference path
+and the compiled single-pass engine (:mod:`repro.core.rules.compiled`); the
+port sets they consume come memoized from the indexed analysis context, so
+the fused pass computes each unit's stable/dynamic sets once for all rules.
 """
 
 from __future__ import annotations
@@ -9,6 +13,7 @@ from __future__ import annotations
 from ..context import AnalysisContext
 from ..findings import Finding, MisconfigClass
 from .base import HYBRID, RUNTIME, Rule, default_rule
+from ...k8s import ComputeUnit
 
 
 @default_rule
@@ -25,28 +30,38 @@ class UndeclaredOpenPortsRule(Rule):
     def evaluate(self, context: AnalysisContext) -> list[Finding]:
         findings: list[Finding] = []
         for unit in context.compute_units():
-            declared = unit.declared_port_numbers("TCP")
-            observed = context.stable_open_ports(unit, "TCP")
-            dynamic = context.dynamic_ports(unit, "TCP")
-            for port in sorted(observed - declared - dynamic):
-                findings.append(
-                    Finding(
-                        misconfig_class=MisconfigClass.M1,
-                        application=context.application,
-                        resource=unit.qualified_name(),
-                        port=port,
-                        message=(
-                            f"{unit.kind} {unit.name!r} listens on TCP port {port} "
-                            "which is not declared in its container ports"
-                        ),
-                        evidence={"declared": sorted(declared), "observed": sorted(observed)},
-                        mitigation=(
-                            f"Declare containerPort {port} in the pod template of {unit.name!r} "
-                            "so that network policies and reviewers see the real attack surface."
-                        ),
-                    )
-                )
+            self._check_unit(context, unit, {}, findings)
         return findings
+
+    def compile_into(self, plan) -> bool:
+        plan.on_unit(self, self._check_unit)
+        return True
+
+    @staticmethod
+    def _check_unit(
+        context: AnalysisContext, unit: ComputeUnit, state: dict, out: list[Finding]
+    ) -> None:
+        declared = unit.declared_port_numbers("TCP")
+        observed = context.stable_open_ports(unit, "TCP")
+        dynamic = context.dynamic_ports(unit, "TCP")
+        for port in sorted(observed - declared - dynamic):
+            out.append(
+                Finding(
+                    misconfig_class=MisconfigClass.M1,
+                    application=context.application,
+                    resource=unit.qualified_name(),
+                    port=port,
+                    message=(
+                        f"{unit.kind} {unit.name!r} listens on TCP port {port} "
+                        "which is not declared in its container ports"
+                    ),
+                    evidence={"declared": sorted(declared), "observed": sorted(observed)},
+                    mitigation=(
+                        f"Declare containerPort {port} in the pod template of {unit.name!r} "
+                        "so that network policies and reviewers see the real attack surface."
+                    ),
+                )
+            )
 
 
 @default_rule
@@ -63,27 +78,37 @@ class DynamicPortsRule(Rule):
     def evaluate(self, context: AnalysisContext) -> list[Finding]:
         findings: list[Finding] = []
         for unit in context.compute_units():
-            dynamic = context.dynamic_ports(unit, "TCP") | context.dynamic_ports(unit, "UDP")
-            if not dynamic:
-                continue
-            findings.append(
-                Finding(
-                    misconfig_class=MisconfigClass.M2,
-                    application=context.application,
-                    resource=unit.qualified_name(),
-                    message=(
-                        f"{unit.kind} {unit.name!r} listens on dynamic ports "
-                        f"({', '.join(str(p) for p in sorted(dynamic))} observed); these cannot be "
-                        "declared nor restricted by network policies"
-                    ),
-                    evidence={"observed_dynamic": sorted(dynamic)},
-                    mitigation=(
-                        "Configure the application to use a static port (for example through an "
-                        "environment variable) or document the dynamic range and isolate the pod."
-                    ),
-                )
-            )
+            self._check_unit(context, unit, {}, findings)
         return findings
+
+    def compile_into(self, plan) -> bool:
+        plan.on_unit(self, self._check_unit)
+        return True
+
+    @staticmethod
+    def _check_unit(
+        context: AnalysisContext, unit: ComputeUnit, state: dict, out: list[Finding]
+    ) -> None:
+        dynamic = context.dynamic_ports(unit, "TCP") | context.dynamic_ports(unit, "UDP")
+        if not dynamic:
+            return
+        out.append(
+            Finding(
+                misconfig_class=MisconfigClass.M2,
+                application=context.application,
+                resource=unit.qualified_name(),
+                message=(
+                    f"{unit.kind} {unit.name!r} listens on dynamic ports "
+                    f"({', '.join(str(p) for p in sorted(dynamic))} observed); these cannot be "
+                    "declared nor restricted by network policies"
+                ),
+                evidence={"observed_dynamic": sorted(dynamic)},
+                mitigation=(
+                    "Configure the application to use a static port (for example through an "
+                    "environment variable) or document the dynamic range and isolate the pod."
+                ),
+            )
+        )
 
 
 @default_rule
@@ -96,28 +121,38 @@ class DeclaredClosedPortsRule(Rule):
     def evaluate(self, context: AnalysisContext) -> list[Finding]:
         findings: list[Finding] = []
         for unit in context.compute_units():
-            declared = unit.declared_port_numbers("TCP")
-            observed = context.stable_open_ports(unit, "TCP")
-            if not context.snapshots_for(unit):
-                # The unit produced no running pods (e.g. a suspended CronJob):
-                # nothing can be said about its runtime behaviour.
-                continue
-            for port in sorted(declared - observed):
-                findings.append(
-                    Finding(
-                        misconfig_class=MisconfigClass.M3,
-                        application=context.application,
-                        resource=unit.qualified_name(),
-                        port=port,
-                        message=(
-                            f"{unit.kind} {unit.name!r} declares containerPort {port} "
-                            "but nothing is listening on it at runtime"
-                        ),
-                        evidence={"declared": sorted(declared), "observed": sorted(observed)},
-                        mitigation=(
-                            f"Remove the unused containerPort {port} declaration or enable the "
-                            "feature that is supposed to listen on it."
-                        ),
-                    )
-                )
+            self._check_unit(context, unit, {}, findings)
         return findings
+
+    def compile_into(self, plan) -> bool:
+        plan.on_unit(self, self._check_unit)
+        return True
+
+    @staticmethod
+    def _check_unit(
+        context: AnalysisContext, unit: ComputeUnit, state: dict, out: list[Finding]
+    ) -> None:
+        declared = unit.declared_port_numbers("TCP")
+        observed = context.stable_open_ports(unit, "TCP")
+        if not context.snapshots_for(unit):
+            # The unit produced no running pods (e.g. a suspended CronJob):
+            # nothing can be said about its runtime behaviour.
+            return
+        for port in sorted(declared - observed):
+            out.append(
+                Finding(
+                    misconfig_class=MisconfigClass.M3,
+                    application=context.application,
+                    resource=unit.qualified_name(),
+                    port=port,
+                    message=(
+                        f"{unit.kind} {unit.name!r} declares containerPort {port} "
+                        "but nothing is listening on it at runtime"
+                    ),
+                    evidence={"declared": sorted(declared), "observed": sorted(observed)},
+                    mitigation=(
+                        f"Remove the unused containerPort {port} declaration or enable the "
+                        "feature that is supposed to listen on it."
+                    ),
+                )
+            )

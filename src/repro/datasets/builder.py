@@ -653,7 +653,7 @@ def build_application(
 ) -> BuiltApplication:
     """End-to-end helper: plan -> spec -> chart + behaviours."""
     spec = build_app_spec(name, organization, plan, archetype=archetype, version=version)
-    return BuiltApplication(
+    application = BuiltApplication(
         spec=spec,
         plan=plan,
         chart=build_chart(spec),
@@ -661,3 +661,9 @@ def build_application(
         dataset=dataset or organization,
         use_case=use_case,
     )
+    # Hash the chart while its content is authoritative (it was just built):
+    # every downstream consumer -- evaluation sweeps, render-cache keys, the
+    # process-pool fan-out -- then reads the memo instead of re-hashing
+    # inside its own timed/hot path.
+    application.fingerprint()
+    return application

@@ -91,15 +91,19 @@ def _analyze_application(
     fingerprint: str | None = None,
 ) -> AnalyzedApplication:
     # One render serves both the analysis and the inventory, and it goes
-    # through the shared render cache: re-sweeping the same catalogue pays
-    # only the copy-on-read cost per chart.
+    # through the shared render cache: re-sweeping the same catalogue is a
+    # shared-reference hit per chart.  The inventory is shared too, so its
+    # lazy indexes serve both the per-chart rules and the cluster-wide pass.
     rendered = render_chart(app.chart, fingerprint=fingerprint)
+    inventory = Inventory(rendered.objects)
     report = analyzer.analyze_chart(
-        app.chart, behaviors=app.behaviors, dataset=app.dataset, rendered=rendered
+        app.chart,
+        behaviors=app.behaviors,
+        dataset=app.dataset,
+        rendered=rendered,
+        inventory=inventory,
     )
-    return AnalyzedApplication(
-        application=app, report=report, inventory=Inventory(rendered.objects)
-    )
+    return AnalyzedApplication(application=app, report=report, inventory=inventory)
 
 
 #: Per-worker-process analyzer, so the pooled cluster/substrate of its

@@ -9,6 +9,7 @@ from .chart import Chart, ChartDependency, ChartMetadata, ChartRepository, Chart
 from .errors import ChartError, HelmError, RenderError, TemplateError, ValuesError
 from .render_cache import RenderCache, shared_render_cache
 from .renderer import HelmRenderer, ReleaseInfo, RenderedChart, render_chart
+from .structured import clear_skeleton_parse_memo, skeleton_parse_count
 from .template import (
     CompiledTemplate,
     TemplateEngine,
@@ -48,6 +49,7 @@ __all__ = [
     "ValuesError",
     "apply_set_strings",
     "canonical_values",
+    "clear_skeleton_parse_memo",
     "clear_template_cache",
     "compile_source",
     "deep_merge",
@@ -59,6 +61,7 @@ __all__ = [
     "render_chart",
     "set_path",
     "shared_render_cache",
+    "skeleton_parse_count",
     "template_parse_count",
     "tokenize_expression",
 ]

@@ -1,4 +1,4 @@
-"""Memoized chart rendering with copy-on-read semantics.
+"""Memoized chart rendering with shared-reference warm hits.
 
 Rendering a chart -- template evaluation plus document assembly plus
 typed-object construction -- dominates the catalogue sweep.
@@ -10,10 +10,19 @@ identity, canonical merged values, structured?)``:
   (:meth:`Chart.fingerprint`), and the values component is canonical
   (:func:`canonical_values`), so equal-but-not-identical override dicts and
   freshly rebuilt but content-identical charts hit the same entry.
-* **Copy-on-read**: entries are stored as pickle blobs and every hit is
-  materialized by unpickling, so callers can mutate the returned documents,
-  objects and values freely (the cluster facade stamps namespaces onto
-  installed objects, for example) without ever corrupting the cache.
+* **Shared-reference hits** (the default, ``shared=True``): entries hold the
+  rendered documents and *content-interned sealed objects*
+  (:mod:`repro.k8s.inventory`) directly, and every hit returns them by
+  reference behind fresh top-level containers.  A warm hit therefore skips
+  ``objects_from_dicts``, the namespace-defaulting walk and the validation
+  walk entirely -- there is no per-hit unpickle.  The price is a contract:
+  cached render results are read-only.  Objects enforce it themselves
+  (sealed objects raise on attribute assignment); documents and values are
+  read-only by convention (the differential suites would catch a violator).
+* **Copy-on-read reference mode** (``shared=False``): the pre-interning
+  behaviour -- entries are pickle blobs of un-interned mutable objects and
+  every hit pays an unpickle.  Kept in-tree as the reference implementation
+  the interning property suite diffs against.
 * **Fingerprint shipping**: callers that already know the chart fingerprint
   (the process-pool fan-out computes them once in the parent) pass it in and
   skip the re-hash.
@@ -36,11 +45,18 @@ from .values import canonical_values
 class RenderCache:
     """A bounded memo of fully rendered charts."""
 
-    def __init__(self, renderer: HelmRenderer | None = None, maxsize: int = 2048) -> None:
+    def __init__(
+        self,
+        renderer: HelmRenderer | None = None,
+        maxsize: int = 2048,
+        shared: bool = True,
+    ) -> None:
         self._renderer = renderer or HelmRenderer()
         self._maxsize = maxsize
-        #: key -> pickled (release, values, documents, objects, sources)
-        self._entries: dict[tuple, bytes] = {}
+        self.shared = shared
+        #: key -> (release, values, documents, objects, sources) when shared,
+        #: else the pickle blob of that tuple (copy-on-read reference mode).
+        self._entries: dict[tuple, Any] = {}
         self.hits = 0
         self.misses = 0
 
@@ -66,7 +82,7 @@ class RenderCache:
         fingerprint: str | None = None,
         structured: bool = True,
     ) -> RenderedChart:
-        """Render ``chart`` (or return a private copy of the cached render).
+        """Render ``chart`` (or return a view of the cached render).
 
         The key's values component is the canonical form of ``overrides``:
         together with the chart fingerprint (which covers the chart's default
@@ -74,8 +90,11 @@ class RenderCache:
         letting cache hits skip the deep merge entirely.  ``structured``
         selects the dict-native render pipeline (the default) or the classic
         text path; the flag is part of the key because the two produce
-        different ``sources`` maps (structured entries also pickle smaller:
-        skeleton text instead of full manifests).
+        different ``sources`` maps.
+
+        In shared mode a hit returns the cached components by reference
+        (fresh top-level list/dict containers, shared content); in reference
+        mode it returns a private unpickled copy.
         """
         release = release or ReleaseInfo(name=chart.name)
         fingerprint = fingerprint or chart.fingerprint()
@@ -89,35 +108,53 @@ class RenderCache:
             canonical_values(overrides or {}),
             structured,
         )
-        blob = self._entries.get(key)
-        if blob is not None:
+        entry = self._entries.get(key)
+        if entry is not None:
             self.hits += 1
-            cached_release, values, documents, objects, sources = pickle.loads(blob)
+            if self.shared:
+                cached_release, values, documents, objects, sources = entry
+            else:
+                cached_release, values, documents, objects, sources = pickle.loads(entry)
             return RenderedChart(
                 chart=chart,
                 release=cached_release,
-                values=values,
-                documents=documents,
-                objects=objects,
-                sources=sources,
+                values=dict(values),
+                documents=list(documents),
+                objects=list(objects),
+                sources=dict(sources),
             )
         self.misses += 1
         if structured:
-            rendered = self._renderer.render_structured(chart, release, overrides)
+            rendered = self._renderer.render_structured(
+                chart, release, overrides, interned=self.shared
+            )
         else:
-            rendered = self._renderer.render(chart, release, overrides)
-        # Snapshot the pristine result *before* handing it to the caller:
-        # the blob is immutable bytes, so later mutations cannot leak back.
-        self._entries[key] = pickle.dumps(
-            (
+            rendered = self._renderer.render(
+                chart, release, overrides, interned=self.shared
+            )
+        if self.shared:
+            # The entry keeps its own top-level containers, so callers that
+            # append to the returned lists cannot grow the cached render.
+            self._entries[key] = (
                 rendered.release,
-                rendered.values,
-                rendered.documents,
-                rendered.objects,
-                rendered.sources,
-            ),
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
+                dict(rendered.values),
+                list(rendered.documents),
+                list(rendered.objects),
+                dict(rendered.sources),
+            )
+        else:
+            # Snapshot the pristine result *before* handing it to the caller:
+            # the blob is immutable bytes, so later mutations cannot leak back.
+            self._entries[key] = pickle.dumps(
+                (
+                    rendered.release,
+                    rendered.values,
+                    rendered.documents,
+                    rendered.objects,
+                    rendered.sources,
+                ),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
         while len(self._entries) > self._maxsize:
             # pop with a default: under the thread-pool render path two
             # threads may race to evict the same oldest key.

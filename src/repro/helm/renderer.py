@@ -26,7 +26,8 @@ text it actually assembled, with structured values shown as placeholders).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 import yaml
 
@@ -36,7 +37,7 @@ from .chart import Chart
 from .errors import RenderError, TemplateError
 from .structured import assemble_documents
 from .template import TemplateEngine
-from .values import deep_merge, get_path
+from .values import deep_merge, get_path, merged_view
 
 
 @dataclass
@@ -102,23 +103,28 @@ class HelmRenderer:
         chart: Chart,
         release: ReleaseInfo | None = None,
         overrides: Mapping[str, Any] | None = None,
+        interned: bool = False,
     ) -> RenderedChart:
         """Render ``chart`` via the text path (the reference implementation)."""
-        return self._render(chart, release, overrides, structured=False)
+        return self._render(chart, release, overrides, structured=False, interned=interned)
 
     def render_structured(
         self,
         chart: Chart,
         release: ReleaseInfo | None = None,
         overrides: Mapping[str, Any] | None = None,
+        interned: bool = False,
     ) -> RenderedChart:
         """Render ``chart`` dict-natively: no YAML text round trip.
 
         Produces ``documents``/``objects`` dict-identical to :meth:`render`
         (the differential suite proves it across the whole catalogue) while
         skipping the ``toYaml`` dumps and most of the document parse.
+        ``interned=True`` builds the typed objects through the shared intern
+        table (sealed, structurally shared across identical documents); the
+        default constructs fresh mutable objects.
         """
-        return self._render(chart, release, overrides, structured=True)
+        return self._render(chart, release, overrides, structured=True, interned=interned)
 
     # Internal ----------------------------------------------------------------
     def _render(
@@ -127,16 +133,23 @@ class HelmRenderer:
         release: ReleaseInfo | None,
         overrides: Mapping[str, Any] | None,
         structured: bool,
+        interned: bool = False,
     ) -> RenderedChart:
         release = release or ReleaseInfo(name=chart.name)
-        values = chart.effective_values(overrides)
+        # The interned path produces read-only results (shared objects, shared
+        # cache entries), so its values merge can structurally share untouched
+        # subtrees with the chart defaults instead of deep-copying them.
+        if interned:
+            values = merged_view(chart.values, overrides or {})
+        else:
+            values = chart.effective_values(overrides)
         documents: list[dict] = []
         sources: dict[str, str] = {}
         self._render_chart(
             chart, release, values, values, documents, sources, prefix="",
-            structured=structured,
+            structured=structured, shared_values=interned,
         )
-        objects = objects_from_dicts(documents)
+        objects = objects_from_dicts(documents, interned=interned)
         return RenderedChart(
             chart=chart,
             release=release,
@@ -156,6 +169,7 @@ class HelmRenderer:
         sources: dict[str, str],
         prefix: str,
         structured: bool = False,
+        shared_values: bool = False,
     ) -> None:
         engine = TemplateEngine()
         context = {
@@ -186,7 +200,12 @@ class HelmRenderer:
                     fragments = engine.render_fragments(
                         template.source, context, template.name
                     )
-                    parsed, skeleton = assemble_documents(fragments, qualified)
+                    # shared_values == interned render: documents are
+                    # read-only by contract, so assembly may alias
+                    # placeholder-free subtrees from the parse memo.
+                    parsed, skeleton = assemble_documents(
+                        fragments, qualified, shared=shared_values
+                    )
                     sources[qualified] = skeleton
                     documents.extend(parsed)
                 else:
@@ -202,7 +221,9 @@ class HelmRenderer:
             subchart = chart.subcharts.get(dependency.effective_name)
             if subchart is None:
                 continue
-            sub_values = self._subchart_values(subchart, values, dependency.effective_name)
+            sub_values = self._subchart_values(
+                subchart, values, dependency.effective_name, shared=shared_values
+            )
             self._render_chart(
                 subchart,
                 release,
@@ -212,18 +233,24 @@ class HelmRenderer:
                 sources,
                 prefix=f"{prefix}{chart.name}/charts/",
                 structured=structured,
+                shared_values=shared_values,
             )
 
     @staticmethod
     def _subchart_values(
-        subchart: Chart, parent_values: Mapping[str, Any], key: str
+        subchart: Chart, parent_values: Mapping[str, Any], key: str, shared: bool = False
     ) -> dict[str, Any]:
         """Scope parent values to a dependency, propagating ``global``."""
+        merge = merged_view if shared else deep_merge
         scoped = parent_values.get(key)
-        merged = deep_merge(subchart.values, scoped if isinstance(scoped, Mapping) else {})
+        merged = merge(subchart.values, scoped if isinstance(scoped, Mapping) else {})
         global_values = parent_values.get("global")
         if isinstance(global_values, Mapping):
-            merged["global"] = deep_merge(merged.get("global", {}), global_values)
+            if shared and merged is subchart.values:
+                # merged_view may alias the subchart defaults; don't write
+                # the global layer through to them.
+                merged = dict(merged)
+            merged["global"] = merge(merged.get("global", {}), global_values)
         return merged
 
     @staticmethod

@@ -32,7 +32,8 @@ the full catalogue, Hypothesis-generated charts and adversarial templates.
 from __future__ import annotations
 
 import re
-from typing import Any, Iterable, Mapping
+from collections.abc import Mapping
+from typing import Any, Iterable
 
 import yaml
 
@@ -45,6 +46,32 @@ from .template import DocumentSplit, Fragment, StructuredFragment
 #: prefix (an adversarial value), the whole group falls back to the text
 #: path -- a simple count check catches the collision.
 PLACEHOLDER_PREFIX = "__repro_frag_"
+
+#: Parse-result memo keyed on skeleton text.  Override-variant sweeps (the
+#: Figure 4b experiment) re-render the same chart with values that only flow
+#: through *structured* fragments: the skeleton -- placeholder tokens
+#: included -- comes out byte-identical per template, so its parse result
+#: can be reused across cold renders and only the splice differs.  Memoized
+#: results are never mutated: the splice rebuilds every container it touches
+#: and the no-splice path hands out deep-ish copies (:func:`_copy_document`).
+_SKELETON_MEMO: dict[str, list] = {}
+_SKELETON_MEMO_MAXSIZE = 4096
+_SKELETON_PARSE_COUNT = 0
+
+
+def skeleton_parse_count() -> int:
+    """How many skeleton texts have actually been parsed (memo misses).
+
+    The guard-hook twin of :func:`repro.helm.template.template_parse_count`:
+    re-rendering a chart with override variants that only change structured
+    values must not re-parse its skeletons.
+    """
+    return _SKELETON_PARSE_COUNT
+
+
+def clear_skeleton_parse_memo() -> None:
+    """Drop the skeleton parse memo (tests and benchmark cold starts)."""
+    _SKELETON_MEMO.clear()
 
 
 class _SpliceError(Exception):
@@ -61,7 +88,7 @@ class _UnsupportedYaml(Exception):
 
 
 def assemble_documents(
-    fragments: Iterable[Fragment], source_name: str = ""
+    fragments: Iterable[Fragment], source_name: str = "", shared: bool = False
 ) -> tuple[list[dict], str]:
     """Assemble a fragment stream into ``(documents, skeleton_text)``.
 
@@ -69,6 +96,11 @@ def assemble_documents(
     ``None`` documents dropped); ``skeleton_text`` is the text that was
     actually assembled -- structured fragments appear as their placeholder
     lines -- and is recorded as the template's source for debugging.
+
+    ``shared=True`` (the interned render path) may return documents whose
+    placeholder-free subtrees alias the skeleton parse memo: the caller
+    promises the documents are read-only (the render-cache contract).  The
+    default rebuilds every container, so mutable consumers stay safe.
     """
     documents: list[dict] = []
     skeleton_parts: list[str] = []
@@ -78,7 +110,7 @@ def assemble_documents(
     def flush() -> None:
         nonlocal tail
         if group:
-            skeleton_parts.append(_flush_group(group, documents, source_name))
+            skeleton_parts.append(_flush_group(group, documents, source_name, shared))
             group.clear()
         tail = ""
 
@@ -106,7 +138,10 @@ def assemble_documents(
 
 
 def _flush_group(
-    group: list[str | StructuredFragment], documents: list[dict], source_name: str
+    group: list[str | StructuredFragment],
+    documents: list[dict],
+    source_name: str,
+    shared: bool = False,
 ) -> str:
     """Parse one document group, splicing its structured fragments in.
 
@@ -140,7 +175,7 @@ def _flush_group(
             continue
         token = f"{PLACEHOLDER_PREFIX}{len(structs)}__"
         prefix = ("\n" if item.leading_newline else "") + " " * item.indent
-        if isinstance(item.value, Mapping):
+        if type(item.value) is dict or isinstance(item.value, Mapping):
             parts.append(f"{prefix}{token}: null")
             structs.append((token, True, item.value))
         else:
@@ -153,9 +188,14 @@ def _flush_group(
         # (placeholder lines are never blank, so no structure is lost here).
         return skeleton
     if not structs:
-        documents.extend(
-            document for document in _parse_group_text(skeleton, source_name) if document
-        )
+        parsed = _parse_group_text_memo(skeleton, source_name)
+        if shared:
+            # Read-only consumer: hand out the memoized parse directly.
+            documents.extend(document for document in parsed if document)
+        else:
+            documents.extend(
+                _copy_document(document) for document in parsed if document
+            )
         return skeleton
     if glued_after_placeholder or skeleton.count(PLACEHOLDER_PREFIX) != len(structs):
         # Glue on a placeholder line, or a rendered value containing the
@@ -163,10 +203,12 @@ def _flush_group(
         documents.extend(_parse_text_fallback(group, source_name))
         return skeleton
     try:
-        parsed = _parse_group_text(skeleton, source_name)
+        parsed = _parse_group_text_memo(skeleton, source_name)
         table = {token: (as_mapping, value) for token, as_mapping, value in structs}
         consumed: set[str] = set()
-        spliced = [_substitute(document, table, consumed) for document in parsed]
+        spliced = [
+            _substitute(document, table, consumed, shared) for document in parsed
+        ]
         if len(consumed) != len(structs):
             raise _SpliceError("unconsumed placeholder")
     except (_SpliceError, RenderError):
@@ -176,8 +218,27 @@ def _flush_group(
     return skeleton
 
 
+def _parse_group_text_memo(text: str, source_name: str) -> list[Any]:
+    """:func:`_parse_group_text`, memoized on the skeleton text.
+
+    The memoized result is shared: callers must either rebuild every
+    container they emit (the splice does) or copy (:func:`_copy_document`).
+    Parse *errors* are not memoized -- the error path re-raises fresh with
+    the offending source name.
+    """
+    cached = _SKELETON_MEMO.get(text)
+    if cached is None:
+        cached = _parse_group_text(text, source_name)
+        _SKELETON_MEMO[text] = cached
+        while len(_SKELETON_MEMO) > _SKELETON_MEMO_MAXSIZE:
+            _SKELETON_MEMO.pop(next(iter(_SKELETON_MEMO)), None)
+    return cached
+
+
 def _parse_group_text(text: str, source_name: str) -> list[Any]:
     """Parse one group's text: fast subset parser first, PyYAML second."""
+    global _SKELETON_PARSE_COUNT
+    _SKELETON_PARSE_COUNT += 1
     try:
         return parse_simple_yaml(text)
     except _UnsupportedYaml:
@@ -188,6 +249,20 @@ def _parse_group_text(text: str, source_name: str) -> list[Any]:
         raise RenderError(
             f"template {source_name} produced invalid YAML: {exc}\n--- output ---\n{text}"
         ) from exc
+
+
+def _copy_document(document: Any) -> Any:
+    """A mutation-safe copy of a memoized parse result.
+
+    Containers are rebuilt recursively; scalars (strings, numbers, booleans,
+    ``None``, and whatever else PyYAML resolved -- dates included) are
+    immutable and pass through shared.
+    """
+    if isinstance(document, dict):
+        return {key: _copy_document(value) for key, value in document.items()}
+    if isinstance(document, list):
+        return [_copy_document(item) for item in document]
+    return document
 
 
 def _parse_text_fallback(
@@ -211,7 +286,9 @@ def _parse_text_fallback(
 # ---------------------------------------------------------------------------
 
 
-def _substitute(node: Any, table: dict[str, tuple[bool, Any]], consumed: set[str]) -> Any:
+def _substitute(
+    node: Any, table: dict[str, tuple[bool, Any]], consumed: set[str], shared: bool = False
+) -> Any:
     """Rebuild ``node`` with placeholders replaced by native values.
 
     Rebuilding (rather than mutating) doubles as the copy that keeps parse
@@ -219,11 +296,24 @@ def _substitute(node: Any, table: dict[str, tuple[bool, Any]], consumed: set[str
     Mapping placeholders splice their entries in place with sequential
     insertion -- the same last-wins-first-position semantics PyYAML applies
     to duplicate keys in real text.
+
+    ``shared=True`` (read-only consumers) stops rebuilding once every
+    placeholder has been consumed: the group-level count guard guarantees
+    the skeleton contains exactly ``len(table)`` placeholder occurrences, so
+    the remaining subtrees are placeholder-free and safe to alias.
     """
-    if isinstance(node, dict):
+    if shared and len(consumed) == len(table):
+        return node
+    # Parsed nodes come from the subset parser or PyYAML's SafeLoader: the
+    # containers are exactly ``dict``/``list`` and the scalars plain types,
+    # so identity checks are safe (an exotic subclass would fall through to
+    # ``return node``, leave its placeholder unconsumed, and send the group
+    # to the text fallback via the unconsumed-placeholder guard).
+    kind = type(node)
+    if kind is dict:
         out: dict = {}
         for key, value in node.items():
-            entry = table.get(key) if isinstance(key, str) else None
+            entry = table.get(key) if type(key) is str else None
             if entry is not None:
                 as_mapping, payload = entry
                 if not as_mapping or key in consumed:
@@ -232,11 +322,11 @@ def _substitute(node: Any, table: dict[str, tuple[bool, Any]], consumed: set[str
                 for spliced_key, spliced_value in payload.items():
                     out[_native_key(spliced_key)] = _native_value(spliced_value)
             else:
-                out[key] = _substitute(value, table, consumed)
+                out[key] = _substitute(value, table, consumed, shared)
         return out
-    if isinstance(node, list):
-        return [_substitute(item, table, consumed) for item in node]
-    if isinstance(node, str):
+    if kind is list:
+        return [_substitute(item, table, consumed, shared) for item in node]
+    if kind is str:
         entry = table.get(node)
         if entry is not None:
             as_mapping, payload = entry
@@ -261,14 +351,17 @@ def _native_value(value: Any) -> Any:
     round-trip stable.  Exotic types abort the splice; the text-path
     fallback then reproduces the reference behaviour, errors included.
     """
-    if isinstance(value, str) or isinstance(value, (bool, int, float)) or value is None:
+    kind = type(value)
+    if kind is str or kind is bool or kind is int or kind is float or value is None:
         return value
-    if isinstance(value, dict):
-        return {_native_key(key): _native_value(item) for key, item in value.items()}
-    if isinstance(value, Mapping):
+    if kind is dict or isinstance(value, Mapping):
         return {_native_key(key): _native_value(item) for key, item in value.items()}
     if isinstance(value, (list, tuple)):
         return [_native_value(item) for item in value]
+    if isinstance(value, (str, bool, int, float)):
+        # Scalar subclasses, after the container checks (a str subclass is
+        # not a Mapping; behaviour matches the pre-fast-path ordering).
+        return value
     raise _SpliceError(value)
 
 
@@ -416,8 +509,27 @@ def _parse_sequence(lines: list[tuple[int, str]], index: int, indent: int) -> tu
     return items, index
 
 
+#: Successful key-split memo: manifest lines repeat heavily across rendered
+#: charts (``apiVersion: v1``, ``metadata:``, ``protocol: TCP``...), so the
+#: split + scalar resolution runs once per distinct line.  Results are
+#: ``(resolved key, rest)`` tuples of immutable scalars/strings, safe to
+#: share; unsupported lines keep raising (never memoized).
+_SPLIT_KEY_MEMO: dict[str, tuple[Any, str]] = {}
+_SPLIT_KEY_MEMO_MAX = 16384
+
+
 def _split_key(content: str) -> tuple[Any, str]:
     """Split ``key: value`` / ``key:`` content into (resolved key, rest)."""
+    cached = _SPLIT_KEY_MEMO.get(content)
+    if cached is not None:
+        return cached
+    result = _split_key_uncached(content)
+    if len(_SPLIT_KEY_MEMO) < _SPLIT_KEY_MEMO_MAX:
+        _SPLIT_KEY_MEMO[content] = result
+    return result
+
+
+def _split_key_uncached(content: str) -> tuple[Any, str]:
     if content.endswith(":") and ": " not in content:
         key_text, rest = content[:-1], ""
     else:
@@ -454,11 +566,32 @@ def _resolve_flow(text: str) -> Any:
     return _resolve_plain(text)
 
 
+#: Resolution memo: mapping keys and plain scalars repeat across every
+#: rendered manifest (``metadata``, ``spec``, ``containers``, protocol
+#: names, ...), so the per-scalar resolver runs its regex cascade once per
+#: distinct string.  Only successful resolutions are memoized (unsupported
+#: scalars must keep raising for the PyYAML fallback); resolved values are
+#: immutable scalars, safe to share.  The cap bounds adversarial growth.
+_PLAIN_MEMO: dict[str, Any] = {}
+_PLAIN_MEMO_MAX = 16384
+
+
 def _resolve_plain(text: str) -> Any:
     """YAML 1.1 plain-scalar resolution, exactly where it is unambiguous."""
+    try:
+        return _PLAIN_MEMO[text]
+    except KeyError:
+        pass
     if ":" in text:
         # Sexagesimal ints/floats and odd mapping shapes live here.
         raise _UnsupportedYaml("colon in plain scalar")
+    resolved = _resolve_plain_uncached(text)
+    if len(_PLAIN_MEMO) < _PLAIN_MEMO_MAX:
+        _PLAIN_MEMO[text] = resolved
+    return resolved
+
+
+def _resolve_plain_uncached(text: str) -> Any:
     if text in _BOOL_VALUES:
         return _BOOL_VALUES[text]
     if text in _NULL_VALUES:

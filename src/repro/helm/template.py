@@ -37,7 +37,8 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from collections.abc import Mapping
+from typing import Any, Callable, Sequence
 
 import yaml
 

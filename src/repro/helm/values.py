@@ -8,7 +8,8 @@ merged recursively, with later layers winning, exactly as Helm does.
 from __future__ import annotations
 
 import copy
-from typing import Any, Iterable, Mapping
+from collections.abc import Mapping
+from typing import Any, Iterable
 
 import yaml
 
@@ -29,6 +30,29 @@ def deep_merge(base: Mapping[str, Any], override: Mapping[str, Any]) -> dict[str
             merged[key] = deep_merge(existing, value)
         else:
             merged[key] = copy.deepcopy(value)
+    return merged
+
+
+def merged_view(base: Mapping[str, Any], override: Mapping[str, Any]) -> dict[str, Any]:
+    """:func:`deep_merge` with structural sharing instead of deep copies.
+
+    Subtrees the override does not touch are returned *by reference* from
+    ``base``; only the mapping spines along overridden paths are rebuilt.
+    The result is therefore a read-only view: callers must not mutate it (or
+    anything reachable from it), because that would write through to the
+    chart's default values.  The interned render path uses this -- its
+    outputs are read-only by contract anyway -- while :func:`deep_merge`
+    remains the mutable-result reference used everywhere else.
+    """
+    if not override:
+        return base if isinstance(base, dict) else dict(base)
+    merged: dict[str, Any] = dict(base)
+    for key, value in override.items():
+        existing = merged.get(key)
+        if isinstance(existing, Mapping) and isinstance(value, Mapping):
+            merged[key] = merged_view(existing, value)
+        else:
+            merged[key] = value
     return merged
 
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from .errors import ValidationError
+from .meta import Sealable
 
 #: Valid layer-4 protocols for container and service ports.
 VALID_PROTOCOLS = ("TCP", "UDP", "SCTP")
@@ -115,7 +116,7 @@ class Probe:
 
 
 @dataclass
-class Container:
+class Container(Sealable):
     """A container within a pod template."""
 
     name: str = ""

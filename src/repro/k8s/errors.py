@@ -22,6 +22,16 @@ class ValidationError(KubernetesModelError):
         super().__init__(message)
 
 
+class ImmutableObjectError(KubernetesModelError):
+    """An attribute assignment hit a sealed (content-interned) object.
+
+    Sealed objects are shared across render-cache entries and inventories;
+    mutating one in place would corrupt every other consumer.  Callers that
+    need a mutable variant take a ``copy.deepcopy`` (which thaws) or rebuild
+    the object through its constructor.
+    """
+
+
 class UnknownKindError(KubernetesModelError):
     """A manifest declares a ``kind`` that the model does not know about."""
 

@@ -1,15 +1,44 @@
-"""Inventory: a queryable view over a set of Kubernetes objects.
+"""Inventory: an immutable, index-carrying view over Kubernetes objects.
 
 Both the static analyzer and the cluster simulator need the same queries
 ("all compute units", "services selecting this workload", "network policies
 that select these labels", ...).  :class:`Inventory` centralizes them.
+
+Two properties make the analysis hot path cheap:
+
+* **Immutability with lazy frozen indexes.**  An inventory snapshots its
+  objects at construction and never changes afterwards, so every derived
+  view -- the by-kind buckets, the typed object lists, the per-namespace
+  selector indexes, the unit→selecting-services and unit→selecting-policies
+  memos -- is computed at most once and then shared by every caller.  The
+  seed implementation rebuilt each of these lists per call, which made rule
+  evaluation quadratic in practice (every rule re-walked and re-grouped the
+  same objects).
+* **Content interning** (:func:`intern_object`).  Typed objects are memoized
+  on a canonical fingerprint of their manifest dictionary; repeated renders
+  of the same chart/override variant therefore share one sealed object
+  graph, and a warm render-cache hit returns shared references instead of
+  re-running ``objects_from_dicts`` plus a pickle copy.  Interned objects
+  are sealed (:meth:`~repro.k8s.meta.KubernetesObject.seal`): attribute
+  assignment raises, so the sharing cannot be corrupted.  The un-interned
+  build (``objects_from_dicts(..., interned=False)``) stays in-tree as the
+  reference; the interning property suite proves the two observably
+  equivalent.
+
+The indexes assume the underlying objects do not change while the inventory
+is alive -- true by construction for interned (sealed) objects, and by
+convention everywhere else (mutating consumers such as the mitigation
+engine work on thawed deep copies and build fresh inventories after
+patching).
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
+from .labels import LabelSet
 from .meta import KubernetesObject
 from .networkpolicy import NetworkPolicy
 from .pod import Pod, PodTemplateSpec
@@ -17,11 +46,26 @@ from .service import Service
 from .workloads import Workload
 
 
+def _label_items(labels: Mapping[str, str]) -> frozenset:
+    """Hashable ``(key, value)`` pairs, via the LabelSet memo when possible."""
+    if type(labels) is LabelSet:
+        return labels.item_set()
+    return frozenset(labels.items())
+
+
 @dataclass
 class ComputeUnit:
-    """A uniform wrapper over anything that owns pods (Workload or bare Pod)."""
+    """A uniform wrapper over anything that owns pods (Workload or bare Pod).
+
+    Inventories hand out one stable wrapper per underlying object, so the
+    small memos below (qualified name, declared ports, host-network flag)
+    are computed once per analysis instead of once per rule.
+    """
 
     obj: KubernetesObject
+    _qualified: str | None = field(default=None, repr=False, compare=False)
+    _declared: dict | None = field(default=None, repr=False, compare=False)
+    _host_network: bool | None = field(default=None, repr=False, compare=False)
 
     @property
     def kind(self) -> str:
@@ -36,7 +80,9 @@ class ComputeUnit:
         return self.obj.namespace
 
     def qualified_name(self) -> str:
-        return self.obj.qualified_name()
+        if self._qualified is None:
+            self._qualified = self.obj.qualified_name()
+        return self._qualified
 
     def pod_template(self) -> PodTemplateSpec:
         if isinstance(self.obj, Workload):
@@ -55,30 +101,52 @@ class ComputeUnit:
         return 1
 
     def declared_port_numbers(self, protocol: str | None = None) -> set[int]:
-        return self.pod_template().spec.declared_port_numbers(protocol)
+        if self._declared is None:
+            self._declared = {}
+        cached = self._declared.get(protocol)
+        if cached is None:
+            cached = frozenset(self.pod_template().spec.declared_port_numbers(protocol))
+            self._declared[protocol] = cached
+        # Callers treat the result as a working set (M1/M3 subtract from it),
+        # so hand out a fresh mutable copy of the memoized frozenset.
+        return set(cached)
 
     def resolve_port_name(self, name: str) -> int | None:
         return self.pod_template().spec.resolve_port_name(name)
 
     def uses_host_network(self) -> bool:
-        return self.pod_template().spec.host_network
+        if self._host_network is None:
+            self._host_network = self.pod_template().spec.host_network
+        return self._host_network
 
 
 class Inventory:
-    """An indexed collection of Kubernetes objects."""
+    """An immutable, indexed collection of Kubernetes objects."""
 
     def __init__(self, objects: Iterable[KubernetesObject] = ()) -> None:
-        self._objects: list[KubernetesObject] = []
-        for obj in objects:
-            self.add(obj)
+        self._objects: tuple[KubernetesObject, ...] = tuple(objects)
+        self._reset_caches()
 
-    # Construction ---------------------------------------------------------
-    def add(self, obj: KubernetesObject) -> None:
-        self._objects.append(obj)
+    def _reset_caches(self) -> None:
+        self._by_kind: dict[str, list[KubernetesObject]] = {}
+        self._units: list[ComputeUnit] | None = None
+        self._services: list[Service] | None = None
+        self._policies: list[NetworkPolicy] | None = None
+        self._pods: list[Pod] | None = None
+        #: namespace -> [(service, match_items-or-None)], inventory order.
+        self._service_index: dict[str, list] | None = None
+        #: namespace -> [(unit, frozenset(labels.items()), labels)], order.
+        self._unit_index: dict[str, list] | None = None
+        self._selecting_services: dict[tuple, list[Service]] = {}
+        self._selecting_policies: dict[tuple, list[NetworkPolicy]] = {}
+        #: id(service) -> (service, selected units); the service reference is
+        #: kept so the id stays valid for the memo's lifetime.
+        self._selected_units: dict[int, tuple[Service, list[ComputeUnit]]] = {}
 
-    def extend(self, objects: Iterable[KubernetesObject]) -> None:
-        for obj in objects:
-            self.add(obj)
+    # The lazy caches are derived state: pickling ships only the objects and
+    # rebuilds indexes on demand in the receiving process.
+    def __reduce__(self):
+        return (Inventory, (self._objects,))
 
     def __len__(self) -> int:
         return len(self._objects)
@@ -87,53 +155,117 @@ class Inventory:
         return iter(self._objects)
 
     # Queries ----------------------------------------------------------------
+    # The list-returning queries memoize and hand back the cached list itself;
+    # callers treat them as read-only views (the seed rebuilt them per call).
     def of_kind(self, kind: str) -> list[KubernetesObject]:
-        return [obj for obj in self._objects if obj.kind == kind]
+        cached = self._by_kind.get(kind)
+        if cached is None:
+            cached = [obj for obj in self._objects if obj.kind == kind]
+            self._by_kind[kind] = cached
+        return cached
 
     def compute_units(self) -> list[ComputeUnit]:
         """Every pod-owning object (workload controllers and bare pods)."""
-        units: list[ComputeUnit] = []
-        for obj in self._objects:
-            if isinstance(obj, Workload) or isinstance(obj, Pod):
-                units.append(ComputeUnit(obj))
-        return units
+        if self._units is None:
+            self._units = [
+                ComputeUnit(obj)
+                for obj in self._objects
+                if isinstance(obj, (Workload, Pod))
+            ]
+        return self._units
 
     def services(self) -> list[Service]:
-        return [obj for obj in self._objects if isinstance(obj, Service)]
+        if self._services is None:
+            self._services = [obj for obj in self._objects if isinstance(obj, Service)]
+        return self._services
 
     def network_policies(self) -> list[NetworkPolicy]:
-        return [obj for obj in self._objects if isinstance(obj, NetworkPolicy)]
+        if self._policies is None:
+            self._policies = [
+                obj for obj in self._objects if isinstance(obj, NetworkPolicy)
+            ]
+        return self._policies
 
     def pods(self) -> list[Pod]:
-        return [obj for obj in self._objects if isinstance(obj, Pod)]
+        if self._pods is None:
+            self._pods = [obj for obj in self._objects if isinstance(obj, Pod)]
+        return self._pods
+
+    # Selector indexes -------------------------------------------------------
+    def _services_by_namespace(self) -> dict[str, list]:
+        if self._service_index is None:
+            index: dict[str, list] = {}
+            for service in self.services():
+                if not service.has_selector:
+                    continue
+                index.setdefault(service.namespace, []).append(
+                    (service, service.selector.as_match_items())
+                )
+            self._service_index = index
+        return self._service_index
+
+    def _units_by_namespace(self) -> dict[str, list]:
+        if self._unit_index is None:
+            index: dict[str, list] = {}
+            for unit in self.compute_units():
+                labels = unit.pod_labels()
+                index.setdefault(unit.namespace, []).append(
+                    (unit, _label_items(labels), labels)
+                )
+            self._unit_index = index
+        return self._unit_index
 
     def services_selecting(self, labels: Mapping[str, str], namespace: str) -> list[Service]:
         """Services whose selector matches ``labels`` in ``namespace``."""
-        return [
-            service
-            for service in self.services()
-            if service.namespace == namespace
-            and service.has_selector
-            and service.selector.matches(labels)
-        ]
+        key = (namespace, _label_items(labels))
+        cached = self._selecting_services.get(key)
+        if cached is None:
+            label_items = key[1]
+            cached = [
+                service
+                for service, match_items in self._services_by_namespace().get(namespace, ())
+                if (
+                    match_items <= label_items
+                    if match_items is not None
+                    else service.selector.matches(labels)
+                )
+            ]
+            self._selecting_services[key] = cached
+        return cached
 
     def compute_units_selected_by(self, service: Service) -> list[ComputeUnit]:
         """Compute units targeted by a service selector."""
         if not service.has_selector:
             return []
-        return [
+        cached = self._selected_units.get(id(service))
+        if cached is not None:
+            return cached[1]
+        match_items = service.selector.as_match_items()
+        selected = [
             unit
-            for unit in self.compute_units()
-            if unit.namespace == service.namespace
-            and service.selector.matches(unit.pod_labels())
+            for unit, label_items, labels in self._units_by_namespace().get(
+                service.namespace, ()
+            )
+            if (
+                match_items <= label_items
+                if match_items is not None
+                else service.selector.matches(labels)
+            )
         ]
+        self._selected_units[id(service)] = (service, selected)
+        return selected
 
     def policies_selecting(self, labels: Mapping[str, str], namespace: str) -> list[NetworkPolicy]:
-        return [
-            policy
-            for policy in self.network_policies()
-            if policy.selects(labels, namespace)
-        ]
+        key = (namespace, _label_items(labels))
+        cached = self._selecting_policies.get(key)
+        if cached is None:
+            cached = [
+                policy
+                for policy in self.network_policies()
+                if policy.selects(labels, namespace)
+            ]
+            self._selecting_policies[key] = cached
+        return cached
 
     def validate_all(self) -> list[str]:
         """Validate every object, returning the collected error messages."""
@@ -144,3 +276,94 @@ class Inventory:
             except Exception as exc:  # noqa: BLE001 - collecting all messages
                 errors.append(f"{obj.qualified_name()}: {exc}")
         return errors
+
+
+# ---------------------------------------------------------------------------
+# Content interning
+# ---------------------------------------------------------------------------
+
+
+class InternTable:
+    """Typed objects memoized on a canonical manifest fingerprint.
+
+    The fingerprint is the pickle of the manifest dictionary: it covers every
+    field (so two documents intern to the same object only when their content
+    -- including key order, which is stable for same-template renders -- is
+    identical) and costs far less than typed-object construction.  Interned
+    objects are sealed before they are published, which is what makes the
+    sharing safe: same fingerprint ⇒ same object identity, and mutation of a
+    shared object raises :class:`~repro.k8s.errors.ImmutableObjectError`.
+
+    Documents that cannot be pickled (exotic values from adversarial
+    templates) fall back to a fresh un-interned build -- interning is an
+    accelerator, never a gate.
+    """
+
+    def __init__(self, maxsize: int = 65536) -> None:
+        self._maxsize = maxsize
+        self._entries: dict[bytes, KubernetesObject] = {}
+        self.hits = 0
+        self.misses = 0
+        self.uninternable = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/entry counters (guard hooks for the property suite)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "uninternable": self.uninternable,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.uninternable = 0
+
+    def intern(self, document: Mapping) -> KubernetesObject:
+        """The shared sealed object for ``document`` (building it on a miss)."""
+        from .registry import object_from_dict
+
+        try:
+            key = pickle.dumps(document, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:  # noqa: BLE001 - unpicklable content: build fresh
+            self.uninternable += 1
+            return object_from_dict(document)
+        obj = self._entries.get(key)
+        if obj is not None:
+            self.hits += 1
+            return obj
+        self.misses += 1
+        obj = object_from_dict(document)
+        obj.seal()
+        self._entries[key] = obj
+        while len(self._entries) > self._maxsize:
+            self._entries.pop(next(iter(self._entries)), None)
+        return obj
+
+
+_SHARED_INTERN = InternTable()
+
+
+def shared_intern_table() -> InternTable:
+    """The process-wide intern table behind ``objects_from_dicts(interned=True)``."""
+    return _SHARED_INTERN
+
+
+def intern_object(document: Mapping) -> KubernetesObject:
+    """Intern one manifest dictionary through the shared table."""
+    return _SHARED_INTERN.intern(document)
+
+
+def intern_stats() -> dict[str, int]:
+    """Counters of the shared intern table."""
+    return _SHARED_INTERN.stats()
+
+
+def clear_intern_table() -> None:
+    """Drop every shared interned object (tests and benchmarks)."""
+    _SHARED_INTERN.clear()

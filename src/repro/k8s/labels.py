@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence
+from collections.abc import Mapping
+from typing import Iterable, Iterator, Sequence
 
 from .errors import SelectorError, ValidationError
 
@@ -32,12 +33,24 @@ _VALUE_RE = re.compile(r"^$|^[A-Za-z0-9]([A-Za-z0-9._-]{0,61}[A-Za-z0-9])?$")
 VALID_OPERATORS = ("In", "NotIn", "Exists", "DoesNotExist")
 
 
+#: Memo of strings that already passed key/value validation.  Label keys and
+#: values repeat enormously across a catalogue (``app.kubernetes.io/name``
+#: appears on nearly every object), and the regex checks dominate LabelSet
+#: construction on the cold render path.  Only *valid* strings are memoized,
+#: so the error behaviour is unchanged; the caps bound adversarial growth.
+_VALID_KEYS: set[str] = set()
+_VALID_VALUES: set[str] = set()
+_VALIDATION_MEMO_MAX = 16384
+
+
 def validate_label_key(key: str) -> str:
     """Validate a label key and return it unchanged.
 
     Raises :class:`ValidationError` when the key does not follow the
     Kubernetes ``[prefix/]name`` grammar.
     """
+    if isinstance(key, str) and key in _VALID_KEYS:
+        return key
     if not isinstance(key, str) or not key:
         raise ValidationError("label key must be a non-empty string")
     prefix, _, name = key.rpartition("/")
@@ -45,15 +58,21 @@ def validate_label_key(key: str) -> str:
         raise ValidationError(f"invalid label key prefix: {prefix!r}")
     if not _NAME_RE.match(name):
         raise ValidationError(f"invalid label key name: {name!r}")
+    if len(_VALID_KEYS) < _VALIDATION_MEMO_MAX:
+        _VALID_KEYS.add(key)
     return key
 
 
 def validate_label_value(value: str) -> str:
     """Validate a label value and return it unchanged."""
+    if isinstance(value, str) and value in _VALID_VALUES:
+        return value
     if not isinstance(value, str):
         raise ValidationError("label value must be a string")
     if not _VALUE_RE.match(value):
         raise ValidationError(f"invalid label value: {value!r}")
+    if len(_VALID_VALUES) < _VALIDATION_MEMO_MAX:
+        _VALID_VALUES.add(value)
     return value
 
 
@@ -65,13 +84,22 @@ class LabelSet(Mapping[str, str]):
     labels (M4A detection).
     """
 
-    __slots__ = ("_labels",)
+    __slots__ = ("_labels", "_hash", "_items")
 
     def __init__(self, labels: Mapping[str, str] | None = None) -> None:
+        if type(labels) is LabelSet:
+            # Already validated: share the backing dict (label sets are
+            # read-only), skipping the per-label regex work.
+            self._labels: dict[str, str] = labels._labels
+            self._hash: int | None = labels._hash
+            self._items: frozenset | None = labels._items
+            return
         items = {}
         for key, value in (labels or {}).items():
             items[validate_label_key(key)] = validate_label_value(str(value))
-        self._labels: dict[str, str] = items
+        self._labels = items
+        self._hash = None
+        self._items = None
 
     # Mapping interface -------------------------------------------------
     def __getitem__(self, key: str) -> str:
@@ -83,8 +111,26 @@ class LabelSet(Mapping[str, str]):
     def __len__(self) -> int:
         return len(self._labels)
 
+    def item_set(self) -> frozenset:
+        """The labels as a hashable ``frozenset`` of ``(key, value)`` pairs.
+
+        Memoized: this is the subset-test currency of every selector index
+        (inventory, policy index, cluster-wide pass).
+        """
+        cached = self._items
+        if cached is None:
+            cached = frozenset(self._labels.items())
+            self._items = cached
+        return cached
+
     def __hash__(self) -> int:
-        return hash(frozenset(self._labels.items()))
+        # Memoized: label sets are immutable and the M4 grouping passes hash
+        # every compute unit's labels once per analysis.
+        cached = self._hash
+        if cached is None:
+            cached = hash(self.item_set())
+            self._hash = cached
+        return cached
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, LabelSet):
@@ -197,7 +243,11 @@ class Selector:
         """
         if self.match_expressions:
             return None
-        return frozenset(self.match_labels.items())
+        labels = self.match_labels
+        if type(labels) is LabelSet:
+            return labels.item_set()
+        # Hand-built selectors may carry a plain mapping.
+        return frozenset(labels.items())
 
     def requirement_keys(self) -> set[str]:
         """Return every label key referenced by the selector."""

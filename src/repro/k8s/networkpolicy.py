@@ -20,7 +20,7 @@ from typing import ClassVar, Mapping
 from .container import validate_port_number
 from .errors import ValidationError
 from .labels import Selector
-from .meta import KubernetesObject, ObjectMeta
+from .meta import KubernetesObject, ObjectMeta, Sealable
 
 POLICY_TYPES = ("Ingress", "Egress")
 
@@ -135,7 +135,7 @@ class NetworkPolicyPeer:
 
 
 @dataclass
-class NetworkPolicyRule:
+class NetworkPolicyRule(Sealable):
     """One ingress or egress rule: a set of peers and a set of ports.
 
     Empty ``peers`` means *all peers*; empty ``ports`` means *all ports*.

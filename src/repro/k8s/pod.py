@@ -8,11 +8,11 @@ from typing import ClassVar, Mapping
 from .container import Container
 from .errors import ValidationError
 from .labels import LabelSet
-from .meta import DEFAULT_NAMESPACE, KubernetesObject, ObjectMeta
+from .meta import DEFAULT_NAMESPACE, KubernetesObject, ObjectMeta, Sealable
 
 
 @dataclass
-class PodSpec:
+class PodSpec(Sealable):
     """The parts of a pod spec relevant to cluster-internal networking."""
 
     containers: list[Container] = field(default_factory=list)
@@ -86,7 +86,7 @@ class PodSpec:
 
 
 @dataclass
-class PodTemplateSpec:
+class PodTemplateSpec(Sealable):
     """The pod template embedded in workload controllers."""
 
     metadata: ObjectMeta = field(default_factory=ObjectMeta)

@@ -7,7 +7,8 @@ unknown kinds so that real-world charts with CRDs still parse.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping
+from collections.abc import Mapping
+from typing import Callable, Iterable
 
 import yaml
 
@@ -70,13 +71,28 @@ def object_from_dict(data: Mapping) -> KubernetesObject:
     return constructor(data)
 
 
-def objects_from_dicts(documents: Iterable[Mapping | None]) -> list[KubernetesObject]:
-    """Convert an iterable of manifest dictionaries, skipping empty documents."""
+def objects_from_dicts(
+    documents: Iterable[Mapping | None], interned: bool = False
+) -> list[KubernetesObject]:
+    """Convert an iterable of manifest dictionaries, skipping empty documents.
+
+    ``interned=True`` routes each document through the shared intern table
+    (:mod:`repro.k8s.inventory`): documents with a previously seen content
+    fingerprint return the same sealed object instead of building a new one.
+    The default un-interned build constructs fresh mutable objects -- the
+    reference path the interning property suite diffs against.
+    """
+    if interned:
+        from .inventory import intern_object
+
+        constructor = intern_object
+    else:
+        constructor = object_from_dict
     objects: list[KubernetesObject] = []
     for document in documents:
         if not document:
             continue
-        objects.append(object_from_dict(document))
+        objects.append(constructor(document))
     return objects
 
 

@@ -1,11 +1,14 @@
-"""Render-cache correctness: keying, copy-on-read, and warm-path guards.
+"""Render-cache correctness: keying, hit semantics, and warm-path guards.
 
 The memoized render pipeline must be a pure acceleration: cached renders are
 indistinguishable from fresh ones (the differential test sweeps the full
 catalogue), cache keys are content-based (equal-but-not-identical values
-dicts share an entry; any mutation misses), returned objects are private
-copies (mutating them never corrupts later hits), and a warm render performs
-no template re-parsing at all (parse-counter guard).
+dicts share an entry; any mutation misses), and a warm render performs no
+template re-parsing at all (parse-counter guard).  Hit semantics come in two
+flavours: the default *shared* mode hands out sealed interned objects by
+reference (mutation raises, sharing cannot be corrupted), while the
+``shared=False`` reference mode keeps the historical copy-on-read pickle
+behaviour (returned objects are private mutable copies).
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from repro.helm import (
     shared_render_cache,
     template_parse_count,
 )
+from repro.k8s import ImmutableObjectError
 
 
 def _app():
@@ -77,8 +81,47 @@ class TestCacheKeying:
         assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
 
 
+class TestSharedReferenceHits:
+    def test_warm_hits_share_sealed_objects(self):
+        cache = RenderCache()  # shared mode is the default
+        chart = _app().chart
+        first = cache.render(chart)
+        second = cache.render(chart)
+        assert second.objects == first.objects
+        # Hits return the interned objects themselves: no unpickle, no
+        # objects_from_dicts, no namespace-defaulting rebuild.
+        assert all(a is b for a, b in zip(first.objects, second.objects))
+        # ... but the top-level containers are private per call.
+        assert first.objects is not second.objects
+        second.objects.clear()
+        assert cache.render(chart).objects
+
+    def test_shared_objects_reject_mutation(self):
+        cache = RenderCache()
+        rendered = cache.render(_app().chart)
+        with pytest.raises(ImmutableObjectError):
+            rendered.objects[0].metadata.namespace = "mutated"
+        with pytest.raises(ImmutableObjectError):
+            rendered.objects[0].metadata = None
+
+    def test_shared_and_reference_mode_render_identically(self):
+        chart = _app().chart
+        shared = RenderCache()
+        reference = RenderCache(shared=False)
+        for attempt in range(2):  # cold then warm
+            a = shared.render(chart)
+            b = reference.render(chart)
+            assert a.documents == b.documents, attempt
+            assert a.objects == b.objects, attempt
+            assert a.sources == b.sources, attempt
+            assert a.values == b.values, attempt
+
+
 class TestCopyOnRead:
-    def test_mutating_returned_inventory_never_leaks(self, cache: RenderCache):
+    def test_mutating_returned_inventory_never_leaks(self):
+        # shared=False is the reference mode: pickle copy-on-read, mutable
+        # returned objects, exactly the pre-interning contract.
+        cache = RenderCache(shared=False)
         chart = _app().chart
         first = cache.render(chart)
         # Mutate everything a caller could plausibly touch (the cluster

@@ -1,0 +1,531 @@
+"""Differential suite for the compiled rule engine and the interned inventory.
+
+The compiled single-pass rule engine (``compiled_rules=True``, the default)
+and the indexed analysis context must be a *pure acceleration* of the seed
+pipeline: one fused walk over shared indexes has to produce byte-identical
+findings, in byte-identical order, to the rule-at-a-time reference path with
+its per-call linear scans.  Likewise the content-interned inventory build
+(sealed shared objects, shared-reference render-cache hits) must be
+observably equivalent to the un-interned reference build.
+
+Three layers of evidence:
+
+* **whole-catalogue differentials** (slow): all 290 charts, with and without
+  network-policy overrides, compiled vs reference reports diffed
+  byte-for-byte through the shared canonical differ;
+* **Hypothesis app specs**: arbitrary injection plans and archetypes;
+* **unit-level properties**: interning identity and immutability, context
+  index vs linear scan (including ownerless snapshots), inventory and
+  registry caching, the skeleton parse-memo guard hook.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import AnalyzerSettings, MisconfigurationAnalyzer
+from repro.core.context import AnalysisContext
+from repro.core.rules import RuleRegistry, default_rules, evaluate_fused
+from repro.datasets import InjectionPlan, build_application, build_catalog
+from repro.experiments import run_full_evaluation
+from repro.helm import render_chart, shared_render_cache, skeleton_parse_count
+from repro.k8s import (
+    ImmutableObjectError,
+    Inventory,
+    clear_intern_table,
+    intern_object,
+    intern_stats,
+    objects_from_dicts,
+)
+from repro.probe import PodSnapshot, RuntimeObservation
+from repro.probe.snapshot import ClusterSnapshot, SocketRecord
+
+from tests.support.diffing import assert_identical, canonical_evaluation, canonical_report
+
+ARCHETYPES = ("web", "database", "monitoring", "messaging", "pipeline", "microservices")
+
+POLICY_OVERRIDES = {"networkPolicy": {"enabled": True}}
+
+
+@pytest.fixture(scope="module")
+def catalog_apps():
+    return build_catalog()
+
+
+def compiled_analyzer() -> MisconfigurationAnalyzer:
+    return MisconfigurationAnalyzer(settings=AnalyzerSettings(compiled_rules=True))
+
+
+def reference_analyzer() -> MisconfigurationAnalyzer:
+    """The seed shape: one rule at a time, per-call linear scans."""
+    return MisconfigurationAnalyzer(settings=AnalyzerSettings(compiled_rules=False))
+
+
+def _reports_for(app, overrides=None):
+    """One (reference, compiled) report pair over identical inputs."""
+    reference = reference_analyzer()
+    compiled = compiled_analyzer()
+    rendered = render_chart(app.chart, overrides=overrides)
+    observation = reference.session.observe(rendered, app.behaviors)
+    ref = reference.analyze_rendered(rendered, observation=observation, dataset=app.dataset)
+    cmp_rendered = render_chart(app.chart, overrides=overrides)
+    cmp_observation = compiled.session.observe(cmp_rendered, app.behaviors)
+    cmp = compiled.analyze_rendered(
+        cmp_rendered, observation=cmp_observation, dataset=app.dataset
+    )
+    return ref, cmp
+
+
+# ---------------------------------------------------------------------------
+# Whole-catalogue differentials
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_catalogue_reports_compiled_equals_reference(catalog_apps):
+    """Per-chart reports: fused single pass == rule-at-a-time, byte for byte."""
+    for app in catalog_apps:
+        ref, cmp = _reports_for(app)
+        assert_identical(
+            canonical_report(ref), canonical_report(cmp),
+            label=f"rules/{app.dataset}/{app.name}",
+        )
+
+
+@pytest.mark.slow
+def test_catalogue_reports_identical_with_policy_overrides(catalog_apps):
+    """The same differential with network policies force-enabled."""
+    for app in catalog_apps:
+        if not app.defines_network_policies:
+            continue
+        ref, cmp = _reports_for(app, overrides=POLICY_OVERRIDES)
+        assert_identical(
+            canonical_report(ref), canonical_report(cmp),
+            label=f"rules+netpol/{app.dataset}/{app.name}",
+        )
+
+
+@pytest.mark.slow
+def test_catalogue_evaluation_end_to_end_compiled_equals_reference(catalog_apps):
+    """Full pipeline (observation, rules, cluster-wide M4* pass) agrees."""
+    reference = run_full_evaluation(
+        applications=catalog_apps, analyzer=reference_analyzer()
+    )
+    compiled = run_full_evaluation(applications=catalog_apps, analyzer=compiled_analyzer())
+    assert_identical(
+        canonical_evaluation(reference), canonical_evaluation(compiled),
+        label="evaluation/compiled-vs-reference",
+    )
+
+
+@pytest.mark.slow
+def test_catalogue_interned_build_equals_uninterned(catalog_apps):
+    """Interned (sealed, shared) objects serialize identically to fresh ones."""
+    for app in catalog_apps:
+        interned = render_chart(app.chart)  # default: interned, shared cache
+        fresh = render_chart(app.chart, cached=False)  # reference: un-interned
+        assert [obj.to_dict() for obj in interned.objects] == [
+            obj.to_dict() for obj in fresh.objects
+        ], app.name
+        assert interned.documents == fresh.documents, app.name
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis-generated app specs
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def injection_plans(draw):
+    m1 = draw(st.integers(min_value=0, max_value=3))
+    return InjectionPlan(
+        m1=m1,
+        m2=draw(st.integers(min_value=0, max_value=2)),
+        m3=draw(st.integers(min_value=0, max_value=2)),
+        m4a=draw(st.integers(min_value=0, max_value=1)),
+        m4b=draw(st.integers(min_value=0, max_value=1)),
+        m4c=draw(st.integers(min_value=0, max_value=1)),
+        m5a=draw(st.integers(min_value=0, max_value=1)),
+        m5b=draw(st.integers(min_value=0, max_value=m1)),
+        m5c=draw(st.integers(min_value=0, max_value=1)),
+        m5d=draw(st.integers(min_value=0, max_value=1)),
+        m6=draw(st.booleans()),
+        m7=draw(st.integers(min_value=0, max_value=1)),
+        global_collision=draw(st.booleans()),
+    )
+
+
+@st.composite
+def built_applications(draw):
+    plan = draw(injection_plans())
+    archetype = draw(st.sampled_from(ARCHETYPES))
+    return build_application(
+        "gen-app", "Gen Org", plan, archetype=archetype, dataset="generated"
+    )
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(app=built_applications())
+def test_generated_specs_compiled_equals_reference(app):
+    ref, cmp = _reports_for(app)
+    assert_identical(
+        canonical_report(ref), canonical_report(cmp), label="generated/compiled-report"
+    )
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(app=built_applications())
+def test_generated_specs_static_mode_compiled_equals_reference(app):
+    """No runtime observation: only the static rules are applicable."""
+    rendered = render_chart(app.chart)
+    ref = reference_analyzer().analyze_rendered(rendered, dataset="generated")
+    cmp = compiled_analyzer().analyze_rendered(rendered, dataset="generated")
+    assert_identical(
+        canonical_report(ref), canonical_report(cmp), label="generated/static-report"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fused-engine mechanics
+# ---------------------------------------------------------------------------
+
+
+class _CustomRule:
+    """A rule without compile support: must fall back to evaluate()."""
+
+
+def test_unknown_rules_fall_back_to_evaluate(catalog_apps):
+    from repro.core.findings import Finding, MisconfigClass
+    from repro.core.rules.base import Rule
+
+    class TattleRule(Rule):
+        produces = (MisconfigClass.M7,)
+        requires = "static"
+
+        def __init__(self):
+            self.calls = 0
+
+        def evaluate(self, context):
+            self.calls += 1
+            return [
+                Finding(
+                    misconfig_class=MisconfigClass.M7,
+                    application=context.application,
+                    resource="custom",
+                    message="custom rule ran",
+                )
+            ]
+
+    custom = TattleRule()
+    registry = default_rules()
+    registry.register(custom)
+    app = catalog_apps[0]
+    rendered = render_chart(app.chart)
+    analyzer = MisconfigurationAnalyzer(rules=registry)
+    observation = analyzer.session.observe(rendered, app.behaviors)
+    report = analyzer.analyze_rendered(rendered, observation=observation)
+    assert custom.calls == 1
+    assert any(f.resource == "custom" for f in report.findings)
+
+
+def test_fused_bucket_order_matches_registry_order(catalog_apps):
+    app = catalog_apps[0]
+    rendered = render_chart(app.chart)
+    registry = default_rules()
+    context = AnalysisContext(application="order", inventory=Inventory(rendered.objects))
+    pairs = evaluate_fused(registry, context)
+    assert [rule.name for rule, _ in pairs] == [
+        rule.name for rule in registry.rules_for(context)
+    ]
+    for rule, findings in pairs:
+        assert findings == rule.evaluate(context)
+
+
+# ---------------------------------------------------------------------------
+# Interning properties
+# ---------------------------------------------------------------------------
+
+
+DOC = {
+    "apiVersion": "v1",
+    "kind": "Service",
+    "metadata": {"name": "svc", "labels": {"app": "demo"}},
+    "spec": {"selector": {"app": "demo"}, "ports": [{"port": 80}]},
+}
+
+
+class TestInterning:
+    def test_same_fingerprint_same_identity(self):
+        clear_intern_table()
+        first = intern_object(DOC)
+        second = intern_object(copy.deepcopy(DOC))
+        assert first is second
+        assert intern_stats()["hits"] == 1
+        assert intern_stats()["misses"] == 1
+
+    def test_different_content_different_identity(self):
+        clear_intern_table()
+        other = copy.deepcopy(DOC)
+        other["metadata"]["name"] = "other"
+        assert intern_object(DOC) is not intern_object(other)
+
+    def test_interned_objects_reject_mutation(self):
+        obj = intern_object(DOC)
+        with pytest.raises(ImmutableObjectError):
+            obj.metadata.namespace = "mutated"
+        with pytest.raises(ImmutableObjectError):
+            obj.metadata = None
+        with pytest.raises(ImmutableObjectError):
+            obj.cluster_ip = "10.0.0.1"
+
+    def test_interned_workload_spec_is_sealed(self):
+        doc = {
+            "apiVersion": "apps/v1",
+            "kind": "Deployment",
+            "metadata": {"name": "web"},
+            "spec": {
+                "replicas": 2,
+                "template": {
+                    "metadata": {"labels": {"app": "web"}},
+                    "spec": {"containers": [{"name": "c", "image": "nginx"}]},
+                },
+            },
+        }
+        obj = intern_object(doc)
+        with pytest.raises(ImmutableObjectError):
+            obj.template.spec.host_network = True
+        with pytest.raises(ImmutableObjectError):
+            obj.template.metadata.labels = None
+        # The seal walk descends into list payloads: containers are sealed.
+        with pytest.raises(ImmutableObjectError):
+            obj.template.spec.containers[0].image = "evil"
+
+    def test_deepcopy_thaws(self):
+        obj = intern_object(DOC)
+        thawed = copy.deepcopy(obj)
+        thawed.metadata.namespace = "patched"  # must not raise
+        assert thawed.to_dict() != obj.to_dict()
+        # and the interned original is untouched
+        assert obj.metadata.namespace == "default"
+
+    def test_uninterned_build_returns_fresh_mutable_objects(self):
+        first = objects_from_dicts([DOC])[0]
+        second = objects_from_dicts([DOC])[0]
+        assert first is not second
+        first.metadata.namespace = "mutated"  # reference objects stay mutable
+
+    def test_warm_render_hits_share_object_identity(self, catalog_apps):
+        app = catalog_apps[0]
+        shared_render_cache().clear()
+        first = render_chart(app.chart)
+        second = render_chart(app.chart)
+        assert all(a is b for a, b in zip(first.objects, second.objects))
+
+    def test_validation_memo_only_on_sealed_objects(self):
+        obj = objects_from_dicts([DOC])[0]
+        obj.validate_cached()
+        assert obj._validated is False  # unsealed: never memoized
+        sealed = intern_object(DOC)
+        sealed.validate_cached()
+        assert sealed._validated is True
+
+
+# ---------------------------------------------------------------------------
+# Inventory / registry caching
+# ---------------------------------------------------------------------------
+
+
+class TestInventoryCaching:
+    def test_query_lists_are_cached(self, catalog_apps):
+        inventory = Inventory(render_chart(catalog_apps[0].chart).objects)
+        assert inventory.compute_units() is inventory.compute_units()
+        assert inventory.services() is inventory.services()
+        assert inventory.network_policies() is inventory.network_policies()
+        assert inventory.of_kind("Service") is inventory.of_kind("Service")
+
+    def test_selector_queries_match_seed_semantics(self, catalog_apps):
+        rendered = render_chart(catalog_apps[1].chart)
+        inventory = Inventory(rendered.objects)
+        for service in inventory.services():
+            expected = [
+                unit
+                for unit in inventory.compute_units()
+                if unit.namespace == service.namespace
+                and service.has_selector
+                and service.selector.matches(unit.pod_labels())
+            ]
+            assert inventory.compute_units_selected_by(service) == expected
+        for unit in inventory.compute_units():
+            labels = unit.pod_labels()
+            expected = [
+                service
+                for service in inventory.services()
+                if service.namespace == unit.namespace
+                and service.has_selector
+                and service.selector.matches(labels)
+            ]
+            assert inventory.services_selecting(labels, unit.namespace) == expected
+            expected_policies = [
+                policy
+                for policy in inventory.network_policies()
+                if policy.selects(labels, unit.namespace)
+            ]
+            assert inventory.policies_selecting(labels, unit.namespace) == expected_policies
+
+    def test_inventory_pickles_without_caches(self, catalog_apps):
+        import pickle
+
+        inventory = Inventory(render_chart(catalog_apps[0].chart).objects)
+        inventory.compute_units()  # build some caches
+        clone = pickle.loads(pickle.dumps(inventory))
+        assert len(clone) == len(inventory)
+        assert [obj.to_dict() for obj in clone] == [obj.to_dict() for obj in inventory]
+
+    def test_registry_rules_cached_and_invalidated(self):
+        registry = default_rules()
+        snapshot = registry.rules()
+        assert registry.rules() is snapshot
+        extra = snapshot[0]
+        registry.register(extra)
+        refreshed = registry.rules()
+        assert refreshed is not snapshot
+        assert len(refreshed) == len(snapshot) + 1
+
+
+# ---------------------------------------------------------------------------
+# Context index vs linear scan
+# ---------------------------------------------------------------------------
+
+
+def _observation_with_ownerless() -> RuntimeObservation:
+    """An observation mixing owner-tagged and ownerless snapshots."""
+    def snap(name, owner, ports=(80,), sequence=0):
+        return PodSnapshot(
+            pod_name=name,
+            namespace="default",
+            app="mix",
+            owner=owner,
+            sockets=[SocketRecord(port=p) for p in ports],
+        )
+
+    first = ClusterSnapshot(
+        pods=[
+            snap("web-0", "Deployment/default/web"),
+            snap("web-extra", "", ports=(81,)),
+            snap("web-1", "Deployment/default/web"),
+            snap("db-0", "StatefulSet/default/db", ports=(5432,)),
+        ]
+    )
+    second = ClusterSnapshot(
+        pods=[
+            snap("web-0", "Deployment/default/web"),
+            snap("web-extra", "", ports=(81, 9000)),
+            snap("web-1", "Deployment/default/web", ports=(80, 8080)),
+            snap("db-0", "StatefulSet/default/db", ports=(5432,)),
+        ],
+        sequence=1,
+    )
+    return RuntimeObservation(app="mix", first=first, second=second)
+
+
+def test_snapshot_index_matches_linear_scan():
+    observation = _observation_with_ownerless()
+    objects = objects_from_dicts(
+        [
+            {
+                "apiVersion": "apps/v1",
+                "kind": "Deployment",
+                "metadata": {"name": "web"},
+                "spec": {
+                    "template": {
+                        "metadata": {"labels": {"app": "web"}},
+                        "spec": {"containers": [{"name": "c", "image": "i"}]},
+                    }
+                },
+            },
+            {
+                "apiVersion": "apps/v1",
+                "kind": "StatefulSet",
+                "metadata": {"name": "db"},
+                "spec": {
+                    "template": {
+                        "metadata": {"labels": {"app": "db"}},
+                        "spec": {"containers": [{"name": "c", "image": "i"}]},
+                    }
+                },
+            },
+        ]
+    )
+    indexed = AnalysisContext(
+        application="mix", inventory=Inventory(objects), observation=observation
+    )
+    scanned = AnalysisContext(
+        application="mix",
+        inventory=Inventory(objects),
+        observation=observation,
+        indexed=False,
+    )
+    for unit_i, unit_s in zip(
+        indexed.compute_units(), scanned.compute_units()
+    ):
+        snaps_i = indexed.snapshots_for(unit_i)
+        snaps_s = scanned.snapshots_for(unit_s)
+        assert [s.pod_name for s in snaps_i] == [s.pod_name for s in snaps_s]
+        # The ownerless prefix match must splice back in observation order.
+        for protocol in ("TCP", "UDP"):
+            assert indexed.stable_open_ports(unit_i, protocol) == scanned.stable_open_ports(
+                unit_s, protocol
+            )
+            assert indexed.dynamic_ports(unit_i, protocol) == scanned.dynamic_ports(
+                unit_s, protocol
+            )
+    web = indexed.compute_units()[0]
+    assert [s.pod_name for s in indexed.snapshots_for(web)] == [
+        "web-0",
+        "web-extra",
+        "web-1",
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Skeleton parse memo guard
+# ---------------------------------------------------------------------------
+
+
+def test_override_variants_do_not_reparse_structured_skeletons(catalog_apps):
+    """The Figure 4b shape: per-variant renders reuse memoized skeleton parses.
+
+    Values that only flow through structured fragments leave the skeleton
+    text untouched, so after the first render of each variant family the
+    parse counter must stay flat across *cold* re-renders (fresh renderer,
+    no render cache).
+    """
+    app = next(a for a in catalog_apps if a.defines_network_policies)
+    from repro.helm import HelmRenderer
+
+    renderer = HelmRenderer()
+    renderer.render_structured(app.chart, interned=True)
+    renderer.render_structured(app.chart, overrides=POLICY_OVERRIDES, interned=True)
+    before = skeleton_parse_count()
+    renderer.render_structured(app.chart, interned=True)
+    renderer.render_structured(app.chart, overrides=POLICY_OVERRIDES, interned=True)
+    same_skeletons = skeleton_parse_count() - before
+    # Re-rendering the same chart/override pairs must not parse anything new.
+    assert same_skeletons == 0
+
+
+def test_skeleton_memo_is_isolated_from_document_mutation(catalog_apps):
+    """Un-interned consumers get copies: mutating them cannot poison the memo."""
+    app = catalog_apps[0]
+    from repro.helm import HelmRenderer
+
+    renderer = HelmRenderer()
+    first = renderer.render_structured(app.chart)  # un-interned: mutable copies
+    pristine = copy.deepcopy(first.documents)
+    for document in first.documents:
+        document.clear()
+    second = renderer.render_structured(app.chart)
+    assert second.documents == pristine

@@ -1,0 +1,87 @@
+"""The benchmark regression gate runs clean and actually detects regressions.
+
+``benchmarks/run.py --check`` executes a smoke-sized benchmark pass and
+compares its per-chart end-to-end numbers against the committed
+``BENCH_connectivity.json`` with a tolerance band.  The smoke test pins both
+directions: the tree as committed passes the gate, and a fabricated
+regression (committed numbers far better than physically possible) is
+actually caught -- the gate is not vacuously green.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_run_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_run", REPO_ROOT / "benchmarks" / "run.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.slow
+def test_bench_check_passes_on_the_tree():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / "run.py"), "--check"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "--check passed" in result.stdout
+
+
+def test_check_detects_regression(tmp_path):
+    bench_run = _load_run_module()
+    committed = tmp_path / "BENCH_connectivity.json"
+    committed.write_text(
+        '{"end_to_end": {"charts": 290.0, "evaluation/current_s": 1e-9, '
+        '"netpol_impact/compiled_s": 1e-9}}'
+    )
+    record = {
+        "end_to_end": {
+            "charts": 4.0,
+            "evaluation/current_s": 0.02,
+            "netpol_impact/compiled_s": 0.01,
+        }
+    }
+    failures = bench_run.check_against_committed(record, committed, tolerance=3.0)
+    assert len(failures) == 2
+    assert all("ms/chart exceeds" in failure for failure in failures)
+
+
+def test_check_passes_within_band(tmp_path):
+    bench_run = _load_run_module()
+    committed = tmp_path / "BENCH_connectivity.json"
+    committed.write_text(
+        '{"end_to_end": {"charts": 290.0, "evaluation/current_s": 0.29, '
+        '"netpol_impact/compiled_s": 0.29}}'
+    )
+    record = {
+        "end_to_end": {
+            "charts": 4.0,
+            "evaluation/current_s": 0.008,  # 2 ms/chart vs committed 1 ms/chart
+            "netpol_impact/compiled_s": 0.004,
+        }
+    }
+    assert bench_run.check_against_committed(record, committed, tolerance=3.0) == []
+
+
+def test_check_flags_missing_keys(tmp_path):
+    bench_run = _load_run_module()
+    committed = tmp_path / "BENCH_connectivity.json"
+    committed.write_text('{"end_to_end": {"charts": 290.0}}')
+    failures = bench_run.check_against_committed(
+        {"end_to_end": {"charts": 4.0}}, committed, tolerance=3.0
+    )
+    assert len(failures) == len(bench_run.CHECK_KEYS)
