@@ -177,9 +177,64 @@ def bench_full_evaluation(sample: int | None, repeats: int = 3) -> dict[str, flo
     }
 
 
+def measure_fault_overhead(sample: int | None, rounds: int = 1) -> dict[str, float]:
+    """Armed-but-idle fault hooks vs disarmed: paired cold evaluation sweeps.
+
+    Arms a plan that targets every fault site against a chart key that does
+    not exist in the catalogue, so each ``fault_point`` call runs its full
+    plan-lookup-and-miss path without ever firing -- the per-sweep tax of
+    keeping the robustness hooks armed.  Runs ``rounds`` alternating
+    disarmed/armed pairs and keeps the *minimum* per arm: injected noise
+    only ever adds time, so the minima are the honest comparison on a busy
+    machine.
+    """
+    import gc
+
+    from repro import faults
+    from repro.datasets import build_catalog
+    from repro.experiments import run_full_evaluation
+
+    applications = build_catalog()
+    if sample is not None:
+        applications = applications[:sample]
+    idle_plan = faults.FaultPlan(
+        *(
+            faults.FaultSpec(site, charts=("bench/no-such-chart",))
+            for site in faults.FAULT_SITES
+        )
+    )
+
+    def timed_cold(plan) -> float:
+        _clear_render_caches()
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            run_full_evaluation(applications=applications, fault_plan=plan)
+            return time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    disarmed = armed = float("inf")
+    for _ in range(max(rounds, 1)):
+        disarmed = min(disarmed, timed_cold(None))
+        armed = min(armed, timed_cold(idle_plan))
+    return {
+        "evaluation/disarmed_s": round(disarmed, 3),
+        "evaluation/armed_idle_s": round(armed, 3),
+        "evaluation/fault_overhead": round(armed / disarmed, 4) if disarmed else 1.0,
+    }
+
+
 #: ``--check`` compares these end-to-end metrics, normalized per chart, so a
 #: smoke-sized run remains comparable with a committed full-catalogue record.
 CHECK_KEYS = ("evaluation/current_s", "netpol_impact/compiled_s")
+
+#: ``--check`` also gates the armed-but-idle fault-hook tax: arming a plan
+#: that never fires must cost under 2% of the default evaluation sweep.
+FAULT_OVERHEAD_LIMIT = 1.02
 
 
 def check_against_committed(
@@ -327,6 +382,13 @@ def main(argv: list[str] | None = None) -> int:
         f"pooled+fast {evaluation['evaluation/current_s']}s "
         f"({ratio(evaluation['evaluation/fresh_full_s'], evaluation['evaluation/current_s'])} over PR-2)"
     )
+    overhead = measure_fault_overhead(sample, rounds=e2e_repeats)
+    e2e.update(overhead)
+    print(
+        f"armed-but-idle fault hooks: disarmed {overhead['evaluation/disarmed_s']}s -> "
+        f"armed {overhead['evaluation/armed_idle_s']}s "
+        f"({overhead['evaluation/fault_overhead']:.4f}x)"
+    )
     analysis = run_analysis_suite(sample=sample, repeats=e2e_repeats)
     print(
         f"rules slice over {int(analysis['charts'])} charts: "
@@ -370,6 +432,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"\n--check: no committed record at {committed}")
             return 1
         failures = check_against_committed(record, committed, args.tolerance)
+        if record["end_to_end"]["evaluation/fault_overhead"] > FAULT_OVERHEAD_LIMIT:
+            # A single cold pair is noisy on a loaded machine: before
+            # declaring a regression, remeasure with min-of-5 pairs.
+            retry = measure_fault_overhead(sample, rounds=5)
+            print(
+                f"fault-overhead remeasure (min of 5 pairs): "
+                f"{retry['evaluation/fault_overhead']:.4f}x"
+            )
+            if retry["evaluation/fault_overhead"] > FAULT_OVERHEAD_LIMIT:
+                failures.append(
+                    f"evaluation/fault_overhead: armed-but-idle hooks cost "
+                    f"{retry['evaluation/fault_overhead']:.4f}x "
+                    f"(limit {FAULT_OVERHEAD_LIMIT:.2f}x)"
+                )
         if failures:
             print("\n--check FAILED:")
             for failure in failures:

@@ -38,7 +38,7 @@ Quick start
 ['M1', 'M6']
 """
 
-from . import baselines, cluster, core, datasets, experiments, helm, k8s, probe
+from . import baselines, cluster, core, datasets, experiments, faults, helm, k8s, probe
 
 __version__ = "1.0.0"
 
@@ -49,6 +49,7 @@ __all__ = [
     "core",
     "datasets",
     "experiments",
+    "faults",
     "helm",
     "k8s",
     "probe",

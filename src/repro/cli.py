@@ -19,6 +19,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from .cluster import ClusterError, actionable_message
 from .core import (
     AnalyzerSettings,
     MODE_STATIC,
@@ -154,7 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ClusterError as exc:
+        # Simulator errors (scheduling, IPAM exhaustion, missing pods, ...)
+        # are user-fixable: print the actionable guidance, not a traceback.
+        print(actionable_message(exc), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -30,6 +30,7 @@ from .errors import (
     NotFoundError,
     PodNotFound,
     SchedulingError,
+    actionable_message,
 )
 from .ipam import AddressPool, ClusterIPAM
 from .network import ClusterNetwork, ConnectionAttempt, ReachabilityMatrix, ReachableEndpoint
@@ -94,6 +95,7 @@ __all__ = [
     "ServiceBinding",
     "SessionStats",
     "Socket",
+    "actionable_message",
     "behavior_with_closed_ports",
     "behavior_with_dynamic_ports",
     "behavior_with_undeclared_ports",

@@ -1,10 +1,45 @@
-"""Exceptions raised by the cluster simulator."""
+"""Exceptions raised by the cluster simulator.
+
+The whole hierarchy pickles faithfully: subclasses carry extra attributes
+(``AdmissionError.reason``, ``PodNotFound.name``) and entry points may
+annotate an in-flight error with chart context (:meth:`ClusterError.
+with_context`), so the default ``Exception`` reduction -- re-invoking
+``__init__`` with ``args`` -- would either mangle messages or drop state
+when an error crosses a process-pool boundary.  :meth:`ClusterError.
+__reduce__` instead rebuilds the instance verbatim (class, ``args``,
+``__dict__``).
+
+:func:`actionable_message` turns any of these errors into the operator-facing
+text the CLI and the Figure 4b sweep print instead of a raw traceback.
+"""
 
 from __future__ import annotations
 
 
+def _rebuild_error(cls: type, args: tuple, attrs: dict) -> "ClusterError":
+    error = cls.__new__(cls)
+    Exception.__init__(error)
+    error.args = args
+    error.__dict__.update(attrs)
+    return error
+
+
 class ClusterError(Exception):
     """Base class for all errors raised by :mod:`repro.cluster`."""
+
+    def __reduce__(self):
+        """Pickle verbatim: class + ``args`` + attributes, no re-``__init__``."""
+        return (_rebuild_error, (type(self), self.args, dict(self.__dict__)))
+
+    def with_context(self, context: str) -> "ClusterError":
+        """Prefix the message with ``[context]`` in place; returns ``self``.
+
+        Sweeps over many charts use this to attribute an error to the chart
+        that triggered it before letting it propagate (or recording it).
+        """
+        message = self.args[0] if self.args else str(self)
+        self.args = (f"[{context}] {message}",) + tuple(self.args[1:])
+        return self
 
 
 class AdmissionError(ClusterError):
@@ -38,3 +73,51 @@ class SchedulingError(ClusterError):
 
 class IPAMError(ClusterError):
     """The address allocator ran out of addresses or got a bad request."""
+
+
+#: Per-class operator guidance appended to the error message.
+_GUIDANCE: tuple[tuple[type, str], ...] = (
+    (
+        SchedulingError,
+        "check that the analysis cluster has schedulable worker nodes "
+        "(AnalyzerSettings.worker_count) and that pod nodeName/nodeSelector "
+        "constraints match an existing node",
+    ),
+    (
+        IPAMError,
+        "the simulated address pool is exhausted; lower the chart's replica "
+        "counts or build the cluster with a larger pod CIDR",
+    ),
+    (
+        PodNotFound,
+        "the pod never started or was torn down; verify the workload "
+        "rendered a pod template and that its behaviors are registered",
+    ),
+    (
+        AdmissionError,
+        "an admission controller rejected the object; fix the manifest or "
+        "relax the admission mode",
+    ),
+    (
+        AlreadyExistsError,
+        "an object with the same kind/namespace/name is already installed; "
+        "uninstall the previous release or use a distinct release name",
+    ),
+    (
+        NotFoundError,
+        "the referenced object does not exist in the cluster; check the "
+        "install order and object names",
+    ),
+)
+
+
+def actionable_message(error: ClusterError) -> str:
+    """An operator-facing message for ``error``: what failed, what to do.
+
+    Used by the CLI entry points and the netpol-impact sweep to surface
+    :class:`ClusterError` subclasses as guidance instead of raw tracebacks.
+    """
+    for cls, guidance in _GUIDANCE:
+        if isinstance(error, cls):
+            return f"{type(error).__name__}: {error}\n  hint: {guidance}"
+    return f"{type(error).__name__}: {error}"

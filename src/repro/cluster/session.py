@@ -42,6 +42,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from .. import faults
 from ..helm import RenderedChart
 from ..k8s import CronJob, DaemonSet, ObjectMeta, Pod, Workload
 from ..probe.scanner import RuntimeObservation, RuntimeScanner
@@ -369,6 +370,7 @@ class AnalysisSession:
         installs the chart and runs the reference
         :class:`~repro.probe.scanner.RuntimeScanner`.
         """
+        faults.fault_point(faults.OBSERVE)
         if self.observe_mode == OBSERVE_FAST:
             behaviors = behaviors or BehaviorRegistry()
             with self._observe_lock:

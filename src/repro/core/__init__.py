@@ -18,9 +18,14 @@ from .admission import (
     NetworkMisconfigurationAdmission,
 )
 from .analyzer import (
+    ANALYSIS_STAGES,
     MODE_HYBRID,
     MODE_RUNTIME,
     MODE_STATIC,
+    STAGE_OBSERVE,
+    STAGE_RENDER,
+    STAGE_RULES,
+    AnalysisStageError,
     AnalyzerSettings,
     MisconfigurationAnalyzer,
 )
@@ -69,16 +74,21 @@ from .report import (
 from .rules import Rule, RuleRegistry, default_rules
 
 __all__ = [
+    "ANALYSIS_STAGES",
     "CATALOG",
     "MODE_ENFORCE",
     "MODE_HYBRID",
     "MODE_RUNTIME",
     "MODE_STATIC",
     "MODE_WARN",
+    "STAGE_OBSERVE",
+    "STAGE_RENDER",
+    "STAGE_RULES",
     "TABLE_ORDER",
     "AdmissionWarning",
     "AnalysisContext",
     "AnalysisReport",
+    "AnalysisStageError",
     "AnalyzerSettings",
     "ApplicationInventory",
     "DatasetSummary",

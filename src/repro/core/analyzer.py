@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
+from .. import faults
 from ..cluster import AnalysisSession, BehaviorRegistry, Cluster, OBSERVE_FAST
 from ..helm import Chart, RenderedChart, render_chart
 from ..k8s import Inventory, KubernetesObject
@@ -33,6 +34,33 @@ from .rules import RuleRegistry, default_rules, evaluate_fused
 MODE_STATIC = "static"
 MODE_RUNTIME = "runtime"
 MODE_HYBRID = "hybrid"
+
+#: The pipeline stages a per-chart analysis passes through, in order.  The
+#: fault-isolation layer attributes every failure to exactly one of these.
+STAGE_RENDER = "render"
+STAGE_OBSERVE = "observe"
+STAGE_RULES = "rules"
+ANALYSIS_STAGES = (STAGE_RENDER, STAGE_OBSERVE, STAGE_RULES)
+
+
+class AnalysisStageError(Exception):
+    """A per-chart analysis stage failed; wraps the original exception.
+
+    Raised only when the caller opts in (``analyze_chart(...,
+    stage_errors=True)``): the evaluation pipeline uses the ``stage``
+    attribute to attribute a failure record to render/observe/rules without
+    guessing from tracebacks.  Constructed as ``AnalysisStageError(stage,
+    original)`` so the default ``Exception`` pickling (via ``args``) moves
+    it across process-pool boundaries intact.
+    """
+
+    def __init__(self, stage: str, original: BaseException) -> None:
+        super().__init__(stage, original)
+        self.stage = stage
+        self.original = original
+
+    def __str__(self) -> str:
+        return f"{self.stage} stage failed: {self.original!r}"
 
 
 @dataclass
@@ -96,6 +124,7 @@ class MisconfigurationAnalyzer:
         policies_available_but_disabled: bool | None = None,
         rendered: RenderedChart | None = None,
         inventory: Inventory | None = None,
+        stage_errors: bool = False,
     ) -> AnalysisReport:
         """Render a chart, observe it at runtime, and evaluate every rule.
 
@@ -107,10 +136,20 @@ class MisconfigurationAnalyzer:
         between this analysis and their own passes.  The provided render
         must use the same release name and overrides this method would
         apply.
+
+        ``stage_errors=True`` wraps any exception escaping a pipeline stage
+        in :class:`AnalysisStageError` tagged with the stage name
+        (:data:`ANALYSIS_STAGES`), for callers that attribute failures per
+        stage; the default leaves exception types untouched, preserving the
+        historical raise-through semantics.
         """
         if rendered is None:
-            rendered = render_chart(
-                chart, release_name=application or chart.name, overrides=overrides
+            rendered = self._run_stage(
+                STAGE_RENDER,
+                stage_errors,
+                lambda: render_chart(
+                    chart, release_name=application or chart.name, overrides=overrides
+                ),
             )
         detected_disabled = (
             policies_available_but_disabled
@@ -119,14 +158,32 @@ class MisconfigurationAnalyzer:
         )
         observation = None
         if self.settings.mode in (MODE_RUNTIME, MODE_HYBRID):
-            observation = self._observe(rendered, behaviors)
-        return self.analyze_rendered(
-            rendered,
-            observation=observation,
-            dataset=dataset,
-            policies_available_but_disabled=detected_disabled,
-            inventory=inventory,
+            observation = self._run_stage(
+                STAGE_OBSERVE, stage_errors, lambda: self._observe(rendered, behaviors)
+            )
+        return self._run_stage(
+            STAGE_RULES,
+            stage_errors,
+            lambda: self.analyze_rendered(
+                rendered,
+                observation=observation,
+                dataset=dataset,
+                policies_available_but_disabled=detected_disabled,
+                inventory=inventory,
+            ),
         )
+
+    @staticmethod
+    def _run_stage(stage: str, stage_errors: bool, thunk: Callable):
+        """Run one pipeline stage, wrapping failures when asked to."""
+        if not stage_errors:
+            return thunk()
+        try:
+            return thunk()
+        except AnalysisStageError:
+            raise
+        except Exception as exc:
+            raise AnalysisStageError(stage, exc) from exc
 
     def analyze_rendered(
         self,
@@ -164,6 +221,7 @@ class MisconfigurationAnalyzer:
         inventory: Inventory | None = None,
     ) -> AnalysisReport:
         """Evaluate the rules against a plain list of Kubernetes objects."""
+        faults.fault_point(faults.RULES)
         if self.settings.mode == MODE_STATIC:
             observation = None
         compiled = self.settings.compiled_rules

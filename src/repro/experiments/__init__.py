@@ -1,7 +1,10 @@
 """Experiment harnesses regenerating every table and figure of the paper."""
 
 from .evaluation import (
+    FAILURE_STAGE_TIMEOUT,
+    FAILURE_STAGE_WORKER,
     USE_CASE_OF_DATASET,
+    AnalysisFailure,
     AnalyzedApplication,
     EvaluationResult,
     run_full_evaluation,
@@ -40,8 +43,11 @@ from .table3 import (
 )
 
 __all__ = [
+    "AnalysisFailure",
     "AnalyzedApplication",
     "ApplicationReachability",
+    "FAILURE_STAGE_TIMEOUT",
+    "FAILURE_STAGE_WORKER",
     "ComparisonResult",
     "DatasetReachabilityRow",
     "DistributionSummary",

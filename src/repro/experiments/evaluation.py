@@ -5,20 +5,56 @@ cache), derive the double runtime snapshot install-free via the pooled
 :class:`~repro.cluster.AnalysisSession`, evaluate every rule.  Once all
 applications are analyzed, run the cluster-wide pass for global label
 collisions (M4*).  The result feeds every table and figure of Section 4.3.
+
+Fault isolation
+---------------
+
+One malformed chart must not abort a 290-chart sweep.  By default
+(``fail_fast=False``) every per-chart exception -- in render, observation or
+rule evaluation -- becomes a structured :class:`AnalysisFailure` record on
+``EvaluationResult.failed`` instead of propagating, after up to
+``max_attempts`` retries with capped exponential backoff; a chart that still
+fails is *quarantined* and the sweep carries on.  Every healthy chart's
+report is byte-identical to a fault-free run (the chaos differential suite
+in ``tests/experiments/test_fault_isolation.py`` proves it under injected
+faults at every site).  ``fail_fast=True`` pins the historical
+raise-on-first-error semantics as the reference behaviour.
+
+The parallel process-pool sweep is additionally *self-healing*: it survives
+``BrokenProcessPool`` (a worker killed mid-task) by respawning the pool, and
+it enforces a per-chart wall-clock watchdog (``chart_timeout``) so a hung
+chart cannot stall the sweep.  Crash attribution is exact: charts that were
+in flight when the pool broke are re-run one at a time on a fresh pool, so a
+repeat crash is unambiguously the fault of the chart that was alone in
+flight -- innocent bystanders are never charged an attempt, which keeps
+retry/quarantine decisions (and therefore the whole result) deterministic.
+Result ordering is catalogue order throughout, failures or not.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+import traceback as traceback_module
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from functools import partial
 
+from .. import faults
 from ..core import (
     AnalysisReport,
+    AnalysisStageError,
     AnalyzerSettings,
     ApplicationInventory,
     EvaluationSummary,
     MisconfigurationAnalyzer,
+    STAGE_RENDER,
     global_collision_findings,
 )
 from ..datasets import DATASET_ORDER, BuiltApplication, build_catalog, catalog_fingerprints
@@ -35,6 +71,57 @@ USE_CASE_OF_DATASET = {
     "Wikimedia": "internal",
 }
 
+#: Failure stages beyond the analyzer's render/observe/rules: the worker
+#: process died (crash or kill), or the per-chart watchdog fired.
+FAILURE_STAGE_WORKER = "worker"
+FAILURE_STAGE_TIMEOUT = "timeout"
+
+#: Watchdog poll interval and the ceiling on retry backoff sleeps.
+_POLL_S = 0.02
+_BACKOFF_CAP_S = 1.0
+
+
+@dataclass
+class AnalysisFailure:
+    """One chart the sweep could not analyze, with full attribution.
+
+    ``stage`` is one of the analyzer's pipeline stages (``render`` /
+    ``observe`` / ``rules``), or ``worker`` (the worker process died) or
+    ``timeout`` (the per-chart watchdog fired).  ``attempts`` counts how
+    many times the chart was tried before being quarantined.
+    """
+
+    dataset: str
+    name: str
+    stage: str
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int = 1
+    quarantined: bool = True
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The ``(dataset, name)`` identity, matching ``AnalyzedApplication.key``."""
+        return (self.dataset, self.name)
+
+    @property
+    def unique_id(self) -> str:
+        """The ``dataset/name`` key used by fault plans and the M4* pass."""
+        return f"{self.dataset}/{self.name}"
+
+    def to_dict(self) -> dict:
+        """A JSON-ready form for reports and operator tooling."""
+        return {
+            "dataset": self.dataset,
+            "name": self.name,
+            "stage": self.stage,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "quarantined": self.quarantined,
+        }
+
 
 @dataclass
 class AnalyzedApplication:
@@ -43,45 +130,99 @@ class AnalyzedApplication:
     application: BuiltApplication
     report: AnalysisReport
     inventory: Inventory
+    #: How many attempts the analysis took (1 = first try; >1 means a
+    #: transient failure was healed by retry).
+    attempts: int = 1
 
     @property
     def key(self) -> tuple[str, str]:
+        """The ``(dataset, name)`` identity of the analyzed application."""
         return (self.application.dataset, self.application.name)
 
 
 @dataclass
 class EvaluationResult:
-    """The outcome of analyzing the full catalogue."""
+    """The outcome of analyzing the full catalogue.
+
+    ``analyzed`` holds the healthy applications in catalogue order;
+    ``failed`` holds one :class:`AnalysisFailure` per chart the sweep gave
+    up on (empty under ``fail_fast=True``, which raises instead).  Every
+    downstream consumer -- ``summary``, the figures, Table 3, the report
+    formatters -- iterates ``analyzed`` only, so they degrade gracefully:
+    a failed chart is simply absent, never a crash.
+
+    Lookups go through a lazily-built key index (rebuilt if ``analyzed``
+    grows), replacing the former per-call linear scans.
+    """
 
     analyzed: list[AnalyzedApplication] = field(default_factory=list)
+    failed: list[AnalysisFailure] = field(default_factory=list)
+    _key_index: dict = field(default=None, init=False, repr=False, compare=False)
+    _id_index: dict = field(default=None, init=False, repr=False, compare=False)
+    _dataset_index: dict = field(default=None, init=False, repr=False, compare=False)
+    _indexed_len: int = field(default=-1, init=False, repr=False, compare=False)
 
     @property
     def summary(self) -> EvaluationSummary:
+        """The aggregate finding counts over every *analyzed* application."""
         summary = EvaluationSummary()
         for entry in self.analyzed:
             summary.add(entry.report)
         return summary
 
     def applications(self) -> list[BuiltApplication]:
+        """The analyzed applications, in catalogue order."""
         return [entry.application for entry in self.analyzed]
 
     def reports(self) -> list[AnalysisReport]:
+        """The per-application reports, in catalogue order."""
         return [entry.report for entry in self.analyzed]
 
+    def _index(self) -> dict:
+        # Lazily (re)built: callers may append to ``analyzed`` after
+        # construction, so the index invalidates on length change.
+        if self._key_index is None or self._indexed_len != len(self.analyzed):
+            self._key_index = {entry.key: entry for entry in self.analyzed}
+            self._id_index = {
+                f"{entry.application.dataset}/{entry.application.name}": entry
+                for entry in self.analyzed
+            }
+            buckets: dict[str, list[AnalyzedApplication]] = {}
+            for entry in self.analyzed:
+                buckets.setdefault(entry.application.dataset, []).append(entry)
+            self._dataset_index = buckets
+            self._indexed_len = len(self.analyzed)
+        return self._key_index
+
     def report_for(self, dataset: str, name: str) -> AnalysisReport | None:
-        for entry in self.analyzed:
-            if entry.key == (dataset, name):
-                return entry.report
+        """The report of one application (``None`` if absent or failed)."""
+        entry = self._index().get((dataset, name))
+        return entry.report if entry is not None else None
+
+    def failure_for(self, dataset: str, name: str) -> AnalysisFailure | None:
+        """The failure record of one application, if it was quarantined."""
+        for failure in self.failed:
+            if failure.key == (dataset, name):
+                return failure
         return None
 
     def by_dataset(self, dataset: str) -> list[AnalyzedApplication]:
-        return [entry for entry in self.analyzed if entry.application.dataset == dataset]
+        """Analyzed applications of one dataset, in catalogue order."""
+        self._index()
+        return list(self._dataset_index.get(dataset, ()))
 
     def by_use_case(self, use_case: str) -> list[AnalyzedApplication]:
+        """Analyzed applications of one use case, in catalogue order.
+
+        (Catalogues group applications by dataset, so concatenating the
+        dataset buckets in first-appearance order preserves it.)
+        """
+        self._index()
         return [
             entry
-            for entry in self.analyzed
-            if USE_CASE_OF_DATASET.get(entry.application.dataset) == use_case
+            for dataset, bucket in self._dataset_index.items()
+            if USE_CASE_OF_DATASET.get(dataset) == use_case
+            for entry in bucket
         ]
 
 
@@ -89,21 +230,82 @@ def _analyze_application(
     app: BuiltApplication,
     analyzer: MisconfigurationAnalyzer,
     fingerprint: str | None = None,
+    stage_errors: bool = False,
 ) -> AnalyzedApplication:
     # One render serves both the analysis and the inventory, and it goes
     # through the shared render cache: re-sweeping the same catalogue is a
     # shared-reference hit per chart.  The inventory is shared too, so its
     # lazy indexes serve both the per-chart rules and the cluster-wide pass.
-    rendered = render_chart(app.chart, fingerprint=fingerprint)
-    inventory = Inventory(rendered.objects)
+    def _render() -> tuple:
+        rendered = render_chart(app.chart, fingerprint=fingerprint)
+        return rendered, Inventory(rendered.objects)
+
+    rendered, inventory = MisconfigurationAnalyzer._run_stage(
+        STAGE_RENDER, stage_errors, _render
+    )
     report = analyzer.analyze_chart(
         app.chart,
         behaviors=app.behaviors,
         dataset=app.dataset,
         rendered=rendered,
         inventory=inventory,
+        stage_errors=stage_errors,
     )
     return AnalyzedApplication(application=app, report=report, inventory=inventory)
+
+
+def _failure_payload(exc: BaseException) -> tuple[str, str, str, str]:
+    """(stage, error type, message, traceback) of a per-chart exception."""
+    tb = "".join(traceback_module.format_exception(type(exc), exc, exc.__traceback__))
+    if isinstance(exc, AnalysisStageError):
+        original = exc.original
+        return (exc.stage, type(original).__name__, str(original), tb)
+    return (FAILURE_STAGE_WORKER, type(exc).__name__, str(exc), tb)
+
+
+def _failure_from(
+    app: BuiltApplication, payload: tuple[str, str, str, str], attempts: int
+) -> AnalysisFailure:
+    stage, error_type, message, tb = payload
+    return AnalysisFailure(
+        dataset=app.dataset,
+        name=app.name,
+        stage=stage,
+        error_type=error_type,
+        message=message,
+        traceback=tb,
+        attempts=attempts,
+        quarantined=True,
+    )
+
+
+def _backoff_delay(attempt: int, retry_backoff: float) -> float:
+    """Capped exponential backoff before retrying attempt ``attempt + 1``."""
+    return min(retry_backoff * (2 ** (attempt - 1)), _BACKOFF_CAP_S)
+
+
+def _run_isolated(
+    app: BuiltApplication,
+    analyzer: MisconfigurationAnalyzer,
+    fingerprint: str | None,
+    max_attempts: int,
+    retry_backoff: float,
+) -> AnalyzedApplication | AnalysisFailure:
+    """Analyze one chart with in-process isolation: retry, then quarantine."""
+    key = f"{app.dataset}/{app.name}"
+    for attempt in range(1, max_attempts + 1):
+        with faults.fault_scope(key, attempt):
+            try:
+                analyzed = _analyze_application(
+                    app, analyzer, fingerprint, stage_errors=True
+                )
+                analyzed.attempts = attempt
+                return analyzed
+            except Exception as exc:
+                if attempt >= max_attempts:
+                    return _failure_from(app, _failure_payload(exc), attempt)
+        time.sleep(_backoff_delay(attempt, retry_backoff))
+    raise AssertionError("unreachable: max_attempts >= 1")  # pragma: no cover
 
 
 #: Per-worker-process analyzer, so the pooled cluster/substrate of its
@@ -112,9 +314,20 @@ def _analyze_application(
 _WORKER_ANALYZER: MisconfigurationAnalyzer | None = None
 
 
+def _pool_worker_init(fault_plan: faults.FaultPlan | None) -> None:
+    """Process-pool initializer: arm the shipped fault plan, enable ``kill``."""
+    faults.mark_pool_worker()
+    faults.arm(fault_plan)
+
+
 def _analyze_application_in_subprocess(
-    app: BuiltApplication, fingerprint: str, settings: AnalyzerSettings
-) -> AnalyzedApplication:
+    app: BuiltApplication,
+    fingerprint: str,
+    settings: AnalyzerSettings,
+    key: str | None = None,
+    attempt: int = 1,
+    capture: bool = False,
+) -> AnalyzedApplication | tuple:
     """Process-pool worker: rebuild the (default) analyzer from its settings.
 
     The parent ships each chart's content fingerprint alongside the chart so
@@ -122,13 +335,222 @@ def _analyze_application_in_subprocess(
     re-hashing -- and, when the cache is warm, without re-rendering.  The
     analyzer itself is cached per process (keyed on the settings), keeping
     one warm :class:`~repro.cluster.AnalysisSession` per worker.
+
+    ``capture=True`` (the fault-isolated sweep) returns ``("ok", analyzed)``
+    or a picklable ``("err", payload)`` instead of raising, so the parent's
+    submit/collect loop can distinguish a chart failure from a dead worker;
+    the default raises through, preserving the ``fail_fast`` reference
+    semantics of ``Executor.map``.  The parent owns the attempt counter and
+    ships it with the task, so injected fault scopes replay deterministically
+    across respawned pools.
     """
     global _WORKER_ANALYZER
     analyzer = _WORKER_ANALYZER
     if analyzer is None or analyzer.settings != settings:
         analyzer = MisconfigurationAnalyzer(settings=settings)
         _WORKER_ANALYZER = analyzer
-    return _analyze_application(app, analyzer, fingerprint)
+    with faults.fault_scope(key or f"{app.dataset}/{app.name}", attempt):
+        faults.fault_point(faults.WORKER_KILL)
+        if not capture:
+            return _analyze_application(app, analyzer, fingerprint)
+        try:
+            analyzed = _analyze_application(app, analyzer, fingerprint, stage_errors=True)
+            analyzed.attempts = attempt
+            return ("ok", analyzed)
+        except Exception as exc:  # ships as data: workers never poison the pool
+            return ("err", _failure_payload(exc))
+
+
+class _PoolSweep:
+    """The self-healing process-pool sweep: submit/collect with a watchdog.
+
+    Each round submits every still-pending chart (attempt number attached),
+    then collects.  A chart that returns an error payload is charged an
+    attempt and retried (with backoff) or quarantined.  If the pool breaks
+    -- a worker died, or the watchdog terminated a worker running an overdue
+    chart -- completed results are kept, the pool is respawned, and the
+    charts that were in flight are re-run *solo* (one in flight at a time):
+    a solo breakage attributes the crash exactly, so only the guilty chart
+    is charged.  Charts never observed to fail attributably keep their
+    attempt count, which makes the whole schedule deterministic for any
+    seeded fault plan.
+    """
+
+    def __init__(
+        self,
+        applications: list[BuiltApplication],
+        fingerprints: list[str],
+        settings: AnalyzerSettings,
+        workers: int,
+        max_attempts: int,
+        chart_timeout: float | None,
+        retry_backoff: float,
+        fault_plan: faults.FaultPlan | None,
+    ) -> None:
+        self.applications = applications
+        self.fingerprints = fingerprints
+        self.settings = settings
+        self.workers = workers
+        self.max_attempts = max_attempts
+        self.chart_timeout = chart_timeout
+        self.retry_backoff = retry_backoff
+        self.fault_plan = fault_plan
+        self.outcomes: list[AnalyzedApplication | AnalysisFailure | None]
+        self.outcomes = [None] * len(applications)
+        self.attempts = [0] * len(applications)
+        self.pool: ProcessPoolExecutor | None = None
+
+    # Pool lifecycle ----------------------------------------------------------
+    def _spawn_pool(self) -> ProcessPoolExecutor:
+        if self.pool is None:
+            self.pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_pool_worker_init,
+                initargs=(self.fault_plan,),
+            )
+        return self.pool
+
+    def _discard_pool(self) -> None:
+        if self.pool is not None:
+            self.pool.shutdown(wait=True, cancel_futures=True)
+            self.pool = None
+
+    def _terminate_pool(self) -> None:
+        # Forcibly kill the worker processes (the watchdog path): pending
+        # futures then resolve to BrokenProcessPool like any worker death.
+        if self.pool is None:
+            return
+        processes = getattr(self.pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.terminate()
+
+    # Submission --------------------------------------------------------------
+    def _submit(self, index: int) -> Future:
+        app = self.applications[index]
+        return self._spawn_pool().submit(
+            _analyze_application_in_subprocess,
+            app,
+            self.fingerprints[index],
+            self.settings,
+            key=f"{app.dataset}/{app.name}",
+            attempt=self.attempts[index] + 1,
+            capture=True,
+        )
+
+    def _record(self, index: int, tag: str, payload) -> bool:
+        """Charge an attributable outcome; True when the chart needs a retry."""
+        self.attempts[index] += 1
+        if tag == "ok":
+            self.outcomes[index] = payload
+            return False
+        if self.attempts[index] >= self.max_attempts:
+            self.outcomes[index] = _failure_from(
+                self.applications[index], payload, self.attempts[index]
+            )
+            return False
+        return True
+
+    def _pool_death_payload(self, index: int, timed_out: bool) -> tuple:
+        app = self.applications[index]
+        if timed_out:
+            return (
+                FAILURE_STAGE_TIMEOUT,
+                "TimeoutError",
+                f"chart {app.dataset}/{app.name} exceeded the per-chart "
+                f"watchdog ({self.chart_timeout}s); worker terminated",
+                "",
+            )
+        return (
+            FAILURE_STAGE_WORKER,
+            "BrokenProcessPool",
+            f"worker process died while analyzing {app.dataset}/{app.name}",
+            "",
+        )
+
+    # Collection --------------------------------------------------------------
+    def _collect(
+        self, futures: dict[Future, int], solo: bool
+    ) -> tuple[list[int], list[int], bool]:
+        """Await ``futures``; returns (retry indices, suspect indices, broke).
+
+        Suspects are charts whose future resolved to a pool breakage in a
+        *parallel* round -- unattributable, so they are not charged and go
+        to a solo re-run.  In a solo round (one future) a breakage IS
+        attributable and is charged as a worker death (or a timeout, when
+        this collector's watchdog terminated the pool itself).
+        """
+        retry: list[int] = []
+        suspects: list[int] = []
+        broke = False
+        started: dict[Future, float] = {}
+        overdue: set[Future] = set()
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait(not_done, timeout=_POLL_S, return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            for fut in done:
+                index = futures[fut]
+                exc = fut.exception()
+                if isinstance(exc, BrokenExecutor):
+                    broke = True
+                    if solo or fut in overdue:
+                        if self._record(
+                            index, "err", self._pool_death_payload(index, fut in overdue)
+                        ):
+                            retry.append(index)
+                    else:
+                        suspects.append(index)
+                elif exc is not None:
+                    # Submission-side failure (e.g. unpicklable task): it is
+                    # chart-attributable, never a worker death.
+                    if self._record(index, "err", _failure_payload(exc)):
+                        retry.append(index)
+                else:
+                    tag, payload = fut.result()
+                    if self._record(index, tag, payload):
+                        retry.append(index)
+            if not not_done:
+                break
+            for fut in not_done:
+                if fut not in started and fut.running():
+                    started[fut] = now
+            if self.chart_timeout is not None and not broke:
+                late = [
+                    fut
+                    for fut, begun in started.items()
+                    if fut in not_done and now - begun > self.chart_timeout
+                ]
+                if late:
+                    # The overdue charts are known: their breakage is charged
+                    # as a timeout, everyone else in flight becomes a suspect.
+                    overdue.update(late)
+                    broke = True
+                    self._terminate_pool()
+        return retry, suspects, broke
+
+    def _run_round(self, batch: list[int], solo: bool) -> list[int]:
+        """Run one batch (parallel or solo); returns the indices to retry."""
+        futures = {self._submit(index): index for index in batch}
+        retry, suspects, broke = self._collect(futures, solo=solo)
+        if broke:
+            self._discard_pool()
+        for suspect in suspects:
+            # One chart in flight at a time: breakage is now attributable.
+            retry.extend(self._run_round([suspect], solo=True))
+        return retry
+
+    def run(self) -> list[AnalyzedApplication | AnalysisFailure]:
+        """Sweep every chart to an outcome; catalogue order preserved."""
+        pending = list(range(len(self.applications)))
+        try:
+            while pending:
+                oldest = max((self.attempts[index] for index in pending), default=0)
+                if oldest > 0:
+                    time.sleep(_backoff_delay(oldest, self.retry_backoff))
+                pending = sorted(self._run_round(pending, solo=False))
+        finally:
+            self._discard_pool()
+        return list(self.outcomes)
 
 
 def run_full_evaluation(
@@ -136,6 +558,11 @@ def run_full_evaluation(
     analyzer: MisconfigurationAnalyzer | None = None,
     applications: list[BuiltApplication] | None = None,
     workers: int | None = None,
+    fail_fast: bool = False,
+    max_attempts: int = 3,
+    chart_timeout: float | None = None,
+    retry_backoff: float = 0.05,
+    fault_plan: faults.FaultPlan | None = None,
 ) -> EvaluationResult:
     """Analyze the complete catalogue and run the cluster-wide pass.
 
@@ -146,41 +573,113 @@ def run_full_evaluation(
     per-chart inputs and reports are plain picklable dataclasses.  A custom
     ``analyzer`` (whose rules or cluster factory may not pickle) falls back
     to a thread pool, which mainly helps if its hooks release the GIL.
-    Result ordering is deterministic either way -- ``Executor.map``
-    preserves catalogue order, not completion order -- and the cluster-wide
-    M4* pass always runs sequentially afterwards over the ordered
-    inventories.
+    Result ordering is deterministic either way, and the cluster-wide M4*
+    pass always runs sequentially afterwards over the ordered inventories.
+
+    Fault isolation (the default, ``fail_fast=False``): a failing chart is
+    retried up to ``max_attempts`` times with capped exponential backoff
+    (``retry_backoff`` seconds, doubling), then quarantined as an
+    :class:`AnalysisFailure` on ``EvaluationResult.failed`` while the sweep
+    continues.  On the process-pool path the sweep also survives worker
+    deaths (``BrokenProcessPool``) by respawning the pool, and
+    ``chart_timeout`` arms a per-chart wall-clock watchdog (process pool
+    only: in-process execution cannot be preempted).  ``fail_fast=True``
+    restores the historical behaviour -- first error raises, no retries, no
+    failure records.  ``fault_plan`` arms a deterministic
+    :class:`repro.faults.FaultPlan` for the duration of the sweep (parent
+    and workers alike) -- the chaos suites' entry point.
     """
     custom_analyzer = analyzer is not None
     analyzer = analyzer or MisconfigurationAnalyzer(settings=AnalyzerSettings())
     applications = applications if applications is not None else build_catalog(datasets)
 
+    previous_plan = faults.armed_plan()
+    if fault_plan is not None:
+        faults.arm(fault_plan)
+    shipped_plan = faults.armed_plan()
     result = EvaluationResult()
-    if workers and workers > 1 and not custom_analyzer:
-        fingerprints = catalog_fingerprints(applications)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            # Chunk the map: per-chart analysis is ~10ms, so one-item tasks
-            # would spend comparable time on pickling round-trips.
-            result.analyzed = list(
-                pool.map(
-                    partial(_analyze_application_in_subprocess, settings=analyzer.settings),
+    try:
+        if workers and workers > 1 and not custom_analyzer:
+            fingerprints = catalog_fingerprints(applications)
+            if fail_fast:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_pool_worker_init,
+                    initargs=(shipped_plan,),
+                ) as pool:
+                    # Chunk the map: per-chart analysis is ~10ms, so one-item
+                    # tasks would spend comparable time on pickling round-trips.
+                    result.analyzed = list(
+                        pool.map(
+                            partial(
+                                _analyze_application_in_subprocess,
+                                settings=analyzer.settings,
+                            ),
+                            applications,
+                            fingerprints,
+                            chunksize=max(len(applications) // (workers * 4), 1),
+                        )
+                    )
+            else:
+                sweep = _PoolSweep(
                     applications,
                     fingerprints,
-                    chunksize=max(len(applications) // (workers * 4), 1),
+                    analyzer.settings,
+                    workers,
+                    max_attempts,
+                    chart_timeout,
+                    retry_backoff,
+                    shipped_plan,
                 )
+                _split_outcomes(sweep.run(), result)
+        elif workers and workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                if fail_fast:
+                    result.analyzed = list(
+                        pool.map(
+                            lambda app: _analyze_application(
+                                app, analyzer, app.fingerprint()
+                            ),
+                            applications,
+                        )
+                    )
+                else:
+                    # ``fault_scope`` is thread-local, so per-chart scoping
+                    # holds on the thread pool too.  No watchdog: threads
+                    # cannot be preempted.
+                    _split_outcomes(
+                        list(
+                            pool.map(
+                                lambda app: _run_isolated(
+                                    app,
+                                    analyzer,
+                                    app.fingerprint(),
+                                    max_attempts,
+                                    retry_backoff,
+                                ),
+                                applications,
+                            )
+                        ),
+                        result,
+                    )
+        elif fail_fast:
+            result.analyzed = [
+                _analyze_application(app, analyzer, app.fingerprint())
+                for app in applications
+            ]
+        else:
+            _split_outcomes(
+                [
+                    _run_isolated(
+                        app, analyzer, app.fingerprint(), max_attempts, retry_backoff
+                    )
+                    for app in applications
+                ],
+                result,
             )
-    elif workers and workers > 1:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            result.analyzed = list(
-                pool.map(
-                    lambda app: _analyze_application(app, analyzer, app.fingerprint()),
-                    applications,
-                )
-            )
-    else:
-        result.analyzed = [
-            _analyze_application(app, analyzer, app.fingerprint()) for app in applications
-        ]
+    finally:
+        if fault_plan is not None:
+            faults.arm(previous_plan)
     inventories = [
         ApplicationInventory(
             application=f"{entry.application.dataset}/{entry.application.name}",
@@ -189,13 +688,25 @@ def run_full_evaluation(
         )
         for entry in result.analyzed
     ]
-    # Cluster-wide pass: attribute the extra M4* findings back to the reports.
+    # Cluster-wide pass: attribute the extra M4* findings back to the
+    # reports, through the result's own key index (shared with report_for).
     extra = global_collision_findings(inventories)
-    by_unique_id = {f"{entry.application.dataset}/{entry.application.name}": entry
-                    for entry in result.analyzed}
+    result._index()
     for finding in extra:
-        entry = by_unique_id.get(finding.application)
+        entry = result._id_index.get(finding.application)
         if entry is not None:
             finding.application = entry.application.name
             entry.report.add([finding])
     return result
+
+
+def _split_outcomes(
+    outcomes: list[AnalyzedApplication | AnalysisFailure | None],
+    result: EvaluationResult,
+) -> None:
+    """Partition sweep outcomes into ``analyzed`` / ``failed``, order kept."""
+    for outcome in outcomes:
+        if isinstance(outcome, AnalyzedApplication):
+            result.analyzed.append(outcome)
+        elif isinstance(outcome, AnalysisFailure):
+            result.failed.append(outcome)

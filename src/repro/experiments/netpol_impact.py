@@ -13,7 +13,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
 
-from ..cluster import AnalysisSession, Cluster, OBSERVE_FULL
+from ..cluster import AnalysisSession, Cluster, ClusterError, OBSERVE_FULL
 from ..datasets import DATASET_ORDER, BuiltApplication, build_catalog, catalog_fingerprints
 from ..helm import render_chart
 from ..probe import ReachabilityProbe
@@ -147,14 +147,21 @@ def probe_application_with_policies(
     )
     if session is None and pooled:
         session = _shared_session(compiled)
-    if session is not None:
-        with session.lease(app.behaviors) as cluster:
+    try:
+        if session is not None:
+            with session.lease(app.behaviors) as cluster:
+                _probe_installed(cluster, app, rendered, outcome)
+        else:
+            cluster = Cluster(
+                name="netpol-impact", behaviors=app.behaviors, compiled_policies=compiled
+            )
             _probe_installed(cluster, app, rendered, outcome)
-    else:
-        cluster = Cluster(
-            name="netpol-impact", behaviors=app.behaviors, compiled_policies=compiled
-        )
-        _probe_installed(cluster, app, rendered, outcome)
+    except ClusterError as exc:
+        # Attribute the error to the chart before it propagates: sweep-level
+        # callers (and the CLI) then print one actionable line instead of a
+        # context-free traceback.  ``with_context`` survives the pickle back
+        # from a pool worker (ClusterError.__reduce__).
+        raise exc.with_context(f"{app.dataset}/{app.name}")
     return outcome
 
 

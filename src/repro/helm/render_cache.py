@@ -1,4 +1,4 @@
-"""Memoized chart rendering with shared-reference warm hits.
+"""Memoized chart rendering with verified shared-reference warm hits.
 
 Rendering a chart -- template evaluation plus document assembly plus
 typed-object construction -- dominates the catalogue sweep.
@@ -18,11 +18,22 @@ identity, canonical merged values, structured?)``:
   walk entirely -- there is no per-hit unpickle.  The price is a contract:
   cached render results are read-only.  Objects enforce it themselves
   (sealed objects raise on attribute assignment); documents and values are
-  read-only by convention (the differential suites would catch a violator).
+  read-only by convention.
+* **Corruption detection**: because shared entries live as mutable Python
+  state, a convention violator (or an injected ``corrupt`` fault -- see
+  :mod:`repro.faults`) could poison every later hit.  Each shared entry
+  therefore stores a structural check recorded at store time, re-verified
+  on every hit; a mismatch counts in ``corruptions``, evicts the entry and
+  falls back to a fresh recompute instead of serving poisoned state.  The
+  default check is a near-free shape summary; ``paranoid=True`` upgrades it
+  to a content digest of the entry's pickle, catching in-place value edits
+  the shape summary cannot see (at real per-hit cost -- benchmarking and
+  forensics only).
 * **Copy-on-read reference mode** (``shared=False``): the pre-interning
   behaviour -- entries are pickle blobs of un-interned mutable objects and
-  every hit pays an unpickle.  Kept in-tree as the reference implementation
-  the interning property suite diffs against.
+  every hit pays an unpickle.  Immutable bytes cannot be corrupted in
+  place, so no verification applies.  Kept in-tree as the reference
+  implementation the interning property suite diffs against.
 * **Fingerprint shipping**: callers that already know the chart fingerprint
   (the process-pool fan-out computes them once in the parent) pass it in and
   skip the re-hash.
@@ -34,9 +45,11 @@ directly for isolation.
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from typing import Any, Mapping
 
+from .. import faults
 from .chart import Chart
 from .renderer import HelmRenderer, ReleaseInfo, RenderedChart
 from .values import canonical_values
@@ -50,28 +63,59 @@ class RenderCache:
         renderer: HelmRenderer | None = None,
         maxsize: int = 2048,
         shared: bool = True,
+        paranoid: bool = False,
     ) -> None:
         self._renderer = renderer or HelmRenderer()
         self._maxsize = maxsize
         self.shared = shared
-        #: key -> (release, values, documents, objects, sources) when shared,
-        #: else the pickle blob of that tuple (copy-on-read reference mode).
+        self.paranoid = paranoid
+        #: key -> (release, values, documents, objects, sources, check) when
+        #: shared, else the pickle blob of the five components (copy-on-read
+        #: reference mode; immutable, so it carries no check).
         self._entries: dict[tuple, Any] = {}
         self.hits = 0
         self.misses = 0
+        self.corruptions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss/entry counters (the cache-behaviour tests key on these)."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+        """Hit/miss/corruption/entry counters (the cache tests key on these)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corruptions": self.corruptions,
+            "entries": len(self._entries),
+        }
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.corruptions = 0
+
+    # Verification -------------------------------------------------------------
+    def _check_of(self, values, documents, objects, sources) -> tuple:
+        """The integrity check stored with (and re-verified against) an entry.
+
+        Default: a shape summary -- container lengths plus each document's
+        top-level key count -- cheap enough for every warm hit.  Paranoid: a
+        digest of the full entry pickle, which sees value-level edits too.
+        """
+        if self.paranoid:
+            blob = pickle.dumps(
+                (values, documents, objects, sources), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            return ("digest", hashlib.sha256(blob).hexdigest())
+        return (
+            len(values),
+            len(documents),
+            len(objects),
+            len(sources),
+            tuple(len(doc) if isinstance(doc, dict) else -1 for doc in documents),
+        )
 
     # Rendering ----------------------------------------------------------------
     def render(
@@ -82,7 +126,7 @@ class RenderCache:
         fingerprint: str | None = None,
         structured: bool = True,
     ) -> RenderedChart:
-        """Render ``chart`` (or return a view of the cached render).
+        """Render ``chart`` (or return a verified view of the cached render).
 
         The key's values component is the canonical form of ``overrides``:
         together with the chart fingerprint (which covers the chart's default
@@ -92,9 +136,11 @@ class RenderCache:
         text path; the flag is part of the key because the two produce
         different ``sources`` maps.
 
-        In shared mode a hit returns the cached components by reference
-        (fresh top-level list/dict containers, shared content); in reference
-        mode it returns a private unpickled copy.
+        In shared mode a hit re-verifies the entry's integrity check first:
+        a corrupted entry is evicted and recomputed rather than served.  A
+        verified hit returns the cached components by reference (fresh
+        top-level list/dict containers, shared content); in reference mode a
+        hit returns a private unpickled copy.
         """
         release = release or ReleaseInfo(name=chart.name)
         fingerprint = fingerprint or chart.fingerprint()
@@ -110,19 +156,38 @@ class RenderCache:
         )
         entry = self._entries.get(key)
         if entry is not None:
-            self.hits += 1
+            faults.fault_point(faults.RENDER_CACHE_READ)
             if self.shared:
-                cached_release, values, documents, objects, sources = entry
+                cached_release, values, documents, objects, sources, check = entry
+                if faults.corruption_requested(faults.RENDER_CACHE_READ):
+                    _corrupt_entry(documents, objects)
+                if self._check_of(values, documents, objects, sources) != check:
+                    # Poisoned entry: never serve it.  Evict and fall through
+                    # to a full recompute, which re-stores a pristine entry.
+                    self.corruptions += 1
+                    self._entries.pop(key, None)
+                    entry = None
+                else:
+                    self.hits += 1
+                    return RenderedChart(
+                        chart=chart,
+                        release=cached_release,
+                        values=dict(values),
+                        documents=list(documents),
+                        objects=list(objects),
+                        sources=dict(sources),
+                    )
             else:
+                self.hits += 1
                 cached_release, values, documents, objects, sources = pickle.loads(entry)
-            return RenderedChart(
-                chart=chart,
-                release=cached_release,
-                values=dict(values),
-                documents=list(documents),
-                objects=list(objects),
-                sources=dict(sources),
-            )
+                return RenderedChart(
+                    chart=chart,
+                    release=cached_release,
+                    values=dict(values),
+                    documents=list(documents),
+                    objects=list(objects),
+                    sources=dict(sources),
+                )
         self.misses += 1
         if structured:
             rendered = self._renderer.render_structured(
@@ -135,12 +200,17 @@ class RenderCache:
         if self.shared:
             # The entry keeps its own top-level containers, so callers that
             # append to the returned lists cannot grow the cached render.
+            values = dict(rendered.values)
+            documents = list(rendered.documents)
+            objects = list(rendered.objects)
+            sources = dict(rendered.sources)
             self._entries[key] = (
                 rendered.release,
-                dict(rendered.values),
-                list(rendered.documents),
-                list(rendered.objects),
-                dict(rendered.sources),
+                values,
+                documents,
+                objects,
+                sources,
+                self._check_of(values, documents, objects, sources),
             )
         else:
             # Snapshot the pristine result *before* handing it to the caller:
@@ -160,6 +230,20 @@ class RenderCache:
             # threads may race to evict the same oldest key.
             self._entries.pop(next(iter(self._entries)), None)
         return rendered
+
+
+def _corrupt_entry(documents: list, objects: list) -> None:
+    """Damage a cached entry in place (the injected ``corrupt`` fault).
+
+    Truncates the stored documents/objects -- the kind of damage a read-only
+    contract violator would cause -- so the shape check must catch it.
+    """
+    if documents:
+        documents.pop()
+    else:
+        documents.append({"corrupted": True})
+    if objects:
+        objects.pop()
 
 
 _SHARED = RenderCache()

@@ -37,6 +37,7 @@ from typing import Any, Iterable
 
 import yaml
 
+from .. import faults
 from ..k8s.yamlio import yaml_load_all
 from .errors import RenderError
 from .template import DocumentSplit, Fragment, StructuredFragment
@@ -102,6 +103,7 @@ def assemble_documents(
     promises the documents are read-only (the render-cache contract).  The
     default rebuilds every container, so mutable consumers stay safe.
     """
+    faults.fault_point(faults.STRUCTURED_ASSEMBLE)
     documents: list[dict] = []
     skeleton_parts: list[str] = []
     group: list[str | StructuredFragment] = []

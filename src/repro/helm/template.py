@@ -42,6 +42,7 @@ from typing import Any, Callable, Sequence
 
 import yaml
 
+from .. import faults
 from ..k8s.yamlio import yaml_dump, yaml_load
 from .errors import TemplateError
 
@@ -1005,6 +1006,9 @@ def compile_source(source: str, template_name: str = "") -> CompiledTemplate:
     if compiled is None:
         global _PARSE_COUNT
         _PARSE_COUNT += 1
+        # Fault site: the actual parse.  A compile-cache hit bypasses it,
+        # exactly like it bypasses the parse cost.
+        faults.fault_point(faults.TEMPLATE_PARSE)
         nodes = parse_template(source, template_name)
         defines: dict[str, list[Renderer]] = {}
         renderers = _compile_nodes(nodes, defines)

@@ -52,7 +52,7 @@ class TestCacheKeying:
         cache.render(chart, overrides=overrides)
         assert cache.stats()["misses"] == 1
         cache.render(chart, overrides=copy.deepcopy(overrides))
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "corruptions": 0, "entries": 1}
         # Key order must not matter either.
         reordered = {"extra": [1, 2, {"a": "b"}], "networkPolicy": {"enabled": True}}
         cache.render(chart, overrides=reordered)
@@ -64,7 +64,7 @@ class TestCacheKeying:
         cache.render(chart, overrides=overrides)
         overrides["networkPolicy"]["enabled"] = False
         rendered = cache.render(chart, overrides=overrides)
-        assert cache.stats() == {"hits": 0, "misses": 2, "entries": 2}
+        assert cache.stats() == {"hits": 0, "misses": 2, "corruptions": 0, "entries": 2}
         assert not rendered.objects_of_kind("NetworkPolicy")
 
     def test_chart_content_mutation_misses(self, cache: RenderCache):
@@ -78,7 +78,7 @@ class TestCacheKeying:
     def test_rebuilt_chart_with_same_content_hits(self, cache: RenderCache):
         cache.render(_app().chart)
         cache.render(_app().chart)  # fresh object, identical content
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "corruptions": 0, "entries": 1}
 
 
 class TestSharedReferenceHits:

@@ -1,0 +1,71 @@
+"""Chaos-matrix smoke: one injected fault per site, one fast sweep each.
+
+A quick end-to-end sanity pass over the whole fault-site catalogue: for
+every site in :data:`repro.faults.FAULT_SITES`, arm a single fault against
+one chart of a small catalogue sample and check the sweep completes with the
+expected verdict (quarantine for poison faults, clean heal for the inert
+``corrupt`` kind).  The byte-level differential guarantees live in
+``tests/experiments/test_fault_isolation.py``; this file is the cheap
+always-on canary that every site stays wired into its pipeline stage.
+"""
+
+import pytest
+
+from repro import faults
+from repro.datasets import build_catalog
+from repro.experiments import run_full_evaluation
+
+SAMPLE = 6
+
+#: site -> (fault kind, expected failure stage; None = sweep stays clean).
+MATRIX = {
+    faults.TEMPLATE_PARSE: ("error", "render"),
+    faults.STRUCTURED_ASSEMBLE: ("error", "render"),
+    faults.RENDER_CACHE_READ: ("corrupt", None),
+    faults.OBSERVE: ("error", "observe"),
+    faults.RULES: ("error", "rules"),
+    faults.WORKER_KILL: ("kill", "worker"),
+}
+
+
+def _clear_render_caches() -> None:
+    from repro.helm.render_cache import shared_render_cache
+    from repro.helm.structured import clear_skeleton_parse_memo
+    from repro.helm.template import clear_template_cache
+
+    clear_template_cache()
+    clear_skeleton_parse_memo()
+    shared_render_cache().clear()
+
+
+def test_matrix_covers_every_fault_site():
+    assert set(MATRIX) == set(faults.FAULT_SITES)
+
+
+@pytest.mark.parametrize("site", sorted(MATRIX), ids=sorted(MATRIX))
+def test_single_fault_sweep_completes(site):
+    kind, expected_stage = MATRIX[site]
+    applications = build_catalog()[:SAMPLE]
+    victim = f"{applications[0].dataset}/{applications[0].name}"
+    _clear_render_caches()  # compile-cache hits would bypass the parse site
+    plan = faults.FaultPlan(
+        faults.FaultSpec(site, charts=(victim,), attempts=99, kind=kind)
+    )
+    result = run_full_evaluation(
+        applications=applications,
+        workers=2 if site == faults.WORKER_KILL else None,
+        fault_plan=plan,
+        max_attempts=2,
+        retry_backoff=0.001,
+    )
+    if expected_stage is None:
+        assert not result.failed
+        assert len(result.analyzed) == SAMPLE
+    else:
+        assert len(result.failed) == 1
+        assert result.failed[0].unique_id == victim
+        assert result.failed[0].stage == expected_stage
+        assert result.failed[0].attempts == 2
+        assert len(result.analyzed) == SAMPLE - 1
+    # The sweep itself leaves no fault plan armed behind.
+    assert faults.armed_plan() is None

@@ -33,6 +33,8 @@ DOCUMENTED_SURFACE = (
     "helm/",
     "cluster/session.py",
     "core/analyzer.py",
+    "faults.py",
+    "experiments/evaluation.py",
 )
 
 
