@@ -49,6 +49,8 @@ from connectivity_cases import format_table, run_size  # noqa: E402
 from render_cases import run_render_suite  # noqa: E402
 from session_cases import run_session_suite  # noqa: E402
 
+from repro.store import atomic_write_text  # noqa: E402
+
 FLEET_SIZES = (30, 240, 1000)
 SMOKE_FLEET_SIZES = (30,)
 
@@ -228,9 +230,72 @@ def measure_fault_overhead(sample: int | None, rounds: int = 1) -> dict[str, flo
     }
 
 
+def bench_store_sweep(sample: int | None, repeats: int = 1) -> dict[str, float]:
+    """Durable-sweep cost: store-off vs cold write-through vs warm read-mostly.
+
+    Three shapes of the same evaluation sweep: no store (the baseline), a
+    cold store (every chart computes and publishes -- the fsync-bounded
+    write-through tax), and a warm store (every chart loads a verified
+    entry instead of rendering/observing/analyzing).  Alternating
+    off/cold pairs keep the minima honest on a busy machine, mirroring
+    ``measure_fault_overhead``; the warm sweep runs against the store a
+    populating sweep just filled, with in-memory caches cleared so reads
+    genuinely come from disk.
+    """
+    import gc
+    import shutil
+    import tempfile
+
+    from repro.datasets import build_catalog
+    from repro.experiments import run_full_evaluation
+
+    applications = build_catalog()
+    if sample is not None:
+        applications = applications[:sample]
+
+    def timed(store_dir: Path | None) -> float:
+        _clear_render_caches()
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            run_full_evaluation(applications=applications, store=store_dir)
+            return time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    root = Path(tempfile.mkdtemp(prefix="repro-store-bench-"))
+    try:
+        off = cold = warm = float("inf")
+        for index in range(max(repeats, 1)):
+            off = min(off, timed(None))
+            cold_dir = root / f"cold{index}"
+            cold = min(cold, timed(cold_dir))
+            shutil.rmtree(cold_dir, ignore_errors=True)
+        warm_dir = root / "warm"
+        run_full_evaluation(applications=applications, store=warm_dir)
+        for _ in range(max(repeats, 1)):
+            warm = min(warm, timed(warm_dir))
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "evaluation/store_off_s": round(off, 3),
+        "evaluation/store_cold_s": round(cold, 3),
+        "evaluation/store_warm_s": round(warm, 3),
+        "evaluation/store_cold_overhead": round(cold / off, 4) if off else 1.0,
+        "evaluation/store_warm_speedup": round(off / warm, 2) if warm else 0.0,
+    }
+
+
 #: ``--check`` compares these end-to-end metrics, normalized per chart, so a
 #: smoke-sized run remains comparable with a committed full-catalogue record.
-CHECK_KEYS = ("evaluation/current_s", "netpol_impact/compiled_s")
+CHECK_KEYS = (
+    "evaluation/current_s",
+    "netpol_impact/compiled_s",
+    "evaluation/store_warm_s",
+)
 
 #: ``--check`` also gates the armed-but-idle fault-hook tax: arming a plan
 #: that never fires must cost under 2% of the default evaluation sweep.
@@ -389,6 +454,15 @@ def main(argv: list[str] | None = None) -> int:
         f"armed {overhead['evaluation/armed_idle_s']}s "
         f"({overhead['evaluation/fault_overhead']:.4f}x)"
     )
+    store_sweep = bench_store_sweep(sample, repeats=e2e_repeats)
+    e2e.update(store_sweep)
+    print(
+        f"durable sweep: store-off {store_sweep['evaluation/store_off_s']}s -> "
+        f"cold store {store_sweep['evaluation/store_cold_s']}s "
+        f"({store_sweep['evaluation/store_cold_overhead']:.4f}x) -> "
+        f"warm store {store_sweep['evaluation/store_warm_s']}s "
+        f"({ratio(store_sweep['evaluation/store_off_s'], store_sweep['evaluation/store_warm_s'])})"
+    )
     analysis = run_analysis_suite(sample=sample, repeats=e2e_repeats)
     print(
         f"rules slice over {int(analysis['charts'])} charts: "
@@ -432,6 +506,21 @@ def main(argv: list[str] | None = None) -> int:
             print(f"\n--check: no committed record at {committed}")
             return 1
         failures = check_against_committed(record, committed, args.tolerance)
+        if any(
+            failure.startswith("evaluation/store_warm_s:") and "exceeds" in failure
+            for failure in failures
+        ):
+            # A 4-chart warm sweep is dominated by fixed per-sweep costs
+            # (journal open, store handles) that a full-catalogue run
+            # amortizes away: remeasure min-of-5 before declaring a
+            # regression.
+            retry = bench_store_sweep(sample, repeats=5)
+            print(
+                f"store-sweep remeasure (min of 5): "
+                f"warm {retry['evaluation/store_warm_s']}s"
+            )
+            record["end_to_end"].update(retry)
+            failures = check_against_committed(record, committed, args.tolerance)
         if record["end_to_end"]["evaluation/fault_overhead"] > FAULT_OVERHEAD_LIMIT:
             # A single cold pair is noisy on a loaded machine: before
             # declaring a regression, remeasure with min-of-5 pairs.
@@ -461,7 +550,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.output is not None
         else Path(__file__).resolve().parent.parent / "BENCH_connectivity.json"
     )
-    output.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    # Atomic publish: an interrupted run must never leave a torn committed
+    # regression-gate file behind.
+    atomic_write_text(output, json.dumps(record, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {output}")
     return 0
 

@@ -26,6 +26,9 @@ Subpackages
     attacks (Concourse, Thanos).
 ``repro.experiments``
     Harnesses regenerating Table 2, Table 3, Figures 3, 4a and 4b.
+``repro.store``
+    Crash-safe content-addressed result store and sweep journal backing
+    durable, resumable evaluations.
 
 Quick start
 -----------
@@ -38,7 +41,7 @@ Quick start
 ['M1', 'M6']
 """
 
-from . import baselines, cluster, core, datasets, experiments, faults, helm, k8s, probe
+from . import baselines, cluster, core, datasets, experiments, faults, helm, k8s, probe, store
 
 __version__ = "1.0.0"
 
@@ -53,4 +56,5 @@ __all__ = [
     "helm",
     "k8s",
     "probe",
+    "store",
 ]

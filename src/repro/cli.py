@@ -9,6 +9,12 @@ Subcommands
     Build the synthetic catalogue and print the Table 2 breakdown.
 ``table2`` / ``table3`` / ``figure3`` / ``figure4a`` / ``figure4b``
     Regenerate the corresponding table or figure of the paper.
+``sweep [--store DIR | --resume DIR]``
+    Run the catalogue sweep durably against a content-addressed result
+    store: completed charts are loaded instead of recomputed, fresh ones
+    persist as they finish, and ``--resume`` continues an interrupted
+    sweep's journal.  A corrupt or version-skewed store degrades to a
+    recompute with a one-line hint -- never a traceback, always exit 0.
 ``attack concourse|thanos``
     Run one of the Section 2.1 proof-of-concept attacks.
 """
@@ -94,6 +100,34 @@ def _cmd_figure4b(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments import run_full_evaluation
+    from .store import ResultStore, store_hint
+
+    store_dir = args.resume or args.store
+    store = ResultStore(store_dir) if store_dir else None
+    result = run_full_evaluation(
+        applications=_sampled_applications(args),
+        workers=args.workers or None,
+        store=store,
+        resume=bool(args.resume),
+    )
+    print(result.summary.table2_text())
+    stats = result.store_stats
+    if stats is not None:
+        print(
+            f"store: {stats['loaded']} loaded, {stats['computed']} computed, "
+            f"{stats['failed']} quarantined ({stats['root']})"
+        )
+        hint = store_hint(stats["store"], stats["root"], rotated=stats["journal_rotated"])
+        if hint:
+            print(hint, file=sys.stderr)
+    if result.failed:
+        for failure in result.failed:
+            print(f"quarantined: {failure.unique_id} ({failure.stage}: {failure.error_type})")
+    return 0
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
     from .datasets import run_concourse_attack, run_thanos_attack
 
@@ -145,6 +179,28 @@ def build_parser() -> argparse.ArgumentParser:
                 help="restrict the sweep to the first N catalogue charts (0 = all)",
             )
         sub.set_defaults(handler=handler)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run the catalogue sweep durably (resumable result store)"
+    )
+    sweep.add_argument(
+        "--sample",
+        type=int,
+        default=0,
+        help="restrict the sweep to the first N catalogue charts (0 = all)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=0, help="parallel workers (0 = serial)"
+    )
+    sweep.add_argument(
+        "--store", default="", help="result-store directory to read and feed"
+    )
+    sweep.add_argument(
+        "--resume",
+        default="",
+        help="resume an interrupted sweep from this store directory",
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
 
     attack = subparsers.add_parser("attack", help="run a proof-of-concept attack")
     attack.add_argument("scenario", choices=("concourse", "thanos"))

@@ -14,6 +14,7 @@ correctly packaged application would exhibit.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -129,6 +130,32 @@ class BehaviorRegistry:
         merged._behaviors.update(self._behaviors)
         merged._behaviors.update(other._behaviors)
         return merged
+
+    def fingerprint(self) -> str:
+        """Content fingerprint (sha256 hex) over every registered behaviour.
+
+        Observations are deterministic in the registry content, so this is
+        one of the inputs to the content-keyed observation memo
+        (:class:`repro.cluster.session.ObservationMemo`).  Images are
+        sorted; ``extra_listens`` keeps registration order because the
+        simulator draws dynamic ports in that order.
+        """
+        parts = []
+        for image in sorted(self._behaviors):
+            behavior = self._behaviors[image]
+            parts.append(
+                (
+                    image,
+                    behavior.listen_on_declared,
+                    tuple(
+                        (listen.port, listen.protocol, listen.interface, listen.process)
+                        for listen in behavior.extra_listens
+                    ),
+                    tuple(sorted(behavior.ignore_declared_ports)),
+                    behavior.static_port_env,
+                )
+            )
+        return hashlib.sha256(repr(tuple(parts)).encode("utf-8")).hexdigest()
 
     def __contains__(self, image: str) -> bool:
         return image in self._behaviors

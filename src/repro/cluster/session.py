@@ -29,6 +29,15 @@ default) feeding it, the fast path closes the loop: from chart to snapshot
 no YAML text is dumped or parsed anywhere -- the substrate consumes the
 typed objects the renderer assembled straight from native dicts.
 
+* :class:`ObservationMemo` adds the **content-keyed observation memo**:
+  fast-path observations are a pure function of the render fingerprint, the
+  behaviour registry fingerprint and the session identity (name, worker
+  count, seed, snapshot mode), so repeated observations of identical
+  content are served from an in-process memo -- and, when the session
+  carries a :class:`~repro.store.ResultStore`, promoted to the shared
+  on-disk store so later processes (and resumed sweeps) skip the
+  substrate entirely.
+
 Equivalence -- pooled == fresh and fast == full, for findings, snapshots and
 reachability surfaces alike -- is proven over the whole catalogue and over
 Hypothesis-generated app specs by the differential conformance suite in
@@ -47,6 +56,7 @@ from ..helm import RenderedChart
 from ..k8s import CronJob, DaemonSet, ObjectMeta, Pod, Workload
 from ..probe.scanner import RuntimeObservation, RuntimeScanner
 from ..probe.snapshot import ClusterSnapshot, PodSnapshot
+from ..store import KIND_OBSERVATION, ResultStore, store_key
 from .behavior import BehaviorRegistry
 from .cluster import Cluster, _sanitize, build_node_set
 from .node import Node
@@ -265,6 +275,88 @@ class SessionStats:
     leases: int = 0
     fast_observations: int = 0
     full_observations: int = 0
+    #: Fast observations served from the content-keyed memo (a subset of
+    #: ``fast_observations`` -- a memo hit still counts as an observation).
+    memo_hits: int = 0
+
+
+class ObservationMemo:
+    """Content-keyed memo of fast-path runtime observations.
+
+    Keys come from :func:`repro.store.store_key` over the full observation
+    identity; values are private :class:`~repro.probe.scanner.RuntimeObservation`
+    copies (fresh top-level object, shared read-only snapshots -- the same
+    contract as the render cache's shared entries).  The in-process dict is
+    FIFO-bounded; when a :class:`~repro.store.ResultStore` is attached,
+    recorded observations are also promoted to it and in-process misses
+    fall through to a verified store read, so concurrent and subsequent
+    processes share warm observations.
+    """
+
+    def __init__(self, maxsize: int = 2048, store: ResultStore | None = None) -> None:
+        self._entries: dict[str, RuntimeObservation] = {}
+        self._maxsize = maxsize
+        self.store = store
+        self.hits = 0
+        self.misses = 0
+        self.store_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> RuntimeObservation | None:
+        """The memoized observation for ``key``, or ``None`` on a miss.
+
+        Hits return a fresh top-level :class:`RuntimeObservation` (private
+        ``host_ports`` set, shared snapshots) so caller-side attribute
+        rebinding cannot poison the memo.
+        """
+        observation = self._entries.get(key)
+        if observation is None and self.store is not None:
+            observation = self.store.read(key, kind=KIND_OBSERVATION)
+            if observation is not None:
+                self.store_hits += 1
+                self._remember(key, observation)
+        if observation is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return RuntimeObservation(
+            app=observation.app,
+            first=observation.first,
+            second=observation.second,
+            host_ports=set(observation.host_ports),
+        )
+
+    def record(self, key: str, observation: RuntimeObservation) -> None:
+        """Memoize ``observation`` under ``key`` (and promote it to the store).
+
+        A private copy is stored -- never the caller's object -- so the
+        caller keeps full ownership of what it was handed.
+        """
+        private = RuntimeObservation(
+            app=observation.app,
+            first=observation.first,
+            second=observation.second,
+            host_ports=set(observation.host_ports),
+        )
+        self._remember(key, private)
+        if self.store is not None:
+            self.store.write(key, private, kind=KIND_OBSERVATION)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/store-hit/entry counters."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "store_hits": self.store_hits,
+            "entries": len(self._entries),
+        }
+
+    def _remember(self, key: str, observation: RuntimeObservation) -> None:
+        self._entries[key] = observation
+        while len(self._entries) > self._maxsize:
+            self._entries.pop(next(iter(self._entries)), None)
 
 
 class AnalysisSession:
@@ -289,6 +381,8 @@ class AnalysisSession:
         compiled_policies: bool = True,
         pooled: bool = True,
         cluster_factory: Callable[[BehaviorRegistry], Cluster] | None = None,
+        store: ResultStore | None = None,
+        memoize_observations: bool = True,
     ) -> None:
         if observe_mode not in OBSERVE_MODES:
             raise ValueError(f"unknown observe_mode {observe_mode!r}; expected one of {OBSERVE_MODES}")
@@ -309,6 +403,9 @@ class AnalysisSession:
         #: session across a *thread* pool (the full path is already safe --
         #: every thread leases its own cluster).
         self._observe_lock = threading.Lock()
+        self.store = store
+        self.memoize_observations = memoize_observations
+        self._memo = ObservationMemo(store=store)
         self.stats = SessionStats()
 
     # Cluster pool ------------------------------------------------------------
@@ -366,13 +463,23 @@ class AnalysisSession:
         """The runtime observation of one rendered chart.
 
         ``"fast"`` mode goes through the install-free
-        :class:`ObservationSubstrate`; ``"full"`` mode leases a cluster,
-        installs the chart and runs the reference
-        :class:`~repro.probe.scanner.RuntimeScanner`.
+        :class:`ObservationSubstrate`, consulting the content-keyed
+        :class:`ObservationMemo` first (renders carrying a render
+        fingerprint only -- uncached renders always hit the substrate);
+        ``"full"`` mode leases a cluster, installs the chart and runs the
+        reference :class:`~repro.probe.scanner.RuntimeScanner`, bypassing
+        the memo so the reference path stays memo-free.
         """
         faults.fault_point(faults.OBSERVE)
         if self.observe_mode == OBSERVE_FAST:
             behaviors = behaviors or BehaviorRegistry()
+            key = self._observation_key(rendered, behaviors, double_snapshot)
+            if key is not None:
+                memoized = self._memo.lookup(key)
+                if memoized is not None:
+                    self.stats.fast_observations += 1
+                    self.stats.memo_hits += 1
+                    return memoized
             with self._observe_lock:
                 substrate = self._substrate
                 if substrate is None:
@@ -386,7 +493,10 @@ class AnalysisSession:
                 else:
                     substrate.reset(behaviors=behaviors, seed=self.seed)
                 self.stats.fast_observations += 1
-                return substrate.observe(rendered, double_snapshot=double_snapshot)
+                observation = substrate.observe(rendered, double_snapshot=double_snapshot)
+            if key is not None:
+                self._memo.record(key, observation)
+            return observation
         self.stats.full_observations += 1
         with self.lease(behaviors) as cluster:
             cluster.install(rendered)
@@ -394,3 +504,28 @@ class AnalysisSession:
             return scanner.observe(
                 rendered.release.name, restart_between_snapshots=double_snapshot
             )
+
+    def memo_stats(self) -> dict[str, int]:
+        """Counter snapshot of the content-keyed observation memo."""
+        return self._memo.stats()
+
+    def _observation_key(
+        self,
+        rendered: RenderedChart,
+        behaviors: BehaviorRegistry,
+        double_snapshot: bool,
+    ) -> str | None:
+        if not self.memoize_observations:
+            return None
+        render_fp = getattr(rendered, "render_fingerprint", None)
+        if render_fp is None:
+            return None
+        return store_key(
+            KIND_OBSERVATION,
+            render_fp,
+            behaviors.fingerprint(),
+            self.name,
+            self.worker_count,
+            self.seed,
+            bool(double_snapshot),
+        )

@@ -29,10 +29,32 @@ repeat crash is unambiguously the fault of the chart that was alone in
 flight -- innocent bystanders are never charged an attempt, which keeps
 retry/quarantine decisions (and therefore the whole result) deterministic.
 Result ordering is catalogue order throughout, failures or not.
+
+Durability and resume
+---------------------
+
+``run_full_evaluation(store=...)`` makes the sweep *durable*: every
+completed chart's report and inventory are published to a content-addressed
+:class:`~repro.store.ResultStore` the moment the chart finishes (not at the
+end of the sweep -- a killed process loses only its in-flight chart), keyed
+on :func:`result_key` (chart fingerprint + behaviours + analyzer settings),
+and a sealed :class:`~repro.store.SweepJournal` records per-chart
+completion.  Every durable sweep consults the store first -- content
+addressing makes a warm entry valid in any sweep with the same inputs --
+so ``resume=True`` (the CLI's ``repro sweep --resume``) is about journal
+continuity and reporting, while the skip-completed behaviour itself needs
+no flag.  Persisted entries hold the pre-M4* report: the cluster-wide
+pass re-runs over loaded and fresh inventories alike, so store-on,
+store-off and crash-then-resume sweeps produce byte-identical results (the
+durability differential suite in ``tests/experiments/test_store_durability.py``
+proves it, torn stores and injected corruption included).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import threading
 import time
 import traceback as traceback_module
 from concurrent.futures import (
@@ -43,10 +65,12 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from functools import partial
+from pathlib import Path
 
 from .. import faults
+from ..store import KIND_RESULT, ResultStore, SweepJournal, store_key
 from ..core import (
     AnalysisReport,
     AnalysisStageError,
@@ -157,6 +181,12 @@ class EvaluationResult:
 
     analyzed: list[AnalyzedApplication] = field(default_factory=list)
     failed: list[AnalysisFailure] = field(default_factory=list)
+    #: Durable-sweep accounting (``None`` when the sweep ran without a
+    #: store): loaded/computed/failed counts, the store's own counters and
+    #: any journal rotation -- the CLI's degradation hints key on this.
+    #: Excluded from equality: where results came from must never make two
+    #: identical evaluations compare different.
+    store_stats: dict | None = field(default=None, init=False, repr=False, compare=False)
     _key_index: dict = field(default=None, init=False, repr=False, compare=False)
     _id_index: dict = field(default=None, init=False, repr=False, compare=False)
     _dataset_index: dict = field(default=None, init=False, repr=False, compare=False)
@@ -308,6 +338,159 @@ def _run_isolated(
     raise AssertionError("unreachable: max_attempts >= 1")  # pragma: no cover
 
 
+def settings_fingerprint(settings: AnalyzerSettings) -> str:
+    """Canonical JSON of the analyzer settings that affect computed results.
+
+    ``store_dir`` is excluded on principle: where artifacts are persisted
+    must never change what is computed, so moving a store directory keeps
+    every entry addressable.
+    """
+    data = asdict(settings)
+    data.pop("store_dir", None)
+    return json.dumps(data, sort_keys=True, default=str)
+
+
+def result_key(app: BuiltApplication, settings_fp: str) -> str:
+    """The content key of one chart's evaluation result.
+
+    Covers everything the (pre-M4*) report and inventory are a function of:
+    the catalogue identity, the chart content fingerprint, the registered
+    behaviours, and the analyzer settings (via :func:`settings_fingerprint`).
+    """
+    return store_key(
+        KIND_RESULT,
+        app.dataset,
+        app.name,
+        app.fingerprint(),
+        app.behaviors.fingerprint(),
+        settings_fp,
+    )
+
+
+class _DurableSweep:
+    """Store + journal bookkeeping threaded through one durable sweep.
+
+    ``load()`` pulls verified completed results out of the store before the
+    sweep runs; ``note(outcome)`` publishes each fresh outcome the moment it
+    completes (entry write + sealed journal record, under the chart's fault
+    scope so injected ``store.*`` faults replay deterministically); and
+    ``merge()`` reassembles catalogue order.  Persistence is per-chart by
+    design -- crash safety comes from never holding completed work only in
+    memory -- and always happens *before* the cluster-wide M4* pass, which
+    re-runs over loaded and fresh inventories alike.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        applications: list[BuiltApplication],
+        settings: AnalyzerSettings,
+        resume: bool,
+    ) -> None:
+        self.store = store
+        self.applications = applications
+        self.settings_fp = settings_fingerprint(settings)
+        self.keys = [result_key(app, self.settings_fp) for app in applications]
+        identity_material = repr((tuple(self.keys), self.settings_fp))
+        identity = hashlib.sha256(identity_material.encode("utf-8")).hexdigest()
+        self.journal = SweepJournal(store.root, identity)
+        self.resume = resume
+        self.loaded = 0
+        self.computed = 0
+        self.failures = 0
+        self.unstored = 0
+        self._by_id = {
+            f"{app.dataset}/{app.name}": index for index, app in enumerate(applications)
+        }
+        self._lock = threading.Lock()
+        self.previously = self.journal.begin(resume)
+
+    def load(self) -> dict[int, AnalyzedApplication]:
+        """Verified completed results already in the store, by catalogue index."""
+        found: dict[int, AnalyzedApplication] = {}
+        for index, app in enumerate(self.applications):
+            uid = f"{app.dataset}/{app.name}"
+            with faults.fault_scope(uid):
+                payload = self.store.read(self.keys[index], kind=KIND_RESULT)
+            if not isinstance(payload, dict):
+                continue
+            try:
+                entry = AnalyzedApplication(
+                    application=app,
+                    report=payload["report"],
+                    inventory=payload["inventory"],
+                    attempts=int(payload.get("attempts", 1)),
+                )
+            except KeyError:
+                continue
+            found[index] = entry
+            self.loaded += 1
+            self.journal.record(uid, "ok", self.keys[index], entry.attempts, source="store")
+        return found
+
+    def note(
+        self, outcome: AnalyzedApplication | AnalysisFailure | None
+    ) -> AnalyzedApplication | AnalysisFailure | None:
+        """Publish one fresh outcome (entry + journal record); returns it."""
+        if isinstance(outcome, AnalyzedApplication):
+            app = outcome.application
+            uid = f"{app.dataset}/{app.name}"
+            index = self._by_id.get(uid)
+            key = self.keys[index] if index is not None else result_key(app, self.settings_fp)
+            with faults.fault_scope(uid):
+                stored = self.store.write(
+                    key,
+                    {
+                        "report": outcome.report,
+                        "inventory": outcome.inventory,
+                        "attempts": outcome.attempts,
+                    },
+                    kind=KIND_RESULT,
+                )
+            with self._lock:
+                self.computed += 1
+                if not stored:
+                    self.unstored += 1
+            self.journal.record(
+                uid, "ok", key, outcome.attempts,
+                source="computed" if stored else "computed-unstored",
+            )
+        elif isinstance(outcome, AnalysisFailure):
+            with self._lock:
+                self.failures += 1
+            self.journal.record(
+                outcome.unique_id, "failed", "", outcome.attempts, source="computed"
+            )
+        return outcome
+
+    def merge(
+        self,
+        loaded: dict[int, AnalyzedApplication],
+        fresh: list[AnalyzedApplication | AnalysisFailure | None],
+    ) -> list[AnalyzedApplication | AnalysisFailure | None]:
+        """Interleave loaded and fresh outcomes back into catalogue order."""
+        fresh_iter = iter(fresh)
+        merged: list[AnalyzedApplication | AnalysisFailure | None] = []
+        for index in range(len(self.applications)):
+            merged.append(loaded[index] if index in loaded else next(fresh_iter))
+        return merged
+
+    def finish(self) -> dict:
+        """Close the journal; return the sweep's durability accounting."""
+        self.journal.close()
+        return {
+            "root": str(self.store.root),
+            "loaded": self.loaded,
+            "computed": self.computed,
+            "failed": self.failures,
+            "unstored": self.unstored,
+            "resumed": len(self.previously),
+            "journal_rotated": self.journal.rotated_reason,
+            "journal_dropped_lines": self.journal.dropped_lines,
+            "store": self.store.stats(),
+        }
+
+
 #: Per-worker-process analyzer, so the pooled cluster/substrate of its
 #: analysis session survives across every chart the worker handles instead
 #: of being rebuilt per task.
@@ -386,6 +569,7 @@ class _PoolSweep:
         chart_timeout: float | None,
         retry_backoff: float,
         fault_plan: faults.FaultPlan | None,
+        on_outcome=None,
     ) -> None:
         self.applications = applications
         self.fingerprints = fingerprints
@@ -395,6 +579,9 @@ class _PoolSweep:
         self.chart_timeout = chart_timeout
         self.retry_backoff = retry_backoff
         self.fault_plan = fault_plan
+        #: Called with each finalized outcome the moment it is decided (ok
+        #: or quarantine) -- the durable sweep's per-chart persistence hook.
+        self.on_outcome = on_outcome
         self.outcomes: list[AnalyzedApplication | AnalysisFailure | None]
         self.outcomes = [None] * len(applications)
         self.attempts = [0] * len(applications)
@@ -442,13 +629,19 @@ class _PoolSweep:
         self.attempts[index] += 1
         if tag == "ok":
             self.outcomes[index] = payload
+            self._finalize(index)
             return False
         if self.attempts[index] >= self.max_attempts:
             self.outcomes[index] = _failure_from(
                 self.applications[index], payload, self.attempts[index]
             )
+            self._finalize(index)
             return False
         return True
+
+    def _finalize(self, index: int) -> None:
+        if self.on_outcome is not None:
+            self.on_outcome(self.outcomes[index])
 
     def _pool_death_payload(self, index: int, timed_out: bool) -> tuple:
         app = self.applications[index]
@@ -563,6 +756,8 @@ def run_full_evaluation(
     chart_timeout: float | None = None,
     retry_backoff: float = 0.05,
     fault_plan: faults.FaultPlan | None = None,
+    store: ResultStore | str | Path | None = None,
+    resume: bool = False,
 ) -> EvaluationResult:
     """Analyze the complete catalogue and run the cluster-wide pass.
 
@@ -588,19 +783,49 @@ def run_full_evaluation(
     failure records.  ``fault_plan`` arms a deterministic
     :class:`repro.faults.FaultPlan` for the duration of the sweep (parent
     and workers alike) -- the chaos suites' entry point.
+
+    Durability: ``store`` (a :class:`~repro.store.ResultStore` or a
+    directory path) makes the sweep consult and feed the content-addressed
+    result store -- completed charts load instead of recomputing, fresh
+    outcomes persist the moment they finish, and the default analyzer's
+    workers share the store for their observation memos.  ``resume=True``
+    additionally continues the store's sweep journal (a fresh sweep rotates
+    it); the analyzed output is byte-identical with or without a store.
+    ``EvaluationResult.store_stats`` carries the accounting either way.
     """
     custom_analyzer = analyzer is not None
     analyzer = analyzer or MisconfigurationAnalyzer(settings=AnalyzerSettings())
     applications = applications if applications is not None else build_catalog(datasets)
+
+    store_obj = store if isinstance(store, (ResultStore, type(None))) else ResultStore(store)
+    if resume and store_obj is None:
+        raise ValueError("resume=True requires a store")
+    if store_obj is not None and not custom_analyzer and not analyzer.settings.store_dir:
+        # Ship the store to the default analyzer (and its pool workers) so
+        # observation memos promote to it too.  Result keys exclude
+        # ``store_dir``, so this cannot change what is computed.
+        analyzer = MisconfigurationAnalyzer(
+            settings=replace(analyzer.settings, store_dir=str(store_obj.root))
+        )
 
     previous_plan = faults.armed_plan()
     if fault_plan is not None:
         faults.arm(fault_plan)
     shipped_plan = faults.armed_plan()
     result = EvaluationResult()
+    durable: _DurableSweep | None = None
     try:
-        if workers and workers > 1 and not custom_analyzer:
-            fingerprints = catalog_fingerprints(applications)
+        loaded: dict[int, AnalyzedApplication] = {}
+        if store_obj is not None:
+            durable = _DurableSweep(store_obj, applications, analyzer.settings, resume)
+            loaded = durable.load()
+        pending = [
+            app for index, app in enumerate(applications) if index not in loaded
+        ]
+        note = durable.note if durable is not None else (lambda outcome: outcome)
+        outcomes: list[AnalyzedApplication | AnalysisFailure | None] = []
+        if pending and workers and workers > 1 and not custom_analyzer:
+            fingerprints = catalog_fingerprints(pending)
             if fail_fast:
                 with ProcessPoolExecutor(
                     max_workers=workers,
@@ -609,20 +834,19 @@ def run_full_evaluation(
                 ) as pool:
                     # Chunk the map: per-chart analysis is ~10ms, so one-item
                     # tasks would spend comparable time on pickling round-trips.
-                    result.analyzed = list(
-                        pool.map(
-                            partial(
-                                _analyze_application_in_subprocess,
-                                settings=analyzer.settings,
-                            ),
-                            applications,
-                            fingerprints,
-                            chunksize=max(len(applications) // (workers * 4), 1),
-                        )
-                    )
+                    for analyzed in pool.map(
+                        partial(
+                            _analyze_application_in_subprocess,
+                            settings=analyzer.settings,
+                        ),
+                        pending,
+                        fingerprints,
+                        chunksize=max(len(pending) // (workers * 4), 1),
+                    ):
+                        outcomes.append(note(analyzed))
             else:
                 sweep = _PoolSweep(
-                    applications,
+                    pending,
                     fingerprints,
                     analyzer.settings,
                     workers,
@@ -630,54 +854,60 @@ def run_full_evaluation(
                     chart_timeout,
                     retry_backoff,
                     shipped_plan,
+                    on_outcome=note if durable is not None else None,
                 )
-                _split_outcomes(sweep.run(), result)
-        elif workers and workers > 1:
+                outcomes = sweep.run()
+        elif pending and workers and workers > 1:
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 if fail_fast:
-                    result.analyzed = list(
-                        pool.map(
-                            lambda app: _analyze_application(
-                                app, analyzer, app.fingerprint()
-                            ),
-                            applications,
-                        )
-                    )
+                    for analyzed in pool.map(
+                        lambda app: _analyze_application(
+                            app, analyzer, app.fingerprint()
+                        ),
+                        pending,
+                    ):
+                        outcomes.append(note(analyzed))
                 else:
                     # ``fault_scope`` is thread-local, so per-chart scoping
                     # holds on the thread pool too.  No watchdog: threads
-                    # cannot be preempted.
-                    _split_outcomes(
-                        list(
-                            pool.map(
-                                lambda app: _run_isolated(
+                    # cannot be preempted.  ``note`` runs on the pool threads
+                    # (it is lock-guarded) so persistence stays per-chart.
+                    outcomes = list(
+                        pool.map(
+                            lambda app: note(
+                                _run_isolated(
                                     app,
                                     analyzer,
                                     app.fingerprint(),
                                     max_attempts,
                                     retry_backoff,
-                                ),
-                                applications,
-                            )
-                        ),
-                        result,
+                                )
+                            ),
+                            pending,
+                        )
                     )
         elif fail_fast:
+            for app in pending:
+                outcomes.append(note(_analyze_application(app, analyzer, app.fingerprint())))
+        else:
+            for app in pending:
+                outcomes.append(
+                    note(
+                        _run_isolated(
+                            app, analyzer, app.fingerprint(), max_attempts, retry_backoff
+                        )
+                    )
+                )
+        merged = durable.merge(loaded, outcomes) if durable is not None else outcomes
+        if fail_fast:
             result.analyzed = [
-                _analyze_application(app, analyzer, app.fingerprint())
-                for app in applications
+                outcome for outcome in merged if isinstance(outcome, AnalyzedApplication)
             ]
         else:
-            _split_outcomes(
-                [
-                    _run_isolated(
-                        app, analyzer, app.fingerprint(), max_attempts, retry_backoff
-                    )
-                    for app in applications
-                ],
-                result,
-            )
+            _split_outcomes(merged, result)
     finally:
+        if durable is not None:
+            result.store_stats = durable.finish()
         if fault_plan is not None:
             faults.arm(previous_plan)
     inventories = [

@@ -33,6 +33,19 @@ through:
     The evaluation process-pool worker entry -- the ``kill`` kind terminates
     the worker process mid-task (``os._exit``), producing a genuine
     ``BrokenProcessPool`` in the parent.
+``store.read``
+    A result-store lookup (:meth:`repro.store.ResultStore.read`).  The
+    ``corrupt`` kind corrupts the on-disk entry *before* the verified read
+    (``corruption`` selects truncation, a payload bit-flip, or schema
+    version skew), exercising the store's detect/evict/recompute contract;
+    ``error`` models an unreadable entry (treated as a miss, never fatal).
+``store.write``
+    A result-store publish (:meth:`repro.store.ResultStore.write`), fired
+    between the temp-file fsync and the atomic rename -- a ``kill`` fault in
+    a pool worker is therefore a genuine mid-write crash: the durable temp
+    file exists but no partial entry is ever visible.  ``error`` degrades
+    gracefully (the write is abandoned and counted, the computation is
+    unaffected).
 
 Faults are scoped: the pipeline wraps each chart attempt in
 :func:`fault_scope` with the chart key (``"dataset/name"``) and the attempt
@@ -62,6 +75,8 @@ RENDER_CACHE_READ = "render_cache.read"
 OBSERVE = "observe"
 RULES = "rules"
 WORKER_KILL = "worker.kill"
+STORE_READ = "store.read"
+STORE_WRITE = "store.write"
 
 FAULT_SITES: tuple[str, ...] = (
     TEMPLATE_PARSE,
@@ -70,6 +85,8 @@ FAULT_SITES: tuple[str, ...] = (
     OBSERVE,
     RULES,
     WORKER_KILL,
+    STORE_READ,
+    STORE_WRITE,
 )
 
 #: Fault kinds.  ``error`` raises :class:`InjectedFault`; ``hang`` sleeps
@@ -85,6 +102,16 @@ KIND_KILL = "kill"
 KIND_CORRUPT = "corrupt"
 
 FAULT_KINDS: tuple[str, ...] = (KIND_ERROR, KIND_HANG, KIND_KILL, KIND_CORRUPT)
+
+#: Corruption modes a ``corrupt`` spec can request at sites that own a
+#: corruption hook.  ``truncate`` cuts the entry short (a torn write),
+#: ``bitflip`` flips one payload byte (silent media corruption), ``version``
+#: rewrites the entry header with a skewed schema version (a stale store).
+CORRUPT_TRUNCATE = "truncate"
+CORRUPT_BITFLIP = "bitflip"
+CORRUPT_VERSION = "version"
+
+CORRUPTION_MODES: tuple[str, ...] = (CORRUPT_TRUNCATE, CORRUPT_BITFLIP, CORRUPT_VERSION)
 
 
 class InjectedFault(Exception):
@@ -118,12 +145,17 @@ class FaultSpec:
     attempts: int = 1
     kind: str = KIND_ERROR
     hang_s: float = 30.0
+    corruption: str = CORRUPT_TRUNCATE
 
     def __post_init__(self) -> None:
         if self.site not in FAULT_SITES:
             raise ValueError(f"unknown fault site {self.site!r}; expected one of {FAULT_SITES}")
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if self.corruption not in CORRUPTION_MODES:
+            raise ValueError(
+                f"unknown corruption mode {self.corruption!r}; expected one of {CORRUPTION_MODES}"
+            )
         if self.charts is not None:
             object.__setattr__(self, "charts", tuple(self.charts))
 
@@ -285,3 +317,24 @@ def corruption_requested(site: str) -> bool:
     return any(
         spec.kind == KIND_CORRUPT and spec.matches(key, attempt) for spec in specs
     )
+
+
+def corruption_mode(site: str) -> str | None:
+    """The corruption mode of the first firing ``corrupt`` spec at ``site``.
+
+    ``None`` when no corruption is requested in the ambient scope.  Sites
+    with mode-aware corruption hooks (the result store) use this instead of
+    :func:`corruption_requested` to pick *how* to damage their entry --
+    truncation, bit-flip or schema version skew (:data:`CORRUPTION_MODES`).
+    """
+    plan = _ARMED
+    if plan is None:
+        return None
+    specs = plan._by_site.get(site)
+    if not specs:
+        return None
+    key, attempt = current_scope()
+    for spec in specs:
+        if spec.kind == KIND_CORRUPT and spec.matches(key, attempt):
+            return spec.corruption
+    return None

@@ -69,9 +69,11 @@ class RenderCache:
         self._maxsize = maxsize
         self.shared = shared
         self.paranoid = paranoid
-        #: key -> (release, values, documents, objects, sources, check) when
-        #: shared, else the pickle blob of the five components (copy-on-read
-        #: reference mode; immutable, so it carries no check).
+        #: key -> (release, values, documents, objects, sources, render_fp,
+        #: check) when shared, else the pickle blob of the six components
+        #: (copy-on-read reference mode; immutable, so it carries no check).
+        #: ``render_fp`` is the render fingerprint -- hashed once on the miss
+        #: and replayed on every hit, so warm hits stay hash-free.
         self._entries: dict[tuple, Any] = {}
         self.hits = 0
         self.misses = 0
@@ -158,7 +160,7 @@ class RenderCache:
         if entry is not None:
             faults.fault_point(faults.RENDER_CACHE_READ)
             if self.shared:
-                cached_release, values, documents, objects, sources, check = entry
+                cached_release, values, documents, objects, sources, render_fp, check = entry
                 if faults.corruption_requested(faults.RENDER_CACHE_READ):
                     _corrupt_entry(documents, objects)
                 if self._check_of(values, documents, objects, sources) != check:
@@ -176,10 +178,11 @@ class RenderCache:
                         documents=list(documents),
                         objects=list(objects),
                         sources=dict(sources),
+                        render_fingerprint=render_fp,
                     )
             else:
                 self.hits += 1
-                cached_release, values, documents, objects, sources = pickle.loads(entry)
+                cached_release, values, documents, objects, sources, render_fp = pickle.loads(entry)
                 return RenderedChart(
                     chart=chart,
                     release=cached_release,
@@ -187,8 +190,10 @@ class RenderCache:
                     documents=list(documents),
                     objects=list(objects),
                     sources=dict(sources),
+                    render_fingerprint=render_fp,
                 )
         self.misses += 1
+        render_fp = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
         if structured:
             rendered = self._renderer.render_structured(
                 chart, release, overrides, interned=self.shared
@@ -197,6 +202,7 @@ class RenderCache:
             rendered = self._renderer.render(
                 chart, release, overrides, interned=self.shared
             )
+        rendered.render_fingerprint = render_fp
         if self.shared:
             # The entry keeps its own top-level containers, so callers that
             # append to the returned lists cannot grow the cached render.
@@ -210,6 +216,7 @@ class RenderCache:
                 documents,
                 objects,
                 sources,
+                render_fp,
                 self._check_of(values, documents, objects, sources),
             )
         else:
@@ -222,6 +229,7 @@ class RenderCache:
                     rendered.documents,
                     rendered.objects,
                     rendered.sources,
+                    render_fp,
                 ),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )

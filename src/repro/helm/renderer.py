@@ -79,6 +79,11 @@ class RenderedChart:
     documents: list[dict] = field(default_factory=list)
     objects: list[KubernetesObject] = field(default_factory=list)
     sources: dict[str, str] = field(default_factory=dict)
+    #: Content fingerprint of the full render identity (chart fingerprint +
+    #: release + canonical overrides + render path), set by the render cache.
+    #: ``None`` for uncached renders; consumers that key on render content
+    #: (the observation memo) skip memoization when it is absent.
+    render_fingerprint: str | None = field(default=None, compare=False)
 
     def inventory(self) -> Inventory:
         """The rendered objects wrapped as a queryable :class:`Inventory`."""

@@ -1,0 +1,404 @@
+"""Durable-sweep differential and chaos suite for the result store.
+
+The invariant under test: **the store changes how fast a sweep runs, never
+what it computes**.  Every scenario reduces to byte-identity against a
+store-free baseline via :func:`tests.support.diffing.canonical_evaluation`:
+
+* store off == cold store == warm store,
+* an interrupted sweep resumed finishes with identical output,
+* a writer killed between fsync and rename (a genuine ``kill -9``
+  mid-publish) leaves no torn entry and loses only unpublished charts,
+* every corruption mode (truncation, bit-flip, version skew) is detected,
+  counted, evicted and recomputed -- never served, never fatal,
+* two concurrent sweeps over one store directory both succeed with
+  identical output and leave only verified entries behind,
+* the sweep journal drops torn tails and rotates on identity mismatch.
+
+The fast tests run over an 8-chart sample; the ``slow``-marked full-catalogue
+differential covers all 290 charts (acceptance criterion for PR 7).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.datasets import build_catalog
+from repro.experiments import run_full_evaluation
+from repro.store import KIND_RESULT, ResultStore, SweepJournal, store_key
+from tests.support.diffing import (
+    assert_identical,
+    canonical_evaluation,
+    canonical_json,
+    canonical_report,
+)
+
+SAMPLE = 8
+MAX_ATTEMPTS = 3
+BACKOFF = 0.001
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+@pytest.fixture(scope="module")
+def applications():
+    return build_catalog()[:SAMPLE]
+
+
+@pytest.fixture(scope="module")
+def baseline(applications):
+    result = run_full_evaluation(applications=applications)
+    assert not result.failed
+    return canonical_evaluation(result)
+
+
+def chart_key(applications, index: int) -> str:
+    app = applications[index]
+    return f"{app.dataset}/{app.name}"
+
+
+def subprocess_env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestStoreDifferential:
+    def test_cold_then_warm_store_byte_identical(self, applications, baseline, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cold = run_full_evaluation(applications=applications, store=store)
+        assert not cold.failed
+        assert cold.store_stats["computed"] == SAMPLE
+        assert cold.store_stats["loaded"] == 0
+        assert_identical(baseline, canonical_evaluation(cold), "cold store vs store-off")
+
+        warm_store = ResultStore(tmp_path / "store")
+        warm = run_full_evaluation(applications=applications, store=warm_store)
+        assert not warm.failed
+        assert warm.store_stats["loaded"] == SAMPLE
+        assert warm.store_stats["computed"] == 0
+        assert_identical(baseline, canonical_evaluation(warm), "warm store vs store-off")
+
+    def test_warm_store_identical_on_parallel_path(self, applications, baseline, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cold = run_full_evaluation(applications=applications, workers=2, store=store)
+        assert not cold.failed
+        assert_identical(baseline, canonical_evaluation(cold), "pool cold store")
+        warm = run_full_evaluation(
+            applications=applications, workers=2, store=ResultStore(tmp_path / "store")
+        )
+        assert warm.store_stats["loaded"] == SAMPLE
+        assert_identical(baseline, canonical_evaluation(warm), "pool warm store")
+
+    def test_partial_sweep_resumed_is_identical(self, applications, baseline, tmp_path):
+        store_dir = tmp_path / "store"
+        partial = run_full_evaluation(
+            applications=applications[: SAMPLE // 2], store=ResultStore(store_dir)
+        )
+        assert partial.store_stats["computed"] == SAMPLE // 2
+        resumed = run_full_evaluation(
+            applications=applications, store=ResultStore(store_dir), resume=True
+        )
+        assert not resumed.failed
+        assert resumed.store_stats["loaded"] == SAMPLE // 2
+        assert resumed.store_stats["computed"] == SAMPLE - SAMPLE // 2
+        assert_identical(baseline, canonical_evaluation(resumed), "resumed sweep")
+
+    def test_resume_requires_a_store(self, applications):
+        with pytest.raises(ValueError):
+            run_full_evaluation(applications=applications, resume=True)
+
+    @pytest.mark.slow
+    def test_full_catalogue_store_differential(self, tmp_path):
+        applications = build_catalog()
+        baseline = run_full_evaluation(applications=applications)
+        assert not baseline.failed
+        cold = run_full_evaluation(
+            applications=applications, store=ResultStore(tmp_path / "store")
+        )
+        warm = run_full_evaluation(
+            applications=applications, store=ResultStore(tmp_path / "store")
+        )
+        assert warm.store_stats["loaded"] == len(applications)
+        assert_identical(
+            canonical_evaluation(baseline),
+            canonical_evaluation(cold),
+            "full-catalogue cold store",
+        )
+        assert_identical(
+            canonical_evaluation(baseline),
+            canonical_evaluation(warm),
+            "full-catalogue warm store",
+        )
+
+
+#: Child process: runs a durable sweep with a ``kill`` fault armed at the
+#: ``store.write`` site for one victim chart -- it dies via ``os._exit(3)``
+#: between the temp-file fsync and the rename, exactly like a power cut.
+KILL_CHILD = """
+import sys
+from repro import faults
+from repro.datasets import build_catalog
+from repro.experiments import run_full_evaluation
+
+store_dir, victim, sample = sys.argv[1], sys.argv[2], int(sys.argv[3])
+faults.mark_pool_worker()  # enable genuine os._exit kills in this process
+plan = faults.FaultPlan(
+    faults.FaultSpec(faults.STORE_WRITE, charts=(victim,), attempts=99, kind="kill")
+)
+run_full_evaluation(
+    applications=build_catalog()[:sample], store=store_dir, fault_plan=plan
+)
+sys.exit(0)  # unreachable: the kill fires during the victim's publish
+"""
+
+#: Child process: one full durable sweep against a shared store directory;
+#: writes the canonical reports as JSON so the parent can diff them.
+CONCURRENT_CHILD = """
+import json
+import sys
+from repro.datasets import build_catalog
+from repro.experiments import run_full_evaluation
+
+store_dir, out_path, sample = sys.argv[1], sys.argv[2], int(sys.argv[3])
+result = run_full_evaluation(applications=build_catalog()[:sample], store=store_dir)
+assert not result.failed
+payload = [entry.report.to_dict() for entry in result.analyzed]
+with open(out_path, "w", encoding="utf-8") as handle:
+    json.dump(payload, handle, sort_keys=True, default=str)
+"""
+
+
+class TestCrashAndConcurrency:
+    def test_kill_nine_mid_publish_then_resume(self, applications, baseline, tmp_path):
+        store_dir = tmp_path / "store"
+        victim = SAMPLE // 2
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                KILL_CHILD,
+                str(store_dir),
+                chart_key(applications, victim),
+                str(SAMPLE),
+            ],
+            capture_output=True,
+            text=True,
+            env=subprocess_env(),
+            cwd=str(REPO_ROOT),
+            timeout=300,
+        )
+        assert completed.returncode == 3, completed.stderr
+        # The serial sweep published charts 0..victim-1 before dying; no
+        # entry the dead writer left behind may be torn.
+        store = ResultStore(store_dir)
+        scan = store.verify_all()
+        assert scan["defective"] == 0
+        assert scan["healthy"] >= victim
+        resumed = run_full_evaluation(
+            applications=applications, store=store, resume=True
+        )
+        assert not resumed.failed
+        assert resumed.store_stats["loaded"] == victim
+        assert resumed.store_stats["computed"] == SAMPLE - victim
+        assert resumed.store_stats["journal_rotated"] is None
+        assert_identical(baseline, canonical_evaluation(resumed), "kill-9 resume")
+
+    def test_two_concurrent_sweeps_share_one_store(self, baseline, tmp_path):
+        store_dir = tmp_path / "store"
+        outputs = [tmp_path / "a.json", tmp_path / "b.json"]
+        children = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    CONCURRENT_CHILD,
+                    str(store_dir),
+                    str(out),
+                    str(SAMPLE),
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=subprocess_env(),
+                cwd=str(REPO_ROOT),
+            )
+            for out in outputs
+        ]
+        for child in children:
+            _, stderr = child.communicate(timeout=300)
+            assert child.returncode == 0, stderr
+        payloads = [json.loads(out.read_text(encoding="utf-8")) for out in outputs]
+        # Both racers computed identical reports, both matching the
+        # store-free baseline (default=str below mirrors the children's
+        # serialization so the canonical forms are comparable).
+        assert canonical_json(payloads[0]) == canonical_json(payloads[1])
+        assert canonical_json(payloads[0]) == canonical_json(
+            json.loads(json.dumps(baseline, sort_keys=True, default=str))
+        )
+        # Rename-wins left only verified entries -- no torn files.
+        scan = ResultStore(store_dir).verify_all()
+        assert scan["defective"] == 0
+        assert scan["healthy"] > 0
+        warm = run_full_evaluation(
+            applications=build_catalog()[:SAMPLE], store=ResultStore(store_dir)
+        )
+        assert warm.store_stats["loaded"] == SAMPLE
+        assert_identical(baseline, canonical_evaluation(warm), "post-race warm sweep")
+
+
+class TestStoreChaos:
+    @pytest.mark.parametrize("mode", faults.CORRUPTION_MODES)
+    def test_corruption_detected_evicted_recomputed(
+        self, applications, baseline, tmp_path, mode
+    ):
+        store_dir = tmp_path / f"store-{mode}"
+        prime = run_full_evaluation(applications=applications, store=ResultStore(store_dir))
+        assert not prime.failed
+        victims = tuple(chart_key(applications, index) for index in range(SAMPLE))
+        plan = faults.FaultPlan(
+            faults.FaultSpec(
+                faults.STORE_READ,
+                charts=victims,
+                attempts=99,
+                kind="corrupt",
+                corruption=mode,
+            )
+        )
+        store = ResultStore(store_dir)
+        result = run_full_evaluation(
+            applications=applications,
+            store=store,
+            fault_plan=plan,
+            max_attempts=MAX_ATTEMPTS,
+            retry_backoff=BACKOFF,
+        )
+        assert not result.failed
+        stats = store.stats()
+        if mode == faults.CORRUPT_VERSION:
+            assert stats["version_skew"] >= 1
+        else:
+            assert stats["corruptions"] >= 1
+        assert stats["evictions"] >= 1
+        assert_identical(
+            baseline, canonical_evaluation(result), f"{mode}-corrupted store"
+        )
+        # The sweep republished what it evicted: a fresh fault-free sweep
+        # is warm again.
+        warm = run_full_evaluation(applications=applications, store=ResultStore(store_dir))
+        assert warm.store_stats["loaded"] == SAMPLE
+        assert_identical(baseline, canonical_evaluation(warm), f"re-warmed after {mode}")
+
+    def test_write_failures_degrade_to_unstored(self, applications, baseline, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        plan = faults.FaultPlan(
+            faults.FaultSpec(faults.STORE_WRITE, charts=None, attempts=99)
+        )
+        result = run_full_evaluation(
+            applications=applications,
+            store=store,
+            fault_plan=plan,
+            max_attempts=MAX_ATTEMPTS,
+            retry_backoff=BACKOFF,
+        )
+        # Every publish failed; every computation still succeeded.
+        assert not result.failed
+        assert result.store_stats["computed"] == SAMPLE
+        assert result.store_stats["unstored"] == SAMPLE
+        assert store.stats()["write_failures"] >= SAMPLE
+        assert store.verify_all()["defective"] == 0
+        assert_identical(baseline, canonical_evaluation(result), "unstored sweep")
+
+    def test_read_errors_degrade_to_recompute(self, applications, baseline, tmp_path):
+        store_dir = tmp_path / "store"
+        run_full_evaluation(applications=applications, store=ResultStore(store_dir))
+        store = ResultStore(store_dir)
+        plan = faults.FaultPlan(
+            faults.FaultSpec(faults.STORE_READ, charts=None, attempts=99)
+        )
+        result = run_full_evaluation(
+            applications=applications,
+            store=store,
+            fault_plan=plan,
+            max_attempts=MAX_ATTEMPTS,
+            retry_backoff=BACKOFF,
+        )
+        assert not result.failed
+        assert result.store_stats["loaded"] == 0
+        assert result.store_stats["computed"] == SAMPLE
+        assert store.stats()["read_errors"] >= 1
+        assert_identical(baseline, canonical_evaluation(result), "read-error sweep")
+
+
+class TestJournal:
+    IDENTITY = store_key(KIND_RESULT, "journal-identity")
+
+    def test_torn_tail_dropped_on_resume(self, tmp_path):
+        journal = SweepJournal(tmp_path, self.IDENTITY)
+        assert journal.begin(resume=True) == {}
+        journal.record("org/app-a", "ok", "key-a")
+        journal.record("org/app-b", "ok", "key-b")
+        journal.close()
+        # A writer died mid-append: the tail line has no valid seal.
+        with open(tmp_path / SweepJournal.FILENAME, "a", encoding="utf-8") as handle:
+            handle.write('{"rec": {"type": "chart", "chart": "org/app-c"')
+        resumed = SweepJournal(tmp_path, self.IDENTITY)
+        completed = resumed.begin(resume=True)
+        resumed.close()
+        assert set(completed) == {"org/app-a", "org/app-b"}
+        assert resumed.dropped_lines == 1
+        assert resumed.rotated_reason is None
+
+    def test_identity_mismatch_rotates(self, tmp_path):
+        journal = SweepJournal(tmp_path, self.IDENTITY)
+        journal.begin(resume=False)
+        journal.record("org/app-a", "ok", "key-a")
+        journal.close()
+        other = SweepJournal(tmp_path, store_key(KIND_RESULT, "different-catalogue"))
+        completed = other.begin(resume=True)
+        other.close()
+        assert completed == {}
+        assert "identity mismatch" in other.rotated_reason
+        assert (tmp_path / (SweepJournal.FILENAME + ".prev")).exists()
+
+    def test_fresh_sweep_supersedes_existing_journal(self, tmp_path):
+        journal = SweepJournal(tmp_path, self.IDENTITY)
+        journal.begin(resume=False)
+        journal.record("org/app-a", "ok", "key-a")
+        journal.close()
+        fresh = SweepJournal(tmp_path, self.IDENTITY)
+        completed = fresh.begin(resume=False)
+        fresh.close()
+        assert completed == {}
+        assert fresh.rotated_reason == SweepJournal.ROTATED_FRESH
+
+
+class TestObservationMemo:
+    def test_memo_hits_in_process_and_via_store(self, applications, tmp_path):
+        from repro.core import AnalyzerSettings, MisconfigurationAnalyzer
+
+        app = applications[0]
+        settings = AnalyzerSettings(store_dir=str(tmp_path / "store"))
+        analyzer = MisconfigurationAnalyzer(settings=settings)
+        first = analyzer.analyze_chart(app.chart, behaviors=app.behaviors)
+        hits_before = analyzer.session.memo_stats()["hits"]
+        second = analyzer.analyze_chart(app.chart, behaviors=app.behaviors)
+        assert analyzer.session.memo_stats()["hits"] == hits_before + 1
+        assert_identical(
+            canonical_report(first), canonical_report(second), "in-process memo"
+        )
+        # A brand-new analyzer sharing the store directory hits the *store*
+        # copy: the memo promotes across process lifetimes.
+        fresh = MisconfigurationAnalyzer(settings=settings)
+        third = fresh.analyze_chart(app.chart, behaviors=app.behaviors)
+        assert fresh.session.memo_stats()["store_hits"] >= 1
+        assert_identical(
+            canonical_report(first), canonical_report(third), "store-promoted memo"
+        )

@@ -46,17 +46,18 @@ def test_check_detects_regression(tmp_path):
     committed = tmp_path / "BENCH_connectivity.json"
     committed.write_text(
         '{"end_to_end": {"charts": 290.0, "evaluation/current_s": 1e-9, '
-        '"netpol_impact/compiled_s": 1e-9}}'
+        '"netpol_impact/compiled_s": 1e-9, "evaluation/store_warm_s": 1e-9}}'
     )
     record = {
         "end_to_end": {
             "charts": 4.0,
             "evaluation/current_s": 0.02,
             "netpol_impact/compiled_s": 0.01,
+            "evaluation/store_warm_s": 0.01,
         }
     }
     failures = bench_run.check_against_committed(record, committed, tolerance=3.0)
-    assert len(failures) == 2
+    assert len(failures) == len(bench_run.CHECK_KEYS)
     assert all("ms/chart exceeds" in failure for failure in failures)
 
 
@@ -65,13 +66,14 @@ def test_check_passes_within_band(tmp_path):
     committed = tmp_path / "BENCH_connectivity.json"
     committed.write_text(
         '{"end_to_end": {"charts": 290.0, "evaluation/current_s": 0.29, '
-        '"netpol_impact/compiled_s": 0.29}}'
+        '"netpol_impact/compiled_s": 0.29, "evaluation/store_warm_s": 0.29}}'
     )
     record = {
         "end_to_end": {
             "charts": 4.0,
             "evaluation/current_s": 0.008,  # 2 ms/chart vs committed 1 ms/chart
             "netpol_impact/compiled_s": 0.004,
+            "evaluation/store_warm_s": 0.004,
         }
     }
     assert bench_run.check_against_committed(record, committed, tolerance=3.0) == []

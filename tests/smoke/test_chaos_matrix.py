@@ -25,6 +25,10 @@ MATRIX = {
     faults.OBSERVE: ("error", "observe"),
     faults.RULES: ("error", "rules"),
     faults.WORKER_KILL: ("kill", "worker"),
+    # Store faults never fail a sweep: a corrupted entry is detected,
+    # evicted and recomputed; a failed publish is counted and skipped.
+    faults.STORE_READ: ("corrupt", None),
+    faults.STORE_WRITE: ("error", None),
 }
 
 
@@ -43,11 +47,19 @@ def test_matrix_covers_every_fault_site():
 
 
 @pytest.mark.parametrize("site", sorted(MATRIX), ids=sorted(MATRIX))
-def test_single_fault_sweep_completes(site):
+def test_single_fault_sweep_completes(site, tmp_path):
     kind, expected_stage = MATRIX[site]
     applications = build_catalog()[:SAMPLE]
     victim = f"{applications[0].dataset}/{applications[0].name}"
     _clear_render_caches()  # compile-cache hits would bypass the parse site
+    store = None
+    if site.startswith("store."):
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        if site == faults.STORE_READ:
+            # Prime the store so the injected corruption has entries to hit.
+            run_full_evaluation(applications=applications, store=store)
     plan = faults.FaultPlan(
         faults.FaultSpec(site, charts=(victim,), attempts=99, kind=kind)
     )
@@ -57,10 +69,18 @@ def test_single_fault_sweep_completes(site):
         fault_plan=plan,
         max_attempts=2,
         retry_backoff=0.001,
+        store=store,
     )
     if expected_stage is None:
         assert not result.failed
         assert len(result.analyzed) == SAMPLE
+        if site == faults.STORE_READ:
+            # The victim's entries were corrupted, detected, evicted and
+            # recomputed -- counted, never served, never fatal.
+            assert store.stats()["corruptions"] >= 1
+            assert store.stats()["evictions"] >= 1
+        elif site == faults.STORE_WRITE:
+            assert store.stats()["write_failures"] >= 1
     else:
         assert len(result.failed) == 1
         assert result.failed[0].unique_id == victim

@@ -1,0 +1,100 @@
+"""Store GC smoke: dry run reports, ``--apply`` deletes, healthy survives.
+
+``tools/store_gc.py`` is the cleanup path the ``StoreIntegrity`` CLI hint
+points at.  The smoke test pins its contract: dry run by default (nothing
+deleted), ``--apply`` prunes exactly the garbage classes (orphan temp
+files, corrupt entries, version-skewed entries, age-expired entries) while
+healthy current-schema entries and the sweep journal are never touched.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import time
+from pathlib import Path
+
+from repro import faults
+from repro.store import KIND_RESULT, ResultStore, SweepJournal, _corrupt_entry_file, store_key
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def load_store_gc():
+    spec = importlib.util.spec_from_file_location(
+        "store_gc", REPO_ROOT / "tools" / "store_gc.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def populated_store(root: Path) -> tuple[ResultStore, list[str]]:
+    store = ResultStore(root)
+    keys = [store_key(KIND_RESULT, "gc-smoke", index) for index in range(4)]
+    for index, key in enumerate(keys):
+        assert store.write(key, {"index": index}, KIND_RESULT)
+    return store, keys
+
+
+def test_dry_run_reports_without_deleting(tmp_path, capsys):
+    store_gc = load_store_gc()
+    store, keys = populated_store(tmp_path / "store")
+    _corrupt_entry_file(store.entry_path(keys[0]), faults.CORRUPT_BITFLIP)
+    orphan = store.root / keys[1][:2] / "dead.entry.tmp12345"
+    orphan.parent.mkdir(exist_ok=True)
+    orphan.write_bytes(b"torn writer leftovers")
+
+    assert store_gc.main([str(store.root)]) == 0
+    out = capsys.readouterr().out
+    assert "would delete [corrupt]" in out
+    assert "would delete [orphan_tmp]" in out
+    # Dry run: everything is still on disk.
+    assert orphan.exists()
+    assert store.entry_path(keys[0]).exists()
+
+
+def test_apply_prunes_garbage_keeps_healthy_and_journal(tmp_path, capsys):
+    store_gc = load_store_gc()
+    store, keys = populated_store(tmp_path / "store")
+    journal = SweepJournal(store.root, store_key(KIND_RESULT, "gc-identity"))
+    journal.begin(resume=False)
+    journal.record("org/app", "ok", keys[0])
+    journal.close()
+    _corrupt_entry_file(store.entry_path(keys[0]), faults.CORRUPT_TRUNCATE)
+    _corrupt_entry_file(store.entry_path(keys[1]), faults.CORRUPT_VERSION)
+    orphan = store.root / keys[2][:2] / "dead.entry.tmp12345"
+    orphan.write_bytes(b"torn writer leftovers")
+
+    assert store_gc.main([str(store.root), "--apply"]) == 0
+    out = capsys.readouterr().out
+    assert "deleted [corrupt]" in out
+    assert "deleted [version_skew]" in out
+    assert "deleted [orphan_tmp]" in out
+    assert not orphan.exists()
+    assert not store.entry_path(keys[0]).exists()
+    assert not store.entry_path(keys[1]).exists()
+    # Healthy entries and the journal survive; the store scans clean.
+    assert store.entry_path(keys[2]).exists()
+    assert store.entry_path(keys[3]).exists()
+    assert (store.root / SweepJournal.FILENAME).exists()
+    assert ResultStore(store.root).verify_all() == {"healthy": 2, "defective": 0}
+
+
+def test_max_age_prunes_stale_healthy_entries(tmp_path, capsys):
+    store_gc = load_store_gc()
+    store, keys = populated_store(tmp_path / "store")
+    ancient = time.time() - 10 * 86400
+    os.utime(store.entry_path(keys[0]), (ancient, ancient))
+
+    assert store_gc.main([str(store.root), "--max-age-days", "7", "--apply"]) == 0
+    out = capsys.readouterr().out
+    assert "deleted [stale]" in out
+    assert not store.entry_path(keys[0]).exists()
+    assert store.entry_path(keys[1]).exists()
+
+
+def test_missing_store_directory_is_a_noop(tmp_path, capsys):
+    store_gc = load_store_gc()
+    assert store_gc.main([str(tmp_path / "nope")]) == 0
+    assert "nothing to do" in capsys.readouterr().out

@@ -35,6 +35,7 @@ DOCUMENTED_SURFACE = (
     "core/analyzer.py",
     "faults.py",
     "experiments/evaluation.py",
+    "store.py",
 )
 
 

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Result-store garbage collector: prune stale, skewed and orphaned files.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tools/store_gc.py <store-dir>           # dry run
+    PYTHONPATH=src python tools/store_gc.py <store-dir> --apply   # delete
+
+Scans a :class:`repro.store.ResultStore` directory and reports (dry run,
+the default) or deletes (``--apply``) four classes of garbage:
+
+* **orphan temp files** -- ``*.tmp*`` leftovers from writers that died
+  between fsync and rename; they are invisible to readers but waste disk,
+* **corrupt entries** -- header, size or digest verification failures,
+* **version-skewed entries** -- healthy entries written under a different
+  schema version; readers evict them lazily, the GC prunes them eagerly,
+* **stale entries** (only with ``--max-age-days N``) -- entries older than
+  N days regardless of health, for bounded-retention deployments.
+
+Healthy current-schema entries and the sweep journal are never touched.
+Exit code 0 always; the CLI hint in ``repro sweep`` points here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.store import SCHEMA_VERSION, _parse_entry  # noqa: E402
+
+
+def scan(root: Path, max_age_days: float | None) -> dict[str, list[Path]]:
+    """Classify every file under ``root`` into keep/delete buckets."""
+    garbage: dict[str, list[Path]] = {
+        "orphan_tmp": [],
+        "corrupt": [],
+        "version_skew": [],
+        "stale": [],
+    }
+    healthy: list[Path] = []
+    cutoff = time.time() - max_age_days * 86400 if max_age_days is not None else None
+    for path in sorted(root.rglob("*")):
+        if not path.is_file() or path.name.startswith("journal.jsonl"):
+            continue
+        if ".tmp" in path.name:
+            garbage["orphan_tmp"].append(path)
+            continue
+        if path.suffix != ".entry":
+            continue
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            garbage["corrupt"].append(path)
+            continue
+        _, reason = _parse_entry(blob, None, SCHEMA_VERSION)
+        if reason == "schema":
+            garbage["version_skew"].append(path)
+        elif reason is not None:
+            garbage["corrupt"].append(path)
+        elif cutoff is not None and path.stat().st_mtime < cutoff:
+            garbage["stale"].append(path)
+        else:
+            healthy.append(path)
+    garbage["healthy"] = healthy
+    return garbage
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code (always 0)."""
+    parser = argparse.ArgumentParser(
+        description="prune stale/corrupt/orphaned result-store files"
+    )
+    parser.add_argument("store", help="result-store directory to scan")
+    parser.add_argument(
+        "--apply",
+        action="store_true",
+        help="actually delete (default is a dry run that only reports)",
+    )
+    parser.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="also prune healthy entries older than this many days",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.store)
+    if not root.is_dir():
+        print(f"store gc: no store at {root} (nothing to do)")
+        return 0
+
+    buckets = scan(root, args.max_age_days)
+    healthy = buckets.pop("healthy")
+    doomed = [path for paths in buckets.values() for path in paths]
+    verb = "deleted" if args.apply else "would delete"
+    for label, paths in buckets.items():
+        for path in paths:
+            print(f"{verb} [{label}] {path.relative_to(root)}")
+    if args.apply:
+        for path in doomed:
+            try:
+                os.unlink(path)
+            except OSError as exc:
+                print(f"store gc: could not delete {path}: {exc}", file=sys.stderr)
+    mode = "apply" if args.apply else "dry run"
+    print(
+        f"store gc ({mode}): {len(healthy)} healthy entries kept, "
+        f"{len(doomed)} files {'deleted' if args.apply else 'to delete'}"
+    )
+    if not args.apply and doomed:
+        print("  hint: re-run with --apply to delete them")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
