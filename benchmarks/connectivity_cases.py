@@ -7,11 +7,18 @@ JSON-writing bench helper) so both measure exactly the same cases:
 * ``reachable_endpoints`` -- the full lateral-movement surface of one source
   pod, pre-PR per-attempt path vs the cached ``ReachabilityMatrix``;
 * ``matrix_sources`` -- many sources sharing one matrix (the all-pairs use
-  case), where the decision memo amortizes across sources.
+  case), where the decision memo amortizes across sources.  Three arms:
+  per-source naive scans, the grouped per-object matrix walk
+  (``vectorized=False``), and the default bitset-vectorized engine sharing
+  an epoch-keyed :class:`EndpointUniverse` cache exactly as the cluster
+  facade does.
 
 Fleets are built directly from runtime primitives (no full cluster install)
 so a thousand-pod case sets up in milliseconds and the timings isolate the
-connectivity engine itself.
+connectivity engine itself.  The 10k/50k fleets used by the ``slow``
+benchmarks skip the per-service selector scan during setup (bindings are
+grouped by app, provably identical output) so even a 50k-pod fleet builds
+in seconds.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from repro.cluster import (
     Node,
     PolicyIndex,
     RunningPod,
+    ServiceBinding,
     Socket,
 )
 from repro.k8s import (
@@ -56,6 +64,7 @@ class Fleet:
     policies: list[NetworkPolicy]
     bindings: list
     namespace_labels: dict[str, dict[str, str]]
+    services: list[Service]
 
     def naive_network(self) -> ClusterNetwork:
         """The pre-PR reference engine (uncompiled per-attempt scans)."""
@@ -177,14 +186,45 @@ def build_fleet(pod_count: int) -> Fleet:
         [],
     )
     pods_with_attacker = pods + [attacker]
-    bindings = EndpointController().bind(services, pods_with_attacker)
+    if pod_count > 1000:
+        # ``EndpointController.bind`` scans every pod per service -- O(apps ×
+        # pods) setup that would dominate the slow 10k/50k fleets.  The fleet
+        # is generated one app per group, so group-by-app binding produces
+        # the identical backend lists in the identical order
+        # (``test_bench_check.py`` pins the equivalence at a crossover size).
+        bindings = _grouped_bindings(services, pods_with_attacker)
+    else:
+        bindings = EndpointController().bind(services, pods_with_attacker)
     return Fleet(
         pods=pods_with_attacker,
         attacker=attacker,
         policies=policies,
         bindings=bindings,
         namespace_labels=namespace_labels,
+        services=services,
     )
+
+
+def _grouped_bindings(services, pods) -> list[ServiceBinding]:
+    """``EndpointController.bind`` semantics for fleet-shaped inputs, O(pods).
+
+    Pods are bucketed by ``(namespace, app label)`` in list order; each
+    service's selector is then evaluated once against its app bucket's
+    representative (all members share one label set by construction) instead
+    of once per pod in the cluster.
+    """
+    by_app: dict[tuple[str, str], list[RunningPod]] = {}
+    for pod in pods:
+        by_app.setdefault((pod.namespace, pod.labels.get("app", "")), []).append(pod)
+    bindings: list[ServiceBinding] = []
+    for service in services:
+        backends: list[RunningPod] = []
+        if service.has_selector:
+            bucket = by_app.get((service.namespace, service.name), [])
+            if bucket and service.selector.matches(bucket[0].labels):
+                backends = list(bucket)
+        bindings.append(ServiceBinding(service=service, backends=backends))
+    return bindings
 
 
 def sample_attempts(fleet: Fleet, count: int = 200) -> list[tuple]:
@@ -261,10 +301,20 @@ def bench_reachable_endpoints(fleet: Fleet, repeats: int = 5) -> dict[str, float
 def bench_matrix_sources(
     fleet: Fleet, source_count: int = 16, repeats: int = 5
 ) -> dict[str, float]:
-    """Many sources sharing one ReachabilityMatrix vs per-source naive scans."""
+    """Many sources sharing one ReachabilityMatrix vs per-source naive scans.
+
+    ``matrix_sources/grouped`` is the per-object matrix walk
+    (``vectorized=False``, the pre-PR compiled engine);
+    ``matrix_sources/compiled`` is the default bitset-vectorized engine.
+    The vectorized arm shares an epoch-keyed universe cache across matrix
+    constructions, exactly as ``Cluster.reachability_matrix`` does, so the
+    median measures the steady state the facade actually serves; the
+    first (cold) repeat still pays the universe build.
+    """
     naive = fleet.naive_network()
     compiled = fleet.compiled_network()
     sources = fleet.pods[:: max(len(fleet.pods) // source_count, 1)][:source_count]
+    universe_cache: dict = {}
 
     def run_naive():
         for source in sources:
@@ -272,15 +322,26 @@ def bench_matrix_sources(
                 fleet.policies, source, fleet.pods, fleet.bindings
             )
 
+    def run_grouped():
+        matrix = compiled.reachability_matrix(
+            fleet.policies, fleet.pods, fleet.bindings, vectorized=False
+        )
+        for source in sources:
+            matrix.endpoints_from(source)
+
     def run_compiled():
         matrix = compiled.reachability_matrix(
-            fleet.policies, fleet.pods, fleet.bindings
+            fleet.policies,
+            fleet.pods,
+            fleet.bindings,
+            universe_cache=universe_cache,
         )
         for source in sources:
             matrix.endpoints_from(source)
 
     return {
         "matrix_sources/naive": median_ns(run_naive, repeats) / len(sources),
+        "matrix_sources/grouped": median_ns(run_grouped, repeats) / len(sources),
         "matrix_sources/compiled": median_ns(run_compiled, repeats) / len(sources),
     }
 
@@ -295,6 +356,42 @@ def run_size(pod_count: int, repeats: int = 5) -> dict[str, float]:
     return results
 
 
+def run_large_size(pod_count: int, repeats: int = 2) -> dict[str, float]:
+    """The matrix arms only, for the slow 10k/50k fleets.
+
+    The per-source naive scan is omitted: at these sizes it would take
+    minutes per repeat without adding information (its scaling is pinned by
+    the 30/240/1000 series).  Grouped vs vectorized is the comparison the
+    big fleets exist to measure.
+    """
+    fleet = build_fleet(pod_count)
+    compiled = fleet.compiled_network()
+    sources = fleet.pods[:: max(len(fleet.pods) // 16, 1)][:16]
+    universe_cache: dict = {}
+
+    def run_grouped():
+        matrix = compiled.reachability_matrix(
+            fleet.policies, fleet.pods, fleet.bindings, vectorized=False
+        )
+        for source in sources:
+            matrix.endpoints_from(source)
+
+    def run_compiled():
+        matrix = compiled.reachability_matrix(
+            fleet.policies,
+            fleet.pods,
+            fleet.bindings,
+            universe_cache=universe_cache,
+        )
+        for source in sources:
+            matrix.endpoints_from(source)
+
+    return {
+        "matrix_sources/grouped": median_ns(run_grouped, repeats) / len(sources),
+        "matrix_sources/compiled": median_ns(run_compiled, repeats) / len(sources),
+    }
+
+
 def format_table(per_size: dict[int, dict[str, float]]) -> str:
     """Render the before/after throughput table printed by the benchmarks."""
     cases = ("check_ingress", "reachable_endpoints", "matrix_sources")
@@ -303,10 +400,21 @@ def format_table(per_size: dict[int, dict[str, float]]) -> str:
     ]
     for case in cases:
         for pod_count, results in sorted(per_size.items()):
+            if f"{case}/naive" not in results:
+                continue
             naive = results[f"{case}/naive"]
             compiled = results[f"{case}/compiled"]
             lines.append(
                 f"{case:<22} {pod_count:>6} {naive:>14,.0f} {compiled:>15,.0f} "
                 f"{naive / compiled:>8.1f}x"
             )
+    for pod_count, results in sorted(per_size.items()):
+        grouped = results.get("matrix_sources/grouped")
+        compiled = results.get("matrix_sources/compiled")
+        if grouped is None or not compiled:
+            continue
+        lines.append(
+            f"{'matrix vectorized':<22} {pod_count:>6} {grouped:>14,.0f} "
+            f"{compiled:>15,.0f} {grouped / compiled:>8.1f}x"
+        )
     return "\n".join(lines)

@@ -9,10 +9,12 @@ the same cases standalone and records them in ``BENCH_connectivity.json``.
 
 from __future__ import annotations
 
+import pytest
 from conftest import run_once
 from connectivity_cases import (
     build_fleet,
     format_table,
+    run_large_size,
     run_size,
 )
 
@@ -47,6 +49,38 @@ def test_connectivity_engine_throughput(benchmark):
                     f"{case} speedup collapsed at {pod_count} pods: "
                     f"{naive / compiled:.1f}x"
                 )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("pod_count", (10_000, 50_000))
+def test_large_fleet_vectorized_surface(pod_count):
+    """10k/50k-pod fleets: the bitset engine must beat the grouped walk.
+
+    Slow-marked: a 50k-pod fleet takes seconds per grouped repeat.  The
+    same sizes are recorded in ``BENCH_connectivity.json`` by
+    ``run.py --full``.
+    """
+    results = run_large_size(pod_count, repeats=1)
+    assert (
+        results["matrix_sources/compiled"] <= results["matrix_sources/grouped"]
+    ), (
+        f"vectorized lost to grouped at {pod_count} pods: "
+        f"{results['matrix_sources/compiled']:,.0f} vs "
+        f"{results['matrix_sources/grouped']:,.0f} ns/src"
+    )
+
+
+@pytest.mark.slow
+def test_large_fleet_vectorized_matches_grouped():
+    """Byte-identical surfaces at the 10k-pod size, sampled sources."""
+    fleet = build_fleet(10_000)
+    compiled = fleet.compiled_network()
+    grouped = compiled.reachability_matrix(
+        fleet.policies, fleet.pods, fleet.bindings, vectorized=False
+    )
+    vector = compiled.reachability_matrix(fleet.policies, fleet.pods, fleet.bindings)
+    for source in fleet.pods[:: len(fleet.pods) // 8] + [fleet.attacker]:
+        assert vector.endpoints_from(source) == grouped.endpoints_from(source)
 
 
 def test_matrix_matches_naive_surface_on_bench_fleet():

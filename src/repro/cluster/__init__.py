@@ -26,6 +26,7 @@ from .errors import (
     AdmissionError,
     AlreadyExistsError,
     ClusterError,
+    DuplicatePodError,
     IPAMError,
     NotFoundError,
     PodNotFound,
@@ -63,6 +64,7 @@ __all__ = [
     "Cluster",
     "ClusterDNS",
     "ClusterError",
+    "DuplicatePodError",
     "ClusterIPAM",
     "ClusterNetwork",
     "ConnectionAttempt",

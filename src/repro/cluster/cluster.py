@@ -136,6 +136,10 @@ class Cluster:
         #: they were computed at (``None`` = never reconciled).
         self._bindings: list[ServiceBinding] = []
         self._bindings_epoch: int | None = None
+        #: Compiled endpoint universes for the vectorized reachability
+        #: engine, keyed ``(policy_epoch, include_loopback)``; shared across
+        #: every matrix built at one epoch, dropped when it grows stale.
+        self._universe_cache: dict[tuple[int, bool], object] = {}
         #: Number of :meth:`reset` cycles this skeleton has been through.
         self.session_epoch = 0
         self._ensure_namespace("default")
@@ -183,6 +187,7 @@ class Cluster:
         self._policy_index = None
         self._bindings = []
         self._bindings_epoch = None
+        self._universe_cache.clear()
         self._ensure_namespace("default")
         self._ensure_namespace("kube-system")
 
@@ -414,13 +419,28 @@ class Cluster:
             return self.policy_index()
         return self.network_policies()
 
-    def reachability_matrix(self, include_loopback: bool = False) -> ReachabilityMatrix:
-        """A batched all-pairs reachability engine over the current state."""
+    def reachability_matrix(
+        self, include_loopback: bool = False, vectorized: bool = True
+    ) -> ReachabilityMatrix:
+        """A batched all-pairs reachability engine over the current state.
+
+        Surfaces run on the vectorized bitmask engine by default, sharing
+        one compiled :class:`~repro.cluster.network.EndpointUniverse` per
+        ``(policy_epoch, include_loopback)`` across every matrix of the
+        epoch; ``vectorized=False`` pins the per-object grouped reference.
+        """
+        if len(self._universe_cache) > 8:
+            self._universe_cache.clear()
+        stale = [key for key in self._universe_cache if key[0] != self.policy_epoch]
+        for key in stale:
+            del self._universe_cache[key]
         return self.network.reachability_matrix(
             self.policies_view(),
             self.running_pods(),
             self.service_bindings(),
             include_loopback=include_loopback,
+            vectorized=vectorized,
+            universe_cache=self._universe_cache if self.compiled_policies else None,
         )
 
     def connect(

@@ -153,6 +153,23 @@ class NetworkPolicyEnforcer:
             )
         else:
             isolating = self.policies_isolating(policies, destination)
+        return self.decide_ingress(isolating, source, destination, port, protocol)
+
+    def decide_ingress(
+        self,
+        isolating: list[NetworkPolicy] | tuple[NetworkPolicy, ...],
+        source: RunningPod,
+        destination: RunningPod,
+        port: int,
+        protocol: str = "TCP",
+    ) -> PolicyDecision:
+        """Rule evaluation against a precomputed isolating set.
+
+        Callers that already hold the destination's isolating set (the
+        reachability matrix caches it per destination) skip the repeated
+        index lookup -- and the labels frozenset it rebuilds -- that
+        :meth:`check_ingress` would otherwise pay per decision.
+        """
         if not isolating:
             return _HOST_NETWORK_ALLOW if destination.host_network else _DEFAULT_ALLOW
         named_ports = destination.named_ports()

@@ -67,6 +67,24 @@ class PodNotFound(ClusterError):
         super().__init__(f"pod {namespace}/{name} is not running")
 
 
+class DuplicatePodError(ClusterError):
+    """Two running pods share one ``(namespace, name)`` identity.
+
+    All-pairs reachability keys every per-source surface on that identity;
+    letting a duplicate through would silently overwrite one pod's surface
+    with the other's (seen when a pooled-cluster restart races a
+    re-install), so the matrix refuses the snapshot instead.
+    """
+
+    def __init__(self, name: str, namespace: str = "default") -> None:
+        self.name = name
+        self.namespace = namespace
+        super().__init__(
+            f"duplicate running pod identity {namespace}/{name}: "
+            "all-pairs surfaces are keyed by (namespace, name)"
+        )
+
+
 class SchedulingError(ClusterError):
     """A pod could not be placed on any node."""
 
@@ -102,6 +120,12 @@ _GUIDANCE: tuple[tuple[type, str], ...] = (
         AlreadyExistsError,
         "an object with the same kind/namespace/name is already installed; "
         "uninstall the previous release or use a distinct release name",
+    ),
+    (
+        DuplicatePodError,
+        "two running pods share a namespace/name; tear down the stale "
+        "instance (or reset the pooled cluster) before asking for "
+        "all-pairs reachability",
     ),
     (
         NotFoundError,

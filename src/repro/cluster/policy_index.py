@@ -35,6 +35,27 @@ from ..k8s import NetworkPolicy
 from .runtime import RunningPod
 
 
+def _ingress_rule_flags(policies: Iterable[NetworkPolicy]) -> tuple[bool, bool]:
+    """``(uses named ports, constrains ports)`` over all ingress rules.
+
+    An empty ``rule.ports`` list allows every port and protocol, so when no
+    rule of any policy lists ports the whole decision is port-independent
+    (and, a fortiori, independent of the destination's named-port table).
+    The reachability layers use these flags to widen decision-equivalence
+    classes: port-free isolating sets collapse every probed port of a
+    destination into one memoized decision.
+    """
+    uses_named = False
+    constrains = False
+    for policy in policies:
+        for rule in policy.ingress:
+            if rule.ports:
+                constrains = True
+                if any(isinstance(rp.port, str) for rp in rule.ports):
+                    return True, True
+    return uses_named, constrains
+
+
 class _CompiledPolicy:
     """One ingress-restricting policy with its selector pre-flattened."""
 
@@ -62,30 +83,66 @@ class PolicyIndex:
     pod?" from a memo instead of a scan.
     """
 
-    __slots__ = ("epoch", "policies", "_ingress_by_namespace", "_isolating_cache")
+    __slots__ = (
+        "epoch",
+        "policies",
+        "_ingress_by_namespace",
+        "_compiled_buckets",
+        "_isolating_cache",
+        "_isolating_intern",
+        "_named_port_flags",
+        "_port_constrained_flags",
+    )
 
     def __init__(self, policies: Iterable[NetworkPolicy], epoch: int = 0) -> None:
         self.epoch = epoch
         #: The source policies in their original order (the order decides the
         #: ``isolating_policies`` tuple of every PolicyDecision).
         self.policies: tuple[NetworkPolicy, ...] = tuple(policies)
-        self._ingress_by_namespace: dict[str, list[_CompiledPolicy]] = {}
-        for policy in self.policies:
-            if policy.restricts_ingress():
-                self._ingress_by_namespace.setdefault(policy.namespace, []).append(
-                    _CompiledPolicy(policy)
-                )
+        #: Namespace buckets, built on first use: an index constructed for a
+        #: workload that ends up never asking an isolating question (a chart
+        #: whose probe makes no connection attempts) costs one tuple and a
+        #: handful of empty dicts.
+        self._ingress_by_namespace: dict[str, list[NetworkPolicy]] | None = None
+        #: Selector flattening is promoted lazily per namespace bucket: the
+        #: first label class answers with a direct scan (sentinel ``()``
+        #: recorded), the second distinct class compiles the bucket.  A sweep
+        #: that probes one label class per namespace -- the common shape of a
+        #: single-chart probe -- therefore never pays compilation on top of
+        #: the scan, while fleets with many classes amortize it immediately.
+        self._compiled_buckets: dict[str, list[_CompiledPolicy] | tuple] = {}
         #: ``(namespace, frozen labels) -> isolating policies`` memo.  Pod
         #: labels are immutable once running, so entries never go stale
         #: within one index; replicas with identical labels share an entry.
         self._isolating_cache: dict[tuple[str, frozenset], tuple[NetworkPolicy, ...]] = {}
+        #: Content-interning table for isolating tuples: label classes that
+        #: resolve to the *same policies* share one tuple object, so caches
+        #: keyed on ``id(isolating)`` (the reachability matrix's decision
+        #: memo and the vectorized decision classes) collapse across them.
+        #: Keyed by member identity (policies are fixed for an index's life).
+        self._isolating_intern: dict[tuple[int, ...], tuple[NetworkPolicy, ...]] = {}
+        #: ``id(interned isolating tuple) -> flag`` tables, filled when the
+        #: tuple is first interned; answered by :meth:`uses_named_ports` and
+        #: :meth:`constrains_ports`.
+        self._named_port_flags: dict[int, bool] = {}
+        self._port_constrained_flags: dict[int, bool] = {}
 
     def __len__(self) -> int:
         return len(self.policies)
 
+    def _namespace_buckets(self) -> dict[str, list[NetworkPolicy]]:
+        buckets = self._ingress_by_namespace
+        if buckets is None:
+            buckets = {}
+            for policy in self.policies:
+                if policy.restricts_ingress():
+                    buckets.setdefault(policy.namespace, []).append(policy)
+            self._ingress_by_namespace = buckets
+        return buckets
+
     def has_ingress_policies(self, namespace: str) -> bool:
         """Whether any ingress-restricting policy exists in ``namespace``."""
-        return namespace in self._ingress_by_namespace
+        return namespace in self._namespace_buckets()
 
     def isolating(self, pod: RunningPod) -> tuple[NetworkPolicy, ...]:
         """Policies that select ``pod`` and restrict ingress, in list order.
@@ -96,18 +153,77 @@ class PolicyIndex:
         """
         if pod.host_network:
             return ()
-        bucket = self._ingress_by_namespace.get(pod.namespace)
-        if not bucket:
+        namespace = pod.namespace
+        buckets = self._namespace_buckets()
+        if namespace not in buckets:
             return ()
-        labels = pod.labels
-        key = (pod.namespace, frozenset(labels.items()))
+        label_items = pod.label_items()
+        key = (namespace, label_items)
         cached = self._isolating_cache.get(key)
         if cached is None:
-            label_items = key[1]
-            cached = tuple(
-                compiled.policy
-                for compiled in bucket
-                if compiled.selects(labels, label_items)
-            )
+            labels = pod.labels
+            bucket = self._compiled_buckets.get(namespace)
+            if bucket is None:
+                # First label class in this namespace: answer with a direct
+                # naive-cost scan and only leave the ``()`` sentinel behind.
+                # Compiling selectors pays off via the memo, and the memo
+                # only pays off once a *second* distinct class shows up.
+                self._compiled_buckets[namespace] = ()
+                selected = [
+                    policy
+                    for policy in buckets[namespace]
+                    if policy.pod_selector.matches(labels)
+                ]
+            else:
+                if not bucket:
+                    # Second distinct class: promote the sentinel to the
+                    # compiled bucket -- from here on selection is a subset
+                    # test on pre-flattened match keys.
+                    bucket = [
+                        _CompiledPolicy(policy)
+                        for policy in buckets[namespace]
+                    ]
+                    self._compiled_buckets[namespace] = bucket
+                selected = [
+                    compiled.policy
+                    for compiled in bucket
+                    if compiled.selects(labels, label_items)
+                ]
+            if selected:
+                cached = tuple(selected)
+                cached = self._isolating_intern.setdefault(
+                    tuple(map(id, cached)), cached
+                )
+                flag_key = id(cached)
+                if flag_key not in self._named_port_flags:
+                    uses_named, constrains = _ingress_rule_flags(cached)
+                    self._named_port_flags[flag_key] = uses_named
+                    self._port_constrained_flags[flag_key] = constrains
+            else:
+                # ``()`` is a singleton; interning it buys nothing.
+                cached = ()
             self._isolating_cache[key] = cached
         return cached
+
+    def uses_named_ports(self, isolating: tuple[NetworkPolicy, ...]) -> bool:
+        """Whether any policy of ``isolating`` references a named port.
+
+        ``isolating`` must be a tuple returned by :meth:`isolating` (the flag
+        is recorded when the tuple is interned); unknown tuples answer
+        ``True``, the conservative "named ports may matter" default.
+        """
+        if not isolating:
+            return False
+        return self._named_port_flags.get(id(isolating), True)
+
+    def constrains_ports(self, isolating: tuple[NetworkPolicy, ...]) -> bool:
+        """Whether any ingress rule of ``isolating`` lists ports at all.
+
+        ``False`` means every decision against this isolating set is
+        port- and protocol-independent, so reachability layers may collapse
+        all probed ports of a destination into one decision class.  Unknown
+        tuples answer ``True``, the conservative default.
+        """
+        if not isolating:
+            return False
+        return self._port_constrained_flags.get(id(isolating), True)

@@ -59,6 +59,15 @@ class RunningPod:
     _socket_cache: tuple[list[Socket], dict[tuple[int, str], Socket]] | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    #: Lazily built ``(namespace, name)`` identity tuple and frozen label
+    #: items; both are fixed once the pod is running, like the spec, and are
+    #: the memo keys of every connectivity-engine cache.
+    _ident_cache: tuple[str, str] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _label_items_cache: frozenset | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def name(self) -> str:
@@ -67,6 +76,27 @@ class RunningPod:
     @property
     def namespace(self) -> str:
         return self.pod.namespace
+
+    @property
+    def ident(self) -> tuple[str, str]:
+        """The pod's ``(namespace, name)`` identity (memoized)."""
+        ident = self._ident_cache
+        if ident is None:
+            ident = (self.pod.namespace, self.pod.name)
+            self._ident_cache = ident
+        return ident
+
+    def label_items(self) -> frozenset:
+        """The pod's labels as a frozen item set (memoized).
+
+        Shared by the policy index and reachability matrix as the
+        equivalence-class component of their memo keys; treat as read-only.
+        """
+        items = self._label_items_cache
+        if items is None:
+            items = frozenset(self.pod.labels.items())
+            self._label_items_cache = items
+        return items
 
     @property
     def labels(self):

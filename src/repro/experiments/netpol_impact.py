@@ -13,7 +13,13 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
 
-from ..cluster import AnalysisSession, Cluster, ClusterError, OBSERVE_FULL
+from ..cluster import (
+    AnalysisSession,
+    Cluster,
+    ClusterError,
+    OBSERVE_FULL,
+    ReachabilityMatrix,
+)
 from ..datasets import DATASET_ORDER, BuiltApplication, build_catalog, catalog_fingerprints
 from ..helm import render_chart
 from ..probe import ReachabilityProbe
@@ -170,14 +176,23 @@ def _probe_installed(cluster, app, rendered, outcome) -> None:
     cluster.install(rendered)
     probe = ReachabilityProbe(cluster)
     attacker = probe.ensure_attacker()
-    # One compiled index + decision cache for the whole probe run: replicas
-    # and repeated ports resolve from the matrix memo instead of re-scanning
-    # the policy list per connection attempt.
-    index = cluster.policies_view()
     app_pods = cluster.running_pods(app_name=app.name)
     bindings = cluster.service_bindings()
-    matrix = cluster.network.reachability_matrix(index, app_pods, bindings)
     host_baseline = cluster.host_port_baseline()
+    # One compiled index + decision cache for the whole probe run: replicas
+    # and repeated ports resolve from the matrix memo instead of re-scanning
+    # the policy list per connection attempt.  Built on the first attempt --
+    # about a third of the catalogue's policy-bearing charts expose no
+    # misconfigured endpoint at all and never need policy machinery.
+    matrix: ReachabilityMatrix | None = None
+
+    def attempt_matrix() -> ReachabilityMatrix:
+        nonlocal matrix
+        if matrix is None:
+            matrix = cluster.network.reachability_matrix(
+                cluster.policies_view(), app_pods, bindings
+            )
+        return matrix
     for pod in app_pods:
         declared = pod.declared_ports("TCP") | pod.declared_ports("UDP")
         for socket in pod.sockets:
@@ -193,7 +208,9 @@ def _probe_installed(cluster, app, rendered, outcome) -> None:
                 continue
             if not misconfigured:
                 continue
-            attempt = matrix.connect(attacker, pod, socket.port, socket.protocol)
+            attempt = attempt_matrix().connect(
+                attacker, pod, socket.port, socket.protocol
+            )
             if attempt.success:
                 outcome.reachable_misconfigured_pod_endpoints += 1
                 outcome.reachable_pods.add(pod.name)
@@ -216,7 +233,7 @@ def _probe_installed(cluster, app, rendered, outcome) -> None:
                     targets_misconfigured = True
             if not targets_misconfigured:
                 continue
-            attempt = matrix.connect_via_service(
+            attempt = attempt_matrix().connect_via_service(
                 attacker, binding, service_port.port, service_port.protocol
             )
             if attempt.success:

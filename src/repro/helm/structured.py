@@ -40,7 +40,7 @@ import yaml
 from .. import faults
 from ..k8s.yamlio import yaml_load_all
 from .errors import RenderError
-from .template import DocumentSplit, Fragment, StructuredFragment
+from .template import DocumentSplit, Fragment, ScalarFragment, StructuredFragment
 
 #: Placeholder scalars stamped into the skeleton text, one per structured
 #: fragment, numbered per group.  If rendered *text* happens to contain the
@@ -79,6 +79,12 @@ class _SpliceError(Exception):
     """The skeleton cannot host the structured values; use the text path."""
 
 
+class _ScalarLayout(Exception):
+    """A scalar placeholder's surroundings defeat clean substitution; the
+    group re-assembles with the scalar texts inlined (the pre-placeholder
+    behaviour, skeleton memo keyed on the joined text)."""
+
+
 class _UnsupportedYaml(Exception):
     """The skeleton leaves the fast parser's subset; use PyYAML."""
 
@@ -106,7 +112,7 @@ def assemble_documents(
     faults.fault_point(faults.STRUCTURED_ASSEMBLE)
     documents: list[dict] = []
     skeleton_parts: list[str] = []
-    group: list[str | StructuredFragment] = []
+    group: list = []
     tail = ""  # last character of the group's rendered text so far
 
     def flush() -> None:
@@ -122,6 +128,12 @@ def assemble_documents(
             if fragment:
                 group.append(fragment)
                 tail = fragment[-1]
+        elif kind is ScalarFragment:
+            # Interpolated expression output: rendered text for the tail
+            # bookkeeping (document splits follow *real* line positions),
+            # placeholder candidate for the group flush.
+            group.append(fragment)
+            tail = fragment.rendered[-1]
         elif kind is DocumentSplit:
             # A separator only separates at the start of an output line;
             # mid-line it is literal text (and the scoped parse, or the
@@ -140,7 +152,7 @@ def assemble_documents(
 
 
 def _flush_group(
-    group: list[str | StructuredFragment],
+    group: list,
     documents: list[dict],
     source_name: str,
     shared: bool = False,
@@ -149,41 +161,19 @@ def _flush_group(
 
     Returns the skeleton text (placeholders included) for the sources map.
     """
-    parts: list[str] = []
-    structs: list[tuple[str, bool, Any]] = []  # (token, splice_as_mapping, value)
-    tail = ""
-    glued_after_placeholder = False
-    for item in group:
-        if type(item) is str:
-            if tail == "_" and not item.startswith("\n"):
-                # Text glued onto a placeholder line: the glue would land in
-                # (or next to) the spliced value, which only the text path
-                # can interpret.  Keep building the skeleton for `sources`,
-                # but parse this group via the fallback.
-                glued_after_placeholder = True
-            parts.append(item)
-            tail = item[-1]
-            continue
-        if tail == "_" and not item.leading_newline:
-            glued_after_placeholder = True
-        at_line_start = item.leading_newline or not parts or tail == "\n"
-        if not at_line_start:
-            # Mid-line structure (``foo: {{ toYaml .x }}``): no whole line
-            # to own, so this fragment contributes text like the text path.
-            text = item.text()
-            if text:
-                parts.append(text)
-                tail = text[-1]
-            continue
-        token = f"{PLACEHOLDER_PREFIX}{len(structs)}__"
-        prefix = ("\n" if item.leading_newline else "") + " " * item.indent
-        if type(item.value) is dict or isinstance(item.value, Mapping):
-            parts.append(f"{prefix}{token}: null")
-            structs.append((token, True, item.value))
-        else:
-            parts.append(prefix + token)
-            structs.append((token, False, item.value))
-        tail = "_"
+    try:
+        parts, structs, glued_after_placeholder = _group_parts(group)
+    except _ScalarLayout:
+        # A scalar placeholder turned out to be glued to following text
+        # (``name: {{ .x }}-web``): re-assemble with every scalar inlined
+        # as text, restoring the pre-placeholder behaviour for this group
+        # (memoized on the joined text, one parse per distinct rendering).
+        return _flush_group(
+            [item.text() if type(item) is ScalarFragment else item for item in group],
+            documents,
+            source_name,
+            shared,
+        )
     skeleton = "".join(parts)
     if not skeleton.strip():
         # Whitespace-only group: the text path's early-out for blank output
@@ -218,6 +208,120 @@ def _flush_group(
         return skeleton
     documents.extend(document for document in spliced if document)
     return skeleton
+
+
+def _group_parts(group: list) -> tuple[list[str], list[tuple[str, bool, Any]], bool]:
+    """Build one group's skeleton parts and placeholder table.
+
+    Returns ``(parts, structs, glued_after_placeholder)`` where ``structs``
+    holds ``(token, splice_as_mapping, value)`` for every placeholder --
+    structured fragments splice their native value, scalar fragments their
+    pre-resolved scalar.  A scalar fragment becomes a placeholder only when
+    it owns a whole value position: directly after ``": "`` or ``"- "``,
+    followed by a line break (or the end of the group), with rendered text
+    the strict resolver understands.  Everything else contributes rendered
+    text exactly as before; glue discovered *after* a scalar placeholder
+    was already emitted raises :class:`_ScalarLayout` (the caller
+    re-assembles with scalars inlined).
+    """
+    parts: list[str] = []
+    structs: list[tuple[str, bool, Any]] = []
+    tail = ""  # last character of the skeleton so far ("_" = placeholder)
+    prev2 = ""  # last two characters, for the value-position check
+    scalar_tail = False  # the trailing placeholder is a scalar's
+    glued_after_placeholder = False
+    for item in group:
+        kind = type(item)
+        if kind is str:
+            if tail == "_" and not item.startswith("\n"):
+                if scalar_tail:
+                    raise _ScalarLayout(item[:32])
+                # Text glued onto a placeholder line: the glue would land in
+                # (or next to) the spliced value, which only the text path
+                # can interpret.  Keep building the skeleton for `sources`,
+                # but parse this group via the fallback.
+                glued_after_placeholder = True
+            parts.append(item)
+            tail = item[-1]
+            prev2 = (prev2 + item)[-2:]
+            scalar_tail = False
+            continue
+        if kind is ScalarFragment:
+            rendered = item.rendered
+            if tail == "_":
+                if scalar_tail:
+                    raise _ScalarLayout(rendered[:32])
+                glued_after_placeholder = True
+            elif prev2 in (": ", "- "):
+                try:
+                    resolved = _resolve_scalar_text(rendered)
+                except _UnsupportedYaml:
+                    pass
+                else:
+                    token = f"{PLACEHOLDER_PREFIX}{len(structs)}__"
+                    parts.append(token)
+                    structs.append((token, False, resolved))
+                    tail = "_"
+                    prev2 = "__"
+                    scalar_tail = True
+                    continue
+            # Mid-line or unresolvable text: inline, the pre-placeholder
+            # behaviour (the skeleton then varies with the value).
+            parts.append(rendered)
+            tail = rendered[-1]
+            prev2 = (prev2 + rendered)[-2:]
+            scalar_tail = False
+            continue
+        # StructuredFragment
+        if tail == "_" and not item.leading_newline:
+            if scalar_tail:
+                raise _ScalarLayout("structured fragment glue")
+            glued_after_placeholder = True
+        at_line_start = item.leading_newline or not parts or tail == "\n"
+        if not at_line_start:
+            # Mid-line structure (``foo: {{ toYaml .x }}``): no whole line
+            # to own, so this fragment contributes text like the text path.
+            text = item.text()
+            if text:
+                parts.append(text)
+                tail = text[-1]
+                prev2 = (prev2 + text)[-2:]
+            scalar_tail = False
+            continue
+        token = f"{PLACEHOLDER_PREFIX}{len(structs)}__"
+        prefix = ("\n" if item.leading_newline else "") + " " * item.indent
+        if type(item.value) is dict or isinstance(item.value, Mapping):
+            parts.append(f"{prefix}{token}: null")
+            structs.append((token, True, item.value))
+        else:
+            parts.append(prefix + token)
+            structs.append((token, False, item.value))
+        tail = "_"
+        prev2 = "__"
+        scalar_tail = False
+    return parts, structs, glued_after_placeholder
+
+
+def _resolve_scalar_text(text: str) -> Any:
+    """What the text path parses for ``text`` in a whole value position.
+
+    Mirrors the ``key: <text>`` / ``- <text>`` contexts exactly:
+    value-position spaces strip, an empty value is ``null``, everything
+    else goes through the strict inline resolver (quoted strings, empty
+    flow collections, unambiguous plain scalars).  Raises
+    :class:`_UnsupportedYaml` whenever the real text could mean anything
+    more -- newlines restructure the document, ``#`` can start a comment,
+    a bare ``-`` or document marker is indentation-sensitive -- sending
+    the fragment down the inline-text path instead.
+    """
+    if "\n" in text or _UNSUPPORTED_CHARS_RE.search(text):
+        raise _UnsupportedYaml("structural characters in scalar text")
+    stripped = text.strip(" ")
+    if not stripped:
+        return None
+    if stripped == "-" or stripped.startswith(("---", "...")):
+        raise _UnsupportedYaml("indicator-only scalar")
+    return _resolve_flow(stripped)
 
 
 def _parse_group_text_memo(text: str, source_name: str) -> list[Any]:
@@ -267,9 +371,7 @@ def _copy_document(document: Any) -> Any:
     return document
 
 
-def _parse_text_fallback(
-    group: list[str | StructuredFragment], source_name: str
-) -> list[dict]:
+def _parse_text_fallback(group: list, source_name: str) -> list[dict]:
     """The reference behaviour: stringify the fragments, parse the text."""
     text = "".join(item if type(item) is str else item.text() for item in group)
     if not text.strip():
@@ -562,8 +664,10 @@ def _resolve_flow(text: str) -> Any:
         if "\\" in body:
             raise _UnsupportedYaml("escape sequence")
         return body
-    if first in "{[" or first in _UNSUPPORTED_LEAD or (first == "-" and text != "-"
+    if first in "{[" or first in _UNSUPPORTED_LEAD or (first == "-"
                                                        and not text[1:2].strip()):
+        # A lone "-" included: in value position it is a block-sequence
+        # indicator PyYAML rejects, never the string "-".
         raise _UnsupportedYaml("flow or special construct")
     return _resolve_plain(text)
 

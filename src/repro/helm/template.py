@@ -443,6 +443,30 @@ class StructuredFragment:
         return "\n" + rendered if self.leading_newline else rendered
 
 
+class ScalarFragment:
+    """The rendered text of one interpolated expression (``{{ .Values.x }}``).
+
+    The text path concatenates :attr:`rendered` verbatim -- byte-identical
+    to the plain-string emission this class replaced.  The structured
+    assembler may turn a *cleanly placed* scalar (a whole value position,
+    ``key: {{ .x }}`` / ``- {{ .x }}``) into a placeholder so the skeleton
+    parse memo keys on the template's shape instead of the interpolated
+    value: override-variant sweeps (the Figure 4b runs) re-render the same
+    chart with different names and would otherwise miss the memo on every
+    variant.  Anything unclear about the placement falls back to emitting
+    the text inline, exactly as before.
+    """
+
+    __slots__ = ("rendered",)
+
+    def __init__(self, rendered: str) -> None:
+        self.rendered = rendered
+
+    def text(self) -> str:
+        """The rendered expression text, for the text path."""
+        return self.rendered
+
+
 class DocumentSplit:
     """A ``---`` separator line detected in literal template text.
 
@@ -463,7 +487,7 @@ class DocumentSplit:
 
 
 #: What compiled renderers append to their output sink.
-Fragment = Any  # str | StructuredFragment | DocumentSplit
+Fragment = Any  # str | ScalarFragment | StructuredFragment | DocumentSplit
 
 
 def fragments_text(fragments: Sequence[Fragment]) -> str:
@@ -903,7 +927,7 @@ def _compile_nodes(
             ) -> None:
                 text = _format_value(pipeline(engine, ctx))
                 if text:
-                    out.append(text)
+                    out.append(ScalarFragment(text))
 
             renderers.append(emit_action)
         elif isinstance(node, IfNode):

@@ -24,10 +24,16 @@ from repro.cluster import (
     AnalysisSession,
     Cluster,
     ClusterError,
+    ClusterNetwork,
+    DuplicatePodError,
     IPAMError,
+    NetworkPolicyEnforcer,
+    Node,
     NotFoundError,
     PodNotFound,
+    RunningPod,
     SchedulingError,
+    Socket,
     actionable_message,
 )
 from repro.k8s import ObjectMeta, Pod, PodSpec, Container
@@ -74,6 +80,70 @@ class TestSpecificErrors:
             cluster.install([make_deployment()], app_name="web")
 
 
+def _running_twin(name: str, ip: str) -> RunningPod:
+    pod = Pod(
+        metadata=ObjectMeta(name=name, namespace="default"),
+        spec=PodSpec(containers=[Container(name="c", image="example/pod")]),
+    )
+    return RunningPod(
+        pod=pod,
+        ip=ip,
+        node=Node(name="errs-node"),
+        sockets=[Socket(port=8080, protocol="TCP", container="c")],
+    )
+
+
+class TestDuplicatePodIdentity:
+    """``all_pairs`` refuses snapshots with a duplicated (namespace, name).
+
+    The result dict is keyed on that identity; a duplicate would silently
+    overwrite the first pod's surface, so the matrix raises the specific
+    :class:`DuplicatePodError` instead -- on the vectorized and the grouped
+    reference path alike.
+    """
+
+    def _pods(self):
+        return [
+            _running_twin("web-0", "10.0.0.1"),
+            _running_twin("other", "10.0.0.2"),
+            _running_twin("web-0", "10.0.0.3"),  # identity collision
+        ]
+
+    @pytest.mark.parametrize("vectorized", (True, False))
+    def test_all_pairs_raises_duplicate_pod_error(self, vectorized):
+        network = ClusterNetwork(enforcer=NetworkPolicyEnforcer({}))
+        matrix = network.reachability_matrix(
+            [], self._pods(), [], vectorized=vectorized
+        )
+        with pytest.raises(DuplicatePodError, match="default/web-0") as excinfo:
+            matrix.all_pairs()
+        assert excinfo.value.name == "web-0"
+        assert excinfo.value.namespace == "default"
+        # The specific subclass is still catchable as the base class.
+        with pytest.raises(ClusterError):
+            matrix.all_pairs()
+
+    def test_per_source_queries_still_work_on_duplicate_snapshot(self):
+        # Only the keyed all-pairs result refuses; per-source surfaces stay
+        # answerable, and the vectorized path matches the grouped reference
+        # even on the invalid snapshot (self-exclusion keys on identity, so
+        # each twin treats the other as itself).
+        pods = self._pods()
+        network = ClusterNetwork(enforcer=NetworkPolicyEnforcer({}))
+        grouped = network.reachability_matrix([], pods, [], vectorized=False)
+        vector = network.reachability_matrix([], pods, [])
+        for pod in pods:
+            assert vector.endpoints_from(pod) == grouped.endpoints_from(pod)
+        assert [e.name for e in vector.endpoints_from(pods[1])] == ["web-0", "web-0"]
+        assert [e.name for e in vector.endpoints_from(pods[0])] == ["other"]
+
+    def test_unique_identities_do_not_raise(self):
+        pods = [_running_twin("web-0", "10.0.0.1"), _running_twin("web-1", "10.0.0.2")]
+        network = ClusterNetwork(enforcer=NetworkPolicyEnforcer({}))
+        surfaces = network.reachability_matrix([], pods, []).all_pairs()
+        assert set(surfaces) == {("default", "web-0"), ("default", "web-1")}
+
+
 class TestPickling:
     def test_every_subclass_roundtrips_verbatim(self):
         errors = [
@@ -82,6 +152,7 @@ class TestPickling:
             AlreadyExistsError("Service default/web already exists"),
             NotFoundError("Pod default/missing not found"),
             PodNotFound("web-0", namespace="prod"),
+            DuplicatePodError("web-0", namespace="prod"),
             SchedulingError("no schedulable node available for pod 'web-0'"),
             IPAMError("address pool 10.244.0.0/16 exhausted"),
         ]

@@ -173,6 +173,31 @@ def test_reachability_surfaces_identical_from_structured_renders(catalog_apps):
     assert checked >= 50
 
 
+@pytest.mark.slow
+def test_vectorized_surfaces_equal_grouped_over_catalogue(catalog_apps):
+    """Bitset-vectorized all-pairs == the grouped reference, byte-identical,
+    over the catalogue's policy-bearing charts (both loopback modes)."""
+    overrides = {"networkPolicy": {"enabled": True}}
+    checked = 0
+    for app in catalog_apps:
+        if not app.defines_network_policies:
+            continue
+        cluster = Cluster(name="vec", behaviors=app.behaviors)
+        cluster.install(render_chart(app.chart, overrides=overrides, cached=False))
+        for include_loopback in (False, True):
+            grouped = cluster.reachability_matrix(
+                include_loopback=include_loopback, vectorized=False
+            ).all_pairs()
+            vector = cluster.reachability_matrix(
+                include_loopback=include_loopback
+            ).all_pairs()
+            assert vector == grouped, f"{app.dataset}/{app.name}"
+        checked += 1
+        if checked >= 60:
+            break
+    assert checked >= 50
+
+
 # ---------------------------------------------------------------------------
 # Hypothesis-generated app specs
 # ---------------------------------------------------------------------------
@@ -479,6 +504,107 @@ class TestScalarResolutionParity:
         )
         assert parsed[0]["spec"]["replicas"] == 2
         assert parsed[0]["spec"]["ingress"] == [{}]
+
+
+class TestScalarInterpolationMemo:
+    """Interpolated scalars must become placeholders, not memo-busting text.
+
+    Before the scalar-fragment fix, ``name: {{ .Values.name }}`` baked the
+    rendered value into the skeleton, so every name variant forced a fresh
+    PyYAML parse and the skeleton memo never hit (the Figure 4b sweep
+    re-renders the catalogue under per-release name overrides).  These tests
+    pin both halves: placeholder substitution stays byte-identical to the
+    text path, and the parse count stays flat across value variants.
+    """
+
+    VARIANT_SOURCE = (
+        "apiVersion: v1\n"
+        "kind: Service\n"
+        "metadata:\n"
+        "  name: {{ .Values.name }}\n"
+        "  namespace: {{ .Values.ns }}\n"
+        "spec:\n"
+        "  ports:\n"
+        "    - {{ .Values.port }}\n"
+    )
+
+    def test_parse_count_flat_across_value_variants(self):
+        from repro.helm import skeleton_parse_count
+
+        engine = TemplateEngine()
+
+        def render_variant(index: int):
+            context = {
+                "Values": {"name": f"app-{index}", "ns": "prod", "port": 8080 + index}
+            }
+            fragments = engine.render_fragments(self.VARIANT_SOURCE, context, "svc.yaml")
+            return assemble_documents(fragments, "svc.yaml")[0]
+
+        first = render_variant(0)
+        before = skeleton_parse_count()
+        for index in range(1, 6):
+            documents = render_variant(index)
+            assert documents[0]["metadata"]["name"] == f"app-{index}"
+            assert documents[0]["spec"]["ports"] == [8080 + index]
+        assert skeleton_parse_count() == before, (
+            "scalar interpolation defeated the skeleton memo"
+        )
+        assert first[0]["metadata"]["name"] == "app-0"
+
+    def test_catalogue_name_variants_reuse_skeletons(self, catalog_apps):
+        # The Figure 4b shape: the same charts re-rendered under different
+        # nameOverride values must not re-parse a single skeleton.
+        from repro.helm import skeleton_parse_count
+
+        sample = catalog_apps[:8]
+        for app in sample:
+            render_chart(app.chart, overrides={"nameOverride": "variant-0"}, cached=False)
+        before = skeleton_parse_count()
+        for variant in range(1, 4):
+            overrides = {"nameOverride": f"variant-{variant}"}
+            for app in sample:
+                render_chart(app.chart, overrides=overrides, cached=False)
+        assert skeleton_parse_count() == before, (
+            "name-variant re-renders forced fresh skeleton parses"
+        )
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "plain", "a b c", "v1.2.3", "8080", "-5", "1.5", ".inf", "true",
+            "null", "~", "2024-01-01", "07:30", "0x1F", "010", "",
+            "  padded  ", "with: colon", "# not a comment", "[1, 2]",
+            "{a: 1}", '"quoted"', "'single'", "- leading dash", "-",
+            "--- doc", "multi\nline", "tab\there", "*anchor", "&ref", "!tag",
+            "| block", "> folded", "%directive", "@at", "`tick",
+        ],
+    )
+    def test_interpolated_scalar_matches_text_path(self, value):
+        # Both mapping-value and list-item contexts, the two placements the
+        # placeholder fast path accepts; anything it cannot type must fall
+        # back to byte-identical text behaviour, never diverge.
+        context = {"Values": {"x": value}}
+        for source in ("value: {{ .Values.x }}\n", "items:\n  - {{ .Values.x }}\n"):
+            try:
+                text_docs = template_documents(source, context, structured=False)
+            except Exception:
+                # The raw yaml_load_all helper surfaces ScannerError where the
+                # structured assembler wraps it in RenderError (as the real
+                # text pipeline does); parity here means both must fail.
+                with pytest.raises(Exception):
+                    template_documents(source, context, structured=True)
+                continue
+            assert template_documents(source, context, structured=True) == text_docs
+
+    def test_interpolated_scalar_mid_line_stays_text(self):
+        source = "value: prefix-{{ .Values.x }}-suffix\n"
+        docs = assert_template_equivalent(source, {"Values": {"x": "mid"}})
+        assert docs[0]["value"] == "prefix-mid-suffix"
+
+    def test_interpolated_scalar_as_key_falls_back(self):
+        source = "{{ .Values.k }}: value\n"
+        docs = assert_template_equivalent(source, {"Values": {"k": "dynamic"}})
+        assert docs[0]["dynamic"] == "value"
 
 
 class TestFromYamlNative:

@@ -225,11 +225,13 @@ class TestCompiledEngineEquivalence:
         pods, policies, bindings = scenario
         naive, compiled = engines()
         matrix = compiled.reachability_matrix(policies, pods, bindings)
+        grouped = compiled.reachability_matrix(policies, pods, bindings, vectorized=False)
         for source in pods:
             expected = naive.reachable_endpoints(policies, source, pods, bindings)
             assert compiled.reachable_endpoints(policies, source, pods, bindings) == expected
             assert matrix.endpoints_from(source) == expected
-        assert matrix.all_pairs() == {
+            assert grouped.endpoints_from(source) == expected
+        assert matrix.all_pairs() == grouped.all_pairs() == {
             (source.namespace, source.name): naive.reachable_endpoints(
                 policies, source, pods, bindings
             )
@@ -258,6 +260,73 @@ class TestCompiledEngineEquivalence:
 # ---------------------------------------------------------------------------
 # Cache invalidation across real cluster mutations
 # ---------------------------------------------------------------------------
+
+
+class TestAdaptiveDecisionTiers:
+    """Pin the matrix's naive-cost first tier and port-free class collapse."""
+
+    def _scenario(self, rule_ports):
+        web = _make_running(
+            "web-0",
+            "default",
+            {"app": "web"},
+            [
+                Socket(port=p, protocol="TCP", interface="0.0.0.0", container="main")
+                for p in (80, 8080, 9090)
+            ],
+            "10.9.0.1",
+        )
+        client = _make_running("client-0", "default", {"app": "client"}, [], "10.9.0.2")
+        policy = NetworkPolicy(
+            metadata=ObjectMeta(name="allow-client", namespace="default"),
+            pod_selector=equality_selector(app="web"),
+            policy_types=["Ingress"],
+            ingress=[
+                NetworkPolicyRule(
+                    peers=[NetworkPolicyPeer(pod_selector=equality_selector(app="client"))],
+                    ports=rule_ports,
+                )
+            ],
+        )
+        return [web, client], [policy]
+
+    def test_naive_tier_defers_memoization_then_promotes(self):
+        pods, policies = self._scenario([])
+        naive, compiled = engines()
+        web, client = pods
+        matrix = compiled.reachability_matrix(policies, pods, [])
+        for i, port in enumerate((80, 8080, 9090)):
+            expected = naive.enforcer.check_ingress(policies, client, web, port)
+            assert matrix.decision(client, web, port) == expected
+            # The first two decisions ride the naive-cost tier (no memo
+            # machinery engaged); the third promotes to the memoized path.
+            assert len(matrix._decisions) == (0 if i < 2 else 1)
+
+    def test_port_free_isolating_sets_share_one_decision_class(self):
+        pods, policies = self._scenario([])
+        naive, compiled = engines()
+        web, client = pods
+        matrix = compiled.reachability_matrix(policies, pods, [])
+        for _ in range(2):
+            for port in (80, 8080, 9090):
+                expected = naive.enforcer.check_ingress(policies, client, web, port)
+                assert matrix.decision(client, web, port) == expected
+        # No isolating rule lists ports, so every probed port of the
+        # destination resolves from one port-collapsed memo entry.
+        assert len(matrix._decisions) == 1
+
+    def test_port_constrained_sets_keep_per_port_classes(self):
+        pods, policies = self._scenario([NetworkPolicyPort(port=80)])
+        naive, compiled = engines()
+        web, client = pods
+        matrix = compiled.reachability_matrix(policies, pods, [])
+        for _ in range(2):
+            for port in (80, 8080, 9090):
+                expected = naive.enforcer.check_ingress(policies, client, web, port)
+                assert matrix.decision(client, web, port) == expected
+        # A rule that lists ports keeps decisions port-keyed: one memo
+        # entry per probed port survives the tier.
+        assert len(matrix._decisions) == 3
 
 
 def _naive_twin_decisions(cluster: Cluster, source, destination, port):
@@ -431,6 +500,9 @@ class TestGroupedAllPairs:
         naive, compiled = engines()
         for policies in ([], [deny_all_policy("deny", namespace="default")]):
             matrix = compiled.reachability_matrix(policies, pods, bindings)
+            grouped = compiled.reachability_matrix(
+                policies, pods, bindings, vectorized=False
+            )
             expected = {
                 (source.namespace, source.name): naive.reachable_endpoints(
                     policies, source, pods, bindings
@@ -438,6 +510,7 @@ class TestGroupedAllPairs:
                 for source in pods
             }
             assert matrix.all_pairs() == expected
+            assert grouped.all_pairs() == expected
 
     def test_loopback_service_endpoint_is_self_only(self):
         pods, bindings = self._scenario()
@@ -460,6 +533,239 @@ class TestGroupedAllPairs:
                     [], source, pods, bindings, include_loopback=True
                 )
             )
+
+
+# ---------------------------------------------------------------------------
+# Bitset-vectorized all-pairs: vectorized == grouped == naive, byte-identical
+# ---------------------------------------------------------------------------
+
+
+def _assert_triple_identical(policies, pods, bindings, include_loopback=False):
+    """Vectorized, grouped and naive surfaces must be byte-identical."""
+    naive, compiled = engines()
+    vector = compiled.reachability_matrix(
+        policies, pods, bindings, include_loopback=include_loopback
+    )
+    grouped = compiled.reachability_matrix(
+        policies, pods, bindings, include_loopback=include_loopback, vectorized=False
+    )
+    expected = {
+        pod.ident: naive.reachable_endpoints(
+            policies, pod, pods, bindings, include_loopback=include_loopback
+        )
+        for pod in pods
+    }
+    assert vector.all_pairs() == expected
+    assert grouped.all_pairs() == expected
+    return expected
+
+
+class TestVectorizedAllPairs:
+    """The bitmask engine against its two references, on the exact cases the
+    grouped walk had to special-case: self-exclusion inside an equivalence
+    class, loopback backends reachable via a service only from the backend
+    itself, named ports re-resolved after a restart, matchExpressions
+    selectors, and empty endpoint universes.
+    """
+
+    def _replica_scenario(self):
+        replicas = [
+            _make_running(
+                f"web-{i}",
+                "default",
+                {"app": "web"},
+                [
+                    Socket(port=8080, protocol="TCP", container="main"),
+                    Socket(port=6060, protocol="TCP", interface="127.0.0.1",
+                           container="main"),
+                ],
+                f"10.0.0.{i + 1}",
+            )
+            for i in range(3)
+        ]
+        client = _make_running("client", "default", {"role": "client"}, [], "10.0.0.9")
+        debug = Service(
+            metadata=ObjectMeta(name="debug", namespace="default"),
+            selector=equality_selector(app="web"),
+            ports=[ServicePort(port=60, target_port=6060, name="debug")],
+        )
+        pods = replicas + [client]
+        return pods, EndpointController().bind([debug], pods)
+
+    def test_self_exclusion_within_equivalence_class(self):
+        pods, bindings = self._replica_scenario()
+        surfaces = _assert_triple_identical([], pods, bindings)
+        for i in range(3):
+            pod_names = {
+                e.name for e in surfaces[("default", f"web-{i}")] if e.kind == "pod"
+            }
+            # Same class, same surface computation -- but never itself.
+            assert pod_names == {f"web-{j}" for j in range(3) if j != i}
+
+    def test_loopback_service_reachable_from_backend_only(self):
+        pods, bindings = self._replica_scenario()
+        for include_loopback in (False, True):
+            surfaces = _assert_triple_identical(
+                [], pods, bindings, include_loopback=include_loopback
+            )
+            for key, endpoints in surfaces.items():
+                has_debug = any(e.kind == "service" and e.name == "debug"
+                                for e in endpoints)
+                # same_pod service delivery: only each backend reaches the
+                # loopback-bound target port through the service.
+                assert has_debug == key[1].startswith("web-")
+
+    def test_named_ports_resolved_after_restart(self):
+        from repro.cluster import BehaviorRegistry, behavior_with_dynamic_ports
+        from repro.k8s import Deployment, PodTemplateSpec
+
+        registry = BehaviorRegistry()
+        registry.register("example/web", behavior_with_dynamic_ports(1))
+        cluster = Cluster(name="vec-restart", worker_count=1, behaviors=registry, seed=11)
+        labels = {"app": "web"}
+        deployment = Deployment(
+            metadata=ObjectMeta(name="web", namespace="default", labels=LabelSet(labels)),
+            replicas=2,
+            selector=equality_selector(**labels),
+            template=PodTemplateSpec(
+                metadata=ObjectMeta(name="web", namespace="default",
+                                    labels=LabelSet(labels)),
+                spec=PodSpec(
+                    containers=[
+                        Container(
+                            name="web",
+                            image="example/web",
+                            ports=[ContainerPort(8080, name="http")],
+                        )
+                    ]
+                ),
+            ),
+        )
+        cluster.install(
+            [deployment, make_service(target_port="http"), make_pod("attacker")],
+            app_name="web",
+        )
+        named_port_policy = NetworkPolicy(
+            metadata=ObjectMeta(name="allow-http-by-name", namespace="default"),
+            pod_selector=equality_selector(app="web"),
+            policy_types=["Ingress"],
+            ingress=[NetworkPolicyRule(
+                peers=[], ports=[NetworkPolicyPort(port="http")]
+            )],
+        )
+        cluster.api.apply(named_port_policy)
+
+        def triple_check():
+            pods = cluster.running_pods()
+            policies = cluster.network_policies()
+            bindings = cluster.service_bindings()
+            naive = ClusterNetwork(
+                enforcer=NetworkPolicyEnforcer(
+                    {
+                        namespace: cluster.enforcer.namespace_labels(namespace)
+                        for namespace in cluster.api.store.namespaces()
+                    },
+                    use_index=False,
+                )
+            )
+            compiled = ClusterNetwork(enforcer=NetworkPolicyEnforcer(
+                {
+                    namespace: cluster.enforcer.namespace_labels(namespace)
+                    for namespace in cluster.api.store.namespaces()
+                }
+            ))
+            vector = compiled.reachability_matrix(policies, pods, bindings)
+            grouped = compiled.reachability_matrix(
+                policies, pods, bindings, vectorized=False
+            )
+            expected = {
+                pod.ident: naive.reachable_endpoints(policies, pod, pods, bindings)
+                for pod in pods
+            }
+            assert vector.all_pairs() == expected
+            assert grouped.all_pairs() == expected
+            return expected
+
+        before = triple_check()
+        sockets_before = {
+            (p.name, s.port) for p in cluster.running_pods() for s in p.sockets
+        }
+        cluster.restart_application("web")
+        after = triple_check()
+        sockets_after = {
+            (p.name, s.port) for p in cluster.running_pods() for s in p.sockets
+        }
+        # The restart moved the dynamic sockets, yet the named-port policy
+        # keeps only "http" reachable: the surfaces stay put and all three
+        # paths re-resolved the name against the fresh sockets identically.
+        assert sockets_before != sockets_after
+        assert before == after
+
+    def test_match_expressions_selectors(self):
+        pods = [
+            _make_running("web-0", "default", {"app": "web", "tier": "frontend"},
+                          [Socket(port=8080, protocol="TCP", container="main")],
+                          "10.0.0.1"),
+            _make_running("db-0", "default", {"app": "db"},
+                          [Socket(port=9090, protocol="TCP", container="main")],
+                          "10.0.0.2"),
+            _make_running("cache-0", "prod", {"app": "cache", "tier": "backend"},
+                          [Socket(port=80, protocol="TCP", container="main")],
+                          "10.0.0.3"),
+        ]
+        expression_policies = [
+            NetworkPolicy(
+                metadata=ObjectMeta(name=f"expr-{op.lower()}", namespace=namespace),
+                pod_selector=Selector(match_expressions=(
+                    LabelSelectorRequirement(
+                        key="app",
+                        operator=op,
+                        values=("web", "cache") if op in ("In", "NotIn") else (),
+                    ),
+                )),
+                policy_types=["Ingress"],
+                ingress=[NetworkPolicyRule(
+                    peers=[NetworkPolicyPeer(pod_selector=Selector(match_expressions=(
+                        LabelSelectorRequirement(key="tier", operator="Exists"),
+                    )))],
+                    ports=[],
+                )],
+            )
+            for op, namespace in (
+                ("In", "default"), ("NotIn", "default"),
+                ("Exists", "prod"), ("DoesNotExist", "prod"),
+            )
+        ]
+        for policies in ([expression_policies[0]], expression_policies[:2],
+                         expression_policies):
+            _assert_triple_identical(policies, pods, [])
+
+    def test_empty_universe_fleets(self):
+        # No pods at all; pods with no sockets; loopback-only sockets hidden
+        # by include_loopback=False: every variant must agree on all paths.
+        silent = [
+            _make_running("mute-0", "default", {"app": "mute"}, [], "10.0.0.1"),
+            _make_running("mute-1", "prod", {"app": "mute"}, [], "10.0.0.2"),
+        ]
+        loopback_only = [
+            _make_running(
+                "shy-0", "default", {"app": "shy"},
+                [Socket(port=6060, protocol="TCP", interface="127.0.0.1",
+                        container="main")],
+                "10.0.0.3",
+            )
+        ]
+        assert _assert_triple_identical([], [], []) == {}
+        surfaces = _assert_triple_identical([], silent, [])
+        assert all(endpoints == [] for endpoints in surfaces.values())
+        surfaces = _assert_triple_identical(
+            [deny_all_policy("deny", namespace="default")], silent + loopback_only, []
+        )
+        assert all(endpoints == [] for endpoints in surfaces.values())
+        # With loopback included the universe is non-empty again.
+        surfaces = _assert_triple_identical([], loopback_only, [],
+                                            include_loopback=True)
+        assert surfaces[("default", "shy-0")] == []
 
 
 # ---------------------------------------------------------------------------

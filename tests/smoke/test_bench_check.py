@@ -87,3 +87,52 @@ def test_check_flags_missing_keys(tmp_path):
         {"end_to_end": {"charts": 4.0}}, committed, tolerance=3.0
     )
     assert len(failures) == len(bench_run.CHECK_KEYS)
+
+
+def _load_cases_module():
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        import connectivity_cases
+    finally:
+        sys.path.pop(0)
+    return connectivity_cases
+
+
+def test_vectorized_gate_is_wired():
+    # The --check path gates the bitset engine against the grouped walk it
+    # replaced: the limit exists, and the smoke-sized bench results carry
+    # the keys the gate reads (so it can never be vacuously green).
+    bench_run = _load_run_module()
+    assert bench_run.VECTORIZED_RATIO_LIMIT == 1.0
+    cases = _load_cases_module()
+    results = cases.run_size(bench_run.SMOKE_FLEET_SIZES[0], repeats=1)
+    assert results["matrix_sources/grouped"] > 0
+    assert results["matrix_sources/compiled"] > 0
+    assert results["matrix_sources/naive"] > 0
+
+
+def test_grouped_bindings_match_endpoint_controller():
+    # Big fleets (> 1000 pods) bind services with the O(pods) group-by-app
+    # shortcut instead of the O(services x pods) EndpointController scan.
+    # Pin the equivalence just past the crossover: identical services,
+    # identical backend lists, identical order.
+    from repro.cluster import EndpointController
+
+    cases = _load_cases_module()
+    fleet = cases.build_fleet(1_200)
+    reference = EndpointController().bind(fleet.services, fleet.pods)
+    assert len(fleet.bindings) == len(reference)
+    for fast, slow in zip(fleet.bindings, reference):
+        assert fast.service is slow.service
+        assert [b.ident for b in fast.backends] == [b.ident for b in slow.backends]
+
+
+def test_small_fleets_still_use_the_endpoint_controller():
+    cases = _load_cases_module()
+    fleet = cases.build_fleet(240)
+    from repro.cluster import EndpointController
+
+    reference = EndpointController().bind(fleet.services, fleet.pods)
+    assert [
+        (b.service.name, [p.ident for p in b.backends]) for b in fleet.bindings
+    ] == [(b.service.name, [p.ident for p in b.backends]) for b in reference]
