@@ -11,10 +11,11 @@ Runs the same cases as ``benchmarks/test_bench_connectivity.py`` -- naive
 -- plus the render-pipeline suite (template compile cache, cold vs warm
 chart render, the cold catalogue render slice text vs structured,
 class-grouped vs per-source all-pairs), the session suite (install/observe
-slice: fresh vs pooled clusters vs install-free fast observation) and an
-end-to-end Figure 4b sweep over a catalogue sample (the whole catalogue
-with ``--full``), then writes median ns/op per case to a JSON file so
-future PRs have a perf trajectory to compare against.
+slice: fresh vs pooled clusters vs install-free fast observation), the
+delta suite (no-op and edit-k incremental rounds vs the from-scratch
+sweep) and an end-to-end Figure 4b sweep over a catalogue sample (the
+whole catalogue with ``--full``), then writes median ns/op per case to a
+JSON file so future PRs have a perf trajectory to compare against.
 
 The end-to-end sweeps start from *cold* render caches, so the recorded
 seconds measure the first pass over a catalogue; warm-path amortization is
@@ -46,6 +47,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from analysis_cases import run_analysis_suite  # noqa: E402
 from connectivity_cases import format_table, run_large_size, run_size  # noqa: E402
+from delta_cases import run_delta_suite  # noqa: E402
 from render_cases import run_render_suite  # noqa: E402
 from session_cases import run_session_suite  # noqa: E402
 
@@ -355,6 +357,20 @@ NETPOL_RATIO_LIMIT = 1.05
 #: triggers a min-of-5 remeasure at 240 pods before failing.
 VECTORIZED_RATIO_LIMIT = 1.0
 
+#: ``--check`` gates the no-op delta round: re-verifying an unchanged
+#: catalogue against a warm evaluator must cost at most 5% of the full
+#: from-scratch sweep it replaces -- the whole point of watch mode.  A
+#: trip triggers a min-of-5 remeasure (a no-op round is milliseconds, so
+#: one noisy scheduler slice can dwarf it) before failing.
+DELTA_NOOP_RATIO_LIMIT = 0.05
+
+#: The delta suite's minimum catalogue sample.  A no-op round is
+#: classification-only, so at the 4-chart smoke sample its fixed costs
+#: (analyzer setup, result assembly) dominate and the ratio measures
+#: nothing; 60 charts keeps the smoke pass fast while the ratio reflects
+#: the per-chart costs the gate is about.
+DELTA_SAMPLE_FLOOR = 60
+
 
 def check_against_committed(
     record: dict, committed_path: Path, tolerance: float
@@ -524,6 +540,16 @@ def main(argv: list[str] | None = None) -> int:
         f"warm store {store_sweep['evaluation/store_warm_s']}s "
         f"({ratio(store_sweep['evaluation/store_off_s'], store_sweep['evaluation/store_warm_s'])})"
     )
+    delta_sample = sample if sample is None else max(sample, DELTA_SAMPLE_FLOOR)
+    delta = run_delta_suite(sample=delta_sample, repeats=e2e_repeats)
+    print(
+        f"delta rounds over {int(delta['charts'])} charts: "
+        f"full sweep {delta['delta/full_sweep_s']}s -> "
+        f"no-op {delta['delta/noop_s']}s "
+        f"({delta.get('delta/noop_ratio', 0.0):.4f}x) -> "
+        f"edit-4 {delta['delta/edit4_s']}s "
+        f"({delta.get('delta/edit4_ratio', 0.0):.4f}x)"
+    )
     analysis = run_analysis_suite(sample=sample, repeats=e2e_repeats)
     print(
         f"rules slice over {int(analysis['charts'])} charts: "
@@ -569,6 +595,7 @@ def main(argv: list[str] | None = None) -> int:
         "render": {case: round(value, 1) for case, value in render.items()},
         "session": session,
         "analysis": analysis,
+        "delta": delta,
         "end_to_end": e2e,
     }
     if args.check:
@@ -643,6 +670,20 @@ def main(argv: list[str] | None = None) -> int:
                 failures.append(
                     f"matrix_sources ratio: vectorized is {vectorized_ratio:.4f}x "
                     f"the grouped walk (limit {VECTORIZED_RATIO_LIMIT:.2f}x)"
+                )
+        noop_ratio = record["delta"].get("delta/noop_ratio", 0.0)
+        if noop_ratio > DELTA_NOOP_RATIO_LIMIT:
+            # A no-op delta round over a 4-chart smoke sample lasts
+            # milliseconds; remeasure min-of-5 before declaring the
+            # classification fast path a regression.
+            retry = run_delta_suite(delta_sample, repeats=5)
+            noop_ratio = retry.get("delta/noop_ratio", 0.0)
+            print(f"delta no-op remeasure (min of 5): {noop_ratio:.4f}x")
+            record["delta"] = retry
+            if noop_ratio > DELTA_NOOP_RATIO_LIMIT:
+                failures.append(
+                    f"delta/noop_ratio: a no-op delta round costs {noop_ratio:.4f}x "
+                    f"the full sweep (limit {DELTA_NOOP_RATIO_LIMIT:.2f}x)"
                 )
         if record["end_to_end"]["evaluation/fault_overhead"] > FAULT_OVERHEAD_LIMIT:
             # A single cold pair is noisy on a loaded machine: before

@@ -9,12 +9,19 @@ Subcommands
     Build the synthetic catalogue and print the Table 2 breakdown.
 ``table2`` / ``table3`` / ``figure3`` / ``figure4a`` / ``figure4b``
     Regenerate the corresponding table or figure of the paper.
-``sweep [--store DIR | --resume DIR]``
+``sweep [--store DIR | --resume DIR | --since DIR]``
     Run the catalogue sweep durably against a content-addressed result
     store: completed charts are loaded instead of recomputed, fresh ones
     persist as they finish, and ``--resume`` continues an interrupted
-    sweep's journal.  A corrupt or version-skewed store degrades to a
-    recompute with a one-line hint -- never a traceback, always exit 0.
+    sweep's journal.  ``--since`` runs an *incremental* sweep: the delta
+    evaluator classifies every chart against the store's epoch-tagged
+    journal and reports what moved and why, while recomputing only what
+    must be.  A corrupt or version-skewed store degrades to a recompute
+    with a one-line hint -- never a traceback, always exit 0.
+``watch <dir>``
+    Continuously re-verify a directory of Helm charts: each round rescans
+    the directory, re-evaluates only the charts whose inputs changed
+    (byte-identical to from-scratch) and prints one summary line.
 ``attack concourse|thanos``
     Run one of the Section 2.1 proof-of-concept attacks.
 """
@@ -104,14 +111,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments import run_full_evaluation
     from .store import ResultStore, store_hint
 
-    store_dir = args.resume or args.store
+    since = getattr(args, "since", "")
+    store_dir = since or args.resume or args.store
     store = ResultStore(store_dir) if store_dir else None
-    result = run_full_evaluation(
-        applications=_sampled_applications(args),
-        workers=args.workers or None,
-        store=store,
-        resume=bool(args.resume),
-    )
+    if since:
+        from .experiments import DeltaEvaluator
+
+        evaluator = DeltaEvaluator(store=store)
+        result = evaluator.evaluate(
+            applications=_sampled_applications(args),
+            workers=args.workers or None,
+            resume=True,
+        )
+        delta = result.delta_stats or {}
+        counts = delta.get("classified", {})
+        moved = ", ".join(
+            f"{count} {classification}"
+            for classification, count in counts.items()
+            if count
+        )
+        print(
+            f"delta: epoch {delta.get('prior_epoch', 0)} -> {delta.get('epoch', 0)}; "
+            f"{moved or 'no charts'}"
+        )
+    else:
+        result = run_full_evaluation(
+            applications=_sampled_applications(args),
+            workers=args.workers or None,
+            store=store,
+            resume=bool(args.resume),
+        )
     print(result.summary.table2_text())
     stats = result.store_stats
     if stats is not None:
@@ -125,6 +154,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if result.failed:
         for failure in result.failed:
             print(f"quarantined: {failure.unique_id} ({failure.stage}: {failure.error_type})")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .experiments import watch_directory
+
+    watch_directory(
+        Path(args.directory), rounds=args.rounds, interval=args.interval
+    )
     return 0
 
 
@@ -200,7 +238,31 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="resume an interrupted sweep from this store directory",
     )
+    sweep.add_argument(
+        "--since",
+        default="",
+        help="incremental sweep: classify against this store's journal and "
+        "recompute only changed charts",
+    )
     sweep.set_defaults(handler=_cmd_sweep)
+
+    watch = subparsers.add_parser(
+        "watch", help="continuously re-verify a directory of Helm charts"
+    )
+    watch.add_argument("directory", help="directory holding chart directories")
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between rescan rounds (default 2)",
+    )
+    watch.add_argument(
+        "--rounds",
+        type=int,
+        default=0,
+        help="stop after N rounds (0 = watch until interrupted)",
+    )
+    watch.set_defaults(handler=_cmd_watch)
 
     attack = subparsers.add_parser("attack", help="run a proof-of-concept attack")
     attack.add_argument("scenario", choices=("concourse", "thanos"))

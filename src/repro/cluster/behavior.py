@@ -106,10 +106,12 @@ class BehaviorRegistry:
 
     def __init__(self) -> None:
         self._behaviors: dict[str, ContainerBehavior] = {}
+        self._fingerprint: str | None = None
 
     def register(self, image: str, behavior: ContainerBehavior) -> None:
         behavior.image = image
         self._behaviors[image] = behavior
+        self._fingerprint = None
 
     def register_all(self, behaviors: Mapping[str, ContainerBehavior]) -> None:
         for image, behavior in behaviors.items():
@@ -138,8 +140,13 @@ class BehaviorRegistry:
         one of the inputs to the content-keyed observation memo
         (:class:`repro.cluster.session.ObservationMemo`).  Images are
         sorted; ``extra_listens`` keeps registration order because the
-        simulator draws dynamic ports in that order.
+        simulator draws dynamic ports in that order.  Cached until the next
+        ``register`` -- the delta classifier re-reads it every watch round
+        (behaviours must be registered, never mutated in place, for the
+        cache and the observation memo alike to stay sound).
         """
+        if self._fingerprint is not None:
+            return self._fingerprint
         parts = []
         for image in sorted(self._behaviors):
             behavior = self._behaviors[image]
@@ -155,7 +162,10 @@ class BehaviorRegistry:
                     behavior.static_port_env,
                 )
             )
-        return hashlib.sha256(repr(tuple(parts)).encode("utf-8")).hexdigest()
+        self._fingerprint = hashlib.sha256(
+            repr(tuple(parts)).encode("utf-8")
+        ).hexdigest()
+        return self._fingerprint
 
     def __contains__(self, image: str) -> bool:
         return image in self._behaviors

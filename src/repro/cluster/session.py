@@ -287,10 +287,17 @@ class ObservationMemo:
     identity; values are private :class:`~repro.probe.scanner.RuntimeObservation`
     copies (fresh top-level object, shared read-only snapshots -- the same
     contract as the render cache's shared entries).  The in-process dict is
-    FIFO-bounded; when a :class:`~repro.store.ResultStore` is attached,
-    recorded observations are also promoted to it and in-process misses
-    fall through to a verified store read, so concurrent and subsequent
-    processes share warm observations.
+    LRU-bounded: a hit refreshes the entry's recency, eviction drops the
+    least recently used.  Recency (rather than the insertion-order FIFO
+    this memo used to keep) is what makes observations survive *delta
+    rounds* (:mod:`repro.experiments.delta`): a long watch session keeps
+    re-touching the unchanged charts' entries every round while edited
+    charts insert a stream of new keys, so under FIFO the hot entries
+    would age out purely by insertion date.  When a
+    :class:`~repro.store.ResultStore` is attached, recorded observations
+    are also promoted to it and in-process misses fall through to a
+    verified store read, so concurrent and subsequent processes share warm
+    observations.
     """
 
     def __init__(self, maxsize: int = 2048, store: ResultStore | None = None) -> None:
@@ -300,6 +307,7 @@ class ObservationMemo:
         self.hits = 0
         self.misses = 0
         self.store_hits = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -309,9 +317,14 @@ class ObservationMemo:
 
         Hits return a fresh top-level :class:`RuntimeObservation` (private
         ``host_ports`` set, shared snapshots) so caller-side attribute
-        rebinding cannot poison the memo.
+        rebinding cannot poison the memo.  A hit also refreshes the key's
+        recency (the LRU contract): an entry consulted every delta round
+        stays resident no matter how much churn newer keys generate.
         """
         observation = self._entries.get(key)
+        if observation is not None:
+            # Move-to-end: re-insertion order is the recency order.
+            self._entries[key] = self._entries.pop(key)
         if observation is None and self.store is not None:
             observation = self.store.read(key, kind=KIND_OBSERVATION)
             if observation is not None:
@@ -345,18 +358,21 @@ class ObservationMemo:
             self.store.write(key, private, kind=KIND_OBSERVATION)
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss/store-hit/entry counters."""
+        """Hit/miss/store-hit/eviction/entry counters."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "store_hits": self.store_hits,
+            "evictions": self.evictions,
             "entries": len(self._entries),
         }
 
     def _remember(self, key: str, observation: RuntimeObservation) -> None:
+        self._entries.pop(key, None)
         self._entries[key] = observation
         while len(self._entries) > self._maxsize:
             self._entries.pop(next(iter(self._entries)), None)
+            self.evictions += 1
 
 
 class AnalysisSession:

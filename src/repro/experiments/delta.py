@@ -1,0 +1,709 @@
+"""Incremental delta-evaluation: re-verify only what changed (watch mode).
+
+The paper's premise is *continuous* defense: clusters drift one chart or
+values file at a time, yet a from-scratch sweep re-evaluates all 290
+catalogue charts on every run.  :class:`DeltaEvaluator` closes that gap.
+Given a prior :class:`~repro.experiments.evaluation.EvaluationResult` (or
+the durable :class:`~repro.store.ResultStore` + journal from a previous
+sweep) and the current chart set, it classifies every chart by comparing
+the per-input classifier fingerprints
+(:func:`~repro.experiments.evaluation.classifier_fingerprints`):
+
+============  =====================================================
+class         meaning
+============  =====================================================
+unchanged     every input fingerprint equal, prior result healthy --
+              the pre-M4* report and inventory are reused as-is
+re-render     the chart content moved (values and/or templates) --
+              render, observe and analyze run again
+re-observe    the registered container behaviours moved while the
+              chart content held -- the runtime snapshot is stale
+re-analyze    the analyzer settings moved -- rule evaluation is stale
+added         no prior record exists for the chart key
+============  =====================================================
+
+Charts present in the prior state but absent now are *removed*: their
+entries simply do not appear in the merged result (and the lazy
+``report_for`` / ``by_dataset`` indexes rebuild on identity, so no
+orphaned key survives a removal).
+
+Staleness rules
+---------------
+
+Reuse is sound only for the per-chart (pre-M4*) stage: the cluster-wide
+label-collision pass consumes *every* inventory, so any change anywhere
+can move M4* findings on unchanged charts.  A delta round therefore
+strips M4* findings from reused reports (into fresh
+:class:`~repro.core.AnalysisReport` objects -- the prior result is never
+mutated) and re-runs
+:func:`~repro.experiments.evaluation.apply_cluster_wide_pass` over the
+merged inventories, exactly as a from-scratch sweep would.  A chart whose
+prior attempt failed is always recomputed -- a quarantined failure is
+never "unchanged".  The result is byte-identical to a from-scratch sweep
+by construction; the differential suite in
+``tests/experiments/test_delta_evaluation.py`` proves it over the full
+catalogue for randomized change sets, serial and pooled, faults included.
+
+Prior-state sources
+-------------------
+
+*In-memory*: the evaluator chains its own rounds (``_last``), or the
+caller hands any prior ``EvaluationResult``.  This is the watch-mode hot
+path -- no store reads, near-zero cost for a no-op round (the
+``DELTA_NOOP_RATIO_LIMIT`` gate in ``benchmarks/run.py --check`` pins it
+at <= 5% of a full sweep).
+
+*Durable*: with a ``store``, classification reads the epoch-tagged
+journal (:func:`repro.store.read_prior_state` -- last-wins, one live
+record per chart key) and the sweep itself delegates to
+:func:`~repro.experiments.evaluation.run_full_evaluation`'s durable path,
+so content addressing does the reuse and every journal generation is
+totally ordered by epoch.  ``repro sweep --since DIR`` is the CLI spelling.
+
+``insidejob watch <dir>`` drives :func:`watch_directory`: scan a directory
+of on-disk charts (:meth:`repro.helm.Chart.from_directory`), evaluate the
+delta against the previous round, print one summary line per round.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from .. import faults
+from ..cluster import BehaviorRegistry
+from ..core import (
+    AnalysisReport,
+    AnalyzerSettings,
+    MisconfigClass,
+    MisconfigurationAnalyzer,
+)
+from ..datasets import BuiltApplication, build_catalog, catalog_fingerprints
+from ..helm import Chart
+from ..store import ResultStore, read_prior_state
+from .evaluation import (
+    AnalyzedApplication,
+    EvaluationResult,
+    _PoolSweep,
+    _run_isolated,
+    _split_outcomes,
+    apply_cluster_wide_pass,
+    classifier_fingerprints,
+    result_key,
+    run_full_evaluation,
+    settings_fingerprint,
+)
+
+#: Delta classifications, in reporting order.
+DELTA_UNCHANGED = "unchanged"
+DELTA_ADDED = "added"
+DELTA_RE_RENDER = "re-render"
+DELTA_RE_OBSERVE = "re-observe"
+DELTA_RE_ANALYZE = "re-analyze"
+DELTA_CLASSES = (
+    DELTA_UNCHANGED,
+    DELTA_ADDED,
+    DELTA_RE_RENDER,
+    DELTA_RE_OBSERVE,
+    DELTA_RE_ANALYZE,
+)
+
+#: The classifier axes compared between prior and current fingerprints
+#: (``chart`` is the aggregate; these four are the orthogonal inputs).
+_AXES = ("values", "templates", "behaviors", "settings")
+
+
+@dataclass(frozen=True)
+class ChartDelta:
+    """One chart's delta classification, with the inputs that moved."""
+
+    unique_id: str
+    classification: str
+    reasons: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class DeltaPlan:
+    """What a delta round will reuse and what it must recompute.
+
+    ``charts`` is aligned with the application list the plan was built
+    for (catalogue order); ``removed`` names prior charts absent from the
+    current set; ``prior_epoch`` is the journal epoch (durable prior) or
+    the evaluator's completed round count (in-memory prior) the plan was
+    classified against.
+    """
+
+    charts: tuple[ChartDelta, ...]
+    removed: tuple[str, ...] = ()
+    prior_epoch: int = 0
+
+    def counts(self) -> dict[str, int]:
+        """Chart count per classification (every class present, 0 or not)."""
+        counts = {classification: 0 for classification in DELTA_CLASSES}
+        for delta in self.charts:
+            counts[delta.classification] += 1
+        return counts
+
+    def classification_of(self, unique_id: str) -> str | None:
+        """The classification of one ``dataset/name`` key (None if absent)."""
+        for delta in self.charts:
+            if delta.unique_id == unique_id:
+                return delta.classification
+        return None
+
+    def pending_indices(self) -> list[int]:
+        """Indices (into the planned application list) needing recompute."""
+        return [
+            index
+            for index, delta in enumerate(self.charts)
+            if delta.classification != DELTA_UNCHANGED
+        ]
+
+
+@dataclass
+class _PriorRecord:
+    """One chart's prior state, from either source (memory or journal)."""
+
+    fingerprints: dict | None
+    ok: bool
+    result_key: str = ""
+    entry: AnalyzedApplication | None = None
+
+
+def _strip_cluster_wide(entry: AnalyzedApplication) -> AnalyzedApplication:
+    """A reusable pre-M4* copy of one prior analyzed entry.
+
+    Prior in-memory results are *post*-M4*: the cluster-wide pass already
+    appended its findings.  Only :func:`global_collision_findings` emits
+    :data:`~repro.core.MisconfigClass.M4_GLOBAL` (per-chart rules emit
+    M4A/B/C), so filtering it out reconstructs the exact pre-M4* report.
+    The report object is fresh -- the new round's cluster-wide pass must
+    never mutate the prior result's reports.
+    """
+    report = entry.report
+    findings = [
+        finding
+        for finding in report.findings
+        if finding.misconfig_class is not MisconfigClass.M4_GLOBAL
+    ]
+    return AnalyzedApplication(
+        application=entry.application,
+        report=AnalysisReport(
+            application=report.application, dataset=report.dataset, findings=findings
+        ),
+        inventory=entry.inventory,
+        attempts=entry.attempts,
+    )
+
+
+class DeltaEvaluator:
+    """Incrementally re-evaluate a chart set against its prior state.
+
+    One evaluator holds one :class:`~repro.core.MisconfigurationAnalyzer`
+    across rounds, so the render cache and the LRU observation memo stay
+    warm -- an unchanged-but-reclassified chart (say, a no-op touch) costs
+    a cache hit, not a recompute.  ``evaluate`` returns a plain
+    :class:`EvaluationResult` byte-identical to a from-scratch sweep of the
+    same chart set, with ``delta_stats`` carrying the round's accounting.
+
+    With ``store`` set, the evaluator is *durable*: classification reads
+    the store's epoch-tagged journal and the sweep delegates to
+    ``run_full_evaluation``'s content-addressed path (an explicit in-memory
+    ``prior`` is ignored -- the store is the prior).  Without it, rounds
+    chain in memory (``prior`` argument, or the evaluator's own last
+    result), which is the near-zero-cost watch path.
+    """
+
+    def __init__(
+        self,
+        settings: AnalyzerSettings | None = None,
+        store: ResultStore | str | Path | None = None,
+        max_attempts: int = 3,
+        retry_backoff: float = 0.05,
+    ) -> None:
+        base = settings or AnalyzerSettings()
+        self.store = store if isinstance(store, (ResultStore, type(None))) else ResultStore(store)
+        if self.store is not None and not base.store_dir:
+            # Ship the store to the analyzer's observation memo too; the
+            # settings fingerprint excludes store_dir, so classification
+            # and result keys are unaffected.
+            base = replace(base, store_dir=str(self.store.root))
+        self.settings = base
+        self.settings_fp = settings_fingerprint(base)
+        self.analyzer = MisconfigurationAnalyzer(settings=base)
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        #: Completed delta rounds (the in-memory analogue of a journal epoch).
+        self.rounds = 0
+        self._last: EvaluationResult | None = None
+        #: Classifier fingerprints by application object identity.  A prior
+        #: result's entries are the very objects classified in an earlier
+        #: round, so their fingerprints never need re-hashing; pruned each
+        #: plan to the objects still alive (prior + current generation).
+        self._fp_memo: dict[int, tuple[BuiltApplication, dict]] = {}
+
+    # Classification ----------------------------------------------------------
+    def plan(
+        self,
+        applications: list[BuiltApplication],
+        prior: EvaluationResult | None = None,
+        prior_settings_fp: str | None = None,
+    ) -> DeltaPlan:
+        """Classify ``applications`` against the prior state, computing nothing.
+
+        ``prior`` defaults to the evaluator's own last result (memory mode)
+        or the store's journal (durable mode).  ``prior_settings_fp`` names
+        the settings fingerprint the in-memory prior was computed under
+        when it differs from this evaluator's -- every content-unchanged
+        chart then classifies as re-analyze.
+        """
+        plan, _ = self._plan_with_index(list(applications), prior, prior_settings_fp)
+        return plan
+
+    def _plan_with_index(
+        self,
+        applications: list[BuiltApplication],
+        prior: EvaluationResult | None,
+        prior_settings_fp: str | None,
+    ) -> tuple[DeltaPlan, dict[str, _PriorRecord]]:
+        if prior is None and self.store is None:
+            prior = self._last
+        if isinstance(prior, EvaluationResult):
+            prior_index = self._memory_prior_index(prior, prior_settings_fp)
+            prior_epoch = self.rounds
+        elif self.store is not None:
+            prior_index, prior_epoch = self._store_prior_index()
+        else:
+            prior_index, prior_epoch = {}, 0
+        deltas = []
+        current_ids = set()
+        for app in applications:
+            unique_id = f"{app.dataset}/{app.name}"
+            current_ids.add(unique_id)
+            current = self._memoized_fingerprints(app, self.settings_fp)
+            deltas.append(self._classify(app, current, prior_index.get(unique_id)))
+        removed = tuple(
+            sorted(unique_id for unique_id in prior_index if unique_id not in current_ids)
+        )
+        plan = DeltaPlan(charts=tuple(deltas), removed=removed, prior_epoch=prior_epoch)
+        alive = {id(app) for app in applications}
+        alive.update(
+            id(record.entry.application)
+            for record in prior_index.values()
+            if record.entry is not None
+        )
+        self._fp_memo = {
+            key: value for key, value in self._fp_memo.items() if key in alive
+        }
+        return plan, prior_index
+
+    def _memoized_fingerprints(self, app: BuiltApplication, settings_fp: str) -> dict:
+        """The classifier fingerprints of ``app``, hashed once per object.
+
+        Keyed by object identity with the object retained in the value, so
+        a recycled ``id`` can never serve another chart's fingerprints.
+        Foreign settings fingerprints bypass the memo -- they only occur on
+        explicit ``prior_settings_fp`` handoffs, never in the hot loop.
+        """
+        if settings_fp != self.settings_fp:
+            return classifier_fingerprints(app, settings_fp)
+        memoized = self._fp_memo.get(id(app))
+        if memoized is not None and memoized[0] is app:
+            return memoized[1]
+        fingerprints = classifier_fingerprints(app, settings_fp)
+        self._fp_memo[id(app)] = (app, fingerprints)
+        return fingerprints
+
+    def _memory_prior_index(
+        self, prior: EvaluationResult, prior_settings_fp: str | None
+    ) -> dict[str, _PriorRecord]:
+        settings_fp = prior_settings_fp or self.settings_fp
+        index: dict[str, _PriorRecord] = {}
+        for entry in prior.analyzed:
+            unique_id = f"{entry.application.dataset}/{entry.application.name}"
+            # No result_key: an in-memory prior always carries classifier
+            # fingerprints, so the legacy result-key fallback never fires.
+            index[unique_id] = _PriorRecord(
+                fingerprints=self._memoized_fingerprints(entry.application, settings_fp),
+                ok=True,
+                entry=entry,
+            )
+        for failure in prior.failed:
+            # A quarantined chart has no reusable artefacts: prior-failure.
+            index.setdefault(failure.unique_id, _PriorRecord(None, False))
+        return index
+
+    def _store_prior_index(self) -> tuple[dict[str, _PriorRecord], int]:
+        state = read_prior_state(self.store.root)
+        index: dict[str, _PriorRecord] = {}
+        for unique_id, record in state.records.items():
+            fingerprints = record.get("fp")
+            index[unique_id] = _PriorRecord(
+                fingerprints=fingerprints if isinstance(fingerprints, dict) else None,
+                ok=record.get("status") == "ok",
+                result_key=str(record.get("result") or ""),
+            )
+        return index, state.epoch
+
+    def _classify(
+        self, app: BuiltApplication, current: dict[str, str], prior: _PriorRecord | None
+    ) -> ChartDelta:
+        unique_id = f"{app.dataset}/{app.name}"
+        if prior is None:
+            return ChartDelta(unique_id, DELTA_ADDED, ("no prior record",))
+        fingerprints = prior.fingerprints
+        if fingerprints:
+            moved = tuple(
+                axis for axis in _AXES if fingerprints.get(axis) != current[axis]
+            )
+            if fingerprints.get("chart") != current["chart"]:
+                # The render input moved; name the refined reason when the
+                # orthogonal fingerprints pinpoint it (a metadata or
+                # subchart edit moves only the aggregate).
+                reasons = tuple(
+                    axis for axis in moved if axis in ("values", "templates")
+                ) or ("chart",)
+                return ChartDelta(unique_id, DELTA_RE_RENDER, reasons)
+            if "behaviors" in moved:
+                return ChartDelta(unique_id, DELTA_RE_OBSERVE, ("behaviors",))
+            if "settings" in moved:
+                return ChartDelta(unique_id, DELTA_RE_ANALYZE, ("settings",))
+        if not prior.ok:
+            return ChartDelta(unique_id, DELTA_RE_RENDER, ("prior failure",))
+        if fingerprints:
+            return ChartDelta(unique_id, DELTA_UNCHANGED)
+        # Pre-fingerprint journal record: the result key is the only signal.
+        if prior.result_key and prior.result_key == result_key(app, self.settings_fp):
+            return ChartDelta(unique_id, DELTA_UNCHANGED)
+        return ChartDelta(unique_id, DELTA_RE_RENDER, ("result key moved",))
+
+    # Evaluation --------------------------------------------------------------
+    def evaluate(
+        self,
+        applications: list[BuiltApplication] | None = None,
+        prior: EvaluationResult | None = None,
+        *,
+        prior_settings_fp: str | None = None,
+        workers: int | None = None,
+        chart_timeout: float | None = None,
+        fault_plan: faults.FaultPlan | None = None,
+        resume: bool = False,
+    ) -> EvaluationResult:
+        """Run one delta round; byte-identical to a from-scratch sweep.
+
+        Reuses every unchanged chart's pre-M4* report and inventory,
+        recomputes the rest (serial fault-isolated, or on the self-healing
+        process pool when ``workers`` > 1), merges in catalogue order and
+        re-runs the cluster-wide pass.  ``fault_plan`` arms deterministic
+        chaos for the round; a chart that fails mid-delta lands on
+        ``result.failed`` -- its stale prior entry is never served.
+        ``resume`` only applies to the durable path (journal continuity).
+        """
+        applications = list(applications) if applications is not None else build_catalog()
+        if self.store is not None:
+            return self._evaluate_durable(
+                applications,
+                workers=workers,
+                chart_timeout=chart_timeout,
+                fault_plan=fault_plan,
+                resume=resume,
+            )
+        plan, prior_index = self._plan_with_index(applications, prior, prior_settings_fp)
+
+        reusable: dict[int, AnalyzedApplication] = {}
+        pending: list[int] = []
+        for index, delta in enumerate(plan.charts):
+            record = prior_index.get(delta.unique_id)
+            if (
+                delta.classification == DELTA_UNCHANGED
+                and record is not None
+                and record.entry is not None
+            ):
+                reusable[index] = record.entry
+            else:
+                pending.append(index)
+
+        if not pending and not plan.removed:
+            # Pure no-op round: the chart set is identical and every input
+            # held, so the prior *post*-M4* reports are valid wholesale --
+            # the cluster-wide pass is a pure function of the unchanged
+            # inventories.  Reuse the entries as-is (no strip, no re-pass);
+            # later rounds never mutate them, they always strip into fresh
+            # reports first.  This is what makes a no-op watch round
+            # near-free (the ``DELTA_NOOP_RATIO_LIMIT`` gate).
+            result = EvaluationResult()
+            _split_outcomes(
+                [reusable[index] for index in range(len(applications))], result
+            )
+            result.delta_stats = self._stats(
+                plan,
+                mode="memory",
+                charts=len(applications),
+                reused=len(reusable),
+                recomputed=0,
+                epoch=self.rounds + 1,
+            )
+            self.rounds += 1
+            self._last = result
+            return result
+
+        # The cluster-wide context moved (some chart changed, appeared or
+        # went away): reused entries must drop their prior M4* findings and
+        # the pass re-runs over the merged inventories.
+        reused = {
+            index: _strip_cluster_wide(entry) for index, entry in reusable.items()
+        }
+
+        previous_plan = faults.armed_plan()
+        if fault_plan is not None:
+            faults.arm(fault_plan)
+        shipped_plan = faults.armed_plan()
+        try:
+            pending_apps = [applications[index] for index in pending]
+            if pending_apps and workers and workers > 1:
+                sweep = _PoolSweep(
+                    pending_apps,
+                    catalog_fingerprints(pending_apps),
+                    self.analyzer.settings,
+                    workers,
+                    self.max_attempts,
+                    chart_timeout,
+                    self.retry_backoff,
+                    shipped_plan,
+                )
+                outcomes = sweep.run()
+            else:
+                outcomes = [
+                    _run_isolated(
+                        app,
+                        self.analyzer,
+                        app.fingerprint(),
+                        self.max_attempts,
+                        self.retry_backoff,
+                    )
+                    for app in pending_apps
+                ]
+        finally:
+            if fault_plan is not None:
+                faults.arm(previous_plan)
+
+        result = EvaluationResult()
+        fresh = iter(outcomes)
+        merged = [
+            reused[index] if index in reused else next(fresh)
+            for index in range(len(applications))
+        ]
+        _split_outcomes(merged, result)
+        apply_cluster_wide_pass(result)
+        result.delta_stats = self._stats(
+            plan,
+            mode="memory",
+            charts=len(applications),
+            reused=len(reused),
+            recomputed=len(pending),
+            epoch=self.rounds + 1,
+        )
+        self.rounds += 1
+        self._last = result
+        return result
+
+    def _evaluate_durable(
+        self,
+        applications: list[BuiltApplication],
+        workers: int | None,
+        chart_timeout: float | None,
+        fault_plan: faults.FaultPlan | None,
+        resume: bool,
+    ) -> EvaluationResult:
+        # Classify against the journal *before* the sweep rotates it, then
+        # let the content-addressed durable path do the reuse -- it is the
+        # proven byte-identical machinery, and the store read re-verifies
+        # every entry (so even a lying journal cannot serve stale results).
+        plan, _ = self._plan_with_index(applications, None, None)
+        result = run_full_evaluation(
+            applications=applications,
+            workers=workers,
+            max_attempts=self.max_attempts,
+            chart_timeout=chart_timeout,
+            retry_backoff=self.retry_backoff,
+            fault_plan=fault_plan,
+            store=self.store,
+            resume=resume,
+            settings=self.settings,
+        )
+        store_stats = result.store_stats or {}
+        result.delta_stats = self._stats(
+            plan,
+            mode="store",
+            charts=len(applications),
+            reused=int(store_stats.get("loaded", 0)),
+            recomputed=int(store_stats.get("computed", 0)),
+            epoch=int(store_stats.get("journal_epoch", plan.prior_epoch)),
+        )
+        self.rounds += 1
+        self._last = result
+        return result
+
+    def _stats(
+        self,
+        plan: DeltaPlan,
+        mode: str,
+        charts: int,
+        reused: int,
+        recomputed: int,
+        epoch: int,
+    ) -> dict:
+        return {
+            "mode": mode,
+            "round": self.rounds + 1,
+            "charts": charts,
+            "classified": plan.counts(),
+            "changed": [
+                delta.unique_id
+                for delta in plan.charts
+                if delta.classification != DELTA_UNCHANGED
+            ],
+            "reasons": {
+                delta.unique_id: list(delta.reasons)
+                for delta in plan.charts
+                if delta.reasons
+            },
+            "removed": list(plan.removed),
+            "reused": reused,
+            "recomputed": recomputed,
+            "prior_epoch": plan.prior_epoch,
+            "epoch": epoch,
+        }
+
+
+# Watch mode ------------------------------------------------------------------
+
+
+@dataclass
+class WatchedChart:
+    """An on-disk chart under watch, quacking like a ``BuiltApplication``.
+
+    The evaluation pipeline only touches ``chart`` / ``behaviors`` /
+    ``dataset`` / ``name`` / ``fingerprint()``, so a watched directory
+    needs no synthetic catalogue spec.  Behaviours default to an empty
+    registry: unregistered images behave faithfully, the right null
+    hypothesis for charts we have never observed.  Plain picklable, so
+    pooled delta rounds fan watched charts out like catalogue ones.
+    """
+
+    chart: Chart
+    behaviors: BehaviorRegistry = field(default_factory=BehaviorRegistry)
+    dataset: str = "watch"
+    use_case: str = "watch"
+    _fingerprint: str | None = field(default=None, init=False, repr=False, compare=False)
+
+    @property
+    def name(self) -> str:
+        """The chart name from ``Chart.yaml`` (or the directory name)."""
+        return self.chart.name
+
+    def fingerprint(self) -> str:
+        """The chart's content fingerprint, hashed once and cached."""
+        if self._fingerprint is None:
+            self._fingerprint = self.chart.fingerprint()
+        return self._fingerprint
+
+
+def scan_chart_directory(
+    root: Path | str, behaviors: BehaviorRegistry | None = None
+) -> list[WatchedChart]:
+    """Scan ``root`` for chart directories, sorted by name.
+
+    ``root`` itself is the single chart when it holds a ``Chart.yaml``;
+    otherwise every immediate subdirectory holding a ``Chart.yaml``, a
+    ``values.yaml`` or a ``templates/`` directory is one chart.  Rescanned
+    every watch round -- charts added to or removed from the directory
+    show up as ``added`` / removed in the next delta plan.
+    """
+    base = Path(root)
+    registry = behaviors if behaviors is not None else BehaviorRegistry()
+    if (base / "Chart.yaml").is_file():
+        candidates = [base]
+    elif base.is_dir():
+        candidates = sorted(
+            (
+                child
+                for child in base.iterdir()
+                if child.is_dir()
+                and (
+                    (child / "Chart.yaml").is_file()
+                    or (child / "values.yaml").is_file()
+                    or (child / "templates").is_dir()
+                )
+            ),
+            key=lambda child: child.name,
+        )
+    else:
+        candidates = []
+    return [
+        WatchedChart(chart=Chart.from_directory(candidate), behaviors=registry)
+        for candidate in candidates
+    ]
+
+
+def format_watch_round(round_number: int, result: EvaluationResult) -> str:
+    """One watch-round summary line: classifications, findings, failures."""
+    stats = result.delta_stats or {}
+    counts = stats.get("classified", {})
+    parts = [
+        f"{counts[classification]} {classification}"
+        for classification in DELTA_CLASSES
+        if counts.get(classification)
+    ]
+    removed = stats.get("removed") or []
+    if removed:
+        parts.append(f"{len(removed)} removed")
+    body = ", ".join(parts) if parts else "no charts"
+    summary = result.summary
+    line = (
+        f"round {round_number}: {stats.get('charts', len(result.analyzed))} "
+        f"chart{'s' if stats.get('charts', len(result.analyzed)) != 1 else ''} "
+        f"({body}); {summary.total_misconfigurations} findings, "
+        f"{summary.affected_applications} affected"
+    )
+    if result.failed:
+        line += f", {len(result.failed)} quarantined"
+    return line
+
+
+def watch_directory(
+    root: Path | str,
+    rounds: int = 0,
+    interval: float = 2.0,
+    evaluator: DeltaEvaluator | None = None,
+    behaviors: BehaviorRegistry | None = None,
+    on_round=None,
+    printer=print,
+    sleep=time.sleep,
+) -> EvaluationResult | None:
+    """Re-verify a chart directory every ``interval`` seconds.
+
+    Each round rescans ``root``, runs one delta round against the previous
+    one (first round: everything ``added``) and prints one summary line.
+    ``rounds`` bounds the loop (0 = until interrupted); Ctrl-C exits
+    cleanly with the last result.  ``on_round(number, result)`` is the
+    programmatic hook the tests and any CI wrapper drive.
+    """
+    evaluator = evaluator or DeltaEvaluator()
+    completed = 0
+    result: EvaluationResult | None = None
+    try:
+        while True:
+            charts = scan_chart_directory(root, behaviors=behaviors)
+            result = evaluator.evaluate(charts)
+            completed += 1
+            printer(format_watch_round(completed, result))
+            if on_round is not None:
+                on_round(completed, result)
+            if rounds and completed >= rounds:
+                break
+            sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return result

@@ -52,6 +52,7 @@ proves it, torn stores and injected corruption included).
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 import threading
@@ -83,6 +84,7 @@ from ..core import (
 )
 from ..datasets import DATASET_ORDER, BuiltApplication, build_catalog, catalog_fingerprints
 from ..helm import render_chart
+from ..helm.values import fingerprint_values
 from ..k8s import Inventory
 
 #: Use-case grouping used by the Section 4.3.1 statistics.
@@ -175,8 +177,9 @@ class EvaluationResult:
     formatters -- iterates ``analyzed`` only, so they degrade gracefully:
     a failed chart is simply absent, never a crash.
 
-    Lookups go through a lazily-built key index (rebuilt if ``analyzed``
-    grows), replacing the former per-call linear scans.
+    Lookups go through a lazily-built key index (rebuilt whenever the
+    entries of ``analyzed`` change), replacing the former per-call linear
+    scans.
     """
 
     analyzed: list[AnalyzedApplication] = field(default_factory=list)
@@ -187,10 +190,15 @@ class EvaluationResult:
     #: Excluded from equality: where results came from must never make two
     #: identical evaluations compare different.
     store_stats: dict | None = field(default=None, init=False, repr=False, compare=False)
+    #: Delta-sweep accounting (``None`` for from-scratch sweeps): the
+    #: per-class chart counts, reuse/recompute tallies and journal epochs a
+    #: :class:`repro.experiments.delta.DeltaEvaluator` run records.
+    #: Excluded from equality for the same reason as ``store_stats``.
+    delta_stats: dict | None = field(default=None, init=False, repr=False, compare=False)
     _key_index: dict = field(default=None, init=False, repr=False, compare=False)
     _id_index: dict = field(default=None, init=False, repr=False, compare=False)
     _dataset_index: dict = field(default=None, init=False, repr=False, compare=False)
-    _indexed_len: int = field(default=-1, init=False, repr=False, compare=False)
+    _indexed_ids: tuple = field(default=(), init=False, repr=False, compare=False)
 
     @property
     def summary(self) -> EvaluationSummary:
@@ -208,10 +216,26 @@ class EvaluationResult:
         """The per-application reports, in catalogue order."""
         return [entry.report for entry in self.analyzed]
 
+    def invalidate_indexes(self) -> None:
+        """Drop the lazy lookup indexes; the next query rebuilds them.
+
+        Mutating ``analyzed`` invalidates automatically (``_index`` compares
+        entry identities, not just length, so a removal-plus-insertion of
+        equal length cannot serve stale answers) -- this hook exists for
+        callers that replaced an entry's *contents* in place and want the
+        rebuild made explicit.
+        """
+        self._key_index = None
+        self._indexed_ids = ()
+
     def _index(self) -> dict:
-        # Lazily (re)built: callers may append to ``analyzed`` after
-        # construction, so the index invalidates on length change.
-        if self._key_index is None or self._indexed_len != len(self.analyzed):
+        # Lazily (re)built: callers may mutate ``analyzed`` after
+        # construction, so the index invalidates whenever the entry
+        # identity sequence moved.  Length alone is not enough -- a delta
+        # round that removes one chart and adds another keeps the length
+        # while orphaning keys -- so the check walks the (cheap) id tuple.
+        current_ids = tuple(map(id, self.analyzed))
+        if self._key_index is None or self._indexed_ids != current_ids:
             self._key_index = {entry.key: entry for entry in self.analyzed}
             self._id_index = {
                 f"{entry.application.dataset}/{entry.application.name}": entry
@@ -221,7 +245,7 @@ class EvaluationResult:
             for entry in self.analyzed:
                 buckets.setdefault(entry.application.dataset, []).append(entry)
             self._dataset_index = buckets
-            self._indexed_len = len(self.analyzed)
+            self._indexed_ids = current_ids
         return self._key_index
 
     def report_for(self, dataset: str, name: str) -> AnalysisReport | None:
@@ -367,6 +391,81 @@ def result_key(app: BuiltApplication, settings_fp: str) -> str:
     )
 
 
+def classifier_fingerprints(app: BuiltApplication, settings_fp: str) -> dict[str, str]:
+    """The delta classifier's per-input fingerprints for one chart.
+
+    Each key fingerprints exactly one axis a delta sweep can move along --
+    ``values`` (the chart's canonical values tree), ``templates`` (the
+    template files by name and source), ``behaviors`` (the registered
+    container behaviours) and ``settings`` (the analyzer settings) -- plus
+    ``chart``, an aggregate over *every* render input (metadata, values,
+    templates, dependencies, packaged subcharts).  The aggregate is
+    composed from the axis digests rather than delegating to
+    :meth:`~repro.helm.Chart.fingerprint`, so a watch round walks each
+    values tree exactly once -- this function runs for every chart on
+    every round and is the hot loop of a no-op delta.  The orthogonality
+    contract (mutating one input flips its own fingerprint and no other)
+    is what lets :class:`repro.experiments.delta.DeltaEvaluator` name the
+    reason a chart is re-verified; it is pinned by the
+    fingerprint-sensitivity suite in
+    ``tests/experiments/test_delta_evaluation.py``.
+    """
+    chart = app.chart
+    values_fp = fingerprint_values(chart.values)
+
+    templates_digest = hashlib.blake2b(digest_size=16)
+    for template in chart.templates:
+        templates_digest.update(template.name.encode("utf-8"))
+        templates_digest.update(b"\x00")
+        templates_digest.update(template.source.encode("utf-8"))
+        templates_digest.update(b"\x00")
+    templates_fp = templates_digest.hexdigest()
+
+    meta = chart.metadata
+    aggregate = hashlib.blake2b(digest_size=16)
+    for part in (
+        meta.name,
+        meta.version,
+        meta.app_version,
+        meta.description,
+        meta.home,
+        meta.organization,
+        values_fp,
+        templates_fp,
+    ):
+        aggregate.update(part.encode("utf-8"))
+        aggregate.update(b"\x00")
+    for dependency in chart.dependencies:
+        for part in (
+            dependency.name,
+            dependency.version,
+            dependency.repository,
+            dependency.condition,
+            dependency.alias,
+        ):
+            aggregate.update(part.encode("utf-8"))
+            aggregate.update(b"\x00")
+    for name in sorted(chart.subcharts):
+        aggregate.update(name.encode("utf-8"))
+        aggregate.update(chart.subcharts[name].fingerprint().encode("utf-8"))
+        aggregate.update(b"\x00")
+
+    return {
+        "chart": aggregate.hexdigest(),
+        "values": values_fp,
+        "templates": templates_fp,
+        "behaviors": app.behaviors.fingerprint(),
+        "settings": _settings_axis_fp(settings_fp),
+    }
+
+
+@functools.lru_cache(maxsize=16)
+def _settings_axis_fp(settings_fp: str) -> str:
+    """The settings-axis digest, memoized: one settings object serves a
+    whole sweep, so re-hashing it per chart per round is pure waste."""
+    return hashlib.blake2b(settings_fp.encode("utf-8"), digest_size=16).hexdigest()
+
+
 class _DurableSweep:
     """Store + journal bookkeeping threaded through one durable sweep.
 
@@ -391,6 +490,11 @@ class _DurableSweep:
         self.applications = applications
         self.settings_fp = settings_fingerprint(settings)
         self.keys = [result_key(app, self.settings_fp) for app in applications]
+        #: Per-chart classifier fingerprints, attached to every journal
+        #: record so a later delta sweep can classify what moved.
+        self.fingerprints = [
+            classifier_fingerprints(app, self.settings_fp) for app in applications
+        ]
         identity_material = repr((tuple(self.keys), self.settings_fp))
         identity = hashlib.sha256(identity_material.encode("utf-8")).hexdigest()
         self.journal = SweepJournal(store.root, identity)
@@ -425,7 +529,10 @@ class _DurableSweep:
                 continue
             found[index] = entry
             self.loaded += 1
-            self.journal.record(uid, "ok", self.keys[index], entry.attempts, source="store")
+            self.journal.record(
+                uid, "ok", self.keys[index], entry.attempts,
+                source="store", fingerprints=self.fingerprints[index],
+            )
         return found
 
     def note(
@@ -454,12 +561,17 @@ class _DurableSweep:
             self.journal.record(
                 uid, "ok", key, outcome.attempts,
                 source="computed" if stored else "computed-unstored",
+                fingerprints=self.fingerprints[index]
+                if index is not None
+                else classifier_fingerprints(app, self.settings_fp),
             )
         elif isinstance(outcome, AnalysisFailure):
             with self._lock:
                 self.failures += 1
+            index = self._by_id.get(outcome.unique_id)
             self.journal.record(
-                outcome.unique_id, "failed", "", outcome.attempts, source="computed"
+                outcome.unique_id, "failed", "", outcome.attempts, source="computed",
+                fingerprints=self.fingerprints[index] if index is not None else None,
             )
         return outcome
 
@@ -487,6 +599,7 @@ class _DurableSweep:
             "resumed": len(self.previously),
             "journal_rotated": self.journal.rotated_reason,
             "journal_dropped_lines": self.journal.dropped_lines,
+            "journal_epoch": self.journal.epoch,
             "store": self.store.stats(),
         }
 
@@ -758,6 +871,7 @@ def run_full_evaluation(
     fault_plan: faults.FaultPlan | None = None,
     store: ResultStore | str | Path | None = None,
     resume: bool = False,
+    settings: AnalyzerSettings | None = None,
 ) -> EvaluationResult:
     """Analyze the complete catalogue and run the cluster-wide pass.
 
@@ -792,9 +906,18 @@ def run_full_evaluation(
     additionally continues the store's sweep journal (a fresh sweep rotates
     it); the analyzed output is byte-identical with or without a store.
     ``EvaluationResult.store_stats`` carries the accounting either way.
+
+    ``settings`` builds the default analyzer from explicit
+    :class:`~repro.core.AnalyzerSettings` while keeping every default-path
+    optimization (process pools, store shipping) -- the delta evaluator's
+    entry point into non-default-settings sweeps.  It is mutually exclusive
+    with ``analyzer``, whose custom rules or cluster factory the sweep
+    cannot vouch for.
     """
     custom_analyzer = analyzer is not None
-    analyzer = analyzer or MisconfigurationAnalyzer(settings=AnalyzerSettings())
+    if custom_analyzer and settings is not None:
+        raise ValueError("pass either analyzer or settings, not both")
+    analyzer = analyzer or MisconfigurationAnalyzer(settings=settings or AnalyzerSettings())
     applications = applications if applications is not None else build_catalog(datasets)
 
     store_obj = store if isinstance(store, (ResultStore, type(None))) else ResultStore(store)
@@ -910,6 +1033,23 @@ def run_full_evaluation(
             result.store_stats = durable.finish()
         if fault_plan is not None:
             faults.arm(previous_plan)
+    apply_cluster_wide_pass(result)
+    return result
+
+
+def apply_cluster_wide_pass(result: EvaluationResult) -> None:
+    """Run the cluster-wide M4* pass over ``result`` and attribute findings.
+
+    The global label-collision scan is the one cross-chart stage of the
+    pipeline: it consumes *every* analyzed inventory (in catalogue order)
+    and appends the resulting M4* findings to the affected reports, through
+    the result's own key index (shared with ``report_for``).  Shared
+    between from-scratch sweeps and the delta evaluator -- a delta round
+    reuses pre-M4* reports and re-runs this pass over the merged
+    inventories, which is how cross-chart edges whose inputs moved (a chart
+    added, removed or re-labelled) are recomputed without re-analyzing
+    unchanged charts.
+    """
     inventories = [
         ApplicationInventory(
             application=f"{entry.application.dataset}/{entry.application.name}",
@@ -927,7 +1067,6 @@ def run_full_evaluation(
         if entry is not None:
             finding.application = entry.application.name
             entry.report.add([finding])
-    return result
 
 
 def _split_outcomes(

@@ -24,6 +24,7 @@ from .values import (
     canonical_values,
     deep_merge,
     dump_values,
+    fingerprint_values,
     get_path,
     load_values,
     parse_set_string,
@@ -54,6 +55,7 @@ __all__ = [
     "compile_source",
     "deep_merge",
     "dump_values",
+    "fingerprint_values",
     "get_path",
     "load_values",
     "parse_set_string",

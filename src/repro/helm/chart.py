@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Iterable, Mapping
 
 from .errors import ChartError
-from .values import canonical_values, deep_merge, load_values
+from .values import _feed_values, deep_merge, load_values
 
 
 @dataclass
@@ -131,7 +132,9 @@ class Chart:
         for part in (meta.name, meta.version, meta.app_version, meta.description,
                      meta.home, meta.organization):
             feed(part)
-        feed(repr(canonical_values(self.values)))
+        values_parts: list[bytes] = []
+        _feed_values(values_parts.append, self.values)
+        digest.update(b"".join(values_parts))
         for template in self.templates:
             feed(template.name)
             feed(template.source)
@@ -195,6 +198,43 @@ class Chart:
         )
         for template_name, source in (templates or {}).items():
             chart.add_template(template_name, source)
+        return chart
+
+    @classmethod
+    def from_directory(cls, path: Path | str) -> "Chart":
+        """Load a chart from an on-disk directory (watch mode's entry point).
+
+        Reads ``Chart.yaml`` (name, version, appVersion, description --
+        the directory name is the fallback name), ``values.yaml`` and
+        every file under ``templates/`` (sorted, so the content
+        fingerprint is stable across filesystems).  Dependencies are not
+        resolved from disk: watch mode treats each directory as a
+        standalone chart.
+        """
+        root = Path(path)
+        meta: dict[str, Any] = {}
+        chart_yaml = root / "Chart.yaml"
+        if chart_yaml.is_file():
+            loaded = load_values(chart_yaml.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict):
+                meta = loaded
+        values_file = root / "values.yaml"
+        chart = cls(
+            metadata=ChartMetadata(
+                name=str(meta.get("name") or root.name),
+                version=str(meta.get("version") or "0.1.0"),
+                app_version=str(meta.get("appVersion") or ""),
+                description=str(meta.get("description") or ""),
+            ),
+            values=load_values(values_file.read_text(encoding="utf-8"))
+            if values_file.is_file()
+            else {},
+        )
+        templates_dir = root / "templates"
+        if templates_dir.is_dir():
+            for file in sorted(templates_dir.iterdir()):
+                if file.is_file():
+                    chart.add_template(file.name, file.read_text(encoding="utf-8"))
         return chart
 
 

@@ -8,6 +8,8 @@ merged recursively, with later layers winning, exactly as Helm does.
 from __future__ import annotations
 
 import copy
+import hashlib
+import marshal
 from collections.abc import Mapping
 from typing import Any, Iterable
 
@@ -141,6 +143,83 @@ def load_values(text: str) -> dict[str, Any]:
 def dump_values(values: Mapping[str, Any]) -> str:
     """Serialize values back to YAML (stable key order for reproducibility)."""
     return yaml_dump(dict(values), sort_keys=True, default_flow_style=False)
+
+
+def _feed_values(update, value: Any) -> None:
+    """Feed one values node into a running digest, canonically.
+
+    Mirrors :func:`canonical_values` semantics -- mapping key order and
+    identity insensitive, ``list`` and ``tuple`` equivalent, scalars
+    tagged by type -- but streams byte chunks straight to ``update``
+    (a ``list.append`` collecting for one hash call, or a running
+    ``digest.update``) instead of materializing a canonical tuple tree
+    and its ``repr``.
+    """
+    kind = type(value)
+    if kind is str:
+        update(b"s")
+        update(value.encode("utf-8"))
+    elif kind is dict:
+        update(b"{")
+        try:
+            items = sorted(value.items())
+        except TypeError:
+            # Mixed-type keys (YAML allows them): fall back to the
+            # canonical_values ordering, by type name and string form.
+            items = sorted(
+                value.items(), key=lambda kv: (type(kv[0]).__name__, str(kv[0]))
+            )
+        for key, item in items:
+            update(f"k{type(key).__name__}:{key}".encode("utf-8"))
+            update(b"\x00")
+            _feed_values(update, item)
+        update(b"}")
+    elif kind is bool:
+        update(b"b1" if value else b"b0")
+    elif kind is int:
+        update(b"i%d" % value)
+    elif kind is float:
+        update(b"f")
+        update(repr(value).encode("utf-8"))
+    elif value is None:
+        update(b"n")
+    elif kind is list or kind is tuple:
+        update(b"[")
+        for item in value:
+            _feed_values(update, item)
+        update(b"]")
+    else:
+        update(f"o{kind.__name__}:{value!r}".encode("utf-8"))
+    update(b"\x00")
+
+
+def fingerprint_values(value: Any) -> str:
+    """A blake2b *change-detection* fingerprint of a values tree (hex, 16 bytes).
+
+    This is the delta classifier's hot loop -- a watch round re-hashes
+    every chart's values every time -- so the tree is serialized by
+    ``marshal`` in C rather than walked in Python.  The contract is
+    one-sided on purpose: a content change always changes the
+    fingerprint, but a *reordered* mapping with equal content may change
+    it too (``marshal`` preserves insertion order).  Every consumer errs
+    safe on that axis: a spurious mismatch reclassifies the chart for
+    re-rendering, which is wasted work but never a stale reuse.  Use
+    :func:`canonical_values` where order-insensitive equality matters
+    (the render cache's override keys, ``Chart.fingerprint``).
+
+    Marshal version 2 is pinned because later versions emit object
+    back-references, which would make the bytes depend on string-sharing
+    patterns (object identity) rather than content alone.  Trees
+    containing types marshal cannot serialize fall back to the canonical
+    :func:`_feed_values` walk.
+    """
+    try:
+        payload = marshal.dumps(value, 2)
+    except ValueError:
+        parts: list[bytes] = []
+        _feed_values(parts.append, value)
+        payload = b"".join(parts)
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
 
 
 def canonical_values(value: Any) -> Any:

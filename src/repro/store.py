@@ -32,9 +32,16 @@ no locks.
 
 :class:`SweepJournal` adds per-sweep bookkeeping: an append-only
 ``journal.jsonl`` whose header pins the sweep identity (catalogue +
-settings + schema) and whose per-chart records -- each sealed with its own
-sha256, so a torn tail line is dropped, not trusted -- record completion
-for ``repro sweep --resume``.
+settings + schema) plus a monotonically increasing *epoch* -- every fresh
+or rotated sweep advances it, a resume continues it -- and whose per-chart
+records -- each sealed with its own sha256, so a torn tail line is
+dropped, not trusted -- record completion for ``repro sweep --resume``.
+Records optionally carry the per-chart classifier fingerprints (values /
+templates / behaviours / settings), which is what lets the delta
+evaluator (:mod:`repro.experiments.delta`) classify *why* a chart needs
+recomputation, not just that its result key moved.
+:func:`read_prior_state` is the read side: the epoch-tagged prior-state
+lookup over the live (last-wins) journal records, one per chart key.
 
 Fault injection: :data:`repro.faults.STORE_READ` fires at the top of every
 lookup (``corrupt`` kinds damage the entry first -- truncation, bit-flip or
@@ -51,6 +58,7 @@ import os
 import pickle
 import tempfile
 import threading
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
@@ -405,6 +413,10 @@ class SweepJournal:
         self.path = self.root / self.FILENAME
         self.rotated_reason: str | None = None
         self.dropped_lines = 0
+        #: The sweep epoch this journal is writing under: 0 until
+        #: :meth:`begin`, then the prior header's epoch + 1 for a fresh or
+        #: rotated sweep, or the prior epoch unchanged for a valid resume.
+        self.epoch = 0
         self._fd: int | None = None
         self._lock = threading.Lock()
 
@@ -416,11 +428,17 @@ class SweepJournal:
         first: a mismatch (different catalogue, settings or schema) rotates
         the stale journal and starts clean -- :attr:`rotated_reason` records
         why, so the CLI can surface one hint instead of a traceback.
+
+        Either way :attr:`epoch` is settled here: it continues the prior
+        header's epoch on a valid resume and advances it by one otherwise,
+        so every generation of results a store has seen is totally ordered.
         """
         completed: dict[str, dict[str, Any]] = {}
+        prior_epoch = 0
         if self.path.exists():
             header, records, dropped = self._parse()
             self.dropped_lines = dropped
+            prior_epoch = _header_epoch(header)
             if not resume:
                 self._rotate(self.ROTATED_FRESH)
             elif header is None:
@@ -431,7 +449,17 @@ class SweepJournal:
                 completed = records
         self._fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         if os.fstat(self._fd).st_size == 0:
-            self._append({"type": "header", "identity": self.identity, "schema": SCHEMA_VERSION})
+            self.epoch = prior_epoch + 1
+            self._append(
+                {
+                    "type": "header",
+                    "identity": self.identity,
+                    "schema": SCHEMA_VERSION,
+                    "epoch": self.epoch,
+                }
+            )
+        else:
+            self.epoch = prior_epoch or 1
         return completed
 
     def record(
@@ -441,18 +469,27 @@ class SweepJournal:
         result_key: str = "",
         attempts: int = 1,
         source: str = "computed",
+        fingerprints: dict[str, str] | None = None,
     ) -> None:
-        """Append one sealed per-chart completion record and fsync it."""
-        self._append(
-            {
-                "type": "chart",
-                "chart": chart,
-                "status": status,
-                "result": result_key,
-                "attempts": attempts,
-                "source": source,
-            }
-        )
+        """Append one sealed per-chart completion record and fsync it.
+
+        ``fingerprints`` (optional) attaches the chart's delta-classifier
+        fingerprints -- values / templates / behaviours / settings, see
+        :func:`repro.experiments.evaluation.classifier_fingerprints` -- so a
+        later delta sweep can explain *which* input moved, not just that
+        the content-addressed result key did.
+        """
+        record: dict[str, Any] = {
+            "type": "chart",
+            "chart": chart,
+            "status": status,
+            "result": result_key,
+            "attempts": attempts,
+            "source": source,
+        }
+        if fingerprints:
+            record["fp"] = dict(fingerprints)
+        self._append(record)
 
     def close(self) -> None:
         """Release the journal descriptor (records already durable)."""
@@ -483,23 +520,90 @@ class SweepJournal:
             pass
 
     def _parse(self) -> tuple[dict[str, Any] | None, dict[str, dict[str, Any]], int]:
-        header: dict[str, Any] | None = None
-        records: dict[str, dict[str, Any]] = {}
-        dropped = 0
-        try:
-            lines = self.path.read_text(encoding="utf-8", errors="replace").splitlines()
-        except OSError:
-            return None, {}, 0
-        for index, line in enumerate(lines):
-            record = _unseal_line(line)
-            if record is None:
-                dropped += 1
-                continue
-            if record.get("type") == "header" and index == 0:
-                header = record
-            elif record.get("type") == "chart" and isinstance(record.get("chart"), str):
-                records[record["chart"]] = record
-        return header, records, dropped
+        return _parse_journal(self.path)
+
+
+def _parse_journal(path: Path) -> tuple[dict[str, Any] | None, dict[str, dict[str, Any]], int]:
+    """Parse one journal file into (header, live chart records, dropped lines).
+
+    Chart records are *last-wins* by chart key: a chart recorded several
+    times across resumed sweeps keeps exactly one live record -- the
+    superseded-entry semantics every reader (resume, delta, prior-state
+    lookup) shares.
+    """
+    header: dict[str, Any] | None = None
+    records: dict[str, dict[str, Any]] = {}
+    dropped = 0
+    try:
+        lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+    except OSError:
+        return None, {}, 0
+    for index, line in enumerate(lines):
+        record = _unseal_line(line)
+        if record is None:
+            dropped += 1
+            continue
+        if record.get("type") == "header" and index == 0:
+            header = record
+        elif record.get("type") == "chart" and isinstance(record.get("chart"), str):
+            records[record["chart"]] = record
+    return header, records, dropped
+
+
+def _header_epoch(header: dict[str, Any] | None) -> int:
+    """The epoch a journal header carries (0 for absent or pre-epoch headers)."""
+    if not isinstance(header, dict):
+        return 0
+    try:
+        return max(int(header.get("epoch", 0)), 0)
+    except (TypeError, ValueError):
+        return 0
+
+
+@dataclass(frozen=True)
+class PriorState:
+    """The epoch-tagged prior state a store's journal records.
+
+    ``records`` holds the *live* (last-wins) chart record per chart key --
+    journal rotation and resumed sweeps keep exactly one record per chart.
+    ``epoch`` is the journal generation those records were written under
+    (0 when no journal exists), ``identity`` the sweep identity digest the
+    header pinned, so a delta consumer can tell "same catalogue, resumable"
+    from "prior state of a different sweep shape".
+    """
+
+    epoch: int
+    identity: str | None
+    records: dict[str, dict[str, Any]]
+    dropped_lines: int = 0
+
+    def completed(self) -> dict[str, dict[str, Any]]:
+        """The live records of charts that finished successfully."""
+        return {
+            chart: record
+            for chart, record in self.records.items()
+            if record.get("status") == "ok"
+        }
+
+
+def read_prior_state(root: Path | str) -> PriorState:
+    """Read a store directory's journal as delta-consumable prior state.
+
+    This is the read-only side of :class:`SweepJournal`: it never opens the
+    journal for append, never rotates, and tolerates a missing or torn
+    journal (sealed records keep their last-wins semantics; torn lines are
+    counted in ``dropped_lines``).  The delta evaluator uses it to classify
+    charts against what the store last recorded before deciding what to
+    recompute.
+    """
+    header, records, dropped = _parse_journal(Path(root) / SweepJournal.FILENAME)
+    identity = header.get("identity") if isinstance(header, dict) else None
+    return PriorState(
+        epoch=_header_epoch(header),
+        identity=identity if isinstance(identity, str) else None,
+        records=records,
+        dropped_lines=dropped,
+    )
 
 
 def store_hint(stats: dict[str, int], root: Path | str, rotated: str | None = None) -> str | None:

@@ -34,6 +34,7 @@ DOCUMENTED_SURFACE = (
     "cluster/session.py",
     "core/analyzer.py",
     "faults.py",
+    "experiments/delta.py",
     "experiments/evaluation.py",
     "store.py",
 )
